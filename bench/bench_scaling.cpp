@@ -1,0 +1,81 @@
+//===- bench/bench_scaling.cpp - Theorem 3: O(N·(T² + L)) (E3) ----------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// The paper's headline complexity claim: Algorithm 1 runs in time
+// N·(T² + L) — linear in the trace length, the only parameter that is
+// ever large. Three google-benchmark sweeps probe the three parameters
+// independently:
+//
+//   * WcpVsEvents: time per event must stay flat as N grows (linearity);
+//   * WcpVsThreads: per-event cost grows with T (the T² term comes from
+//     the queue fan-out — visible but irrelevant at realistic T < 25);
+//   * WcpVsLocks: per-event cost is insensitive to the number of locks
+//     actually used per access (the L term bounds held-lock iteration).
+//
+// HbVsEvents is the baseline the paper compares against in cols 12-13.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DetectorRunner.h"
+#include "gen/RandomTraceGen.h"
+#include "hb/HbDetector.h"
+#include "wcp/WcpDetector.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rapid;
+
+namespace {
+
+Trace makeTrace(uint32_t Threads, uint32_t Locks, uint64_t Events) {
+  RandomTraceParams P;
+  P.Seed = 42;
+  P.NumThreads = Threads;
+  P.NumLocks = Locks;
+  P.NumVars = 64;
+  P.OpsPerThread = static_cast<uint32_t>(Events / Threads);
+  P.MaxLockNesting = 2;
+  P.AcquirePercent = 15;
+  return randomTrace(P);
+}
+
+template <typename D> void runOver(benchmark::State &State, const Trace &T) {
+  for (auto _ : State) {
+    D Detector(T);
+    for (EventIdx I = 0; I != T.size(); ++I)
+      Detector.processEvent(T.event(I), I);
+    benchmark::DoNotOptimize(Detector.report().numDistinctPairs());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+  State.counters["events"] = static_cast<double>(T.size());
+}
+
+void WcpVsEvents(benchmark::State &State) {
+  Trace T = makeTrace(4, 8, static_cast<uint64_t>(State.range(0)));
+  runOver<WcpDetector>(State, T);
+}
+BENCHMARK(WcpVsEvents)->RangeMultiplier(4)->Range(1 << 12, 1 << 19);
+
+void HbVsEvents(benchmark::State &State) {
+  Trace T = makeTrace(4, 8, static_cast<uint64_t>(State.range(0)));
+  runOver<HbDetector>(State, T);
+}
+BENCHMARK(HbVsEvents)->RangeMultiplier(4)->Range(1 << 12, 1 << 19);
+
+void WcpVsThreads(benchmark::State &State) {
+  Trace T = makeTrace(static_cast<uint32_t>(State.range(0)), 8, 1 << 16);
+  runOver<WcpDetector>(State, T);
+}
+BENCHMARK(WcpVsThreads)->RangeMultiplier(2)->Range(2, 32);
+
+void WcpVsLocks(benchmark::State &State) {
+  Trace T = makeTrace(4, static_cast<uint32_t>(State.range(0)), 1 << 16);
+  runOver<WcpDetector>(State, T);
+}
+BENCHMARK(WcpVsLocks)->RangeMultiplier(4)->Range(2, 512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+//===- bench/bench_vc.cpp - Vector-clock micro-ops (E7) -----------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// The primitive operations of §3.1 — join (⊔), comparison (⊑) and copy —
+// dominate every detector's inner loop; their cost is O(T), which is the
+// per-event constant in Theorem 3. Sweeping T shows that constant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/VectorClock.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rapid;
+
+namespace {
+
+VectorClock makeClock(uint32_t N, uint32_t Stride) {
+  VectorClock V(N);
+  for (uint32_t I = 0; I < N; ++I)
+    V.set(ThreadId(I), (I * Stride) % 97);
+  return V;
+}
+
+void Join(benchmark::State &State) {
+  uint32_t N = static_cast<uint32_t>(State.range(0));
+  VectorClock A = makeClock(N, 3), B = makeClock(N, 7);
+  for (auto _ : State) {
+    A.joinWith(B);
+    benchmark::DoNotOptimize(A.data());
+  }
+}
+BENCHMARK(Join)->RangeMultiplier(4)->Range(2, 128);
+
+void Compare(benchmark::State &State) {
+  uint32_t N = static_cast<uint32_t>(State.range(0));
+  VectorClock A = makeClock(N, 3), B = makeClock(N, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.lessOrEqual(B));
+}
+BENCHMARK(Compare)->RangeMultiplier(4)->Range(2, 128);
+
+void Copy(benchmark::State &State) {
+  uint32_t N = static_cast<uint32_t>(State.range(0));
+  VectorClock A = makeClock(N, 3);
+  for (auto _ : State) {
+    VectorClock B = A;
+    benchmark::DoNotOptimize(B.data());
+  }
+}
+BENCHMARK(Copy)->RangeMultiplier(4)->Range(2, 128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+//===- examples/paper_traces.cpp - Walk through Figures 1-6 -------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// Replays every worked example of the paper and prints, per figure, the
+// verdict of each analysis — a compact, runnable rendition of the paper's
+// §2.3 narrative ("CP: no race. WCP: race.").
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/PaperTraces.h"
+#include "detect/DetectorRunner.h"
+#include "hb/HbDetector.h"
+#include "reference/ClosureEngine.h"
+#include "support/TablePrinter.h"
+#include "verify/Deadlock.h"
+#include "wcp/WcpDetector.h"
+
+#include <cstdio>
+
+using namespace rapid;
+
+int main() {
+  TablePrinter Table({"figure", "HB", "CP", "WCP", "predictable",
+                      "what the paper says"});
+
+  for (const PaperTrace &P : allPaperTraces()) {
+    ClosureEngine Ref(P.T);
+    bool Hb = !Ref.races(OrderKind::HB).empty();
+    bool Cp = !Ref.races(OrderKind::CP).empty();
+    bool Wcp = !Ref.races(OrderKind::WCP).empty();
+    DeadlockReport D = findPredictableDeadlock(P.T);
+
+    std::string Predictable;
+    if (P.PredictableRace)
+      Predictable = "race";
+    if (P.PredictableDeadlock)
+      Predictable += Predictable.empty() ? "deadlock" : "+deadlock";
+    if (Predictable.empty())
+      Predictable = "-";
+
+    std::string Comment;
+    if (P.Name == "fig1b")
+      Comment = "HB misses a predictable race";
+    else if (P.Name == "fig2b")
+      Comment = "CP misses it; WCP catches it";
+    else if (P.Name == "fig3")
+      Comment = "weakened rule (b) pays off";
+    else if (P.Name == "fig5")
+      Comment = "3-thread deadlock; CP cannot see it";
+    else if (P.Name == "fig6")
+      Comment = "queue workout for Algorithm 1";
+
+    Table.addRow({P.Name, Hb ? "race" : "-", Cp ? "race" : "-",
+                  Wcp ? "race" : "-", Predictable, Comment});
+
+    (void)D;
+  }
+  Table.print();
+
+  // Zoom into Figure 2b the way §2.3 does.
+  std::printf("\nFigure 2b in detail:\n");
+  PaperTrace P = paperFig2b();
+  for (EventIdx I = 0; I != P.T.size(); ++I)
+    std::printf("  %s\n", P.T.eventStr(I).c_str());
+  WcpDetector D(P.T);
+  RunResult R = runDetector(D, P.T);
+  std::printf("WCP: %s", R.Report.str(P.T).c_str());
+  std::printf("(HB and CP order the y-accesses through the lock and stay "
+              "silent.)\n");
+  return 0;
+}

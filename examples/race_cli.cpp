@@ -1,0 +1,148 @@
+//===- examples/race_cli.cpp - RAPID-style command-line tool ------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// The equivalent of the paper's RAPID tool: reads a trace file (text or
+// .bin), runs the selected analyses, prints the race pairs and the
+// telemetry Table 1 reports. With no file argument it analyzes a built-in
+// demo workload so the binary is runnable out of the box.
+//
+// Usage: race_cli [trace-file] [--hb] [--wcp] [--fasttrack] [--eraser]
+//                 [--window N] [--stats]
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DetectorRunner.h"
+#include "gen/Workloads.h"
+#include "hb/FastTrackDetector.h"
+#include "hb/HbDetector.h"
+#include "io/TraceFile.h"
+#include "lockset/EraserDetector.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "trace/TraceStats.h"
+#include "trace/TraceValidator.h"
+#include "wcp/WcpDetector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace rapid;
+
+namespace {
+
+struct Options {
+  std::string Path;
+  bool RunHb = false;
+  bool RunWcp = false;
+  bool RunFastTrack = false;
+  bool RunEraser = false;
+  bool ShowStats = false;
+  uint64_t Window = 0; // 0 = unwindowed.
+};
+
+void runOne(const char *Name, Detector &D, const Trace &T,
+            TablePrinter &Table) {
+  RunResult R = runDetector(D, T);
+  Table.addRow({Name, std::to_string(R.Report.numDistinctPairs()),
+                std::to_string(R.Report.numInstances()),
+                std::to_string(R.Report.maxPairDistance()),
+                formatSeconds(R.Seconds)});
+  std::printf("%s findings:\n%s\n", Name, R.Report.str(T).c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--hb")
+      Opts.RunHb = true;
+    else if (Arg == "--wcp")
+      Opts.RunWcp = true;
+    else if (Arg == "--fasttrack")
+      Opts.RunFastTrack = true;
+    else if (Arg == "--eraser")
+      Opts.RunEraser = true;
+    else if (Arg == "--stats")
+      Opts.ShowStats = true;
+    else if (Arg == "--window" && I + 1 < Argc)
+      Opts.Window = std::strtoull(Argv[++I], nullptr, 10);
+    else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return 1;
+    } else
+      Opts.Path = Arg;
+  }
+  if (!Opts.RunHb && !Opts.RunWcp && !Opts.RunFastTrack && !Opts.RunEraser)
+    Opts.RunHb = Opts.RunWcp = true;
+
+  Trace T;
+  if (Opts.Path.empty()) {
+    std::printf("no trace file given; analyzing the built-in 'mergesort' "
+                "workload model\n\n");
+    T = makeWorkload(workloadSpec("mergesort"));
+  } else {
+    TraceLoadResult Load = loadTraceFile(Opts.Path);
+    if (!Load.Ok) {
+      std::fprintf(stderr, "error: %s\n", Load.Error.c_str());
+      return 1;
+    }
+    T = std::move(Load.T);
+  }
+
+  ValidationResult V = validateTrace(T);
+  if (!V.ok()) {
+    std::fprintf(stderr, "trace is not well-formed:\n%s", V.str().c_str());
+    return 1;
+  }
+
+  if (Opts.ShowStats)
+    std::printf("%s\n", computeStats(T).str().c_str());
+
+  TablePrinter Table({"analysis", "races", "instances", "maxdist", "time"});
+  if (Opts.Window == 0) {
+    if (Opts.RunHb) {
+      HbDetector D(T);
+      runOne("HB", D, T, Table);
+    }
+    if (Opts.RunWcp) {
+      WcpDetector D(T);
+      runOne("WCP", D, T, Table);
+      std::printf("WCP queue peak: %llu abstract entries (%.2f%% of "
+                  "events)\n\n",
+                  (unsigned long long)D.stats().MaxAbstractQueueEntries,
+                  D.stats().maxQueuePercent(T.size()));
+    }
+    if (Opts.RunFastTrack) {
+      FastTrackDetector D(T);
+      runOne("FastTrack", D, T, Table);
+    }
+    if (Opts.RunEraser) {
+      EraserDetector D(T);
+      runOne("Eraser", D, T, Table);
+    }
+  } else {
+    auto addWindowed = [&](const char *Name, DetectorFactory Make) {
+      RunResult R = runDetectorWindowed(Make, T, Opts.Window);
+      Table.addRow({R.DetectorName.empty() ? Name : R.DetectorName.c_str(),
+                    std::to_string(R.Report.numDistinctPairs()),
+                    std::to_string(R.Report.numInstances()),
+                    std::to_string(R.Report.maxPairDistance()),
+                    formatSeconds(R.Seconds)});
+    };
+    if (Opts.RunHb)
+      addWindowed("HB", [](const Trace &F) {
+        return std::make_unique<HbDetector>(F);
+      });
+    if (Opts.RunWcp)
+      addWindowed("WCP", [](const Trace &F) {
+        return std::make_unique<WcpDetector>(F);
+      });
+  }
+  Table.print();
+  return 0;
+}

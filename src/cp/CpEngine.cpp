@@ -1,0 +1,44 @@
+//===- cp/CpEngine.cpp --------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cp/CpEngine.h"
+
+#include "support/Timer.h"
+#include "trace/Window.h"
+
+using namespace rapid;
+
+CpResult rapid::runCpFull(const Trace &T) {
+  Timer Clock;
+  CpResult Result;
+  ClosureEngine Engine(T);
+  for (const RaceInstance &Inst : Engine.races(OrderKind::CP))
+    Result.Report.addRace(Inst);
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+CpResult rapid::runClosureWindowed(const Trace &T, uint64_t WindowSize,
+                                   OrderKind Kind) {
+  Timer Clock;
+  CpResult Result;
+  Result.NumWindows = 0;
+  for (TraceWindow &W : splitIntoWindows(T, WindowSize)) {
+    ++Result.NumWindows;
+    ClosureEngine Engine(W.Fragment);
+    for (RaceInstance Inst : Engine.races(Kind)) {
+      Inst.EarlierIdx = W.Original[Inst.EarlierIdx];
+      Inst.LaterIdx = W.Original[Inst.LaterIdx];
+      Result.Report.addRace(Inst);
+    }
+  }
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+CpResult rapid::runCpWindowed(const Trace &T, uint64_t WindowSize) {
+  return runClosureWindowed(T, WindowSize, OrderKind::CP);
+}

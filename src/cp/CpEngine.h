@@ -1,0 +1,52 @@
+//===- cp/CpEngine.h - Causally-precedes race detection ---------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CP race detection (Smaragdakis et al. [41]) built on the reference
+/// closure. CP has no known linear-time algorithm (the paper conjectures a
+/// quadratic lower bound, §1 fn. 1), so — exactly like the original CP
+/// implementation — analysing a large trace requires *windowing*, which is
+/// the handicap §1/§4 discuss. This engine exposes both modes:
+///
+///   * full:     polynomial closure on the entire trace (small traces
+///     only — used for the Figure 2-5 verdicts and the inclusion tests);
+///   * windowed: closure per bounded fragment, findings merged, races
+///     across fragments invisible (the original paper's deployment mode,
+///     window = 500 events by default there).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_CP_CPENGINE_H
+#define RAPID_CP_CPENGINE_H
+
+#include "detect/RaceReport.h"
+#include "reference/ClosureEngine.h"
+
+namespace rapid {
+
+/// Result of a CP analysis.
+struct CpResult {
+  RaceReport Report;
+  double Seconds = 0;
+  uint64_t NumWindows = 1;
+};
+
+/// Runs the full-trace CP closure. \p T must be closure-sized (≤ ~20k
+/// events).
+CpResult runCpFull(const Trace &T);
+
+/// Runs CP over fixed-size windows and merges the reports; this is how CP
+/// scales to traces the closure cannot hold whole.
+CpResult runCpWindowed(const Trace &T, uint64_t WindowSize);
+
+/// Same machinery for any reference order (used by tests to get windowed
+/// HB/WCP reference verdicts).
+CpResult runClosureWindowed(const Trace &T, uint64_t WindowSize,
+                            OrderKind Kind);
+
+} // namespace rapid
+
+#endif // RAPID_CP_CPENGINE_H

@@ -1,0 +1,93 @@
+//===- detect/AccessHistory.cpp -----------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/AccessHistory.h"
+
+using namespace rapid;
+
+AccessHistory::AccessHistory(uint32_t NumVars, uint32_t NumThreads)
+    : NumThreads(NumThreads), States(NumVars) {}
+
+AccessHistory::VarState &AccessHistory::state(VarId V) {
+  assert(V.value() < States.size() && "variable out of range");
+  VarState &S = States[V.value()];
+  if (S.LastRead.empty()) {
+    S.LastRead.resize(NumThreads);
+    S.LastWrite.resize(NumThreads);
+  }
+  return S;
+}
+
+const AccessHistory::VarState *AccessHistory::stateIfPresent(VarId V) const {
+  assert(V.value() < States.size() && "variable out of range");
+  const VarState &S = States[V.value()];
+  return S.LastRead.empty() ? nullptr : &S;
+}
+
+void AccessHistory::recordRead(VarId V, ThreadId T, ClockValue N, LocId Loc,
+                               EventIdx I) {
+  state(V).LastRead[T.value()] = AccessRecord{N, Loc, I};
+}
+
+void AccessHistory::recordWrite(VarId V, ThreadId T, ClockValue N, LocId Loc,
+                                EventIdx I) {
+  state(V).LastWrite[T.value()] = AccessRecord{N, Loc, I};
+}
+
+void AccessHistory::checkAgainst(const std::vector<AccessRecord> &Records,
+                                 ThreadId Self, const VectorClock &Ce,
+                                 const VectorClock *Hard, VarId V, LocId Loc,
+                                 EventIdx I, bool &Found,
+                                 std::vector<RaceInstance> &Out) {
+  for (uint32_t T = 0, E = static_cast<uint32_t>(Records.size()); T != E;
+       ++T) {
+    if (T == Self.value())
+      continue;
+    const AccessRecord &R = Records[T];
+    if (!R.valid())
+      continue;
+    // Cross-thread order check (Cor. C.1): prior access a is ordered
+    // before the current event e iff N_a <= C_e(t(a)) — or the pair is
+    // hard-ordered (fork/join).
+    if (R.Clock <= Ce.get(ThreadId(T)))
+      continue;
+    if (Hard && R.Clock <= Hard->get(ThreadId(T)))
+      continue;
+    Found = true;
+    RaceInstance Inst;
+    Inst.EarlierIdx = R.Idx;
+    Inst.LaterIdx = I;
+    Inst.EarlierLoc = R.Loc;
+    Inst.LaterLoc = Loc;
+    Inst.Var = V;
+    Out.push_back(Inst);
+  }
+}
+
+bool AccessHistory::checkRead(VarId V, ThreadId Self, const VectorClock &Ce,
+                              LocId Loc, EventIdx I,
+                              std::vector<RaceInstance> &Out,
+                              const VectorClock *Hard) const {
+  const VarState *S = stateIfPresent(V);
+  if (!S)
+    return false;
+  bool Found = false;
+  checkAgainst(S->LastWrite, Self, Ce, Hard, V, Loc, I, Found, Out);
+  return Found;
+}
+
+bool AccessHistory::checkWrite(VarId V, ThreadId Self, const VectorClock &Ce,
+                               LocId Loc, EventIdx I,
+                               std::vector<RaceInstance> &Out,
+                               const VectorClock *Hard) const {
+  const VarState *S = stateIfPresent(V);
+  if (!S)
+    return false;
+  bool Found = false;
+  checkAgainst(S->LastRead, Self, Ce, Hard, V, Loc, I, Found, Out);
+  checkAgainst(S->LastWrite, Self, Ce, Hard, V, Loc, I, Found, Out);
+  return Found;
+}

@@ -1,0 +1,87 @@
+//===- detect/AccessHistory.h - Per-variable access records -----*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-(variable, thread) records of the most recent read and write. The
+/// paper's check (§3.2) keeps joins R_x/W_x and only identifies the second
+/// event of a race; recovering the first would need "to go over the trace
+/// once more". Keeping the last access per thread instead gives both
+/// endpoints in the single pass, because for cross-thread events
+/// a ≤P b ⟺ N_a ≤ C_b(t(a)) (Lemma C.8 / Corollary C.1) — the check
+/// degenerates to comparing one component. The join-based check is exactly
+/// the conjunction of the per-thread checks, so the race *verdicts* are
+/// identical to the paper's; we simply remember locations and indices too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_DETECT_ACCESSHISTORY_H
+#define RAPID_DETECT_ACCESSHISTORY_H
+
+#include "detect/Race.h"
+#include "vc/VectorClock.h"
+
+#include <vector>
+
+namespace rapid {
+
+/// Last access by one thread to one variable.
+struct AccessRecord {
+  ClockValue Clock = 0; ///< N of the access (its own component of C).
+  LocId Loc;            ///< Program location of the access.
+  EventIdx Idx = 0;     ///< Trace index of the access.
+
+  bool valid() const { return Loc.isValid(); }
+};
+
+/// Access histories for every variable in a trace.
+class AccessHistory {
+public:
+  AccessHistory(uint32_t NumVars, uint32_t NumThreads);
+
+  /// Records a read/write by \p T with local time \p N at \p Loc.
+  void recordRead(VarId V, ThreadId T, ClockValue N, LocId Loc, EventIdx I);
+  void recordWrite(VarId V, ThreadId T, ClockValue N, LocId Loc, EventIdx I);
+
+  /// Race checks against the current event's time \p Ce. Appends one
+  /// RaceInstance per racing prior access (at most one per thread and
+  /// access kind) to \p Out. Returns true iff any race was found.
+  ///
+  /// A read races with unordered prior writes; a write races with
+  /// unordered prior reads and writes (paper §3.2: W_x ⊑ C_e for reads,
+  /// R_x ⊔ W_x ⊑ C_e for writes). \p Hard, when non-null, is a second
+  /// clock consulted with ⊔ semantics (used by WCP for fork/join order,
+  /// which is not part of P_t).
+  bool checkRead(VarId V, ThreadId Self, const VectorClock &Ce, LocId Loc,
+                 EventIdx I, std::vector<RaceInstance> &Out,
+                 const VectorClock *Hard = nullptr) const;
+  bool checkWrite(VarId V, ThreadId Self, const VectorClock &Ce, LocId Loc,
+                  EventIdx I, std::vector<RaceInstance> &Out,
+                  const VectorClock *Hard = nullptr) const;
+
+private:
+  struct VarState {
+    std::vector<AccessRecord> LastRead;  ///< Indexed by thread.
+    std::vector<AccessRecord> LastWrite; ///< Indexed by thread.
+  };
+
+  VarState &state(VarId V);
+  const VarState *stateIfPresent(VarId V) const;
+
+  static void checkAgainst(const std::vector<AccessRecord> &Records,
+                           ThreadId Self, const VectorClock &Ce,
+                           const VectorClock *Hard, VarId V, LocId Loc,
+                           EventIdx I, bool &Found,
+                           std::vector<RaceInstance> &Out);
+
+  uint32_t NumThreads;
+  // Lazily materialized per variable: most variables in big traces are
+  // touched by one thread and never race.
+  std::vector<VarState> States;
+};
+
+} // namespace rapid
+
+#endif // RAPID_DETECT_ACCESSHISTORY_H

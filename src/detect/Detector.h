@@ -1,0 +1,49 @@
+//===- detect/Detector.h - Streaming detector interface ---------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of all single-pass (streaming) race detectors: HB,
+/// FastTrack, WCP and lockset. A detector is constructed against a trace's
+/// dimensions (threads/locks/vars), consumes events in trace order, and
+/// accumulates findings in a RaceReport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_DETECT_DETECTOR_H
+#define RAPID_DETECT_DETECTOR_H
+
+#include "detect/RaceReport.h"
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace rapid {
+
+/// Abstract streaming race detector.
+class Detector {
+public:
+  virtual ~Detector();
+
+  /// Processes the \p Index-th event of the trace.
+  virtual void processEvent(const Event &E, EventIdx Index) = 0;
+
+  /// Called once after the last event; detectors with buffered state may
+  /// flush diagnostics here.
+  virtual void finish() {}
+
+  /// Short name used by reports and tables ("HB", "WCP", ...).
+  virtual std::string name() const = 0;
+
+  const RaceReport &report() const { return Report; }
+  RaceReport &report() { return Report; }
+
+protected:
+  RaceReport Report;
+};
+
+} // namespace rapid
+
+#endif // RAPID_DETECT_DETECTOR_H

@@ -1,0 +1,46 @@
+//===- detect/DetectorRunner.h - Timed analysis driver ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a streaming detector over a full trace (the unwindowed mode the
+/// paper insists on) or over fixed-size windows (the handicapped mode other
+/// sound tools are forced into, §1/§4), timing the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_DETECT_DETECTORRUNNER_H
+#define RAPID_DETECT_DETECTORRUNNER_H
+
+#include "detect/Detector.h"
+
+#include <functional>
+#include <memory>
+
+namespace rapid {
+
+/// Outcome of one analysis run.
+struct RunResult {
+  RaceReport Report;
+  double Seconds = 0;
+  std::string DetectorName;
+};
+
+/// Runs \p D over all of \p T in trace order.
+RunResult runDetector(Detector &D, const Trace &T);
+
+/// Factory signature for windowed runs: each window gets a fresh detector,
+/// mirroring how windowed tools restart their analysis per fragment.
+using DetectorFactory = std::function<std::unique_ptr<Detector>(const Trace &)>;
+
+/// Splits \p T into windows of \p WindowSize events, runs a fresh detector
+/// per window and merges the reports. Race indices in the merged report are
+/// translated back to the parent trace so distances stay meaningful.
+RunResult runDetectorWindowed(const DetectorFactory &Make, const Trace &T,
+                              uint64_t WindowSize);
+
+} // namespace rapid
+
+#endif // RAPID_DETECT_DETECTORRUNNER_H

@@ -1,0 +1,23 @@
+//===- detect/Race.cpp --------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Race.h"
+
+using namespace rapid;
+
+std::string RaceInstance::str(const Trace &T) const {
+  std::string Out = T.varName(Var);
+  Out += ": ";
+  Out += T.locName(EarlierLoc);
+  Out += " (ev ";
+  Out += std::to_string(EarlierIdx);
+  Out += ") <-> ";
+  Out += T.locName(LaterLoc);
+  Out += " (ev ";
+  Out += std::to_string(LaterIdx);
+  Out += ")";
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- detect/Race.h - Race pairs and instances -----------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *race pair* in the paper's evaluation is "an unordered tuple of
+/// program locations corresponding to some pair of events in the trace that
+/// are unordered by the partial order" (§4). A RaceInstance is one concrete
+/// event pair witnessing a race pair; its *distance* (number of trace
+/// events separating the two) is the statistic §4.3 uses to show that
+/// windowed analyses cannot see far-apart races.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_DETECT_RACE_H
+#define RAPID_DETECT_RACE_H
+
+#include "support/Ids.h"
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace rapid {
+
+/// Unordered pair of program locations, stored normalized (First <= Second)
+/// so it can key a hash set.
+struct RacePair {
+  LocId First;
+  LocId Second;
+
+  RacePair() = default;
+  RacePair(LocId A, LocId B) {
+    if (B < A) {
+      First = B;
+      Second = A;
+    } else {
+      First = A;
+      Second = B;
+    }
+  }
+
+  bool operator==(const RacePair &O) const {
+    return First == O.First && Second == O.Second;
+  }
+};
+
+struct RacePairHash {
+  size_t operator()(const RacePair &P) const {
+    return (static_cast<size_t>(P.First.value()) << 32) ^ P.Second.value();
+  }
+};
+
+/// One concrete pair of conflicting, unordered events.
+struct RaceInstance {
+  EventIdx EarlierIdx = 0;
+  EventIdx LaterIdx = 0;
+  LocId EarlierLoc;
+  LocId LaterLoc;
+  VarId Var;
+
+  /// Separation in events (§4.3's race distance).
+  uint64_t distance() const { return LaterIdx - EarlierIdx; }
+
+  RacePair pair() const { return RacePair(EarlierLoc, LaterLoc); }
+
+  /// Renders "x: L3 (ev 12) <-> L9 (ev 845)" against \p T's name tables.
+  std::string str(const Trace &T) const;
+};
+
+} // namespace rapid
+
+#endif // RAPID_DETECT_RACE_H

@@ -1,0 +1,67 @@
+//===- detect/RaceReport.cpp --------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceReport.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+bool RaceReport::addRace(const RaceInstance &Instance) {
+  ++TotalInstances;
+  RacePair P = Instance.pair();
+  auto It = FirstInstance.find(P);
+  if (It != FirstInstance.end()) {
+    It->second.MinDistance =
+        std::min(It->second.MinDistance, Instance.distance());
+    return false;
+  }
+  FirstInstance.emplace(P, PairInfo{Instances.size(), Instance.distance()});
+  Instances.push_back(Instance);
+  return true;
+}
+
+uint64_t RaceReport::pairDistance(const RacePair &P) const {
+  auto It = FirstInstance.find(P);
+  if (It == FirstInstance.end())
+    return 0;
+  return It->second.MinDistance;
+}
+
+uint64_t RaceReport::maxPairDistance() const {
+  uint64_t Max = 0;
+  for (const auto &[Pair, Info] : FirstInstance)
+    Max = std::max(Max, Info.MinDistance);
+  return Max;
+}
+
+uint64_t RaceReport::numPairsWithDistanceAtLeast(uint64_t Threshold) const {
+  uint64_t Count = 0;
+  for (const auto &[Pair, Info] : FirstInstance)
+    if (Info.MinDistance >= Threshold)
+      ++Count;
+  return Count;
+}
+
+void RaceReport::mergeFrom(const RaceReport &Other) {
+  for (const RaceInstance &I : Other.Instances)
+    addRace(I);
+  // addRace already counted the first instances; fold in the remainder so
+  // instance totals stay additive.
+  TotalInstances += Other.TotalInstances - Other.Instances.size();
+}
+
+std::string RaceReport::str(const Trace &T) const {
+  std::string Out;
+  Out += std::to_string(numDistinctPairs());
+  Out += " distinct race pair(s)\n";
+  for (const RaceInstance &I : Instances) {
+    Out += "  ";
+    Out += I.str(T);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- detect/RaceReport.h - Accumulated race findings ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects race instances, deduplicates them into distinct location pairs
+/// (the paper's headline metric, Table 1 columns 6-10), and tracks the
+/// distance statistics of §4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_DETECT_RACEREPORT_H
+#define RAPID_DETECT_RACEREPORT_H
+
+#include "detect/Race.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rapid {
+
+/// Accumulates race findings during one analysis run.
+class RaceReport {
+public:
+  /// Records a race instance. Returns true iff its location pair is new.
+  bool addRace(const RaceInstance &Instance);
+
+  /// Number of distinct location pairs — the paper's "#Races".
+  uint64_t numDistinctPairs() const { return FirstInstance.size(); }
+
+  /// Total instances recorded (>= numDistinctPairs()).
+  uint64_t numInstances() const { return TotalInstances; }
+
+  /// First instance seen for each distinct pair, in discovery order.
+  const std::vector<RaceInstance> &instances() const { return Instances; }
+
+  /// Minimum observed distance for pair \p P over all its instances
+  /// (the paper defines race distance as the minimum separation of any
+  /// event pair exhibiting the location pair).
+  uint64_t pairDistance(const RacePair &P) const;
+
+  /// Largest per-pair minimum distance over all pairs (0 if no races):
+  /// "the maximum distance being 53 million" (§4.3).
+  uint64_t maxPairDistance() const;
+
+  /// Number of distinct pairs whose distance is at least \p Threshold.
+  uint64_t numPairsWithDistanceAtLeast(uint64_t Threshold) const;
+
+  /// Whether \p P was reported.
+  bool hasPair(const RacePair &P) const {
+    return FirstInstance.find(P) != FirstInstance.end();
+  }
+
+  /// Merges \p Other into this report (used by windowed analyses that
+  /// aggregate per-window findings).
+  void mergeFrom(const RaceReport &Other);
+
+  /// Multi-line rendering of all distinct pairs against \p T.
+  std::string str(const Trace &T) const;
+
+private:
+  struct PairInfo {
+    size_t InstanceSlot;
+    uint64_t MinDistance;
+  };
+  std::unordered_map<RacePair, PairInfo, RacePairHash> FirstInstance;
+  std::vector<RaceInstance> Instances;
+  uint64_t TotalInstances = 0;
+};
+
+} // namespace rapid
+
+#endif // RAPID_DETECT_RACEREPORT_H

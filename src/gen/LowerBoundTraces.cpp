@@ -1,0 +1,64 @@
+//===- gen/LowerBoundTraces.cpp -----------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/LowerBoundTraces.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <cassert>
+
+using namespace rapid;
+
+Trace rapid::equalityTrace(const std::vector<bool> &U,
+                           const std::vector<bool> &V) {
+  assert(U.size() == V.size() && "bit strings must have equal length");
+  TraceBuilder B;
+  B.write("t1", "z", "z1"); // Probe write #1, before all gadgets.
+  for (size_t I = 0; I < U.size(); ++I) {
+    const char *Lock = U[I] ? "L1" : "L0";
+    std::string X = "x" + std::to_string(I);
+    B.acquire("t1", Lock, "u" + std::to_string(I) + ".acq");
+    B.write("t1", X, "u" + std::to_string(I) + ".w");
+    B.release("t1", Lock, "u" + std::to_string(I) + ".rel");
+  }
+  for (size_t I = 0; I < V.size(); ++I) {
+    const char *Lock = V[I] ? "L1" : "L0";
+    std::string X = "x" + std::to_string(I);
+    B.acquire("t2", Lock, "v" + std::to_string(I) + ".acq");
+    // Rule (a) orders t1's release of this lock before this read iff the
+    // read's section is over the *same* lock, i.e. iff U[I] == V[I].
+    B.read("t2", X, "v" + std::to_string(I) + ".r");
+    B.release("t2", Lock, "v" + std::to_string(I) + ".rel");
+  }
+  B.write("t2", "z", "z2"); // Probe write #2, after all gadgets.
+  return B.take();
+}
+
+Trace rapid::queuePressureTrace(uint32_t N, bool WithConflicts) {
+  // Alternating critical sections on one lock. With conflicts, each
+  // thread's section reads what the other wrote, so rule (a) raises the
+  // reader's P-clock and the while-loop of Algorithm 1 pops the pending
+  // entry at each release: the queues stay O(1). Without conflicts, no
+  // P-clock ever dominates a foreign acquire time and every entry is
+  // retained: the queues grow to Θ(N) — the worst case of §3.4.
+  TraceBuilder B;
+  for (uint32_t I = 0; I < N; ++I) {
+    std::string A = "a" + std::to_string(I);
+    std::string BVar = "b" + std::to_string(I);
+    B.acquire("t1", "m", "p.acq");
+    if (WithConflicts && I > 0)
+      B.read("t1", "b" + std::to_string(I - 1), "p.r");
+    B.write("t1", A, "p.w");
+    B.release("t1", "m", "p.rel");
+
+    B.acquire("t2", "m", "c.acq");
+    if (WithConflicts)
+      B.read("t2", A, "c.r");
+    B.write("t2", BVar, "c.w");
+    B.release("t2", "m", "c.rel");
+  }
+  return B.take();
+}

@@ -1,0 +1,51 @@
+//===- gen/LowerBoundTraces.h - Theorem 4/5 trace families ------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace families for the space lower bounds (§3.4, Appendix E). The
+/// paper's Figure 8 reduces equality of two n-bit strings to WCP
+/// detection: the trace encodes u with locks chosen by u's bits and v with
+/// locks chosen by v's bits, and the two w(z) events end up WCP-ordered
+/// exactly when the bit strings relate — so any single-pass WCP algorithm
+/// must carry Ω(n) bits across the middle of the trace.
+///
+/// equalityTrace(u, v) realizes the reduction with one conditional rule-(a)
+/// edge per position: position i contributes an edge iff u[i] == v[i], and
+/// the z-writes are WCP-ordered iff at least one position matches. Deciding
+/// that predicate for all v still requires remembering all of u (it is
+/// equality against the complement), giving the same Ω(n) bound.
+///
+/// queuePressureTrace(n) drives Algorithm 1 into its worst-case memory:
+/// n critical sections whose times are never ⊑-dominated pile up in
+/// Acq_ℓ(t)/Rel_ℓ(t); with conflicts enabled the queues drain instead —
+/// the contrast bench_lowerbound plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_GEN_LOWERBOUNDTRACES_H
+#define RAPID_GEN_LOWERBOUNDTRACES_H
+
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace rapid {
+
+/// Figure 8-style reduction trace for bit strings \p U and \p V (equal
+/// lengths). The events named "z1"/"z2" (locations) are the probe writes;
+/// they are WCP-*ordered* iff ∃i: U[i] == V[i], i.e. the trace has a
+/// WCP-race on z iff V is the bitwise complement of U.
+Trace equalityTrace(const std::vector<bool> &U, const std::vector<bool> &V);
+
+/// n same-lock critical sections that stay unordered with the late
+/// consumer, so Algorithm 1 retains Θ(n) queue entries. With
+/// \p WithConflicts, every section conflicts with the consumer and the
+/// queues drain to O(1) instead.
+Trace queuePressureTrace(uint32_t N, bool WithConflicts);
+
+} // namespace rapid
+
+#endif // RAPID_GEN_LOWERBOUNDTRACES_H

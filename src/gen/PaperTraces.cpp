@@ -1,0 +1,210 @@
+//===- gen/PaperTraces.cpp ----------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/PaperTraces.h"
+
+#include "trace/TraceBuilder.h"
+
+using namespace rapid;
+
+namespace {
+
+/// Small helper that numbers locations like the paper's line numbers and
+/// expands the paper's sync(x)/acrl(y) shorthands.
+class FigBuilder {
+public:
+  TraceBuilder B;
+  int Line = 0;
+
+  std::string loc() { return "line" + std::to_string(++Line); }
+
+  void r(const char *T, const char *X) { B.read(T, X, loc()); }
+  void w(const char *T, const char *X) { B.write(T, X, loc()); }
+  void acq(const char *T, const char *L) { B.acquire(T, L, loc()); }
+  void rel(const char *T, const char *L) { B.release(T, L, loc()); }
+
+  /// sync(x): acq(x) r(xVar) w(xVar) rel(x), one paper line.
+  void sync(const char *T, const char *L) {
+    std::string Where = loc();
+    std::string Var = std::string(L) + "Var";
+    B.acquire(T, L, Where + ".a");
+    B.read(T, Var, Where + ".r");
+    B.write(T, Var, Where + ".w");
+    B.release(T, L, Where + ".l");
+  }
+
+  /// acrl(y): acq(y) rel(y), one paper line.
+  void acrl(const char *T, const char *L) {
+    std::string Where = loc();
+    B.acquire(T, L, Where + ".a");
+    B.release(T, L, Where + ".l");
+  }
+};
+
+} // namespace
+
+PaperTrace rapid::paperFig1a() {
+  FigBuilder F;
+  F.acq("t1", "l");
+  F.r("t1", "x");
+  F.w("t1", "x");
+  F.rel("t1", "l");
+  F.acq("t2", "l");
+  F.r("t2", "x");
+  F.w("t2", "x");
+  F.rel("t2", "l");
+  return PaperTrace{"fig1a", F.B.take(), false, false, false,
+                    false, false, ""};
+}
+
+PaperTrace rapid::paperFig1b() {
+  FigBuilder F;
+  F.w("t1", "y");
+  F.acq("t1", "l");
+  F.r("t1", "x");
+  F.rel("t1", "l");
+  F.acq("t2", "l");
+  F.r("t2", "x");
+  F.rel("t2", "l");
+  F.r("t2", "y");
+  return PaperTrace{"fig1b", F.B.take(), false, true, true, true, false, "y"};
+}
+
+PaperTrace rapid::paperFig2a() {
+  FigBuilder F;
+  F.w("t1", "y");
+  F.acq("t1", "l");
+  F.w("t1", "x");
+  F.rel("t1", "l");
+  F.acq("t2", "l");
+  F.r("t2", "x");
+  F.r("t2", "y");
+  F.rel("t2", "l");
+  return PaperTrace{"fig2a", F.B.take(), false, false, false,
+                    false, false, ""};
+}
+
+PaperTrace rapid::paperFig2b() {
+  FigBuilder F;
+  F.w("t1", "y");
+  F.acq("t1", "l");
+  F.w("t1", "x");
+  F.rel("t1", "l");
+  F.acq("t2", "l");
+  F.r("t2", "y");
+  F.r("t2", "x");
+  F.rel("t2", "l");
+  return PaperTrace{"fig2b", F.B.take(), false, false, true, true, false, "y"};
+}
+
+PaperTrace rapid::paperFig3() {
+  FigBuilder F;
+  F.acq("t1", "l");   // 1
+  F.sync("t1", "x");  // 2
+  F.r("t1", "z");     // 3
+  F.rel("t1", "l");   // 4
+  F.sync("t2", "x");  // 5
+  F.acq("t2", "l");   // 6
+  F.acq("t2", "n");   // 7
+  F.rel("t2", "n");   // 8
+  F.rel("t2", "l");   // 9
+  F.acq("t3", "n");   // 10
+  F.rel("t3", "n");   // 11
+  F.w("t3", "z");     // 12
+  return PaperTrace{"fig3", F.B.take(), false, false, true, true, false, "z"};
+}
+
+PaperTrace rapid::paperFig4() {
+  FigBuilder F;
+  F.acq("t1", "l");   // 1
+  F.acq("t1", "m");   // 2
+  F.rel("t1", "m");   // 3
+  F.r("t1", "z");     // 4
+  F.rel("t1", "l");   // 5
+  F.acq("t2", "m");   // 6
+  F.acq("t2", "n");   // 7
+  F.sync("t2", "x");  // 8
+  F.rel("t2", "n");   // 9
+  F.rel("t2", "m");   // 10
+  F.acq("t3", "n");   // 11
+  F.acq("t3", "l");   // 12
+  F.rel("t3", "l");   // 13
+  F.sync("t3", "x");  // 14
+  F.w("t3", "z");     // 15
+  F.rel("t3", "n");   // 16
+  // Figure 4 also admits a predictable deadlock (reorder to e1, e6, e11:
+  // t1 holds l wants m, t2 holds m wants n, t3 holds n wants l); the
+  // paper's point is only that the *race* is predictable and WCP-visible.
+  return PaperTrace{"fig4", F.B.take(), false, false, true, true, true, "z"};
+}
+
+PaperTrace rapid::paperFig5() {
+  FigBuilder F;
+  F.acq("t1", "l");   // 1
+  F.acq("t1", "m");   // 2
+  F.rel("t1", "m");   // 3
+  F.r("t1", "z");     // 4
+  F.rel("t1", "l");   // 5
+  F.acq("t2", "m");   // 6
+  F.acq("t2", "n");   // 7
+  F.sync("t2", "x");  // 8
+  F.rel("t2", "n");   // 9
+  F.acq("t3", "n");   // 10
+  F.acq("t3", "l");   // 11
+  F.rel("t3", "l");   // 12
+  F.sync("t3", "x");  // 13
+  F.w("t3", "z");     // 14
+  F.rel("t3", "n");   // 15
+  F.sync("t3", "y");  // 16
+  F.sync("t2", "y");  // 17
+  F.rel("t2", "m");   // 18
+  return PaperTrace{"fig5", F.B.take(), false, false, true, false, true, "z"};
+}
+
+PaperTrace rapid::paperFig6() {
+  FigBuilder F;
+  F.acq("t1", "l0");  // 1
+  F.w("t1", "x");     // 2
+  F.acq("t1", "m");   // 3
+  F.acrl("t1", "y");  // 4
+  F.acrl("t2", "y");  // 5
+  F.rel("t1", "l0");  // 6
+  F.acq("t1", "l1");  // 7
+  F.acrl("t1", "y");  // 8
+  F.acrl("t2", "y");  // 9
+  F.rel("t1", "m");   // 10
+  F.acq("t2", "m");   // 11
+  F.acrl("t1", "y");  // 12
+  F.acrl("t2", "y");  // 13
+  F.rel("t1", "l1");  // 14
+  F.rel("t2", "m");   // 15
+  F.acq("t2", "l0");  // 16
+  F.w("t2", "x");     // 17
+  F.rel("t2", "l0");  // 18
+  F.acq("t2", "m");   // 19
+  F.rel("t2", "m");   // 20
+  F.acq("t2", "l1");  // 21
+  F.rel("t2", "l1");  // 22
+  F.acq("t3", "m");   // 23
+  F.rel("t3", "m");   // 24
+  // The x-accesses (lines 2 and 17) are WCP-ordered by rule (a); the trace
+  // exists to exercise the Acq/Rel queues, not to exhibit a race.
+  return PaperTrace{"fig6", F.B.take(), false, false, false,
+                    false, false, ""};
+}
+
+std::vector<PaperTrace> rapid::allPaperTraces() {
+  std::vector<PaperTrace> All;
+  All.push_back(paperFig1a());
+  All.push_back(paperFig1b());
+  All.push_back(paperFig2a());
+  All.push_back(paperFig2b());
+  All.push_back(paperFig3());
+  All.push_back(paperFig4());
+  All.push_back(paperFig5());
+  All.push_back(paperFig6());
+  return All;
+}

@@ -1,0 +1,54 @@
+//===- gen/PaperTraces.h - Figures 1-6 as traces ----------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worked examples of the paper, encoded verbatim. Each figure comes
+/// with the verdicts the paper states for it (HB/CP/WCP race presence,
+/// predictable race/deadlock existence), which the test suite asserts
+/// against every engine in the repo. Event locations are named "line<k>"
+/// after the figure's line numbers, so race pairs in test failures read
+/// like the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_GEN_PAPERTRACES_H
+#define RAPID_GEN_PAPERTRACES_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// One paper figure with its stated verdicts.
+struct PaperTrace {
+  std::string Name;       ///< "fig1a", "fig2b", ...
+  Trace T;
+  bool HbRace;            ///< Does HB report a race?
+  bool CpRace;            ///< Does CP report a race?
+  bool WcpRace;           ///< Does WCP report a race?
+  bool PredictableRace;   ///< Does a correct reordering exhibit a race?
+  bool PredictableDeadlock; ///< ... or a deadlock?
+  /// For figures with a named racy variable ("y", "z"): its name.
+  std::string RacyVar;
+};
+
+PaperTrace paperFig1a(); ///< Locked x accesses; no race anywhere.
+PaperTrace paperFig1b(); ///< Race on y; HB misses, CP and WCP catch it.
+PaperTrace paperFig2a(); ///< No predictable race; CP and WCP agree.
+PaperTrace paperFig2b(); ///< Race on y; CP misses it, WCP catches it.
+PaperTrace paperFig3();  ///< Weakened rule (b): CP "no race", WCP "race".
+PaperTrace paperFig4();  ///< Three threads; WCP race, CP none.
+PaperTrace paperFig5();  ///< Predictable *deadlock* only; WCP flags it.
+PaperTrace paperFig6();  ///< Queue-motivating trace for Algorithm 1.
+
+/// All of the above.
+std::vector<PaperTrace> allPaperTraces();
+
+} // namespace rapid
+
+#endif // RAPID_GEN_PAPERTRACES_H

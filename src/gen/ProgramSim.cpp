@@ -1,0 +1,209 @@
+//===- gen/ProgramSim.cpp -----------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramSim.h"
+
+#include "support/Prng.h"
+#include "trace/TraceBuilder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace rapid;
+
+ThreadProgram &Program::thread(const std::string &Name) {
+  for (ThreadProgram &TP : Threads)
+    if (TP.Name == Name)
+      return TP;
+  Threads.push_back(ThreadProgram{Name, {}});
+  return Threads.back();
+}
+
+ThreadScript &ThreadScript::acq(const std::string &L, const std::string &Loc) {
+  TP.Ops.push_back({ProgramOp::Kind::Acquire, L, Loc});
+  return *this;
+}
+ThreadScript &ThreadScript::rel(const std::string &L, const std::string &Loc) {
+  TP.Ops.push_back({ProgramOp::Kind::Release, L, Loc});
+  return *this;
+}
+ThreadScript &ThreadScript::read(const std::string &X,
+                                 const std::string &Loc) {
+  TP.Ops.push_back({ProgramOp::Kind::Read, X, Loc});
+  return *this;
+}
+ThreadScript &ThreadScript::write(const std::string &X,
+                                  const std::string &Loc) {
+  TP.Ops.push_back({ProgramOp::Kind::Write, X, Loc});
+  return *this;
+}
+ThreadScript &ThreadScript::fork(const std::string &Child,
+                                 const std::string &Loc) {
+  TP.Ops.push_back({ProgramOp::Kind::Fork, Child, Loc});
+  return *this;
+}
+ThreadScript &ThreadScript::join(const std::string &Child,
+                                 const std::string &Loc) {
+  TP.Ops.push_back({ProgramOp::Kind::Join, Child, Loc});
+  return *this;
+}
+ThreadScript &ThreadScript::post(const std::string &Ticket) {
+  TP.Ops.push_back({ProgramOp::Kind::Post, Ticket, {}});
+  return *this;
+}
+ThreadScript &ThreadScript::await(const std::string &Ticket) {
+  TP.Ops.push_back({ProgramOp::Kind::Await, Ticket, {}});
+  return *this;
+}
+ThreadScript &ThreadScript::lockedIncrement(const std::string &L,
+                                            const std::string &X,
+                                            const std::string &Loc) {
+  acq(L, Loc.empty() ? std::string() : Loc + ".acq");
+  read(X, Loc.empty() ? std::string() : Loc + ".r");
+  write(X, Loc.empty() ? std::string() : Loc + ".w");
+  rel(L, Loc.empty() ? std::string() : Loc + ".rel");
+  return *this;
+}
+
+SimResult rapid::simulate(const Program &P, const SimOptions &Opts) {
+  SimResult Result;
+  uint32_t NumThreads = static_cast<uint32_t>(P.Threads.size());
+  TraceBuilder Builder;
+  Prng Rng(Opts.Seed);
+
+  // Pre-register threads so ids follow program order.
+  std::unordered_map<std::string, uint32_t> ThreadIndex;
+  for (uint32_t I = 0; I < NumThreads; ++I) {
+    Builder.declareThread(P.Threads[I].Name);
+    ThreadIndex[P.Threads[I].Name] = I;
+  }
+
+  std::vector<size_t> Next(NumThreads, 0);
+  std::vector<bool> Started(NumThreads, false);
+  std::vector<bool> NeedsFork(NumThreads, false);
+  std::unordered_map<std::string, uint32_t> LockHolder;
+  std::unordered_set<std::string> Tickets;
+
+  for (const ThreadProgram &TP : P.Threads)
+    for (const ProgramOp &Op : TP.Ops)
+      if (Op.K == ProgramOp::Kind::Fork) {
+        auto It = ThreadIndex.find(Op.Target);
+        if (It == ThreadIndex.end()) {
+          Result.Error = "fork of unknown thread '" + Op.Target + "'";
+          return Result;
+        }
+        NeedsFork[It->second] = true;
+      }
+  for (uint32_t I = 0; I < NumThreads; ++I)
+    if (!NeedsFork[I])
+      Started[I] = true;
+
+  auto isRunnable = [&](uint32_t Tid) -> bool {
+    if (!Started[Tid] || Next[Tid] >= P.Threads[Tid].Ops.size())
+      return false;
+    const ProgramOp &Op = P.Threads[Tid].Ops[Next[Tid]];
+    switch (Op.K) {
+    case ProgramOp::Kind::Acquire:
+      return LockHolder.find(Op.Target) == LockHolder.end();
+    case ProgramOp::Kind::Join: {
+      auto It = ThreadIndex.find(Op.Target);
+      return It != ThreadIndex.end() &&
+             Next[It->second] >= P.Threads[It->second].Ops.size();
+    }
+    case ProgramOp::Kind::Await:
+      return Tickets.count(Op.Target) != 0;
+    default:
+      return true;
+    }
+  };
+
+  auto step = [&](uint32_t Tid) -> bool {
+    const ThreadProgram &TP = P.Threads[Tid];
+    const ProgramOp &Op = TP.Ops[Next[Tid]];
+    ++Next[Tid];
+    std::string Loc = Op.Loc;
+    if (Loc.empty() && Op.K != ProgramOp::Kind::Post &&
+        Op.K != ProgramOp::Kind::Await)
+      Loc = TP.Name + ":op" + std::to_string(Next[Tid] - 1);
+    switch (Op.K) {
+    case ProgramOp::Kind::Acquire:
+      LockHolder[Op.Target] = Tid;
+      Builder.acquire(TP.Name, Op.Target, Loc);
+      return true;
+    case ProgramOp::Kind::Release: {
+      auto It = LockHolder.find(Op.Target);
+      if (It == LockHolder.end() || It->second != Tid) {
+        Result.Error = "thread " + TP.Name + " releases lock '" + Op.Target +
+                       "' it does not hold";
+        return false;
+      }
+      LockHolder.erase(It);
+      Builder.release(TP.Name, Op.Target, Loc);
+      return true;
+    }
+    case ProgramOp::Kind::Read:
+      Builder.read(TP.Name, Op.Target, Loc);
+      return true;
+    case ProgramOp::Kind::Write:
+      Builder.write(TP.Name, Op.Target, Loc);
+      return true;
+    case ProgramOp::Kind::Fork: {
+      uint32_t Child = ThreadIndex.at(Op.Target);
+      if (Started[Child]) {
+        Result.Error = "thread '" + Op.Target + "' forked twice";
+        return false;
+      }
+      Started[Child] = true;
+      Builder.fork(TP.Name, Op.Target, Loc);
+      return true;
+    }
+    case ProgramOp::Kind::Join:
+      Builder.join(TP.Name, Op.Target, Loc);
+      return true;
+    case ProgramOp::Kind::Post:
+      Tickets.insert(Op.Target);
+      return true;
+    case ProgramOp::Kind::Await:
+      return true; // Checked runnable; no event.
+    }
+    return false;
+  };
+
+  uint32_t Current = UINT32_MAX;
+  std::vector<uint32_t> Runnable;
+  for (;;) {
+    // Burst heuristic: keep running the current thread most of the time.
+    if (Current != UINT32_MAX && isRunnable(Current) &&
+        Rng.chance(Opts.BurstPercent, 100)) {
+      if (!step(Current))
+        return Result;
+      continue;
+    }
+    Runnable.clear();
+    for (uint32_t I = 0; I < NumThreads; ++I)
+      if (isRunnable(I))
+        Runnable.push_back(I);
+    if (Runnable.empty())
+      break;
+    Current = Runnable[Rng.nextBelow(Runnable.size())];
+    if (!step(Current))
+      return Result;
+  }
+
+  for (uint32_t I = 0; I < NumThreads; ++I) {
+    if (Next[I] < P.Threads[I].Ops.size()) {
+      Result.Error = "simulated program is stuck: thread " +
+                     P.Threads[I].Name + " blocked at op " +
+                     std::to_string(Next[I]) +
+                     " (lock-order or ticket cycle in the workload)";
+      return Result;
+    }
+  }
+
+  Result.Ok = true;
+  Result.T = Builder.take();
+  return Result;
+}

@@ -1,0 +1,109 @@
+//===- gen/ProgramSim.h - Concurrent program simulator ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-generation pipeline. The paper obtains traces by running Java
+/// benchmarks under RVPredict's logger; offline, we substitute a *program
+/// simulator*: small concurrent programs (threads with operation lists)
+/// executed by a deterministic seeded scheduler that respects lock
+/// semantics and fork/join, emitting a valid trace. The workload suite
+/// (Workloads.h) models each Table 1 benchmark as such a program.
+///
+/// Two scheduler-only operations, `post(ticket)` / `await(ticket)`, gate
+/// *when* a thread may proceed without emitting any event. They model the
+/// timing accidents of a real recorded execution (a thread happening to
+/// run later), which is exactly what lets workloads plant races at
+/// controlled trace positions: the gating fixes the interleaving, but —
+/// emitting no events — adds no happens-before edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_GEN_PROGRAMSIM_H
+#define RAPID_GEN_PROGRAMSIM_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// One operation of a thread program.
+struct ProgramOp {
+  enum class Kind : uint8_t {
+    Acquire,
+    Release,
+    Read,
+    Write,
+    Fork,
+    Join,
+    Post,  ///< Scheduler-only: publish ticket Target (no event emitted).
+    Await, ///< Scheduler-only: wait for ticket Target (no event emitted).
+  };
+  Kind K;
+  std::string Target; ///< Lock, variable, thread or ticket name.
+  std::string Loc;    ///< Program location; "" = auto.
+};
+
+/// A thread's straight-line program.
+struct ThreadProgram {
+  std::string Name;
+  std::vector<ProgramOp> Ops;
+};
+
+/// A complete program: a set of thread programs.
+struct Program {
+  std::vector<ThreadProgram> Threads;
+
+  /// Returns (creating if needed) the program of thread \p Name.
+  ThreadProgram &thread(const std::string &Name);
+};
+
+/// Fluent builder for one thread's program.
+class ThreadScript {
+public:
+  ThreadScript(Program &P, const std::string &Name)
+      : TP(P.thread(Name)) {}
+
+  ThreadScript &acq(const std::string &L, const std::string &Loc = {});
+  ThreadScript &rel(const std::string &L, const std::string &Loc = {});
+  ThreadScript &read(const std::string &X, const std::string &Loc = {});
+  ThreadScript &write(const std::string &X, const std::string &Loc = {});
+  ThreadScript &fork(const std::string &Child, const std::string &Loc = {});
+  ThreadScript &join(const std::string &Child, const std::string &Loc = {});
+  ThreadScript &post(const std::string &Ticket);
+  ThreadScript &await(const std::string &Ticket);
+
+  /// acq(L) read(X) write(X) rel(L) — a protected counter bump.
+  ThreadScript &lockedIncrement(const std::string &L, const std::string &X,
+                                const std::string &Loc = {});
+
+private:
+  ThreadProgram &TP;
+};
+
+/// Scheduler configuration.
+struct SimOptions {
+  uint64_t Seed = 1;
+  /// Probability (percent) of staying on the current thread when it is
+  /// still runnable; higher values produce longer per-thread bursts, like
+  /// real schedulers.
+  uint32_t BurstPercent = 60;
+};
+
+/// Outcome of simulating a program.
+struct SimResult {
+  bool Ok = false;
+  std::string Error; ///< E.g. "simulated program deadlocked".
+  Trace T;
+};
+
+/// Executes \p P under a deterministic random scheduler.
+SimResult simulate(const Program &P, const SimOptions &Opts = {});
+
+} // namespace rapid
+
+#endif // RAPID_GEN_PROGRAMSIM_H

@@ -1,0 +1,80 @@
+//===- gen/RandomTraceGen.cpp -------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomTraceGen.h"
+
+#include "gen/ProgramSim.h"
+#include "support/Prng.h"
+
+#include <cassert>
+
+using namespace rapid;
+
+Trace rapid::randomTrace(const RandomTraceParams &Params) {
+  assert(Params.NumThreads > 0 && Params.NumVars > 0 && "degenerate params");
+  Prng Rng(Params.Seed ^ 0xabcdef12345678ULL);
+  Program P;
+
+  auto threadName = [](uint32_t I) { return "T" + std::to_string(I); };
+
+  // Root thread must exist first so fork targets are known.
+  for (uint32_t T = 0; T < Params.NumThreads; ++T)
+    P.thread(threadName(T));
+
+  for (uint32_t T = 0; T < Params.NumThreads; ++T) {
+    ThreadScript S(P, threadName(T));
+    if (Params.WithForkJoin && T == 0)
+      for (uint32_t U = 1; U < Params.NumThreads; ++U)
+        S.fork(threadName(U));
+
+    // Held locks as a stack of lock ids; the order discipline (only
+    // acquire ids above the current maximum) keeps the simulator
+    // deadlock-free.
+    std::vector<uint32_t> Held;
+    auto loc = [&](const char *Tag) {
+      return threadName(T) + ":" + Tag +
+             std::to_string(Rng.nextBelow(Params.LocsPerThread));
+    };
+    for (uint32_t Op = 0; Op < Params.OpsPerThread; ++Op) {
+      bool CanAcquire = Params.NumLocks > 0 &&
+                        Held.size() < Params.MaxLockNesting &&
+                        (Held.empty() || Held.back() + 1 < Params.NumLocks);
+      bool CanRelease = !Held.empty();
+      if (CanAcquire && Rng.chance(Params.AcquirePercent, 100)) {
+        uint32_t Lo = Held.empty() ? 0 : Held.back() + 1;
+        uint32_t L = static_cast<uint32_t>(
+            Rng.nextInRange(Lo, Params.NumLocks - 1));
+        Held.push_back(L);
+        S.acq("l" + std::to_string(L), loc("acq"));
+        continue;
+      }
+      if (CanRelease && Rng.chance(25, 100)) {
+        S.rel("l" + std::to_string(Held.back()), loc("rel"));
+        Held.pop_back();
+        continue;
+      }
+      std::string X = "x" + std::to_string(Rng.nextBelow(Params.NumVars));
+      if (Rng.chance(Params.WritePercent, 100))
+        S.write(X, loc("w"));
+      else
+        S.read(X, loc("r"));
+    }
+    while (!Held.empty()) {
+      S.rel("l" + std::to_string(Held.back()), loc("rel"));
+      Held.pop_back();
+    }
+
+    if (Params.WithForkJoin && T == 0)
+      for (uint32_t U = 1; U < Params.NumThreads; ++U)
+        S.join(threadName(U));
+  }
+
+  SimOptions Opts;
+  Opts.Seed = Params.Seed;
+  SimResult R = simulate(P, Opts);
+  assert(R.Ok && "random program must always schedule to completion");
+  return std::move(R.T);
+}

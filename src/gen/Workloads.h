@@ -1,0 +1,79 @@
+//===- gen/Workloads.h - The Table 1 benchmark models -----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic models of the paper's 18 evaluation benchmarks (Table 1 §4.1:
+/// IBM Contest, Java Grande, and the large real-world programs). The paper
+/// logged JVM executions with RVPredict; we cannot, so each benchmark is
+/// modeled as a simulator program matched to the paper's per-benchmark
+/// shape: thread count, lock count, event-count order of magnitude (via a
+/// scale factor), and — crucially — the *planted race structure*:
+///
+///   * HB-visible race pairs: unprotected conflicting accesses whose
+///     trace placement is pinned by scheduler tickets, with a handshake
+///     discipline that provably prevents accidental happens-before paths;
+///   * WCP-only race pairs (eclipse/jigsaw/xalan, the boldfaced rows of
+///     Table 1): instances of the Figure 2b idiom — HB orders them, WCP
+///     does not, and they are genuinely predictable;
+///   * far races: pairs separated by a large fraction of the trace,
+///     hosted on lock-isolated threads (the §4.3 "distance of millions of
+///     events" structure that defeats every windowed analysis);
+///   * race-free bulk: thread-private lock traffic (matching the paper's
+///     lock counts) and shared counters protected by global locks.
+///
+/// Because the races are planted, the expected detector outputs are exact:
+/// HB must report (HbRaces + FarRaces) pairs and WCP must add
+/// WcpOnlyRaces more — the same relationship the paper's columns 6/7 show.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_GEN_WORKLOADS_H
+#define RAPID_GEN_WORKLOADS_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// Shape of one benchmark model.
+struct WorkloadSpec {
+  std::string Name;
+  uint32_t Threads = 2;
+  uint32_t Locks = 1;       ///< Target lock count (Table 1 column 5).
+  uint64_t Events = 1000;   ///< Default event target (scaled from col. 3).
+  uint32_t HbRaces = 0;     ///< Near HB-visible planted race pairs.
+  uint32_t WcpOnlyRaces = 0; ///< Figure 2b gadgets (WCP ∖ HB).
+  uint32_t FarRaces = 0;    ///< Long-distance planted race pairs.
+  bool ForkJoin = true;     ///< Thread 0 forks workers / joins at end.
+  uint64_t Seed = 1;
+
+  /// Paper's reported numbers, for side-by-side reporting in benches.
+  uint64_t PaperEvents = 0;
+  uint32_t PaperWcpRaces = 0;
+  uint32_t PaperHbRaces = 0;
+
+  /// Expected distinct race pairs for each analysis of this model.
+  uint32_t expectedHbPairs() const { return HbRaces + FarRaces; }
+  uint32_t expectedWcpPairs() const {
+    return HbRaces + FarRaces + WcpOnlyRaces;
+  }
+};
+
+/// Builds the trace for \p Spec; \p Scale multiplies the event target.
+Trace makeWorkload(const WorkloadSpec &Spec, double Scale = 1.0);
+
+/// The 18 Table 1 models, in the paper's row order.
+std::vector<WorkloadSpec> table1Workloads();
+
+/// Looks up one model by name ("eclipse", "bufwriter", ...). Asserts on
+/// unknown names.
+WorkloadSpec workloadSpec(const std::string &Name);
+
+} // namespace rapid
+
+#endif // RAPID_GEN_WORKLOADS_H

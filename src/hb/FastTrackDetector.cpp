@@ -1,0 +1,127 @@
+//===- hb/FastTrackDetector.cpp -----------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/FastTrackDetector.h"
+
+using namespace rapid;
+
+FastTrackDetector::FastTrackDetector(const Trace &T)
+    : NumThreads(T.numThreads()),
+      ThreadClocks(T.numThreads(), VectorClock(T.numThreads())),
+      LockClocks(T.numLocks(), VectorClock(T.numThreads())),
+      Vars(T.numVars()) {
+  for (uint32_t I = 0; I < NumThreads; ++I)
+    ThreadClocks[I].set(ThreadId(I), 1);
+}
+
+void FastTrackDetector::incrementLocal(ThreadId T) {
+  VectorClock &C = ThreadClocks[T.value()];
+  C.set(T, C.get(T) + 1);
+}
+
+void FastTrackDetector::reportRace(EventIdx EarlierIdx, LocId EarlierLoc,
+                                   EventIdx LaterIdx, LocId LaterLoc,
+                                   VarId Var) {
+  RaceInstance Inst;
+  Inst.EarlierIdx = EarlierIdx;
+  Inst.LaterIdx = LaterIdx;
+  Inst.EarlierLoc = EarlierLoc;
+  Inst.LaterLoc = LaterLoc;
+  Inst.Var = Var;
+  Report.addRace(Inst);
+}
+
+void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
+  ThreadId T = E.Thread;
+  VectorClock &Ct = ThreadClocks[T.value()];
+
+  switch (E.Kind) {
+  case EventKind::Acquire:
+    Ct.joinWith(LockClocks[E.lock().value()]);
+    return;
+
+  case EventKind::Release:
+    LockClocks[E.lock().value()] = Ct;
+    incrementLocal(T);
+    return;
+
+  case EventKind::Fork:
+    ThreadClocks[E.targetThread().value()].joinWith(Ct);
+    incrementLocal(T);
+    return;
+
+  case EventKind::Join:
+    Ct.joinWith(ThreadClocks[E.targetThread().value()]);
+    return;
+
+  case EventKind::Read: {
+    VarState &S = Vars[E.var().value()];
+    Epoch Mine(Ct.get(T), T);
+    // Same-epoch shortcut: redundant read. The stored location still
+    // advances so that later race reports name the most recent
+    // representative of the epoch, matching the full-history detector.
+    if (!S.ReadShared && S.Read == Mine) {
+      S.ReadLoc = E.Loc;
+      S.ReadIdx = Index;
+      return;
+    }
+    // Write-read check.
+    if (!S.Write.lessOrEqual(Ct) && S.Write.Thread != T)
+      reportRace(S.WriteIdx, S.WriteLoc, Index, E.Loc, E.var());
+    if (!S.ReadShared) {
+      if (S.Read.isNone() || S.Read.lessOrEqual(Ct) || S.Read.Thread == T) {
+        // Exclusive read: stay in epoch mode.
+        S.Read = Mine;
+        S.ReadLoc = E.Loc;
+        S.ReadIdx = Index;
+        return;
+      }
+      // Concurrent reads: promote to vector mode.
+      ++ReadPromotions;
+      S.ReadShared = true;
+      S.ReadVC = VectorClock(NumThreads);
+      S.ReadInfo.assign(NumThreads, ReadLocInfo());
+      S.ReadVC.set(S.Read.Thread, S.Read.Clock);
+      S.ReadInfo[S.Read.Thread.value()] = {S.ReadLoc, S.ReadIdx};
+    }
+    S.ReadVC.set(T, Mine.Clock);
+    S.ReadInfo[T.value()] = {E.Loc, Index};
+    return;
+  }
+
+  case EventKind::Write: {
+    VarState &S = Vars[E.var().value()];
+    Epoch Mine(Ct.get(T), T);
+    if (S.Write == Mine) {
+      // Same-epoch write: keep the freshest representative (see read).
+      S.WriteLoc = E.Loc;
+      S.WriteIdx = Index;
+      return;
+    }
+    // Write-write check against the most recent write.
+    if (!S.Write.lessOrEqual(Ct) && S.Write.Thread != T)
+      reportRace(S.WriteIdx, S.WriteLoc, Index, E.Loc, E.var());
+    // Read-write checks.
+    if (S.ReadShared) {
+      for (uint32_t U = 0; U < NumThreads; ++U) {
+        if (U == T.value())
+          continue;
+        ClockValue RU = S.ReadVC.get(ThreadId(U));
+        if (RU != 0 && RU > Ct.get(ThreadId(U)))
+          reportRace(S.ReadInfo[U].Idx, S.ReadInfo[U].Loc, Index, E.Loc,
+                     E.var());
+      }
+    } else if (!S.Read.isNone() && !S.Read.lessOrEqual(Ct) &&
+               S.Read.Thread != T) {
+      reportRace(S.ReadIdx, S.ReadLoc, Index, E.Loc, E.var());
+    }
+    S.Write = Mine;
+    S.WriteLoc = E.Loc;
+    S.WriteIdx = Index;
+    return;
+  }
+  }
+}

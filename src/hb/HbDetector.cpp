@@ -1,0 +1,71 @@
+//===- hb/HbDetector.cpp ------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/HbDetector.h"
+
+using namespace rapid;
+
+HbDetector::HbDetector(const Trace &T)
+    : ThreadClocks(T.numThreads(), VectorClock(T.numThreads())),
+      LockClocks(T.numLocks(), VectorClock(T.numThreads())),
+      History(T.numVars(), T.numThreads()) {
+  // Every thread starts at local time 1 so that "clock 0" unambiguously
+  // means "has not seen this thread at all".
+  for (uint32_t I = 0; I < T.numThreads(); ++I)
+    ThreadClocks[I].set(ThreadId(I), 1);
+}
+
+void HbDetector::incrementLocal(ThreadId T) {
+  VectorClock &C = ThreadClocks[T.value()];
+  C.set(T, C.get(T) + 1);
+}
+
+void HbDetector::processEvent(const Event &E, EventIdx Index) {
+  ThreadId T = E.Thread;
+  VectorClock &Ct = ThreadClocks[T.value()];
+
+  switch (E.Kind) {
+  case EventKind::Acquire:
+    Ct.joinWith(LockClocks[E.lock().value()]);
+    break;
+
+  case EventKind::Release:
+    LockClocks[E.lock().value()] = Ct;
+    // Later events of T must not appear ordered before events that only
+    // synchronized with this release.
+    incrementLocal(T);
+    break;
+
+  case EventKind::Fork: {
+    ThreadId Child = E.targetThread();
+    ThreadClocks[Child.value()].joinWith(Ct);
+    incrementLocal(T);
+    break;
+  }
+
+  case EventKind::Join:
+    Ct.joinWith(ThreadClocks[E.targetThread().value()]);
+    break;
+
+  case EventKind::Read: {
+    Scratch.clear();
+    History.checkRead(E.var(), T, Ct, E.Loc, Index, Scratch);
+    for (const RaceInstance &R : Scratch)
+      Report.addRace(R);
+    History.recordRead(E.var(), T, Ct.get(T), E.Loc, Index);
+    break;
+  }
+
+  case EventKind::Write: {
+    Scratch.clear();
+    History.checkWrite(E.var(), T, Ct, E.Loc, Index, Scratch);
+    for (const RaceInstance &R : Scratch)
+      Report.addRace(R);
+    History.recordWrite(E.var(), T, Ct.get(T), E.Loc, Index);
+    break;
+  }
+  }
+}

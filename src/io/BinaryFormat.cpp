@@ -1,0 +1,140 @@
+//===- io/BinaryFormat.cpp ----------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/BinaryFormat.h"
+
+#include <cstring>
+
+using namespace rapid;
+
+static const char Magic[4] = {'R', 'P', 'T', 'B'};
+static constexpr uint32_t Version = 1;
+
+namespace {
+
+struct Writer {
+  std::string Out;
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) { Out.append(reinterpret_cast<char *>(&V), 4); }
+  void u64(uint64_t V) { Out.append(reinterpret_cast<char *>(&V), 8); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+  void table(const StringInterner &I) {
+    u32(I.size());
+    for (uint32_t K = 0; K < I.size(); ++K)
+      str(I.name(K));
+  }
+};
+
+struct Reader {
+  const std::string &In;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  bool have(size_t N) {
+    if (Pos + N > In.size()) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!have(1))
+      return 0;
+    return static_cast<uint8_t>(In[Pos++]);
+  }
+  uint32_t u32() {
+    if (!have(4))
+      return 0;
+    uint32_t V;
+    std::memcpy(&V, In.data() + Pos, 4);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!have(8))
+      return 0;
+    uint64_t V;
+    std::memcpy(&V, In.data() + Pos, 8);
+    Pos += 8;
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (!have(N))
+      return {};
+    std::string S = In.substr(Pos, N);
+    Pos += N;
+    return S;
+  }
+  void table(StringInterner &I) {
+    uint32_t N = u32();
+    for (uint32_t K = 0; K < N && !Failed; ++K)
+      I.intern(str());
+  }
+};
+
+} // namespace
+
+std::string rapid::writeBinaryTrace(const Trace &T) {
+  Writer W;
+  W.Out.append(Magic, 4);
+  W.u32(Version);
+  W.table(T.threadTable());
+  W.table(T.lockTable());
+  W.table(T.varTable());
+  W.table(T.locTable());
+  W.u64(T.size());
+  for (const Event &E : T.events()) {
+    W.u8(static_cast<uint8_t>(E.Kind));
+    W.u32(E.Thread.value());
+    W.u32(E.Target);
+    W.u32(E.Loc.value());
+  }
+  return std::move(W.Out);
+}
+
+BinaryParseResult rapid::parseBinaryTrace(const std::string &Bytes) {
+  BinaryParseResult Result;
+  if (Bytes.size() < 8 || std::memcmp(Bytes.data(), Magic, 4) != 0) {
+    Result.Error = "not a rapidpp binary trace (bad magic)";
+    return Result;
+  }
+  Reader R{Bytes, 4};
+  uint32_t V = R.u32();
+  if (V != Version) {
+    Result.Error = "unsupported binary trace version " + std::to_string(V);
+    return Result;
+  }
+  R.table(Result.T.threadTable());
+  R.table(Result.T.lockTable());
+  R.table(Result.T.varTable());
+  R.table(Result.T.locTable());
+  uint64_t Count = R.u64();
+  Result.T.reserve(Count);
+  for (uint64_t I = 0; I < Count && !R.Failed; ++I) {
+    uint8_t Kind = R.u8();
+    uint32_t Thread = R.u32();
+    uint32_t Target = R.u32();
+    uint32_t Loc = R.u32();
+    if (Kind > static_cast<uint8_t>(EventKind::Join) ||
+        Thread >= Result.T.numThreads() || Loc >= Result.T.numLocs()) {
+      Result.Error = "corrupt event record " + std::to_string(I);
+      return Result;
+    }
+    Result.T.append(Event(static_cast<EventKind>(Kind), ThreadId(Thread),
+                          Target, LocId(Loc)));
+  }
+  if (R.Failed) {
+    Result.Error = "truncated binary trace";
+    return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,72 @@
+//===- io/TraceFile.cpp -------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/TraceFile.h"
+
+#include "io/BinaryFormat.h"
+#include "io/TextFormat.h"
+
+#include <cstdio>
+
+using namespace rapid;
+
+static bool hasSuffix(const std::string &S, const char *Suffix) {
+  size_t N = std::char_traits<char>::length(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+static bool readFile(const std::string &Path, std::string &Out,
+                     std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  char Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, Got);
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Bad) {
+    Error = "read error on '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+TraceLoadResult rapid::loadTraceFile(const std::string &Path) {
+  TraceLoadResult Result;
+  std::string Bytes;
+  if (!readFile(Path, Bytes, Result.Error))
+    return Result;
+
+  if (hasSuffix(Path, ".bin")) {
+    BinaryParseResult B = parseBinaryTrace(Bytes);
+    Result.Ok = B.Ok;
+    Result.Error = B.Error;
+    Result.T = std::move(B.T);
+    return Result;
+  }
+  TextParseResult P = parseTextTrace(Bytes);
+  Result.Ok = P.Ok;
+  Result.Error = P.Error;
+  Result.T = std::move(P.T);
+  return Result;
+}
+
+std::string rapid::saveTraceFile(const Trace &T, const std::string &Path) {
+  std::string Bytes =
+      hasSuffix(Path, ".bin") ? writeBinaryTrace(T) : writeTextTrace(T);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return "cannot open '" + Path + "' for writing";
+  size_t Wrote = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Bad = Wrote != Bytes.size();
+  if (std::fclose(F) != 0)
+    Bad = true;
+  return Bad ? "write error on '" + Path + "'" : "";
+}

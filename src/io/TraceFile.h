@@ -1,0 +1,39 @@
+//===- io/TraceFile.h - Load/save traces by file path -----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File-level entry points: dispatches to the text or binary codec by
+/// extension (".bin" → binary, anything else → text) and reports IO and
+/// parse errors without throwing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_IO_TRACEFILE_H
+#define RAPID_IO_TRACEFILE_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace rapid {
+
+/// Result of loading a trace file.
+struct TraceLoadResult {
+  bool Ok = false;
+  std::string Error;
+  Trace T;
+};
+
+/// Loads the trace at \p Path.
+TraceLoadResult loadTraceFile(const std::string &Path);
+
+/// Saves \p T at \p Path; returns an empty string on success, otherwise
+/// the error message.
+std::string saveTraceFile(const Trace &T, const std::string &Path);
+
+} // namespace rapid
+
+#endif // RAPID_IO_TRACEFILE_H

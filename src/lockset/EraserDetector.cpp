@@ -1,0 +1,116 @@
+//===- lockset/EraserDetector.cpp ---------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lockset/EraserDetector.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+EraserDetector::EraserDetector(const Trace &T)
+    : Vars(T.numVars()), Held(T.numThreads()) {}
+
+void EraserDetector::refineLockset(VarState &S, ThreadId T) {
+  const std::vector<uint32_t> &Mine = Held[T.value()];
+  if (!S.LocksetInitialized) {
+    S.Lockset = Mine;
+    S.LocksetInitialized = true;
+    return;
+  }
+  std::vector<uint32_t> Out;
+  std::set_intersection(S.Lockset.begin(), S.Lockset.end(), Mine.begin(),
+                        Mine.end(), std::back_inserter(Out));
+  S.Lockset = std::move(Out);
+}
+
+void EraserDetector::access(const Event &E, EventIdx Index, bool IsWrite) {
+  VarState &S = Vars[E.var().value()];
+  ThreadId T = E.Thread;
+
+  switch (S.Phase) {
+  case VarPhase::Virgin:
+    S.Phase = VarPhase::Exclusive;
+    S.Owner = T;
+    break;
+  case VarPhase::Exclusive:
+    if (S.Owner == T)
+      break;
+    // First sharing access: start refining from this access's locks.
+    refineLockset(S, T);
+    S.Phase = IsWrite ? VarPhase::SharedModified : VarPhase::Shared;
+    break;
+  case VarPhase::Shared:
+    refineLockset(S, T);
+    if (IsWrite)
+      S.Phase = VarPhase::SharedModified;
+    break;
+  case VarPhase::SharedModified:
+    refineLockset(S, T);
+    break;
+  }
+
+  // Warn when a write-shared variable has an empty candidate lockset.
+  // Eraser warns at the access that empties the set; for a usable race
+  // *pair* we report the most recent access from a different thread.
+  if (S.Phase == VarPhase::SharedModified && S.LocksetInitialized &&
+      S.Lockset.empty() && !S.Reported) {
+    LocId OtherLoc;
+    EventIdx OtherIdx = 0;
+    if (S.LastThread.isValid() && S.LastThread != T) {
+      OtherLoc = S.LastLoc;
+      OtherIdx = S.LastIdx;
+    } else if (S.ForeignThread.isValid() && S.ForeignThread != T) {
+      OtherLoc = S.ForeignLoc;
+      OtherIdx = S.ForeignIdx;
+    }
+    if (OtherLoc.isValid()) {
+      RaceInstance Inst;
+      Inst.EarlierIdx = OtherIdx;
+      Inst.LaterIdx = Index;
+      Inst.EarlierLoc = OtherLoc;
+      Inst.LaterLoc = E.Loc;
+      Inst.Var = E.var();
+      Report.addRace(Inst);
+      S.Reported = true;
+    }
+  }
+
+  if (S.LastThread.isValid() && S.LastThread != T) {
+    S.ForeignLoc = S.LastLoc;
+    S.ForeignIdx = S.LastIdx;
+    S.ForeignThread = S.LastThread;
+  }
+  S.LastLoc = E.Loc;
+  S.LastIdx = Index;
+  S.LastThread = T;
+}
+
+void EraserDetector::processEvent(const Event &E, EventIdx Index) {
+  switch (E.Kind) {
+  case EventKind::Acquire: {
+    std::vector<uint32_t> &Mine = Held[E.Thread.value()];
+    Mine.insert(std::upper_bound(Mine.begin(), Mine.end(), E.lock().value()),
+                E.lock().value());
+    return;
+  }
+  case EventKind::Release: {
+    std::vector<uint32_t> &Mine = Held[E.Thread.value()];
+    auto It = std::find(Mine.begin(), Mine.end(), E.lock().value());
+    if (It != Mine.end())
+      Mine.erase(It);
+    return;
+  }
+  case EventKind::Read:
+    access(E, Index, /*IsWrite=*/false);
+    return;
+  case EventKind::Write:
+    access(E, Index, /*IsWrite=*/true);
+    return;
+  case EventKind::Fork:
+  case EventKind::Join:
+    return; // Classic Eraser has no fork/join awareness.
+  }
+}

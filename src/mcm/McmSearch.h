@@ -1,0 +1,72 @@
+//===- mcm/McmSearch.h - Maximal-causality exploration ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive exploration of the *maximal causal model* of a trace: every
+/// correct reordering (per §2.1 — per-thread prefixes, every read sees its
+/// original writer, lock semantics respected) is reachable. This is the
+/// repo's stand-in for RVPredict [18]: RVPredict encodes the same model
+/// into SMT and asks a solver; we explore the state space directly. The
+/// node *budget* plays the role of the solver timeout — larger windows
+/// blow up the state space and exhaust the budget before all races are
+/// found, reproducing the window/timeout interplay of Figure 7.
+///
+/// A state is (per-thread prefix lengths, last scheduled writer per
+/// variable); lock ownership is derivable from the prefixes. Two enabled
+/// next-events of different threads that conflict constitute a race
+/// witness: the prefix followed by the two accesses back-to-back is a
+/// correct reordering exhibiting the race. A cycle in the wait-for graph
+/// over blocked threads is a predictable deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_MCM_MCMSEARCH_H
+#define RAPID_MCM_MCMSEARCH_H
+
+#include "detect/RaceReport.h"
+#include "trace/Trace.h"
+
+#include <optional>
+#include <vector>
+
+namespace rapid {
+
+/// Tuning knobs for one exploration.
+struct McmOptions {
+  /// Maximum number of distinct states to expand; the "solver timeout".
+  uint64_t MaxStates = 1'000'000;
+  /// Also search for predictable deadlocks (wait-for cycles).
+  bool DetectDeadlocks = false;
+  /// Record parent pointers so witnesses can be reconstructed (memory-
+  /// hungry; verify/ uses it, the windowed predictor does not).
+  bool TrackWitnesses = false;
+  /// Stop as soon as this location pair is witnessed.
+  std::optional<RacePair> TargetPair;
+};
+
+/// Outcome of one exploration.
+struct McmResult {
+  RaceReport Report;
+  bool BudgetExhausted = false;
+  uint64_t StatesExpanded = 0;
+  bool DeadlockFound = false;
+  /// Schedule (original event indices) of a correct reordering ending
+  /// with the two racing accesses adjacent; filled for the first race
+  /// (or the target pair) when TrackWitnesses is set.
+  std::vector<EventIdx> RaceWitness;
+  /// Schedule after which a set of threads deadlocks; filled when
+  /// TrackWitnesses and DetectDeadlocks are set.
+  std::vector<EventIdx> DeadlockWitness;
+  /// Threads forming the wait-for cycle of DeadlockWitness.
+  std::vector<ThreadId> DeadlockedThreads;
+};
+
+/// Explores the maximal causal model of \p T.
+McmResult exploreMcm(const Trace &T, const McmOptions &Opts = {});
+
+} // namespace rapid
+
+#endif // RAPID_MCM_MCMSEARCH_H

@@ -1,0 +1,37 @@
+//===- mcm/WindowedPredictor.cpp ----------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcm/WindowedPredictor.h"
+
+#include "support/Timer.h"
+#include "trace/Window.h"
+
+using namespace rapid;
+
+PredictorResult rapid::runWindowedPredictor(const Trace &T,
+                                            const PredictorOptions &Opts) {
+  Timer Clock;
+  PredictorResult Result;
+  McmOptions Mcm;
+  Mcm.MaxStates = Opts.BudgetPerWindow;
+  Mcm.DetectDeadlocks = Opts.DetectDeadlocks;
+
+  for (TraceWindow &W : splitIntoWindows(T, Opts.WindowSize)) {
+    ++Result.NumWindows;
+    McmResult R = exploreMcm(W.Fragment, Mcm);
+    Result.TotalStates += R.StatesExpanded;
+    if (R.BudgetExhausted)
+      ++Result.WindowsExhausted;
+    Result.DeadlockFound |= R.DeadlockFound;
+    for (RaceInstance Inst : R.Report.instances()) {
+      Inst.EarlierIdx = W.Original[Inst.EarlierIdx];
+      Inst.LaterIdx = W.Original[Inst.LaterIdx];
+      Result.Report.addRace(Inst);
+    }
+  }
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- reference/BitMatrix.cpp ------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reference/BitMatrix.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+BitMatrix::BitMatrix(uint64_t N)
+    : N(N), WordsPerRow((N + 63) / 64), Words(N * WordsPerRow, 0) {}
+
+bool BitMatrix::orRow(uint64_t Dst, uint64_t Src) {
+  return orRowFrom(Dst, *this, Src);
+}
+
+bool BitMatrix::orRowFrom(uint64_t Dst, const BitMatrix &Other, uint64_t Src) {
+  assert(Dst < N && Src < Other.N && WordsPerRow == Other.WordsPerRow &&
+         "row union shape mismatch");
+  const uint64_t *From = &Other.Words[Src * WordsPerRow];
+  uint64_t *To = &Words[Dst * WordsPerRow];
+  uint64_t Changed = 0;
+  for (uint64_t I = 0; I < WordsPerRow; ++I) {
+    uint64_t Old = To[I];
+    uint64_t New = Old | From[I];
+    Changed |= Old ^ New;
+    To[I] = New;
+  }
+  return Changed != 0;
+}
+
+uint64_t BitMatrix::countRow(uint64_t Row) const {
+  assert(Row < N && "row out of range");
+  uint64_t Count = 0;
+  const uint64_t *Ptr = &Words[Row * WordsPerRow];
+  for (uint64_t I = 0; I < WordsPerRow; ++I)
+    Count += static_cast<uint64_t>(__builtin_popcountll(Ptr[I]));
+  return Count;
+}
+
+void BitMatrix::clear() { std::fill(Words.begin(), Words.end(), 0); }

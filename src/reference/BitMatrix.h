@@ -1,0 +1,65 @@
+//===- reference/BitMatrix.h - Dense boolean relation -----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense N×N bit matrix used by the reference closure engine to store
+/// predecessor sets of partial orders. Rows are 64-bit-word aligned so row
+/// unions (the closure engine's hot operation) vectorize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_REFERENCE_BITMATRIX_H
+#define RAPID_REFERENCE_BITMATRIX_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rapid {
+
+/// Square bit matrix with fast row-wise union.
+class BitMatrix {
+public:
+  BitMatrix() = default;
+  explicit BitMatrix(uint64_t N);
+
+  uint64_t size() const { return N; }
+
+  bool test(uint64_t Row, uint64_t Col) const {
+    assert(Row < N && Col < N && "bit out of range");
+    return (Words[Row * WordsPerRow + (Col >> 6)] >> (Col & 63)) & 1;
+  }
+
+  void set(uint64_t Row, uint64_t Col) {
+    assert(Row < N && Col < N && "bit out of range");
+    Words[Row * WordsPerRow + (Col >> 6)] |= uint64_t(1) << (Col & 63);
+  }
+
+  /// Row[Dst] |= Row[Src]. Returns true iff Row[Dst] changed.
+  bool orRow(uint64_t Dst, uint64_t Src);
+
+  /// Row[Dst] |= Other.Row[Src]. The matrices must have equal size.
+  bool orRowFrom(uint64_t Dst, const BitMatrix &Other, uint64_t Src);
+
+  /// Number of set bits in \p Row.
+  uint64_t countRow(uint64_t Row) const;
+
+  /// Clears the whole matrix.
+  void clear();
+
+  bool operator==(const BitMatrix &O) const {
+    return N == O.N && Words == O.Words;
+  }
+
+private:
+  uint64_t N = 0;
+  uint64_t WordsPerRow = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace rapid
+
+#endif // RAPID_REFERENCE_BITMATRIX_H

@@ -1,0 +1,329 @@
+//===- reference/ClosureEngine.cpp --------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reference/ClosureEngine.h"
+
+#include <algorithm>
+#include <cstddef>
+
+using namespace rapid;
+
+const char *rapid::orderKindName(OrderKind K) {
+  switch (K) {
+  case OrderKind::Hard:
+    return "Hard";
+  case OrderKind::HB:
+    return "HB";
+  case OrderKind::CP:
+    return "CP";
+  case OrderKind::WCP:
+    return "WCP";
+  }
+  assert(false && "unknown order kind");
+  return "?";
+}
+
+ClosureEngine::ClosureEngine(const Trace &T, ClosureOptions Opts)
+    : T(T), Opts(Opts), N(T.size()) {
+  assert(N <= 20000 && "closure engine is for small reference traces");
+  buildStructure();
+  computeHard();
+  computeHb();
+  computeComposed(/*Wcp=*/true);
+  computeComposed(/*Wcp=*/false);
+}
+
+void ClosureEngine::buildStructure() {
+  PrevInThread.assign(N, NoEvent);
+  HbSources.assign(N, {});
+  EnclosingSections.assign(N, {});
+  SectionsOfLock.assign(T.numLocks(), {});
+
+  std::vector<EventIdx> LastOfThread(T.numThreads(), NoEvent);
+  std::vector<EventIdx> LastRelease(T.numLocks(), NoEvent);
+  // Per-thread stack of open sections (indices into Sections).
+  std::vector<std::vector<uint32_t>> OpenStack(T.numThreads());
+  // Fork source pending for a thread's first event.
+  std::vector<EventIdx> PendingFork(T.numThreads(), NoEvent);
+
+  const std::vector<Event> &Events = T.events();
+  for (EventIdx I = 0; I != N; ++I) {
+    const Event &E = Events[I];
+    uint32_t Tid = E.Thread.value();
+    PrevInThread[I] = LastOfThread[Tid];
+    if (PrevInThread[I] == NoEvent && PendingFork[Tid] != NoEvent)
+      HbSources[I].push_back(PendingFork[Tid]); // fork → first child event.
+    LastOfThread[Tid] = I;
+
+    switch (E.Kind) {
+    case EventKind::Acquire: {
+      if (LastRelease[E.lock().value()] != NoEvent)
+        HbSources[I].push_back(LastRelease[E.lock().value()]);
+      uint32_t SectionIdx = static_cast<uint32_t>(Sections.size());
+      Sections.push_back(
+          Section{I, NoEvent, E.Thread, E.lock(), {}});
+      OpenStack[Tid].push_back(SectionIdx);
+      break;
+    }
+    case EventKind::Release: {
+      // Hand-over-hand locking: close the open section over this lock,
+      // which need not be the innermost one.
+      size_t Pos = OpenStack[Tid].size();
+      for (size_t K = OpenStack[Tid].size(); K-- > 0;)
+        if (Sections[OpenStack[Tid][K]].Lock == E.lock()) {
+          Pos = K;
+          break;
+        }
+      assert(Pos < OpenStack[Tid].size() && "release without open section");
+      uint32_t SectionIdx = OpenStack[Tid][Pos];
+      OpenStack[Tid].erase(OpenStack[Tid].begin() +
+                           static_cast<ptrdiff_t>(Pos));
+      Section &S = Sections[SectionIdx];
+      S.Rel = I;
+      SectionsOfLock[E.lock().value()].push_back(SectionIdx);
+      LastRelease[E.lock().value()] = I;
+      break;
+    }
+    case EventKind::Fork:
+      PendingFork[E.targetThread().value()] = I;
+      break;
+    case EventKind::Join: {
+      EventIdx ChildLast = LastOfThread[E.targetThread().value()];
+      if (ChildLast != NoEvent)
+        HbSources[I].push_back(ChildLast); // child's last event → join.
+      break;
+    }
+    case EventKind::Read:
+    case EventKind::Write: {
+      uint8_t Mask = E.Kind == EventKind::Read ? 1 : 2;
+      for (uint32_t SectionIdx : OpenStack[Tid]) {
+        Section &S = Sections[SectionIdx];
+        bool Found = false;
+        for (auto &[V, M] : S.Vars) {
+          if (V == E.var().value()) {
+            M |= Mask;
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          S.Vars.emplace_back(E.var().value(), Mask);
+      }
+      break;
+    }
+    }
+
+    // Enclosing (open) sections of this event, innermost last. An event
+    // is "∈ ℓ" iff one of these is over ℓ — open sections count (§2.1:
+    // an acquire with no matching release still opens a section).
+    EnclosingSections[I] = OpenStack[Tid];
+  }
+}
+
+void ClosureEngine::computeHard() {
+  HardPred = BitMatrix(N);
+  const std::vector<Event> &Events = T.events();
+  std::vector<EventIdx> LastOfThread(T.numThreads(), NoEvent);
+  std::vector<EventIdx> PendingFork(T.numThreads(), NoEvent);
+  for (EventIdx I = 0; I != N; ++I) {
+    const Event &E = Events[I];
+    HardPred.set(I, I);
+    if (PrevInThread[I] != NoEvent)
+      HardPred.orRow(I, PrevInThread[I]);
+    else if (PendingFork[E.Thread.value()] != NoEvent)
+      HardPred.orRow(I, PendingFork[E.Thread.value()]);
+    if (E.Kind == EventKind::Fork)
+      PendingFork[E.targetThread().value()] = I;
+    if (E.Kind == EventKind::Join) {
+      EventIdx ChildLast = LastOfThread[E.targetThread().value()];
+      if (ChildLast != NoEvent)
+        HardPred.orRow(I, ChildLast);
+    }
+    LastOfThread[E.Thread.value()] = I;
+  }
+}
+
+void ClosureEngine::computeHb() {
+  HbPred = BitMatrix(N);
+  for (EventIdx I = 0; I != N; ++I) {
+    HbPred.set(I, I);
+    if (PrevInThread[I] != NoEvent)
+      HbPred.orRow(I, PrevInThread[I]);
+    for (EventIdx Src : HbSources[I])
+      HbPred.orRow(I, Src);
+  }
+}
+
+void ClosureEngine::recomputeComposed(
+    const std::vector<std::pair<EventIdx, EventIdx>> &Edges,
+    BitMatrix &S) const {
+  // All base edges point forward in trace order and are ⊆ HB, so one
+  // forward pass suffices: S(b) = ⋃_{HB edge s→b} S(s) ∪ ⋃_{base u→b}
+  // HbPred(u). (S(u) ⊆ HbPred(u) because ≺CP/≺WCP ⊆ ≤HB.)
+  S.clear();
+  // Bucket base edges by destination.
+  std::vector<std::vector<EventIdx>> ByDst(N);
+  for (auto [Src, Dst] : Edges) {
+    assert(Src < Dst && "base edges must point forward");
+    ByDst[Dst].push_back(Src);
+  }
+  for (EventIdx I = 0; I != N; ++I) {
+    if (PrevInThread[I] != NoEvent)
+      S.orRow(I, PrevInThread[I]);
+    for (EventIdx Src : HbSources[I])
+      S.orRow(I, Src);
+    for (EventIdx Src : ByDst[I])
+      S.orRowFrom(I, HbPred, Src);
+  }
+}
+
+void ClosureEngine::computeComposed(bool Wcp) {
+  const std::vector<Event> &Events = T.events();
+  std::vector<std::pair<EventIdx, EventIdx>> Edges;
+  uint64_t &RuleA = Wcp ? WcpRuleA : CpRuleA;
+  uint64_t &RuleB = Wcp ? WcpRuleB : CpRuleB;
+
+  // Rule (a) edges are independent of the relation being built.
+  if (Wcp) {
+    // WCP rule (a): rel r (section S1 on ℓ) → later access e with e ∈ ℓ,
+    // CS(r) containing an event conflicting with e. Events in CS(r) are
+    // all by S1's thread, so conflict requires t(e) ≠ t(r).
+    for (EventIdx I = 0; I != N; ++I) {
+      const Event &E = Events[I];
+      if (!isAccess(E.Kind))
+        continue;
+      for (uint32_t SectionIdx : EnclosingSections[I]) {
+        LockId L = Sections[SectionIdx].Lock;
+        for (uint32_t OtherIdx : SectionsOfLock[L.value()]) {
+          const Section &S1 = Sections[OtherIdx];
+          if (S1.Rel == NoEvent || S1.Rel >= I || S1.Thread == E.Thread)
+            continue;
+          uint8_t Mask = S1.varMask(E.var().value());
+          bool Conflicts = E.Kind == EventKind::Read ? (Mask & 2) != 0
+                                                     : Mask != 0;
+          if (Conflicts)
+            Edges.emplace_back(S1.Rel, I);
+        }
+      }
+    }
+  } else {
+    // CP rule (a): sections on the same lock with conflicting events
+    // order rel(first) → acq(second).
+    for (const auto &OfLock : SectionsOfLock) {
+      for (size_t J = 0; J < OfLock.size(); ++J) {
+        const Section &S2 = Sections[OfLock[J]];
+        for (size_t I = 0; I < J; ++I) {
+          const Section &S1 = Sections[OfLock[I]];
+          if (S1.Thread == S2.Thread)
+            continue;
+          bool Conflicts = false;
+          for (auto [V, M1] : S1.Vars) {
+            uint8_t M2 = S2.varMask(V);
+            if ((M1 & 2 && M2 != 0) || (M1 & 1 && M2 & 2)) {
+              Conflicts = true;
+              break;
+            }
+          }
+          if (Conflicts)
+            Edges.emplace_back(S1.Rel, S2.Acq);
+        }
+      }
+    }
+  }
+  RuleA = Edges.size();
+
+  // Saturate rule (b): premise for sections S1 before S2 on one lock is
+  // "S1's acquire ordered before S2's release" (§3.2's equivalence). The
+  // conclusion differs: WCP orders rel→rel, CP orders rel→acq.
+  BitMatrix S(N);
+  size_t EdgesBefore;
+  do {
+    EdgesBefore = Edges.size();
+    recomputeComposed(Edges, S);
+    for (const auto &OfLock : SectionsOfLock) {
+      for (size_t J = 0; J < OfLock.size(); ++J) {
+        const Section &S2 = Sections[OfLock[J]];
+        for (size_t I = 0; I < J; ++I) {
+          const Section &S1 = Sections[OfLock[I]];
+          if (!Opts.SameThreadRuleB && S1.Thread == S2.Thread)
+            continue;
+          bool Premise = S.test(S2.Rel, S1.Acq);
+          if (!Premise && Opts.InclusivePremise)
+            Premise = HardPred.test(S2.Rel, S1.Acq);
+          if (!Premise)
+            continue;
+          std::pair<EventIdx, EventIdx> NewEdge =
+              Wcp ? std::make_pair(S1.Rel, S2.Rel)
+                  : std::make_pair(S1.Rel, S2.Acq);
+          if (std::find(Edges.begin(), Edges.end(), NewEdge) == Edges.end())
+            Edges.push_back(NewEdge);
+        }
+      }
+    }
+  } while (Edges.size() != EdgesBefore);
+  RuleB = Edges.size() - RuleA;
+
+  recomputeComposed(Edges, S);
+  if (Wcp)
+    WcpStrict = std::move(S);
+  else
+    CpStrict = std::move(S);
+}
+
+bool ClosureEngine::ordered(OrderKind K, EventIdx A, EventIdx B) const {
+  assert(A < N && B < N && "event out of range");
+  if (A == B)
+    return true;
+  if (B < A)
+    return false;
+  switch (K) {
+  case OrderKind::Hard:
+    return HardPred.test(B, A);
+  case OrderKind::HB:
+    return HbPred.test(B, A);
+  case OrderKind::WCP:
+    return HardPred.test(B, A) || WcpStrict.test(B, A);
+  case OrderKind::CP:
+    return HardPred.test(B, A) || CpStrict.test(B, A);
+  }
+  assert(false && "unknown order kind");
+  return false;
+}
+
+bool ClosureEngine::isRace(OrderKind K, EventIdx A, EventIdx B) const {
+  if (!Event::conflicting(T.event(A), T.event(B)))
+    return false;
+  return !ordered(K, A, B) && !ordered(K, B, A);
+}
+
+std::vector<RaceInstance> ClosureEngine::races(OrderKind K) const {
+  std::vector<RaceInstance> Out;
+  const std::vector<Event> &Events = T.events();
+  for (EventIdx B = 0; B != N; ++B) {
+    if (!isAccess(Events[B].Kind))
+      continue;
+    for (EventIdx A = 0; A != B; ++A) {
+      if (!isRace(K, A, B))
+        continue;
+      RaceInstance Inst;
+      Inst.EarlierIdx = A;
+      Inst.LaterIdx = B;
+      Inst.EarlierLoc = Events[A].Loc;
+      Inst.LaterLoc = Events[B].Loc;
+      Inst.Var = Events[B].var();
+      Out.push_back(Inst);
+    }
+  }
+  return Out;
+}
+
+uint64_t ClosureEngine::numRuleAEdges(OrderKind K) const {
+  return K == OrderKind::WCP ? WcpRuleA : CpRuleA;
+}
+
+uint64_t ClosureEngine::numRuleBEdges(OrderKind K) const {
+  return K == OrderKind::WCP ? WcpRuleB : CpRuleB;
+}

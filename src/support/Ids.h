@@ -1,0 +1,103 @@
+//===- support/Ids.h - Strongly typed dense identifiers --------*- C++ -*-===//
+//
+// Part of rapidpp, a C++ reproduction of "Dynamic Race Prediction in Linear
+// Time" (Kini, Mathur, Viswanathan; PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed wrappers for the dense integer identifiers used across the
+/// trace model: threads, locks, variables and source locations. Using
+/// distinct types prevents the classic bug of indexing a lock table with a
+/// variable id; the wrappers compile down to bare integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SUPPORT_IDS_H
+#define RAPID_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace rapid {
+
+/// CRTP base for dense ids. \p Derived is the concrete id type, \p Rep the
+/// underlying integer representation.
+template <typename Derived, typename Rep> class DenseId {
+public:
+  using RepType = Rep;
+
+  constexpr DenseId() = default;
+  constexpr explicit DenseId(Rep Value) : Value(Value) {}
+
+  /// Raw integer value; used for table indexing.
+  constexpr Rep value() const { return Value; }
+
+  /// True iff this id was assigned (is not the invalid sentinel).
+  constexpr bool isValid() const { return Value != Invalid; }
+
+  static constexpr Derived invalid() { return Derived(Invalid); }
+
+  friend constexpr bool operator==(Derived A, Derived B) {
+    return A.value() == B.value();
+  }
+  friend constexpr bool operator!=(Derived A, Derived B) {
+    return A.value() != B.value();
+  }
+  friend constexpr bool operator<(Derived A, Derived B) {
+    return A.value() < B.value();
+  }
+
+private:
+  static constexpr Rep Invalid = std::numeric_limits<Rep>::max();
+  Rep Value = Invalid;
+};
+
+/// Identifies a thread. Thread ids are dense: 0 .. numThreads()-1.
+class ThreadId : public DenseId<ThreadId, uint32_t> {
+public:
+  using DenseId::DenseId;
+};
+
+/// Identifies a lock object.
+class LockId : public DenseId<LockId, uint32_t> {
+public:
+  using DenseId::DenseId;
+};
+
+/// Identifies a shared memory location (variable).
+class VarId : public DenseId<VarId, uint32_t> {
+public:
+  using DenseId::DenseId;
+};
+
+/// Identifies a static program location (source of an event). Race pairs
+/// are reported as unordered pairs of LocIds, matching the paper's notion
+/// of a "race pair ... of program locations".
+class LocId : public DenseId<LocId, uint32_t> {
+public:
+  using DenseId::DenseId;
+};
+
+/// Index of an event within a trace.
+using EventIdx = uint64_t;
+
+} // namespace rapid
+
+namespace std {
+template <> struct hash<rapid::ThreadId> {
+  size_t operator()(rapid::ThreadId Id) const noexcept { return Id.value(); }
+};
+template <> struct hash<rapid::LockId> {
+  size_t operator()(rapid::LockId Id) const noexcept { return Id.value(); }
+};
+template <> struct hash<rapid::VarId> {
+  size_t operator()(rapid::VarId Id) const noexcept { return Id.value(); }
+};
+template <> struct hash<rapid::LocId> {
+  size_t operator()(rapid::LocId Id) const noexcept { return Id.value(); }
+};
+} // namespace std
+
+#endif // RAPID_SUPPORT_IDS_H

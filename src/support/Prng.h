@@ -1,0 +1,62 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64 seeded xoshiro256**) used
+/// by the trace generators and the simulated scheduler. We avoid <random>
+/// engines because their streams are not guaranteed identical across
+/// standard library implementations, and every experiment in this repo must
+/// be reproducible bit-for-bit from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SUPPORT_PRNG_H
+#define RAPID_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rapid {
+
+/// Deterministic 64-bit PRNG with a tiny state.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "zero denominator");
+    return nextBelow(Den) < Num;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_PRNG_H

@@ -1,0 +1,26 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace rapid;
+
+uint32_t StringInterner::intern(std::string_view Name) {
+  auto It = IdByName.find(std::string(Name));
+  if (It != IdByName.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Names.size());
+  Names.emplace_back(Name);
+  IdByName.emplace(Names.back(), Id);
+  return Id;
+}
+
+uint32_t StringInterner::lookup(std::string_view Name) const {
+  auto It = IdByName.find(std::string(Name));
+  if (It == IdByName.end())
+    return UINT32_MAX;
+  return It->second;
+}

@@ -1,0 +1,51 @@
+//===- support/StringInterner.h - Name <-> dense id mapping ----*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bidirectional mapping between external names ("T0", "l1", "x") and the
+/// dense ids used internally. One interner instance exists per id namespace
+/// (threads, locks, variables, locations) inside a Trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SUPPORT_STRINGINTERNER_H
+#define RAPID_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rapid {
+
+/// Interns strings, handing out dense uint32_t ids in insertion order.
+class StringInterner {
+public:
+  /// Returns the id for \p Name, creating one if it is new.
+  uint32_t intern(std::string_view Name);
+
+  /// Returns the id for \p Name or UINT32_MAX if it was never interned.
+  uint32_t lookup(std::string_view Name) const;
+
+  /// Returns the name for \p Id. \p Id must be a valid interned id.
+  const std::string &name(uint32_t Id) const {
+    assert(Id < Names.size() && "interner id out of range");
+    return Names[Id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Names.size()); }
+  bool empty() const { return Names.empty(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> IdByName;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,65 @@
+//===- support/TablePrinter.cpp ---------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace rapid;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      std::fprintf(Out, "%s%-*s", I == 0 ? "" : "  ",
+                   static_cast<int>(Widths[I]), Row[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  printRow(Header);
+  size_t Total = Header.size() > 0 ? 2 * (Header.size() - 1) : 0;
+  for (size_t W : Widths)
+    Total += W;
+  std::string Rule(Total, '-');
+  std::fprintf(Out, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+std::string TablePrinter::formatCount(uint64_t N) {
+  char Buf[32];
+  if (N >= 10'000'000) {
+    std::snprintf(Buf, sizeof(Buf), "%.1fM", static_cast<double>(N) / 1e6);
+    return Buf;
+  }
+  if (N >= 10'000) {
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 "K", N / 1000);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  return Buf;
+}
+
+std::string TablePrinter::formatPercent(double P) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", P);
+  return Buf;
+}

@@ -1,0 +1,46 @@
+//===- support/TablePrinter.h - Aligned console tables ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table printer used by the Table 1 / Figure 7
+/// reproduction harnesses. Collects rows of strings, computes column widths
+/// and renders with a header rule, similar to the layout of the paper's
+/// tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SUPPORT_TABLEPRINTER_H
+#define RAPID_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// Accumulates a rectangular table of strings and prints it aligned.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row. Short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Convenience: number formatting helpers shared by the bench harnesses.
+  static std::string formatCount(uint64_t N);
+  static std::string formatPercent(double P);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,58 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal monotonic stopwatch used by the Table 1 harness to report
+/// analysis times (columns 12-15 of the paper's table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SUPPORT_TIMER_H
+#define RAPID_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace rapid {
+
+/// Wall-clock stopwatch with millisecond reporting.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Formats \p Seconds the way the paper's Table 1 does: "0.2s", "7m22s".
+inline std::string formatSeconds(double Seconds) {
+  char Buf[32];
+  if (Seconds < 60.0) {
+    std::snprintf(Buf, sizeof(Buf), "%.1fs", Seconds);
+    return Buf;
+  }
+  int Minutes = static_cast<int>(Seconds) / 60;
+  int Rem = static_cast<int>(Seconds) % 60;
+  std::snprintf(Buf, sizeof(Buf), "%dm%ds", Minutes, Rem);
+  return Buf;
+}
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_TIMER_H

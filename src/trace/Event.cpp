@@ -1,0 +1,28 @@
+//===- trace/Event.cpp -------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Event.h"
+
+using namespace rapid;
+
+const char *rapid::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Read:
+    return "r";
+  case EventKind::Write:
+    return "w";
+  case EventKind::Acquire:
+    return "acq";
+  case EventKind::Release:
+    return "rel";
+  case EventKind::Fork:
+    return "fork";
+  case EventKind::Join:
+    return "join";
+  }
+  assert(false && "unknown event kind");
+  return "?";
+}

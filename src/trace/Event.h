@@ -1,0 +1,93 @@
+//===- trace/Event.h - Trace events (paper §2.1) ----------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event alphabet of §2.1: lock acquire/release, variable read/write,
+/// plus thread fork/join (which the paper's tool RAPID also consumes from
+/// RVPredict logs; they induce HB edges). Events are 16-byte PODs so that
+/// traces of hundreds of millions of events stay cache- and RAM-friendly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_TRACE_EVENT_H
+#define RAPID_TRACE_EVENT_H
+
+#include "support/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace rapid {
+
+/// Kind of a trace event.
+enum class EventKind : uint8_t {
+  Read,    ///< r(x): read of shared variable x.
+  Write,   ///< w(x): write of shared variable x.
+  Acquire, ///< acq(l): lock acquisition.
+  Release, ///< rel(l): lock release.
+  Fork,    ///< fork(u): current thread spawns thread u.
+  Join,    ///< join(u): current thread joins on thread u.
+};
+
+/// True for Read/Write.
+inline bool isAccess(EventKind K) {
+  return K == EventKind::Read || K == EventKind::Write;
+}
+
+/// True for Acquire/Release.
+inline bool isSync(EventKind K) {
+  return K == EventKind::Acquire || K == EventKind::Release;
+}
+
+/// Short mnemonic used by the text trace format: "r", "w", "acq", "rel",
+/// "fork", "join".
+const char *eventKindName(EventKind K);
+
+/// A single trace event. The Target field is overloaded by kind: a VarId
+/// for accesses, a LockId for acquire/release, a ThreadId for fork/join.
+/// Loc identifies the static program location that performed the event;
+/// race pairs are reported as pairs of locations (paper §4).
+struct Event {
+  EventKind Kind;
+  ThreadId Thread;
+  uint32_t Target = UINT32_MAX;
+  LocId Loc;
+
+  Event() : Kind(EventKind::Read) {}
+  Event(EventKind Kind, ThreadId Thread, uint32_t Target, LocId Loc)
+      : Kind(Kind), Thread(Thread), Target(Target), Loc(Loc) {}
+
+  VarId var() const {
+    assert(isAccess(Kind) && "not an access event");
+    return VarId(Target);
+  }
+  LockId lock() const {
+    assert(isSync(Kind) && "not a lock event");
+    return LockId(Target);
+  }
+  ThreadId targetThread() const {
+    assert((Kind == EventKind::Fork || Kind == EventKind::Join) &&
+           "not a fork/join event");
+    return ThreadId(Target);
+  }
+
+  /// Two events conflict (e1 ≍ e2) iff they access the same variable from
+  /// different threads and at least one is a write (paper §2.1).
+  static bool conflicting(const Event &A, const Event &B) {
+    if (!isAccess(A.Kind) || !isAccess(B.Kind))
+      return false;
+    if (A.Thread == B.Thread || A.Target != B.Target)
+      return false;
+    return A.Kind == EventKind::Write || B.Kind == EventKind::Write;
+  }
+};
+
+static_assert(sizeof(Event) <= 16, "Event must stay compact");
+
+} // namespace rapid
+
+#endif // RAPID_TRACE_EVENT_H

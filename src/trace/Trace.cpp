@@ -1,0 +1,45 @@
+//===- trace/Trace.cpp --------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+using namespace rapid;
+
+std::string Trace::eventStr(EventIdx I) const {
+  const Event &E = event(I);
+  std::string Out = threadName(E.Thread);
+  Out += ": ";
+  Out += eventKindName(E.Kind);
+  Out += "(";
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::Write:
+    Out += varName(E.var());
+    break;
+  case EventKind::Acquire:
+  case EventKind::Release:
+    Out += lockName(E.lock());
+    break;
+  case EventKind::Fork:
+  case EventKind::Join:
+    Out += threadName(E.targetThread());
+    break;
+  }
+  Out += ")";
+  if (E.Loc.isValid()) {
+    Out += " @";
+    Out += locName(E.Loc);
+  }
+  return Out;
+}
+
+std::vector<EventIdx> Trace::threadProjection(ThreadId T) const {
+  std::vector<EventIdx> Result;
+  for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+    if (Events[I].Thread == T)
+      Result.push_back(I);
+  return Result;
+}

@@ -1,0 +1,97 @@
+//===- trace/Trace.h - A sequence of events + name tables -------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Trace is the central data structure of the paper: a sequence of events
+/// satisfying lock semantics and well-nestedness (§2.1). This class stores
+/// the event vector plus the interned name tables for threads, locks,
+/// variables and program locations. Analyses stream over events() in trace
+/// order (<tr).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_TRACE_TRACE_H
+#define RAPID_TRACE_TRACE_H
+
+#include "support/StringInterner.h"
+#include "trace/Event.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// An event sequence with its identifier spaces.
+class Trace {
+public:
+  Trace() = default;
+
+  const std::vector<Event> &events() const { return Events; }
+  const Event &event(EventIdx I) const {
+    assert(I < Events.size() && "event index out of range");
+    return Events[I];
+  }
+  uint64_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+
+  uint32_t numThreads() const { return Threads.size(); }
+  uint32_t numLocks() const { return Locks.size(); }
+  uint32_t numVars() const { return Vars.size(); }
+  uint32_t numLocs() const { return Locs.size(); }
+
+  /// Name lookups for reporting.
+  const std::string &threadName(ThreadId T) const {
+    return Threads.name(T.value());
+  }
+  const std::string &lockName(LockId L) const { return Locks.name(L.value()); }
+  const std::string &varName(VarId V) const { return Vars.name(V.value()); }
+  const std::string &locName(LocId L) const { return Locs.name(L.value()); }
+
+  /// Interners; exposed for the builder and the IO layer.
+  StringInterner &threadTable() { return Threads; }
+  StringInterner &lockTable() { return Locks; }
+  StringInterner &varTable() { return Vars; }
+  StringInterner &locTable() { return Locs; }
+  const StringInterner &threadTable() const { return Threads; }
+  const StringInterner &lockTable() const { return Locks; }
+  const StringInterner &varTable() const { return Vars; }
+  const StringInterner &locTable() const { return Locs; }
+
+  /// Appends an event. Ids must already be interned; prefer TraceBuilder
+  /// for checked construction.
+  void append(const Event &E) { Events.push_back(E); }
+
+  /// Copies \p Parent's id tables into this trace so that event ids from
+  /// the parent remain valid here. Used by windowing, which produces
+  /// fragments whose locations must stay comparable across windows.
+  void adoptTables(const Trace &Parent) {
+    Threads = Parent.Threads;
+    Locks = Parent.Locks;
+    Vars = Parent.Vars;
+    Locs = Parent.Locs;
+  }
+
+  /// Reserves storage for \p N events.
+  void reserve(uint64_t N) { Events.reserve(N); }
+
+  /// Renders event \p I as "T0: acq(l1) @pc3" for diagnostics.
+  std::string eventStr(EventIdx I) const;
+
+  /// The projection σ|t of the trace onto thread \p T: indices of \p T's
+  /// events, in trace order.
+  std::vector<EventIdx> threadProjection(ThreadId T) const;
+
+private:
+  std::vector<Event> Events;
+  StringInterner Threads;
+  StringInterner Locks;
+  StringInterner Vars;
+  StringInterner Locs;
+};
+
+} // namespace rapid
+
+#endif // RAPID_TRACE_TRACE_H

@@ -1,0 +1,129 @@
+//===- trace/TraceBuilder.cpp -------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceBuilder.h"
+
+using namespace rapid;
+
+ThreadId TraceBuilder::declareThread(std::string_view Name) {
+  return ThreadId(Result.threadTable().intern(Name));
+}
+
+LockId TraceBuilder::declareLock(std::string_view Name) {
+  return LockId(Result.lockTable().intern(Name));
+}
+
+VarId TraceBuilder::declareVar(std::string_view Name) {
+  return VarId(Result.varTable().intern(Name));
+}
+
+LocId TraceBuilder::declareLoc(std::string_view Name) {
+  return LocId(Result.locTable().intern(Name));
+}
+
+LocId TraceBuilder::locOrDefault(std::string_view Loc) {
+  if (!Loc.empty())
+    return declareLoc(Loc);
+  std::string Default = "L" + std::to_string(Result.size());
+  return declareLoc(Default);
+}
+
+void TraceBuilder::append(EventKind Kind, std::string_view Thread,
+                          uint32_t Target, std::string_view Loc) {
+  ThreadId T = declareThread(Thread);
+  Result.append(Event(Kind, T, Target, locOrDefault(Loc)));
+}
+
+TraceBuilder &TraceBuilder::read(std::string_view Thread, std::string_view Var,
+                                 std::string_view Loc) {
+  append(EventKind::Read, Thread, declareVar(Var).value(), Loc);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::write(std::string_view Thread,
+                                  std::string_view Var, std::string_view Loc) {
+  append(EventKind::Write, Thread, declareVar(Var).value(), Loc);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::acquire(std::string_view Thread,
+                                    std::string_view Lock,
+                                    std::string_view Loc) {
+  append(EventKind::Acquire, Thread, declareLock(Lock).value(), Loc);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::release(std::string_view Thread,
+                                    std::string_view Lock,
+                                    std::string_view Loc) {
+  append(EventKind::Release, Thread, declareLock(Lock).value(), Loc);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::fork(std::string_view Parent,
+                                 std::string_view Child,
+                                 std::string_view Loc) {
+  uint32_t ChildId = declareThread(Child).value();
+  append(EventKind::Fork, Parent, ChildId, Loc);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::join(std::string_view Parent,
+                                 std::string_view Child,
+                                 std::string_view Loc) {
+  uint32_t ChildId = declareThread(Child).value();
+  append(EventKind::Join, Parent, ChildId, Loc);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::acrl(std::string_view Thread,
+                                 std::string_view Lock) {
+  acquire(Thread, Lock);
+  release(Thread, Lock);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::sync(std::string_view Thread,
+                                 std::string_view Lock) {
+  // The paper (Figure 3 caption): sync(x) is shorthand for
+  // acq(x) r(xVar) w(xVar) rel(x), with xVar unique to lock x.
+  std::string Var = std::string(Lock) + "Var";
+  acquire(Thread, Lock);
+  read(Thread, Var);
+  write(Thread, Var);
+  release(Thread, Lock);
+  return *this;
+}
+
+void TraceBuilder::appendRead(ThreadId T, VarId V, LocId Loc) {
+  Result.append(Event(EventKind::Read, T, V.value(), Loc));
+}
+
+void TraceBuilder::appendWrite(ThreadId T, VarId V, LocId Loc) {
+  Result.append(Event(EventKind::Write, T, V.value(), Loc));
+}
+
+void TraceBuilder::appendAcquire(ThreadId T, LockId L, LocId Loc) {
+  Result.append(Event(EventKind::Acquire, T, L.value(), Loc));
+}
+
+void TraceBuilder::appendRelease(ThreadId T, LockId L, LocId Loc) {
+  Result.append(Event(EventKind::Release, T, L.value(), Loc));
+}
+
+void TraceBuilder::appendFork(ThreadId T, ThreadId Child, LocId Loc) {
+  Result.append(Event(EventKind::Fork, T, Child.value(), Loc));
+}
+
+void TraceBuilder::appendJoin(ThreadId T, ThreadId Child, LocId Loc) {
+  Result.append(Event(EventKind::Join, T, Child.value(), Loc));
+}
+
+Trace TraceBuilder::take() {
+  Trace Out = std::move(Result);
+  Result = Trace();
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- trace/TraceStats.cpp ---------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStats.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+std::string TraceStats::str() const {
+  std::string Out;
+  auto line = [&Out](const char *Name, uint64_t V) {
+    Out += Name;
+    Out += ": ";
+    Out += std::to_string(V);
+    Out += "\n";
+  };
+  line("events", NumEvents);
+  line("threads", NumThreads);
+  line("locks", NumLocks);
+  line("vars", NumVars);
+  line("reads", NumReads);
+  line("writes", NumWrites);
+  line("acquires", NumAcquires);
+  line("releases", NumReleases);
+  line("forks", NumForks);
+  line("joins", NumJoins);
+  line("critical sections", NumCriticalSections);
+  line("max lock nesting", MaxLockNesting);
+  return Out;
+}
+
+TraceStats rapid::computeStats(const Trace &T) {
+  TraceStats S;
+  S.NumEvents = T.size();
+  S.NumThreads = T.numThreads();
+  S.NumLocks = T.numLocks();
+  S.NumVars = T.numVars();
+
+  std::vector<uint32_t> Depth(T.numThreads(), 0);
+  for (const Event &E : T.events()) {
+    switch (E.Kind) {
+    case EventKind::Read:
+      ++S.NumReads;
+      break;
+    case EventKind::Write:
+      ++S.NumWrites;
+      break;
+    case EventKind::Acquire: {
+      ++S.NumAcquires;
+      ++S.NumCriticalSections;
+      uint32_t &D = Depth[E.Thread.value()];
+      ++D;
+      S.MaxLockNesting = std::max(S.MaxLockNesting, D);
+      break;
+    }
+    case EventKind::Release: {
+      ++S.NumReleases;
+      uint32_t &D = Depth[E.Thread.value()];
+      if (D > 0)
+        --D;
+      break;
+    }
+    case EventKind::Fork:
+      ++S.NumForks;
+      break;
+    case EventKind::Join:
+      ++S.NumJoins;
+      break;
+    }
+  }
+  return S;
+}

@@ -1,0 +1,47 @@
+//===- trace/TraceStats.h - Trace summary statistics ------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over a trace: the numbers in columns 3-5 of Table 1
+/// (#events, #threads, #locks), plus access/sync mix, critical-section
+/// counts and maximum nesting depth. Used by the bench harness and the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_TRACE_TRACESTATS_H
+#define RAPID_TRACE_TRACESTATS_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace rapid {
+
+/// Aggregate counters for one trace.
+struct TraceStats {
+  uint64_t NumEvents = 0;
+  uint32_t NumThreads = 0;
+  uint32_t NumLocks = 0;
+  uint32_t NumVars = 0;
+  uint64_t NumReads = 0;
+  uint64_t NumWrites = 0;
+  uint64_t NumAcquires = 0;
+  uint64_t NumReleases = 0;
+  uint64_t NumForks = 0;
+  uint64_t NumJoins = 0;
+  uint64_t NumCriticalSections = 0;
+  uint32_t MaxLockNesting = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+};
+
+/// Computes statistics for \p T in one pass.
+TraceStats computeStats(const Trace &T);
+
+} // namespace rapid
+
+#endif // RAPID_TRACE_TRACESTATS_H

@@ -1,0 +1,63 @@
+//===- trace/TraceValidator.h - The two trace axioms ------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the two properties §2.1 requires of an event sequence before it
+/// is a *trace*:
+///
+///   1. lock semantics: between two acquires of the same lock there is a
+///      release by the first acquirer (critical sections on one lock never
+///      overlap);
+///   2. well-nestedness: critical sections of one thread are properly
+///      nested.
+///
+/// Plus sanity rules the event model implies: releases match a held lock,
+/// a thread's events only start after its fork (if any), no events after a
+/// thread is joined, fork/join targets are distinct threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_TRACE_TRACEVALIDATOR_H
+#define RAPID_TRACE_TRACEVALIDATOR_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// One validation failure, tied to the offending event.
+struct TraceViolation {
+  EventIdx Index;
+  std::string Message;
+};
+
+/// Result of validating a trace.
+struct ValidationResult {
+  std::vector<TraceViolation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+
+  /// All messages joined by newlines, for test failure output.
+  std::string str() const;
+};
+
+/// Validates \p T against the trace axioms. With \p RequireClosedSections,
+/// critical sections must be closed by end of trace (generators guarantee
+/// this; raw logs may end mid-section, which the paper's definition of
+/// critical section explicitly permits). Hand-over-hand locking is legal
+/// (Figure 6 of the paper uses it); use isWellNested() to probe for
+/// strict nesting.
+ValidationResult validateTrace(const Trace &T,
+                               bool RequireClosedSections = false);
+
+/// True iff every release closes the innermost open critical section.
+bool isWellNested(const Trace &T);
+
+} // namespace rapid
+
+#endif // RAPID_TRACE_TRACEVALIDATOR_H

@@ -1,0 +1,56 @@
+//===- trace/Window.cpp -------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Window.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+std::vector<TraceWindow> rapid::splitIntoWindows(const Trace &T,
+                                                 uint64_t WindowSize) {
+  assert(WindowSize > 0 && "window size must be positive");
+  std::vector<TraceWindow> Windows;
+  const std::vector<Event> &Events = T.events();
+
+  // Locks held when a window opens are re-established by replaying their
+  // original acquire events at the head of the fragment. Without this,
+  // the tail of a critical section cut by the boundary would look
+  // unprotected and the fragment would *invent* races — windowed tools
+  // carry lock context across fragments for exactly this reason.
+  // PendingAcq[l] = index of the acquire currently holding l.
+  std::vector<EventIdx> PendingAcq(T.numLocks(), UINT64_MAX);
+
+  for (uint64_t Start = 0; Start < Events.size(); Start += WindowSize) {
+    uint64_t End = std::min<uint64_t>(Start + WindowSize, Events.size());
+    TraceWindow W;
+    W.Fragment.adoptTables(T);
+    W.Fragment.reserve(End - Start);
+
+    // Replay held acquires, oldest first.
+    std::vector<EventIdx> Held;
+    for (EventIdx A : PendingAcq)
+      if (A != UINT64_MAX)
+        Held.push_back(A);
+    std::sort(Held.begin(), Held.end());
+    for (EventIdx A : Held) {
+      W.Original.push_back(A);
+      W.Fragment.append(Events[A]);
+    }
+
+    for (uint64_t I = Start; I != End; ++I) {
+      const Event &E = Events[I];
+      if (E.Kind == EventKind::Acquire)
+        PendingAcq[E.lock().value()] = I;
+      else if (E.Kind == EventKind::Release)
+        PendingAcq[E.lock().value()] = UINT64_MAX;
+      W.Original.push_back(I);
+      W.Fragment.append(E);
+    }
+    Windows.push_back(std::move(W));
+  }
+  return Windows;
+}

@@ -1,0 +1,53 @@
+//===- vc/Epoch.h - FastTrack-style epochs ----------------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An epoch c@t is a scalar clock value paired with the thread that owns
+/// it. FastTrack [14] observed that most variable access histories are
+/// totally ordered, so a single epoch usually suffices in place of a full
+/// vector clock. The paper lists "epoch based optimizations" as future
+/// work for WCP; we implement them for the HB detector (FastTrackDetector)
+/// as the corresponding extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_VC_EPOCH_H
+#define RAPID_VC_EPOCH_H
+
+#include "support/Ids.h"
+#include "vc/VectorClock.h"
+
+namespace rapid {
+
+/// A scalar clock value owned by one thread: c@t.
+struct Epoch {
+  ClockValue Clock = 0;
+  ThreadId Thread;
+
+  constexpr Epoch() = default;
+  constexpr Epoch(ClockValue Clock, ThreadId Thread)
+      : Clock(Clock), Thread(Thread) {}
+
+  /// The "empty" epoch 0@invalid, ⊑ every clock.
+  static constexpr Epoch none() { return Epoch(); }
+
+  bool isNone() const { return Clock == 0 && !Thread.isValid(); }
+
+  /// Epoch order: c@t ⊑ V iff c <= V(t). The none() epoch is ⊑ anything.
+  bool lessOrEqual(const VectorClock &V) const {
+    if (isNone())
+      return true;
+    return Clock <= V.get(Thread);
+  }
+
+  bool operator==(const Epoch &O) const {
+    return Clock == O.Clock && Thread == O.Thread;
+  }
+};
+
+} // namespace rapid
+
+#endif // RAPID_VC_EPOCH_H

@@ -1,0 +1,50 @@
+//===- vc/VectorClock.cpp ---------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/VectorClock.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+void VectorClock::joinWith(const VectorClock &Other) {
+  assert(Values.size() == Other.Values.size() && "clock size mismatch");
+  const ClockValue *Src = Other.Values.data();
+  ClockValue *Dst = Values.data();
+  for (size_t I = 0, E = Values.size(); I != E; ++I)
+    Dst[I] = std::max(Dst[I], Src[I]);
+}
+
+bool VectorClock::lessOrEqual(const VectorClock &Other) const {
+  assert(Values.size() == Other.Values.size() && "clock size mismatch");
+  const ClockValue *A = Values.data();
+  const ClockValue *B = Other.Values.data();
+  for (size_t I = 0, E = Values.size(); I != E; ++I)
+    if (A[I] > B[I])
+      return false;
+  return true;
+}
+
+void VectorClock::clear() {
+  std::fill(Values.begin(), Values.end(), 0);
+}
+
+std::string VectorClock::str() const {
+  std::string Out = "[";
+  for (size_t I = 0, E = Values.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += std::to_string(Values[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+VectorClock rapid::join(const VectorClock &A, const VectorClock &B) {
+  VectorClock Result = A;
+  Result.joinWith(B);
+  return Result;
+}

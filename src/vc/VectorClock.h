@@ -1,0 +1,87 @@
+//===- vc/VectorClock.h - Vector times (paper §3.1) -------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector times as defined in §3.1 of the paper: a map Tid -> Nat with
+/// pointwise comparison (⊑), pointwise-maximum join (⊔), component
+/// assignment V[t := n], and the ⊥ time mapping every thread to 0.
+///
+/// The representation is a flat array sized to the number of threads in the
+/// trace, which is known up front (the trace header records it). All
+/// detectors allocate their clocks at construction, so the hot loop does no
+/// allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_VC_VECTORCLOCK_H
+#define RAPID_VC_VECTORCLOCK_H
+
+#include "support/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// A single component of a vector time: the local time of one thread.
+using ClockValue = uint32_t;
+
+/// Vector time over a fixed set of threads (paper §3.1).
+class VectorClock {
+public:
+  /// The ⊥ clock over \p NumThreads threads (all components zero).
+  explicit VectorClock(uint32_t NumThreads = 0) : Values(NumThreads, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(Values.size()); }
+
+  /// Component read: V(t).
+  ClockValue get(ThreadId T) const {
+    assert(T.value() < Values.size() && "thread out of range");
+    return Values[T.value()];
+  }
+
+  /// Component assignment: V[t := n].
+  void set(ThreadId T, ClockValue N) {
+    assert(T.value() < Values.size() && "thread out of range");
+    Values[T.value()] = N;
+  }
+
+  /// Pointwise maximum: *this := *this ⊔ Other.
+  void joinWith(const VectorClock &Other);
+
+  /// Pointwise comparison: *this ⊑ Other.
+  bool lessOrEqual(const VectorClock &Other) const;
+
+  /// Resets every component to zero (⊥).
+  void clear();
+
+  /// Exact equality of all components.
+  bool operator==(const VectorClock &Other) const {
+    return Values == Other.Values;
+  }
+  bool operator!=(const VectorClock &Other) const {
+    return !(*this == Other);
+  }
+
+  /// Renders as "[3, 0, 1]" for diagnostics.
+  std::string str() const;
+
+  /// Direct access for the hot loops (DetectorRunner, queues).
+  const ClockValue *data() const { return Values.data(); }
+  ClockValue *data() { return Values.data(); }
+
+private:
+  std::vector<ClockValue> Values;
+};
+
+/// Returns A ⊔ B as a fresh clock.
+VectorClock join(const VectorClock &A, const VectorClock &B);
+
+} // namespace rapid
+
+#endif // RAPID_VC_VECTORCLOCK_H

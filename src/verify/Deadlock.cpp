@@ -1,0 +1,68 @@
+//===- verify/Deadlock.cpp ----------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Deadlock.h"
+
+#include "mcm/McmSearch.h"
+#include "verify/Reordering.h"
+
+using namespace rapid;
+
+DeadlockReport rapid::findPredictableDeadlock(const Trace &T,
+                                              uint64_t MaxStates) {
+  McmOptions Opts;
+  Opts.MaxStates = MaxStates;
+  Opts.DetectDeadlocks = true;
+  Opts.TrackWitnesses = true;
+  McmResult R = exploreMcm(T, Opts);
+
+  DeadlockReport Out;
+  Out.StatesExpanded = R.StatesExpanded;
+  Out.SearchExhaustive = !R.BudgetExhausted;
+  if (!R.DeadlockFound)
+    return Out;
+  Out.Found = true;
+  Out.Schedule = R.DeadlockWitness;
+  Out.Threads = R.DeadlockedThreads;
+  if (!Out.Schedule.empty() || !Out.Threads.empty()) {
+    ReorderingCheck Check = checkDeadlockWitness(T, Out.Schedule, Out.Threads);
+    assert(Check.Ok && "deadlock witness failed validation");
+    (void)Check;
+  }
+  return Out;
+}
+
+std::string rapid::describeDeadlock(const Trace &T, const DeadlockReport &R) {
+  if (!R.Found)
+    return "no predictable deadlock";
+  // Replay the schedule to know each blocked thread's awaited lock.
+  std::vector<std::vector<EventIdx>> Proj(T.numThreads());
+  for (EventIdx I = 0; I != T.size(); ++I)
+    Proj[T.event(I).Thread.value()].push_back(I);
+  std::vector<uint64_t> NextPos(T.numThreads(), 0);
+  std::vector<uint32_t> HeldBy(T.numLocks(), UINT32_MAX);
+  for (EventIdx I : R.Schedule) {
+    const Event &E = T.event(I);
+    ++NextPos[E.Thread.value()];
+    if (E.Kind == EventKind::Acquire)
+      HeldBy[E.lock().value()] = E.Thread.value();
+    if (E.Kind == EventKind::Release)
+      HeldBy[E.lock().value()] = UINT32_MAX;
+  }
+  std::string Out;
+  for (ThreadId D : R.Threads) {
+    const Event &E = T.event(Proj[D.value()][NextPos[D.value()]]);
+    Out += T.threadName(D);
+    Out += " waits for ";
+    Out += T.lockName(E.lock());
+    Out += " held by ";
+    Out += HeldBy[E.lock().value()] == UINT32_MAX
+               ? std::string("<nobody>")
+               : T.threadName(ThreadId(HeldBy[E.lock().value()]));
+    Out += "; ";
+  }
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- verify/Deadlock.h - Predictable deadlock search ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predictable deadlocks (§2.1): a correct reordering after which a set of
+/// threads D is mutually stuck — each one's next event acquires a lock
+/// held, unreleased, by another thread of D. WCP's *weak* soundness
+/// (Theorem 1) promises a predictable race **or** a predictable deadlock
+/// for every WCP-race; Figure 5 is the paper's example where only the
+/// deadlock exists, and — unlike CP — it involves three threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_VERIFY_DEADLOCK_H
+#define RAPID_VERIFY_DEADLOCK_H
+
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace rapid {
+
+/// A predictable deadlock: the schedule that reaches it and the threads in
+/// the wait-for cycle.
+struct DeadlockReport {
+  bool Found = false;
+  bool SearchExhaustive = false;
+  std::vector<EventIdx> Schedule;
+  std::vector<ThreadId> Threads;
+  uint64_t StatesExpanded = 0;
+};
+
+/// Searches the maximal causal model of \p T for a predictable deadlock;
+/// the returned witness is re-validated before being returned.
+DeadlockReport findPredictableDeadlock(const Trace &T,
+                                       uint64_t MaxStates = 2'000'000);
+
+/// Renders the deadlock as "T1 waits for l held by T2; ..." for reports.
+std::string describeDeadlock(const Trace &T, const DeadlockReport &R);
+
+} // namespace rapid
+
+#endif // RAPID_VERIFY_DEADLOCK_H

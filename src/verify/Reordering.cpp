@@ -1,0 +1,183 @@
+//===- verify/Reordering.cpp --------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Reordering.h"
+
+#include <unordered_map>
+
+using namespace rapid;
+
+static ReorderingCheck fail(std::string Msg) {
+  return ReorderingCheck{false, std::move(Msg)};
+}
+
+ReorderingCheck
+rapid::checkCorrectReordering(const Trace &T,
+                              const std::vector<EventIdx> &Schedule) {
+  constexpr uint64_t None = UINT64_MAX;
+
+  // Original per-thread projections and per-read original writers.
+  std::vector<std::vector<EventIdx>> Proj(T.numThreads());
+  std::vector<uint64_t> OrigWriter(T.size(), None);
+  {
+    std::vector<uint64_t> LastWrite(T.numVars(), None);
+    for (EventIdx I = 0; I != T.size(); ++I) {
+      const Event &E = T.event(I);
+      if (E.Kind == EventKind::Read)
+        OrigWriter[I] = LastWrite[E.var().value()];
+      if (E.Kind == EventKind::Write)
+        LastWrite[E.var().value()] = I;
+      Proj[E.Thread.value()].push_back(I);
+    }
+  }
+
+  std::vector<uint64_t> NextPos(T.numThreads(), 0);
+  std::vector<uint64_t> LastWrite(T.numVars(), None);
+  std::vector<uint32_t> HeldBy(T.numLocks(), UINT32_MAX);
+  std::vector<bool> ForkSeen(T.numThreads(), false);
+  std::vector<bool> HasFork(T.numThreads(), false);
+  for (EventIdx I = 0; I != T.size(); ++I)
+    if (T.event(I).Kind == EventKind::Fork)
+      HasFork[T.event(I).targetThread().value()] = true;
+
+  std::vector<bool> Scheduled(T.size(), false);
+  for (size_t Pos = 0; Pos < Schedule.size(); ++Pos) {
+    EventIdx I = Schedule[Pos];
+    if (I >= T.size())
+      return fail("schedule refers to event " + std::to_string(I) +
+                  " beyond the trace");
+    if (Scheduled[I])
+      return fail("event " + std::to_string(I) + " scheduled twice");
+    Scheduled[I] = true;
+
+    const Event &E = T.event(I);
+    uint32_t Tid = E.Thread.value();
+    // (i) Per-thread prefix: this must be exactly the next event of its
+    // thread.
+    if (NextPos[Tid] >= Proj[Tid].size() || Proj[Tid][NextPos[Tid]] != I)
+      return fail("event " + std::to_string(I) +
+                  " breaks thread-order prefix of " + T.threadName(E.Thread));
+    ++NextPos[Tid];
+
+    // Fork availability: a forked thread cannot start before its fork.
+    if (HasFork[Tid] && !ForkSeen[Tid])
+      return fail("thread " + T.threadName(E.Thread) +
+                  " runs before its fork event");
+
+    switch (E.Kind) {
+    case EventKind::Acquire:
+      if (HeldBy[E.lock().value()] != UINT32_MAX)
+        return fail("lock semantics violated at event " + std::to_string(I) +
+                    ": " + T.lockName(E.lock()) + " already held");
+      HeldBy[E.lock().value()] = Tid;
+      break;
+    case EventKind::Release:
+      if (HeldBy[E.lock().value()] != Tid)
+        return fail("release of unheld lock at event " + std::to_string(I));
+      HeldBy[E.lock().value()] = UINT32_MAX;
+      break;
+    case EventKind::Read:
+      // (ii) Reads see their original last writer.
+      if (LastWrite[E.var().value()] != OrigWriter[I])
+        return fail("read at event " + std::to_string(I) + " of " +
+                    T.varName(E.var()) + " sees a different writer");
+      break;
+    case EventKind::Write:
+      LastWrite[E.var().value()] = I;
+      break;
+    case EventKind::Fork:
+      ForkSeen[E.targetThread().value()] = true;
+      break;
+    case EventKind::Join:
+      // A join can only run once the child has completed all its events.
+      if (NextPos[E.targetThread().value()] !=
+          Proj[E.targetThread().value()].size())
+        return fail("join at event " + std::to_string(I) +
+                    " before child thread finished");
+      break;
+    }
+  }
+  return ReorderingCheck{true, {}};
+}
+
+ReorderingCheck
+rapid::checkRaceWitness(const Trace &T,
+                        const std::vector<EventIdx> &Schedule) {
+  if (Schedule.size() < 2)
+    return fail("witness has fewer than two events");
+  const Event &A = T.event(Schedule[Schedule.size() - 2]);
+  const Event &B = T.event(Schedule[Schedule.size() - 1]);
+  if (!Event::conflicting(A, B))
+    return fail("final two events of witness do not conflict");
+  // The racing accesses themselves are exempt from the read-consistency
+  // rule (the paper's Figure 2b witness e5,e6,e1 schedules r(y) before
+  // its original writer); everything before them must be a correct
+  // reordering, and the final pair must extend it in thread order.
+  std::vector<EventIdx> Prefix(Schedule.begin(), Schedule.end() - 2);
+  ReorderingCheck Base = checkCorrectReordering(T, Prefix);
+  if (!Base.Ok)
+    return Base;
+  // Each final event must be the next unscheduled event of its thread.
+  for (size_t Tail = Schedule.size() - 2; Tail < Schedule.size(); ++Tail) {
+    EventIdx I = Schedule[Tail];
+    const Event &E = T.event(I);
+    uint64_t Expected = 0;
+    for (EventIdx J = 0; J != I; ++J)
+      if (T.event(J).Thread == E.Thread)
+        ++Expected;
+    uint64_t Done = 0;
+    for (size_t K = 0; K < Tail; ++K)
+      if (T.event(Schedule[K]).Thread == E.Thread)
+        ++Done;
+    if (Done != Expected)
+      return fail("racing access is not its thread's next event");
+  }
+  return ReorderingCheck{true, {}};
+}
+
+ReorderingCheck
+rapid::checkDeadlockWitness(const Trace &T,
+                            const std::vector<EventIdx> &Schedule,
+                            const std::vector<ThreadId> &Deadlocked) {
+  if (Deadlocked.size() < 2)
+    return fail("a deadlock needs at least two threads");
+  ReorderingCheck Base = checkCorrectReordering(T, Schedule);
+  if (!Base.Ok)
+    return Base;
+
+  // Replay to find per-thread positions and lock ownership.
+  std::vector<std::vector<EventIdx>> Proj(T.numThreads());
+  for (EventIdx I = 0; I != T.size(); ++I)
+    Proj[T.event(I).Thread.value()].push_back(I);
+  std::vector<uint64_t> NextPos(T.numThreads(), 0);
+  std::vector<uint32_t> HeldBy(T.numLocks(), UINT32_MAX);
+  for (EventIdx I : Schedule) {
+    const Event &E = T.event(I);
+    ++NextPos[E.Thread.value()];
+    if (E.Kind == EventKind::Acquire)
+      HeldBy[E.lock().value()] = E.Thread.value();
+    if (E.Kind == EventKind::Release)
+      HeldBy[E.lock().value()] = UINT32_MAX;
+  }
+
+  for (ThreadId D : Deadlocked) {
+    uint32_t Tid = D.value();
+    if (NextPos[Tid] >= Proj[Tid].size())
+      return fail("deadlocked thread " + T.threadName(D) + " has no next event");
+    const Event &E = T.event(Proj[Tid][NextPos[Tid]]);
+    if (E.Kind != EventKind::Acquire)
+      return fail("next event of " + T.threadName(D) + " is not an acquire");
+    uint32_t Holder = HeldBy[E.lock().value()];
+    bool HeldByOther = false;
+    for (ThreadId Other : Deadlocked)
+      if (Other.value() == Holder && Other != D)
+        HeldByOther = true;
+    if (!HeldByOther)
+      return fail("lock awaited by " + T.threadName(D) +
+                  " is not held inside the deadlocked set");
+  }
+  return ReorderingCheck{true, {}};
+}

@@ -1,0 +1,59 @@
+//===- verify/Reordering.h - Correct-reordering semantics -------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's notion of *correct reordering* (§2.1): σ' is a correct
+/// reordering of σ iff (i) for every thread t, σ'|t is a prefix of σ|t,
+/// and (ii) the last w(x) before any r(x) is the same in σ' as in σ — so
+/// every read sees the value it saw originally. A predictable race
+/// (deadlock) is a correct reordering exhibiting a race (deadlock).
+///
+/// This module validates candidate reorderings and witnesses; it is the
+/// referee between the detectors (which *claim* races) and the search
+/// engines (which *produce* witnesses), and the backbone of the empirical
+/// Theorem 1 (soundness) test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_VERIFY_REORDERING_H
+#define RAPID_VERIFY_REORDERING_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// Outcome of validating a candidate reordering.
+struct ReorderingCheck {
+  bool Ok = false;
+  std::string Error; ///< First violation found, empty when Ok.
+};
+
+/// Checks that \p Schedule (a sequence of event indices of \p T, without
+/// repetition) is a correct reordering of \p T. Also enforces the trace
+/// axioms (lock semantics) and fork/join availability, which any feasible
+/// execution satisfies.
+ReorderingCheck checkCorrectReordering(const Trace &T,
+                                       const std::vector<EventIdx> &Schedule);
+
+/// Checks that \p Schedule is a correct reordering whose last two events
+/// are conflicting accesses performed back-to-back — i.e. a race witness
+/// for the location pair of those two events.
+ReorderingCheck checkRaceWitness(const Trace &T,
+                                 const std::vector<EventIdx> &Schedule);
+
+/// Checks that after executing \p Schedule, the threads \p Deadlocked are
+/// mutually blocked: each one's next event is an acquire of a lock held by
+/// another thread in the set (the paper's deadlock definition).
+ReorderingCheck checkDeadlockWitness(const Trace &T,
+                                     const std::vector<EventIdx> &Schedule,
+                                     const std::vector<ThreadId> &Deadlocked);
+
+} // namespace rapid
+
+#endif // RAPID_VERIFY_REORDERING_H

@@ -1,0 +1,63 @@
+//===- verify/WitnessSearch.cpp -----------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/WitnessSearch.h"
+
+using namespace rapid;
+
+static WitnessResult makeResult(const Trace &T, const McmResult &R,
+                                bool WantPair, const RacePair *Pair) {
+  WitnessResult Out;
+  Out.StatesExpanded = R.StatesExpanded;
+  Out.SearchExhaustive = !R.BudgetExhausted;
+
+  bool PairFound = false;
+  if (WantPair && Pair)
+    PairFound = R.Report.hasPair(*Pair);
+
+  if ((!WantPair && !R.Report.instances().empty()) || PairFound) {
+    Out.Kind = WitnessKind::Race;
+    Out.Schedule = R.RaceWitness;
+    if (!Out.Schedule.empty()) {
+      ReorderingCheck Check = checkRaceWitness(T, Out.Schedule);
+      assert(Check.Ok && "search returned an invalid race witness");
+      (void)Check;
+    }
+    return Out;
+  }
+  if (R.DeadlockFound) {
+    Out.Kind = WitnessKind::Deadlock;
+    Out.Schedule = R.DeadlockWitness;
+    Out.DeadlockedThreads = R.DeadlockedThreads;
+    if (!Out.Schedule.empty() && !Out.DeadlockedThreads.empty()) {
+      ReorderingCheck Check =
+          checkDeadlockWitness(T, Out.Schedule, Out.DeadlockedThreads);
+      assert(Check.Ok && "search returned an invalid deadlock witness");
+      (void)Check;
+    }
+  }
+  return Out;
+}
+
+WitnessResult rapid::findWitness(const Trace &T, const RacePair &Pair,
+                                 uint64_t MaxStates) {
+  McmOptions Opts;
+  Opts.MaxStates = MaxStates;
+  Opts.DetectDeadlocks = true;
+  Opts.TrackWitnesses = true;
+  Opts.TargetPair = Pair;
+  McmResult R = exploreMcm(T, Opts);
+  return makeResult(T, R, /*WantPair=*/true, &Pair);
+}
+
+WitnessResult rapid::findAnyWitness(const Trace &T, uint64_t MaxStates) {
+  McmOptions Opts;
+  Opts.MaxStates = MaxStates;
+  Opts.DetectDeadlocks = true;
+  Opts.TrackWitnesses = true;
+  McmResult R = exploreMcm(T, Opts);
+  return makeResult(T, R, /*WantPair=*/false, nullptr);
+}

@@ -1,0 +1,55 @@
+//===- verify/WitnessSearch.h - Validate detector claims --------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the detectors and the maximal-causality search: given a race
+/// pair claimed by a detector, search for a correct reordering witnessing
+/// it (or, per the paper's weak soundness, a predictable deadlock), and
+/// re-validate whatever the search returns with the reordering checker.
+/// This is how the repo tests Theorem 1 empirically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_VERIFY_WITNESSSEARCH_H
+#define RAPID_VERIFY_WITNESSSEARCH_H
+
+#include "detect/Race.h"
+#include "mcm/McmSearch.h"
+#include "verify/Reordering.h"
+
+namespace rapid {
+
+/// What a witness search established for a claimed race.
+enum class WitnessKind {
+  Race,       ///< Correct reordering with the two accesses adjacent.
+  Deadlock,   ///< Correct reordering ending in a predictable deadlock.
+  None,       ///< Neither found within budget (budget exhausted), or
+              ///< genuinely absent (exhaustive search completed).
+};
+
+/// Outcome of a witness search.
+struct WitnessResult {
+  WitnessKind Kind = WitnessKind::None;
+  bool SearchExhaustive = false; ///< True iff the state space was covered.
+  std::vector<EventIdx> Schedule;
+  std::vector<ThreadId> DeadlockedThreads;
+  uint64_t StatesExpanded = 0;
+};
+
+/// Searches for a witness for \p Pair in \p T. If \p Pair is not found but
+/// a predictable deadlock is, reports the deadlock (the paper's weak
+/// soundness allows either). All returned witnesses are re-validated with
+/// checkRaceWitness / checkDeadlockWitness; an invalid witness from the
+/// search engine is a bug and asserts.
+WitnessResult findWitness(const Trace &T, const RacePair &Pair,
+                          uint64_t MaxStates = 2'000'000);
+
+/// Convenience: searches for a witness for *any* race or deadlock.
+WitnessResult findAnyWitness(const Trace &T, uint64_t MaxStates = 2'000'000);
+
+} // namespace rapid
+
+#endif // RAPID_VERIFY_WITNESSSEARCH_H

@@ -1,0 +1,302 @@
+//===- wcp/WcpDetector.cpp - Algorithm 1 implementation -----------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcp/WcpDetector.h"
+
+#include <algorithm>
+#include <cstddef>
+
+using namespace rapid;
+
+WcpDetector::WcpDetector(const Trace &T)
+    : NumThreads(T.numThreads()),
+      Threads(T.numThreads(), WcpThreadState(T.numThreads())),
+      Locks(T.numLocks(), WcpLockState(T.numThreads())),
+      History(T.numVars(), T.numThreads()) {
+  // Initialization (§3.2): N_t = 1, P_t = ⊥, H_t = K_t = ⊥[t := N_t].
+  for (uint32_t I = 0; I < NumThreads; ++I) {
+    Threads[I].H.set(ThreadId(I), 1);
+    Threads[I].K.set(ThreadId(I), 1);
+  }
+}
+
+VectorClock WcpDetector::currentC(ThreadId T) const {
+  // The *effective* time of the thread's last event: WCP predecessors
+  // plus hard (fork/join) order. Two events a <tr b satisfy
+  // currentC(a) ⊑ currentC(b) iff a ≤WCP b in the fork/join-extended
+  // sense (Theorem 2).
+  const WcpThreadState &TS = Threads[T.value()];
+  VectorClock C = TS.P;
+  C.joinWith(TS.K);
+  C.set(T, TS.N);
+  return C;
+}
+
+bool WcpDetector::frontLeqCt(const VectorClock &Front,
+                             const WcpThreadState &TS, ThreadId T) const {
+  // The guard tests "acquire ordered before this release" — hard
+  // (fork/join) order counts, so the comparison is against P_t ⊔ K_t.
+  for (uint32_t U = 0; U < NumThreads; ++U) {
+    ClockValue Mine =
+        U == T.value()
+            ? TS.N
+            : std::max(TS.P.get(ThreadId(U)), TS.K.get(ThreadId(U)));
+    if (Front.get(ThreadId(U)) > Mine)
+      return false;
+  }
+  return true;
+}
+
+const PerThreadReleaseClocks *WcpDetector::readRelease(LockId L,
+                                                       VarId X) const {
+  auto It = ReadReleases.find(lockVarKey(L, X));
+  return It == ReadReleases.end() ? nullptr : &It->second;
+}
+
+const PerThreadReleaseClocks *WcpDetector::writeRelease(LockId L,
+                                                        VarId X) const {
+  auto It = WriteReleases.find(lockVarKey(L, X));
+  return It == WriteReleases.end() ? nullptr : &It->second;
+}
+
+void WcpDetector::bumpAbstract(int64_t Delta) {
+  CurrentAbstract += Delta;
+  assert(CurrentAbstract >= 0 && "queue accounting went negative");
+  if (static_cast<uint64_t>(CurrentAbstract) > Stats.MaxAbstractQueueEntries)
+    Stats.MaxAbstractQueueEntries = static_cast<uint64_t>(CurrentAbstract);
+}
+
+void WcpDetector::bumpLive(int64_t Delta) {
+  CurrentLive += Delta;
+  assert(CurrentLive >= 0 && "live queue accounting went negative");
+  if (static_cast<uint64_t>(CurrentLive) > Stats.MaxLiveQueueEntries)
+    Stats.MaxLiveQueueEntries = static_cast<uint64_t>(CurrentLive);
+}
+
+void WcpDetector::handleAcquire(ThreadId T, LockId L) {
+  WcpThreadState &TS = Threads[T.value()];
+  WcpLockState &LS = Locks[L.value()];
+
+  // Lines 1-2: receive the H/P times of the last release of ℓ.
+  TS.H.joinWith(LS.H);
+  TS.P.joinWith(LS.P);
+
+  // First contact with ℓ: this thread's abstract queues become live, and
+  // all pending entries of other threads now count against them.
+  if (!LS.Touched[T.value()]) {
+    LS.Touched[T.value()] = true;
+    uint64_t Pending = 0;
+    for (uint64_t I = LS.Base; I < LS.logicalEnd(); ++I) {
+      const WcpQueueEntry &E = LS.entry(I);
+      if (E.Thread != T)
+        Pending += E.HasRelease ? 2 : 1;
+    }
+    LS.LiveCount[T.value()] = Pending;
+    bumpLive(static_cast<int64_t>(Pending));
+  }
+
+  // Line 3: enqueue C_t into Acq_ℓ(t') for every t' ≠ t. One shared entry
+  // stands for all T-1 abstract copies.
+  WcpQueueEntry Entry;
+  Entry.AcquireTime = TS.P;
+  Entry.AcquireTime.set(T, TS.N); // Materialize C_t = P_t[t := N_t].
+  Entry.Thread = T;
+  uint64_t LogicalIdx = LS.logicalEnd();
+  LS.Entries.push_back(std::move(Entry));
+  bumpAbstract(static_cast<int64_t>(NumThreads) - 1);
+  for (uint32_t U = 0; U < NumThreads; ++U) {
+    if (U != T.value() && LS.Touched[U]) {
+      ++LS.LiveCount[U];
+      bumpLive(1);
+    }
+  }
+  Stats.MaxSharedQueueEntries = std::max(
+      Stats.MaxSharedQueueEntries, static_cast<uint64_t>(LS.Entries.size()));
+
+  TS.CsStack.push_back(WcpCsFrame{L, LogicalIdx, {}, {}});
+}
+
+void WcpDetector::handleRelease(ThreadId T, LockId L) {
+  WcpThreadState &TS = Threads[T.value()];
+  WcpLockState &LS = Locks[L.value()];
+
+  // Lines 4-6: Rule (b). Pop critical sections of other threads whose
+  // acquire is already ⊑ C_t; their release H-times become WCP
+  // predecessors of this release. C_t changes as P_t grows, so the guard
+  // is re-evaluated every iteration, exactly like the pseudocode's while.
+  uint64_t &Cur = LS.Cursor[T.value()];
+  for (;;) {
+    // Entries by T itself are not part of T's abstract queues (Line 3
+    // enqueues only to other threads).
+    while (Cur < LS.logicalEnd() && LS.entry(Cur).Thread == T)
+      ++Cur;
+    if (Cur >= LS.logicalEnd())
+      break;
+    WcpQueueEntry &Front = LS.entry(Cur);
+    if (!frontLeqCt(Front.AcquireTime, TS, T))
+      break;
+    // Lock semantics guarantees this critical section closed before our
+    // matching acquire, so its release time is present (see WcpState.h).
+    assert(Front.HasRelease && "popping an open critical section");
+    TS.P.joinWith(Front.ReleaseTime);
+    ++Cur;
+    bumpAbstract(-2); // One entry leaves Acq_ℓ(T) and one leaves Rel_ℓ(T).
+    assert(LS.LiveCount[T.value()] >= 2 && "live count out of sync");
+    LS.LiveCount[T.value()] -= 2;
+    bumpLive(-2);
+  }
+
+  // Lines 7-8: Rule (a) bookkeeping. Publish H_t into L^r/L^w for every
+  // variable this critical section read (R) or wrote (W). Hand-over-hand
+  // locking means the released section need not be the innermost one.
+  size_t FrameIdx = TS.CsStack.size();
+  for (size_t K = TS.CsStack.size(); K-- > 0;) {
+    if (TS.CsStack[K].Lock == L) {
+      FrameIdx = K;
+      break;
+    }
+  }
+  assert(FrameIdx < TS.CsStack.size() && "release without open section");
+  WcpCsFrame Frame = std::move(TS.CsStack[FrameIdx]);
+  TS.CsStack.erase(TS.CsStack.begin() + static_cast<ptrdiff_t>(FrameIdx));
+
+  auto dedupe = [](std::vector<uint32_t> &Vars) {
+    std::sort(Vars.begin(), Vars.end());
+    Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  };
+  dedupe(Frame.ReadVars);
+  dedupe(Frame.WriteVars);
+  for (uint32_t X : Frame.ReadVars)
+    ReadReleases[lockVarKey(L, VarId(X))].add(T.value(), TS.H);
+  for (uint32_t X : Frame.WriteVars)
+    WriteReleases[lockVarKey(L, VarId(X))].add(T.value(), TS.H);
+
+  // Line 9: this release becomes the last release of ℓ.
+  LS.H = TS.H;
+  LS.P = TS.P;
+
+  // Line 10: enqueue H_t into Rel_ℓ(t') for t' ≠ t — i.e. complete the
+  // shared entry our matching acquire created.
+  WcpQueueEntry &Own = LS.entry(Frame.EntryLogicalIdx);
+  assert(Own.Thread == T && !Own.HasRelease && "queue entry mismatch");
+  Own.ReleaseTime = TS.H;
+  Own.HasRelease = true;
+  bumpAbstract(static_cast<int64_t>(NumThreads) - 1);
+  for (uint32_t U = 0; U < NumThreads; ++U) {
+    if (U != T.value() && LS.Touched[U]) {
+      ++LS.LiveCount[U];
+      bumpLive(1);
+    }
+  }
+
+  LS.collectGarbage();
+
+  // Local clock increment: N_t advances before the next event of T
+  // because this event is a release.
+  TS.IncrementNext = true;
+}
+
+void WcpDetector::handleRead(ThreadId T, VarId X, LocId Loc, EventIdx Index) {
+  WcpThreadState &TS = Threads[T.value()];
+  // Line 11: Rule (a). For every enclosing critical section over ℓ,
+  // releases of ℓ (by other threads) whose sections *wrote* x precede
+  // this read: P_t ⊔= ⊔_{ℓ∈L} L^w_{ℓ,x}.
+  for (WcpCsFrame &Frame : TS.CsStack) {
+    if (const PerThreadReleaseClocks *LW = writeRelease(Frame.Lock, X))
+      LW->joinIntoExcluding(TS.P, T.value());
+  }
+  // The access belongs to the R set of *every* open section (sections may
+  // overlap without nesting, so bubbling on release would be wrong).
+  for (WcpCsFrame &Frame : TS.CsStack)
+    Frame.ReadVars.push_back(X.value());
+
+  // Race check (§3.2): W_x ⊑ C_e, with C_e = P_t[t := N_t]. The history
+  // check reads only other threads' components, so P_t stands in for C_e.
+  Scratch.clear();
+  History.checkRead(X, T, TS.P, Loc, Index, Scratch, &TS.K);
+  for (const RaceInstance &R : Scratch)
+    Report.addRace(R);
+  History.recordRead(X, T, TS.N, Loc, Index);
+}
+
+void WcpDetector::handleWrite(ThreadId T, VarId X, LocId Loc,
+                              EventIdx Index) {
+  WcpThreadState &TS = Threads[T.value()];
+  // Line 12: Rule (a). Releases of enclosing locks (by other threads)
+  // whose sections read *or* wrote x precede this write:
+  // P_t ⊔= ⊔_{ℓ∈L} (L^r_{ℓ,x} ⊔ L^w_{ℓ,x}).
+  for (WcpCsFrame &Frame : TS.CsStack) {
+    if (const PerThreadReleaseClocks *LR = readRelease(Frame.Lock, X))
+      LR->joinIntoExcluding(TS.P, T.value());
+    if (const PerThreadReleaseClocks *LW = writeRelease(Frame.Lock, X))
+      LW->joinIntoExcluding(TS.P, T.value());
+  }
+  for (WcpCsFrame &Frame : TS.CsStack)
+    Frame.WriteVars.push_back(X.value());
+
+  // Race check (§3.2): R_x ⊔ W_x ⊑ C_e.
+  Scratch.clear();
+  History.checkWrite(X, T, TS.P, Loc, Index, Scratch, &TS.K);
+  for (const RaceInstance &R : Scratch)
+    Report.addRace(R);
+  History.recordWrite(X, T, TS.N, Loc, Index);
+}
+
+void WcpDetector::processEvent(const Event &E, EventIdx Index) {
+  ++EventsProcessed;
+  ThreadId T = E.Thread;
+  WcpThreadState &TS = Threads[T.value()];
+  if (TS.IncrementNext) {
+    ++TS.N;
+    TS.H.set(T, TS.N); // Maintain H_t(t) = N_t.
+    TS.K.set(T, TS.N); // ... and K_t(t) = N_t.
+    TS.IncrementNext = false;
+  }
+
+  switch (E.Kind) {
+  case EventKind::Acquire:
+    handleAcquire(T, E.lock());
+    return;
+  case EventKind::Release:
+    handleRelease(T, E.lock());
+    return;
+  case EventKind::Read:
+    handleRead(T, E.var(), E.Loc, Index);
+    return;
+  case EventKind::Write:
+    handleWrite(T, E.var(), E.Loc, Index);
+    return;
+
+  case EventKind::Fork: {
+    // fork(t, u) is an HB edge (so the child inherits H_t for rule (c)
+    // composition and P_t for transitive WCP predecessors) *and* a hard
+    // order edge (no correct reordering can start u before the fork),
+    // which lives in K_t only — see WcpState.h. The parent's local clock
+    // then advances so its later events stay unordered with the child.
+    ThreadId Child = E.targetThread();
+    WcpThreadState &CS = Threads[Child.value()];
+    CS.H.joinWith(TS.H);
+    CS.H.set(Child, CS.N); // Preserve H_u(u) = N_u.
+    CS.P.joinWith(TS.P);
+    CS.K.joinWith(TS.K);
+    CS.K.set(Child, CS.N);
+    TS.IncrementNext = true;
+    return;
+  }
+
+  case EventKind::Join: {
+    // join(t, u): symmetric.
+    ThreadId Child = E.targetThread();
+    WcpThreadState &CS = Threads[Child.value()];
+    TS.H.joinWith(CS.H);
+    TS.H.set(T, TS.N);
+    TS.P.joinWith(CS.P);
+    TS.K.joinWith(CS.K);
+    TS.K.set(T, TS.N);
+    return;
+  }
+  }
+}

@@ -1,0 +1,51 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_TESTS_TESTUTIL_H
+#define RAPID_TESTS_TESTUTIL_H
+
+#include "detect/DetectorRunner.h"
+#include "trace/Trace.h"
+#include "vc/VectorClock.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rapid::testutil {
+
+/// Runs detector type \p D over \p T and returns its report.
+template <typename D> RaceReport run(const Trace &T) {
+  D Detector(T);
+  return runDetector(Detector, T).Report;
+}
+
+/// Names of variables involved in any reported race.
+template <typename ReportT>
+std::set<std::string> racyVars(const ReportT &Report, const Trace &T) {
+  std::set<std::string> Out;
+  for (const RaceInstance &I : Report.instances())
+    Out.insert(T.varName(I.Var));
+  return Out;
+}
+
+/// Runs a streaming detector event-by-event, capturing the post-event
+/// C-timestamp of each event's thread (used by the Theorem 2 tests).
+template <typename D>
+std::vector<VectorClock> captureTimestamps(const Trace &T) {
+  D Detector(T);
+  std::vector<VectorClock> Times;
+  Times.reserve(T.size());
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    Detector.processEvent(T.event(I), I);
+    Times.push_back(Detector.currentC(T.event(I).Thread));
+  }
+  return Times;
+}
+
+} // namespace rapid::testutil
+
+#endif // RAPID_TESTS_TESTUTIL_H

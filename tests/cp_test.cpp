@@ -1,0 +1,171 @@
+//===- tests/cp_test.cpp - CP engine & closure internals -----------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// CP (Definition 2) verdicts, rule-edge accounting in the closure engine,
+// the CP-vs-WCP separations the paper's §2.3 walks through, and the
+// windowed deployment mode CP is forced into (§1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "cp/CpEngine.h"
+#include "gen/PaperTraces.h"
+#include "gen/RandomTraceGen.h"
+#include "reference/ClosureEngine.h"
+#include "trace/TraceBuilder.h"
+#include "wcp/WcpDetector.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+TEST(CpRuleTest, RuleAOrdersConflictingSections) {
+  // Two sections on l with conflicting accesses: rel1 ≺CP acq2, so the
+  // *whole* later section is ordered — including events before the
+  // conflicting access (the rigidity WCP removes).
+  Trace T = paperFig2b().T;
+  ClosureEngine E(T);
+  // rel(l)@3 ≺CP acq(l)@4 composes to order w(y)@0 with r(y)@5.
+  EXPECT_TRUE(E.ordered(OrderKind::CP, 0, 5));
+  EXPECT_FALSE(E.ordered(OrderKind::WCP, 0, 5));
+  EXPECT_GE(E.numRuleAEdges(OrderKind::CP), 1u);
+}
+
+TEST(CpRuleTest, NoConflictNoRuleA) {
+  Trace T = paperFig1b().T;
+  ClosureEngine E(T);
+  // The two sections only read x: no conflicting events, no CP edge,
+  // so CP (like WCP) reports the y race.
+  EXPECT_EQ(E.numRuleAEdges(OrderKind::CP), 0u);
+  EXPECT_TRUE(E.isRace(OrderKind::CP, 0, 7));
+}
+
+TEST(CpRuleTest, RuleBChainsThroughSyncs) {
+  // Figure 4: CP needs rule (b) twice (via the sync(x) pair) to order
+  // the z accesses; WCP's weaker rule (b) does not complete the chain.
+  Trace T = paperFig4().T;
+  ClosureEngine E(T);
+  EXPECT_GE(E.numRuleBEdges(OrderKind::CP), 1u);
+  RaceReport Wcp = testutil::run<WcpDetector>(T);
+  EXPECT_EQ(Wcp.numDistinctPairs(), 1u);
+  EXPECT_EQ(runCpFull(T).Report.numDistinctPairs(), 0u);
+}
+
+TEST(CpRuleTest, WcpRuleBOrdersReleasesNotAcquires) {
+  // §2.2: WCP rule (b) orders rel1 before rel2 (not acq2). In Figure 3
+  // this is exactly why the chain to w(z) breaks for WCP but not CP.
+  Trace T = paperFig3().T;
+  ClosureEngine E(T);
+  // Find the two rel(l) events (lock named "l").
+  std::vector<EventIdx> Rels;
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    const Event &Ev = T.event(I);
+    if (Ev.Kind == EventKind::Release && T.lockName(Ev.lock()) == "l")
+      Rels.push_back(I);
+  }
+  ASSERT_EQ(Rels.size(), 2u);
+  EXPECT_TRUE(E.ordered(OrderKind::WCP, Rels[0], Rels[1]))
+      << "rule (b) orders release before release";
+  // But the earlier release is NOT WCP-ordered to the later *acquire*'s
+  // section start the way CP orders it.
+  EXPECT_TRUE(E.ordered(OrderKind::CP, Rels[0], Rels[1]));
+}
+
+TEST(CpEngineTest, FullRunCountsRacesLikeClosure) {
+  for (uint64_t Seed : {2u, 9u, 21u}) {
+    RandomTraceParams P;
+    P.Seed = Seed;
+    P.OpsPerThread = 25;
+    Trace T = randomTrace(P);
+    ClosureEngine E(T);
+    CpResult R = runCpFull(T);
+    // Same distinct location pairs.
+    RaceReport FromClosure;
+    for (const RaceInstance &I : E.races(OrderKind::CP))
+      FromClosure.addRace(I);
+    EXPECT_EQ(R.Report.numDistinctPairs(), FromClosure.numDistinctPairs());
+  }
+}
+
+TEST(CpEngineTest, WindowingIsTheDeploymentModeAndItCosts) {
+  // Two CP-visible races, one near and one far; a 16-event window keeps
+  // the near one and loses the far one.
+  TraceBuilder B;
+  B.write("t1", "near", "n1");
+  B.write("t2", "near", "n2");
+  B.write("t1", "far", "f1");
+  for (int I = 0; I < 60; ++I)
+    B.acrl("t1", "pad"); // HB edges only; no conflicts.
+  B.write("t2", "far", "f2");
+  Trace T = B.take();
+
+  CpResult Full = runCpFull(T);
+  EXPECT_EQ(Full.Report.numDistinctPairs(), 2u);
+
+  CpResult Windowed = runCpWindowed(T, 16);
+  EXPECT_EQ(Windowed.Report.numDistinctPairs(), 1u);
+  EXPECT_TRUE(Windowed.Report.hasPair(
+      RacePair(T.event(0).Loc, T.event(1).Loc)));
+  EXPECT_GT(Windowed.NumWindows, 4u);
+}
+
+TEST(ClosureOptionsTest, SameThreadRuleBIsStrictlyStronger) {
+  // The literal Definition 3 admits rule (b) on same-thread section
+  // pairs; the algorithmic variant (queues) cannot. The literal variant
+  // must only ever *add* orderings.
+  for (uint64_t Seed : {5u, 13u, 29u, 41u}) {
+    RandomTraceParams P;
+    P.Seed = Seed;
+    P.OpsPerThread = 30;
+    P.NumLocks = 2;
+    Trace T = randomTrace(P);
+    ClosureEngine Algorithmic(T);
+    ClosureOptions Literal;
+    Literal.SameThreadRuleB = true;
+    ClosureEngine Definition(T, Literal);
+    for (EventIdx BIdx = 0; BIdx != T.size(); ++BIdx) {
+      for (EventIdx A = 0; A != BIdx; ++A) {
+        if (Algorithmic.ordered(OrderKind::WCP, A, BIdx)) {
+          EXPECT_TRUE(Definition.ordered(OrderKind::WCP, A, BIdx))
+              << "seed " << Seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(ClosureEngineTest, HardOrderIsContainedInHb) {
+  RandomTraceParams P;
+  P.Seed = 7;
+  P.WithForkJoin = true;
+  Trace T = randomTrace(P);
+  ClosureEngine E(T);
+  for (EventIdx B = 0; B != T.size(); ++B) {
+    for (EventIdx A = 0; A != B; ++A) {
+      if (E.ordered(OrderKind::Hard, A, B)) {
+        EXPECT_TRUE(E.ordered(OrderKind::HB, A, B));
+      }
+    }
+  }
+}
+
+TEST(ClosureEngineTest, OrderNamesAreStable) {
+  EXPECT_STREQ(orderKindName(OrderKind::Hard), "Hard");
+  EXPECT_STREQ(orderKindName(OrderKind::HB), "HB");
+  EXPECT_STREQ(orderKindName(OrderKind::CP), "CP");
+  EXPECT_STREQ(orderKindName(OrderKind::WCP), "WCP");
+}
+
+TEST(ClosureEngineTest, RacesComeOutInTraceOrder) {
+  TraceBuilder B;
+  B.write("t1", "a", "w1");
+  B.write("t2", "a", "w2");
+  B.write("t1", "b", "w3");
+  B.write("t2", "b", "w4");
+  Trace T = B.take();
+  ClosureEngine E(T);
+  std::vector<RaceInstance> R = E.races(OrderKind::HB);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_LE(R[0].LaterIdx, R[1].LaterIdx);
+}

@@ -1,0 +1,180 @@
+//===- tests/gen_test.cpp - Simulator & workload suite ------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "gen/ProgramSim.h"
+#include "gen/RandomTraceGen.h"
+#include "gen/Workloads.h"
+#include "hb/HbDetector.h"
+#include "trace/TraceStats.h"
+#include "trace/TraceValidator.h"
+#include "wcp/WcpDetector.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+TEST(ProgramSimTest, RunsASimpleProgram) {
+  Program P;
+  ThreadScript(P, "T0").acq("l").write("x").rel("l");
+  ThreadScript(P, "T1").acq("l").read("x").rel("l");
+  SimResult R = simulate(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.size(), 6u);
+  EXPECT_TRUE(validateTrace(R.T, /*RequireClosedSections=*/true).ok());
+}
+
+TEST(ProgramSimTest, TicketsForceTraceOrderWithoutEvents) {
+  Program P;
+  ThreadScript(P, "T0").await("go").write("x", "after");
+  ThreadScript(P, "T1").write("x", "before").post("go");
+  SimResult R = simulate(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.T.size(), 2u) << "tickets must not emit events";
+  EXPECT_EQ(R.T.locName(R.T.event(0).Loc), "before");
+  EXPECT_EQ(R.T.locName(R.T.event(1).Loc), "after");
+}
+
+TEST(ProgramSimTest, ForkJoinSemantics) {
+  Program P;
+  ThreadScript(P, "T0").fork("T1").write("x").join("T1").write("y");
+  ThreadScript(P, "T1").write("x");
+  SimResult R = simulate(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(validateTrace(R.T).ok());
+  // Join must come after the child's last event.
+  EventIdx JoinIdx = 0, ChildLast = 0;
+  for (EventIdx I = 0; I != R.T.size(); ++I) {
+    if (R.T.event(I).Kind == EventKind::Join)
+      JoinIdx = I;
+    if (R.T.event(I).Thread == ThreadId(1))
+      ChildLast = I;
+  }
+  EXPECT_GT(JoinIdx, ChildLast);
+}
+
+TEST(ProgramSimTest, ReportsStuckPrograms) {
+  Program P;
+  ThreadScript(P, "T0").await("never");
+  SimResult R = simulate(P);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("stuck"), std::string::npos);
+}
+
+TEST(ProgramSimTest, ReportsUnknownForkTarget) {
+  Program P;
+  ThreadScript(P, "T0").fork("ghost");
+  EXPECT_FALSE(simulate(P).Ok);
+}
+
+TEST(ProgramSimTest, DeterministicPerSeed) {
+  RandomTraceParams Params;
+  Params.Seed = 17;
+  Trace A = randomTrace(Params);
+  Trace B = randomTrace(Params);
+  ASSERT_EQ(A.size(), B.size());
+  for (EventIdx I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A.eventStr(I), B.eventStr(I));
+}
+
+TEST(RandomTraceTest, AlwaysValid) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    RandomTraceParams Params;
+    Params.Seed = Seed;
+    Params.NumThreads = 2 + Seed % 5;
+    Params.WithForkJoin = Seed % 2;
+    Trace T = randomTrace(Params);
+    ValidationResult V =
+        validateTrace(T, /*RequireClosedSections=*/true);
+    EXPECT_TRUE(V.ok()) << "seed " << Seed << "\n" << V.str();
+  }
+}
+
+// ---- Workload suite ---------------------------------------------------------
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadSpec> {};
+
+TEST_P(WorkloadTest, ProducesAValidTrace) {
+  const WorkloadSpec &Spec = GetParam();
+  // Use a small scale so the whole suite stays fast.
+  double Scale = Spec.Events > 100000 ? 0.05 : 1.0;
+  Trace T = makeWorkload(Spec, Scale);
+  ValidationResult V = validateTrace(T, /*RequireClosedSections=*/true);
+  EXPECT_TRUE(V.ok()) << V.str();
+}
+
+TEST_P(WorkloadTest, PlantedRaceCountsAreExact) {
+  const WorkloadSpec &Spec = GetParam();
+  double Scale = Spec.Events > 100000 ? 0.05 : 1.0;
+  Trace T = makeWorkload(Spec, Scale);
+  RaceReport Hb = testutil::run<HbDetector>(T);
+  RaceReport Wcp = testutil::run<WcpDetector>(T);
+  EXPECT_EQ(Hb.numDistinctPairs(), Spec.expectedHbPairs())
+      << "HB pairs:\n" << Hb.str(T);
+  EXPECT_EQ(Wcp.numDistinctPairs(), Spec.expectedWcpPairs())
+      << "WCP pairs:\n" << Wcp.str(T);
+  // The paper's boldfaced rows: WCP strictly exceeds HB iff the model
+  // plants WCP-only gadgets.
+  if (Spec.WcpOnlyRaces > 0)
+    EXPECT_GT(Wcp.numDistinctPairs(), Hb.numDistinctPairs());
+  else
+    EXPECT_EQ(Wcp.numDistinctPairs(), Hb.numDistinctPairs());
+}
+
+TEST_P(WorkloadTest, ShapeRoughlyMatchesTable1) {
+  const WorkloadSpec &Spec = GetParam();
+  double Scale = Spec.Events > 100000 ? 0.05 : 1.0;
+  Trace T = makeWorkload(Spec, Scale);
+  TraceStats S = computeStats(T);
+  EXPECT_EQ(S.NumThreads, Spec.Threads);
+  // Lock count: within 2% of the Table 1 target (rounding in the split
+  // between global and per-thread pools).
+  EXPECT_NEAR(static_cast<double>(S.NumLocks),
+              static_cast<double>(Spec.Locks),
+              std::max(2.0, 0.02 * Spec.Locks));
+  // Event count lands in the right ballpark of the (scaled) target. Lock
+  // fidelity dominates at tiny scales: every lock must be exercised at
+  // least once (~4.5 events per lock), which floors the event count.
+  uint64_t Target = static_cast<uint64_t>(Spec.Events * Scale);
+  double Floor = 4.5 * Spec.Locks;
+  if (Target > 200) {
+    EXPECT_GE(static_cast<double>(S.NumEvents), 0.4 * Target);
+    EXPECT_LE(static_cast<double>(S.NumEvents),
+              std::max(2.0 * Target, 1.5 * Floor));
+  }
+}
+
+TEST_P(WorkloadTest, FarRacesAreFarApart) {
+  const WorkloadSpec &Spec = GetParam();
+  if (Spec.FarRaces == 0)
+    GTEST_SKIP();
+  double Scale = Spec.Events > 100000 ? 0.05 : 1.0;
+  Trace T = makeWorkload(Spec, Scale);
+  RaceReport Wcp = testutil::run<WcpDetector>(T);
+  // At least FarRaces distinct pairs span a third of the trace (§4.3's
+  // "distance of millions of events", scaled).
+  EXPECT_GE(Wcp.numPairsWithDistanceAtLeast(T.size() / 3), Spec.FarRaces)
+      << "max distance " << Wcp.maxPairDistance() << " of " << T.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, WorkloadTest,
+                         ::testing::ValuesIn(table1Workloads()),
+                         [](const ::testing::TestParamInfo<WorkloadSpec> &I) {
+                           return I.param.Name;
+                         });
+
+TEST(WorkloadLookupTest, FindsByName) {
+  EXPECT_EQ(workloadSpec("eclipse").Threads, 14u);
+  EXPECT_EQ(workloadSpec("xalan").Locks, 2494u);
+  EXPECT_EQ(table1Workloads().size(), 18u);
+}
+
+TEST(WorkloadScalingTest, ScaleControlsEventCount) {
+  WorkloadSpec Spec = workloadSpec("moldyn");
+  Trace Small = makeWorkload(Spec, 0.02);
+  Trace Large = makeWorkload(Spec, 0.08);
+  EXPECT_GT(Large.size(), 2 * Small.size());
+}

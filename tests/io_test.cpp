@@ -1,0 +1,126 @@
+//===- tests/io_test.cpp - Trace IO round trips --------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/PaperTraces.h"
+#include "gen/RandomTraceGen.h"
+#include "io/BinaryFormat.h"
+#include "io/TextFormat.h"
+#include "io/TraceFile.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+static void expectSameTrace(const Trace &A, const Trace &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (EventIdx I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A.eventStr(I), B.eventStr(I)) << "event " << I;
+  }
+}
+
+TEST(TextFormatTest, ParsesBasicLines) {
+  TextParseResult R = parseTextTrace("T0|acq(l)|3\n"
+                                     "T0|r(x)|4\n"
+                                     "T0|rel(l)|5\n"
+                                     "# comment\n"
+                                     "\n"
+                                     "T0|fork(T1)|6\n"
+                                     "T1|w(x)|7\n"
+                                     "T0|join(T1)|8\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.size(), 6u);
+  EXPECT_EQ(R.T.event(0).Kind, EventKind::Acquire);
+  EXPECT_EQ(R.T.event(3).Kind, EventKind::Fork);
+  EXPECT_EQ(R.T.threadName(R.T.event(3).targetThread()), "T1");
+  EXPECT_EQ(R.T.locName(R.T.event(1).Loc), "4");
+}
+
+TEST(TextFormatTest, LocIsOptional) {
+  TextParseResult R = parseTextTrace("T0|w(x)\nT1|r(x)\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(R.T.event(0).Loc, R.T.event(1).Loc);
+}
+
+TEST(TextFormatTest, ReportsLineNumbersOnErrors) {
+  TextParseResult R = parseTextTrace("T0|w(x)|1\nT0|frobnicate(x)|2\n");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsMalformedStructure) {
+  EXPECT_FALSE(parseTextTrace("just words\n").Ok);
+  EXPECT_FALSE(parseTextTrace("T0|w x|1\n").Ok);
+  EXPECT_FALSE(parseTextTrace("T0|w()|1\n").Ok);
+  EXPECT_FALSE(parseTextTrace("|w(x)|1\n").Ok);
+}
+
+TEST(TextFormatTest, RoundTripsPaperFigures) {
+  for (const PaperTrace &P : allPaperTraces()) {
+    std::string Text = writeTextTrace(P.T);
+    TextParseResult R = parseTextTrace(Text);
+    ASSERT_TRUE(R.Ok) << P.Name << ": " << R.Error;
+    expectSameTrace(P.T, R.T);
+  }
+}
+
+TEST(BinaryFormatTest, RoundTripsRandomTraces) {
+  for (uint64_t Seed : {1u, 5u, 9u}) {
+    RandomTraceParams Params;
+    Params.Seed = Seed;
+    Params.WithForkJoin = Seed % 2;
+    Trace T = randomTrace(Params);
+    std::string Bytes = writeBinaryTrace(T);
+    BinaryParseResult R = parseBinaryTrace(Bytes);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    expectSameTrace(T, R.T);
+  }
+}
+
+TEST(BinaryFormatTest, RejectsGarbage) {
+  EXPECT_FALSE(parseBinaryTrace("not a trace").Ok);
+  EXPECT_FALSE(parseBinaryTrace("").Ok);
+}
+
+TEST(BinaryFormatTest, RejectsTruncation) {
+  Trace T = paperFig2b().T;
+  std::string Bytes = writeBinaryTrace(T);
+  for (size_t Cut : {Bytes.size() - 1, Bytes.size() / 2, size_t(9)}) {
+    BinaryParseResult R = parseBinaryTrace(Bytes.substr(0, Cut));
+    EXPECT_FALSE(R.Ok) << "cut at " << Cut;
+  }
+}
+
+TEST(BinaryFormatTest, RejectsCorruptEventRecords) {
+  Trace T = paperFig2b().T;
+  std::string Bytes = writeBinaryTrace(T);
+  // Stomp the final event's thread id with garbage.
+  Bytes[Bytes.size() - 12] = static_cast<char>(0xff);
+  Bytes[Bytes.size() - 11] = static_cast<char>(0xff);
+  EXPECT_FALSE(parseBinaryTrace(Bytes).Ok);
+}
+
+TEST(TraceFileTest, DispatchesByExtension) {
+  Trace T = paperFig1b().T;
+  std::string TextPath = ::testing::TempDir() + "/io_test_trace.txt";
+  std::string BinPath = ::testing::TempDir() + "/io_test_trace.bin";
+  ASSERT_EQ(saveTraceFile(T, TextPath), "");
+  ASSERT_EQ(saveTraceFile(T, BinPath), "");
+
+  TraceLoadResult RT = loadTraceFile(TextPath);
+  ASSERT_TRUE(RT.Ok) << RT.Error;
+  expectSameTrace(T, RT.T);
+
+  TraceLoadResult RB = loadTraceFile(BinPath);
+  ASSERT_TRUE(RB.Ok) << RB.Error;
+  expectSameTrace(T, RB.T);
+}
+
+TEST(TraceFileTest, MissingFileReportsError) {
+  TraceLoadResult R = loadTraceFile("/nonexistent/path/trace.txt");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}

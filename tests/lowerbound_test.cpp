@@ -1,0 +1,112 @@
+//===- tests/lowerbound_test.cpp - Theorem 4/5 trace families -----------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "gen/LowerBoundTraces.h"
+#include "reference/ClosureEngine.h"
+#include "trace/TraceValidator.h"
+#include "wcp/WcpDetector.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+namespace {
+
+std::vector<bool> bits(std::initializer_list<int> Bs) {
+  std::vector<bool> Out;
+  for (int B : Bs)
+    Out.push_back(B != 0);
+  return Out;
+}
+
+/// True iff the z-probe pair is WCP-ordered in the equality trace.
+bool probesOrdered(const Trace &T) {
+  ClosureEngine Ref(T);
+  EventIdx Z1 = UINT64_MAX, Z2 = UINT64_MAX;
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    if (T.locName(T.event(I).Loc) == "z1")
+      Z1 = I;
+    if (T.locName(T.event(I).Loc) == "z2")
+      Z2 = I;
+  }
+  return Ref.ordered(OrderKind::WCP, Z1, Z2);
+}
+
+} // namespace
+
+TEST(EqualityTraceTest, OrderedIffSomePositionMatches) {
+  // Exhaustive over all 3-bit pairs: the probes are WCP-ordered iff
+  // ∃i: U[i] == V[i]; equivalently the z pair races iff V = ¬U.
+  for (int U = 0; U < 8; ++U) {
+    for (int V = 0; V < 8; ++V) {
+      std::vector<bool> UB = bits({U & 1, (U >> 1) & 1, (U >> 2) & 1});
+      std::vector<bool> VB = bits({V & 1, (V >> 1) & 1, (V >> 2) & 1});
+      Trace T = equalityTrace(UB, VB);
+      ASSERT_TRUE(validateTrace(T).ok());
+      // ∃i: U[i] == V[i] ⟺ U XOR V is not all-ones.
+      bool Match = ((U ^ V) & 7) != 7;
+      EXPECT_EQ(probesOrdered(T), Match) << "U=" << U << " V=" << V;
+      // Cross-check with the streaming detector's race verdict.
+      RaceReport R = testutil::run<WcpDetector>(T);
+      bool ZRace = R.hasPair(RacePair(T.event(0).Loc,
+                                      T.event(T.size() - 1).Loc));
+      EXPECT_EQ(ZRace, !Match);
+    }
+  }
+}
+
+TEST(EqualityTraceTest, ScalesToLongStrings) {
+  std::vector<bool> U(64), V(64);
+  for (size_t I = 0; I < 64; ++I) {
+    U[I] = I % 3 == 0;
+    V[I] = !U[I]; // Complement: every position differs -> race.
+  }
+  Trace T = equalityTrace(U, V);
+  RaceReport R = testutil::run<WcpDetector>(T);
+  EXPECT_TRUE(R.hasPair(RacePair(T.event(0).Loc, T.event(T.size() - 1).Loc)));
+  // Flip one position: now ordered, no race on z.
+  V[10] = U[10];
+  Trace T2 = equalityTrace(U, V);
+  RaceReport R2 = testutil::run<WcpDetector>(T2);
+  EXPECT_FALSE(
+      R2.hasPair(RacePair(T2.event(0).Loc, T2.event(T2.size() - 1).Loc)));
+}
+
+TEST(QueuePressureTest, QueuesGrowLinearlyWithoutConflicts) {
+  // §3.4: the queues can retain Θ(n) entries. Without conflicts no entry
+  // is ever popped; with conflicts the while-loop drains them.
+  for (uint32_t N : {16u, 64u, 256u}) {
+    Trace NoConf = queuePressureTrace(N, /*WithConflicts=*/false);
+    Trace Conf = queuePressureTrace(N, /*WithConflicts=*/true);
+    ASSERT_TRUE(validateTrace(NoConf).ok());
+    ASSERT_TRUE(validateTrace(Conf).ok());
+
+    WcpDetector DN(NoConf);
+    for (EventIdx I = 0; I != NoConf.size(); ++I)
+      DN.processEvent(NoConf.event(I), I);
+    WcpDetector DC(Conf);
+    for (EventIdx I = 0; I != Conf.size(); ++I)
+      DC.processEvent(Conf.event(I), I);
+
+    // Unpopped: both queues of both threads hold ~N entries each.
+    EXPECT_GE(DN.stats().MaxAbstractQueueEntries, 2u * N)
+        << "n=" << N;
+    // Popped: bounded by a small constant regardless of N.
+    EXPECT_LE(DC.stats().MaxAbstractQueueEntries, 16u) << "n=" << N;
+    EXPECT_LT(DC.stats().MaxAbstractQueueEntries,
+              DN.stats().MaxAbstractQueueEntries / 4);
+  }
+}
+
+TEST(QueuePressureTest, SharedBufferIsGarbageCollected) {
+  // The deduplicated shared buffer drains when every cursor passes.
+  Trace Conf = queuePressureTrace(128, /*WithConflicts=*/true);
+  WcpDetector D(Conf);
+  for (EventIdx I = 0; I != Conf.size(); ++I)
+    D.processEvent(Conf.event(I), I);
+  EXPECT_LE(D.stats().MaxSharedQueueEntries, 8u);
+}

@@ -1,0 +1,216 @@
+//===- tests/mcm_test.cpp - Maximal-causality search ---------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "gen/PaperTraces.h"
+#include "gen/RandomTraceGen.h"
+#include "mcm/McmSearch.h"
+#include "mcm/WindowedPredictor.h"
+#include "reference/ClosureEngine.h"
+#include "trace/TraceBuilder.h"
+#include "verify/Reordering.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+TEST(McmTest, FindsTheFig2bRaceWithWitness) {
+  PaperTrace P = paperFig2b();
+  McmOptions Opts;
+  Opts.TrackWitnesses = true;
+  McmResult R = exploreMcm(P.T, Opts);
+  ASSERT_FALSE(R.BudgetExhausted);
+  ASSERT_GE(R.Report.numDistinctPairs(), 1u);
+  ASSERT_FALSE(R.RaceWitness.empty());
+  ReorderingCheck C = checkRaceWitness(P.T, R.RaceWitness);
+  EXPECT_TRUE(C.Ok) << C.Error;
+}
+
+TEST(McmTest, Fig2aHasNoPredictableRace) {
+  McmResult R = exploreMcm(paperFig2a().T);
+  ASSERT_FALSE(R.BudgetExhausted);
+  EXPECT_EQ(R.Report.numDistinctPairs(), 0u);
+}
+
+TEST(McmTest, ReadMustSeeOriginalWriterInsideThePrefix) {
+  // t1: w(x); t2: r(x) then w(y); t1: w(y). The only race is on y, and
+  // any witness must schedule t1's w(x) before t2's r(x).
+  TraceBuilder B;
+  B.write("t1", "x", "wx");
+  B.read("t2", "x", "rx");
+  B.write("t2", "y", "wy2");
+  B.write("t1", "y", "wy1");
+  Trace T = B.take();
+  McmOptions Opts;
+  Opts.TrackWitnesses = true;
+  McmResult R = exploreMcm(T, Opts);
+  ASSERT_FALSE(R.BudgetExhausted);
+  EXPECT_TRUE(R.Report.hasPair(
+      RacePair(T.event(2).Loc, T.event(3).Loc)));
+  ASSERT_FALSE(R.RaceWitness.empty());
+  EXPECT_TRUE(checkRaceWitness(T, R.RaceWitness).Ok);
+}
+
+TEST(McmTest, LockSemanticsConstrainReorderings) {
+  // Figure 1a: both accesses protected by the same lock — no race.
+  McmResult R = exploreMcm(paperFig1a().T);
+  ASSERT_FALSE(R.BudgetExhausted);
+  EXPECT_EQ(R.Report.numDistinctPairs(), 0u);
+}
+
+TEST(McmTest, BudgetExhaustionIsReported) {
+  RandomTraceParams Params;
+  Params.Seed = 3;
+  Params.NumThreads = 5;
+  Params.OpsPerThread = 60;
+  Trace T = randomTrace(Params);
+  McmOptions Opts;
+  Opts.MaxStates = 10;
+  McmResult R = exploreMcm(T, Opts);
+  EXPECT_TRUE(R.BudgetExhausted);
+  EXPECT_LE(R.StatesExpanded, 10u);
+}
+
+TEST(McmTest, TargetPairStopsEarly) {
+  PaperTrace P = paperFig2b();
+  // Find the y-locations.
+  LocId L1, L2;
+  for (EventIdx I = 0; I != P.T.size(); ++I) {
+    const Event &E = P.T.event(I);
+    if (isAccess(E.Kind) && P.T.varName(E.var()) == "y") {
+      if (E.Kind == EventKind::Write)
+        L1 = E.Loc;
+      else
+        L2 = E.Loc;
+    }
+  }
+  McmOptions Opts;
+  Opts.TrackWitnesses = true;
+  Opts.TargetPair = RacePair(L1, L2);
+  McmResult R = exploreMcm(P.T, Opts);
+  EXPECT_TRUE(R.Report.hasPair(*Opts.TargetPair));
+  ASSERT_FALSE(R.RaceWitness.empty());
+  // The witness's final pair is the targeted one.
+  EXPECT_TRUE(checkRaceWitness(P.T, R.RaceWitness).Ok);
+  RacePair Got(P.T.event(R.RaceWitness[R.RaceWitness.size() - 2]).Loc,
+               P.T.event(R.RaceWitness.back()).Loc);
+  EXPECT_TRUE(Got == *Opts.TargetPair);
+}
+
+TEST(McmTest, ForkGatePreventsPrematureChildRaces) {
+  // Parent writes g *before* forking the child; the child's write cannot
+  // race with it (hard order), and MCM must not claim otherwise.
+  TraceBuilder B;
+  B.write("t1", "g", "parent");
+  B.fork("t1", "t2");
+  B.write("t2", "g", "child");
+  Trace T = B.take();
+  McmResult R = exploreMcm(T);
+  ASSERT_FALSE(R.BudgetExhausted);
+  EXPECT_EQ(R.Report.numDistinctPairs(), 0u);
+}
+
+TEST(McmTest, JoinOrdersChildBeforeParentContinuation) {
+  TraceBuilder B;
+  B.fork("t1", "t2");
+  B.write("t2", "g", "child");
+  B.join("t1", "t2");
+  B.write("t1", "g", "parent");
+  Trace T = B.take();
+  McmResult R = exploreMcm(T);
+  ASSERT_FALSE(R.BudgetExhausted);
+  EXPECT_EQ(R.Report.numDistinctPairs(), 0u);
+}
+
+// MCM races and partial-order races are *incomparable* at the pair
+// level: HB can order a genuinely predictable race (Figure 1b — the
+// sections swap), and HB can report a pair that read-value constraints
+// make unpredictable. What must hold end-to-end: every pair MCM reports
+// has a concrete witness that passes the correct-reordering checker.
+class McmVsOrdersTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(McmVsOrdersTest, EveryMcmPairHasAValidatedWitness) {
+  RandomTraceParams Params;
+  Params.Seed = GetParam();
+  Params.NumThreads = 2 + GetParam() % 2;
+  Params.OpsPerThread = 12;
+  Params.NumVars = 3;
+  Params.NumLocks = 2;
+  Trace T = randomTrace(Params);
+  McmResult R = exploreMcm(T);
+  if (R.BudgetExhausted)
+    GTEST_SKIP() << "state space too large for exhaustive check";
+  for (const RaceInstance &I : R.Report.instances()) {
+    McmOptions Opts;
+    Opts.TrackWitnesses = true;
+    Opts.TargetPair = I.pair();
+    McmResult W = exploreMcm(T, Opts);
+    ASSERT_FALSE(W.RaceWitness.empty()) << I.str(T);
+    ReorderingCheck C = checkRaceWitness(T, W.RaceWitness);
+    EXPECT_TRUE(C.Ok) << I.str(T) << ": " << C.Error;
+  }
+}
+
+TEST(McmVsOrdersTest, Fig1bShowsMcmExceedsHb) {
+  // The paper's motivating example: the y-race is HB-*ordered* yet
+  // predictable. MCM reports it; HB cannot.
+  PaperTrace P = paperFig1b();
+  ClosureEngine Ref(P.T);
+  McmResult R = exploreMcm(P.T);
+  ASSERT_FALSE(R.BudgetExhausted);
+  bool FoundHbOrderedRace = false;
+  for (const RaceInstance &I : R.Report.instances())
+    if (Ref.ordered(OrderKind::HB, I.EarlierIdx, I.LaterIdx))
+      FoundHbOrderedRace = true;
+  EXPECT_TRUE(FoundHbOrderedRace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, McmVsOrdersTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(WindowedPredictorTest, FullWindowEqualsUnwindowed) {
+  PaperTrace P = paperFig2b();
+  PredictorOptions Opts;
+  Opts.WindowSize = P.T.size();
+  PredictorResult R = runWindowedPredictor(P.T, Opts);
+  EXPECT_EQ(R.NumWindows, 1u);
+  EXPECT_GE(R.Report.numDistinctPairs(), 1u);
+}
+
+TEST(WindowedPredictorTest, SmallWindowsMissCrossWindowRaces) {
+  // Two conflicting accesses 20 events apart; a window of 8 can never see
+  // both, a window of 64 sees them.
+  TraceBuilder B;
+  B.write("t1", "g", "first");
+  for (int I = 0; I < 20; ++I)
+    B.write("t1", "pad" + std::to_string(I), "pad");
+  B.write("t2", "g", "second");
+  Trace T = B.take();
+
+  PredictorOptions Small;
+  Small.WindowSize = 8;
+  EXPECT_EQ(runWindowedPredictor(T, Small).Report.numDistinctPairs(), 0u);
+
+  PredictorOptions Big;
+  Big.WindowSize = 64;
+  EXPECT_EQ(runWindowedPredictor(T, Big).Report.numDistinctPairs(), 1u);
+}
+
+TEST(WindowedPredictorTest, BudgetExhaustionLosesRaces) {
+  // A wide state space plus a tiny budget: the predictor reports
+  // exhaustion (and typically misses races) — RVPredict's solver-timeout
+  // failure mode.
+  RandomTraceParams Params;
+  Params.Seed = 11;
+  Params.NumThreads = 6;
+  Params.OpsPerThread = 40;
+  Trace T = randomTrace(Params);
+  PredictorOptions Opts;
+  Opts.WindowSize = T.size();
+  Opts.BudgetPerWindow = 5;
+  PredictorResult R = runWindowedPredictor(T, Opts);
+  EXPECT_EQ(R.WindowsExhausted, R.NumWindows);
+}

@@ -1,0 +1,224 @@
+//===- tests/trace_test.cpp - Trace model, builder, validator ----------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/PaperTraces.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceStats.h"
+#include "trace/TraceValidator.h"
+#include "trace/Window.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+TEST(EventTest, ConflictRequiresCrossThreadAndAWrite) {
+  TraceBuilder B;
+  B.write("t1", "x").read("t2", "x").read("t1", "x").write("t1", "y");
+  Trace T = B.take();
+  const Event &W1 = T.event(0), &R2 = T.event(1), &R1 = T.event(2),
+              &WY = T.event(3);
+  EXPECT_TRUE(Event::conflicting(W1, R2));
+  EXPECT_FALSE(Event::conflicting(W1, R1)) << "same thread";
+  EXPECT_FALSE(Event::conflicting(R2, R1)) << "two reads";
+  EXPECT_FALSE(Event::conflicting(R2, WY)) << "different variables";
+}
+
+TEST(EventTest, KindNamesRoundTrip) {
+  EXPECT_STREQ(eventKindName(EventKind::Read), "r");
+  EXPECT_STREQ(eventKindName(EventKind::Write), "w");
+  EXPECT_STREQ(eventKindName(EventKind::Acquire), "acq");
+  EXPECT_STREQ(eventKindName(EventKind::Release), "rel");
+  EXPECT_STREQ(eventKindName(EventKind::Fork), "fork");
+  EXPECT_STREQ(eventKindName(EventKind::Join), "join");
+}
+
+TEST(TraceBuilderTest, InternsNamesDensely) {
+  TraceBuilder B;
+  B.acquire("t1", "l").read("t1", "x").release("t1", "l");
+  B.acquire("t2", "l").write("t2", "x").release("t2", "l");
+  Trace T = B.take();
+  EXPECT_EQ(T.numThreads(), 2u);
+  EXPECT_EQ(T.numLocks(), 1u);
+  EXPECT_EQ(T.numVars(), 1u);
+  EXPECT_EQ(T.size(), 6u);
+  EXPECT_EQ(T.threadName(ThreadId(0)), "t1");
+  EXPECT_EQ(T.lockName(LockId(0)), "l");
+}
+
+TEST(TraceBuilderTest, SyncShorthandExpandsToFourEvents) {
+  TraceBuilder B;
+  B.sync("t1", "m");
+  Trace T = B.take();
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T.event(0).Kind, EventKind::Acquire);
+  EXPECT_EQ(T.event(1).Kind, EventKind::Read);
+  EXPECT_EQ(T.event(2).Kind, EventKind::Write);
+  EXPECT_EQ(T.event(3).Kind, EventKind::Release);
+  EXPECT_EQ(T.varName(T.event(1).var()), "mVar");
+}
+
+TEST(TraceBuilderTest, DefaultLocationsAreUniquePerEvent) {
+  TraceBuilder B;
+  B.read("t1", "x").read("t1", "x");
+  Trace T = B.take();
+  EXPECT_NE(T.event(0).Loc, T.event(1).Loc);
+}
+
+TEST(TraceTest, ThreadProjectionPreservesOrder) {
+  TraceBuilder B;
+  B.read("t1", "x").read("t2", "x").write("t1", "y").write("t2", "y");
+  Trace T = B.take();
+  std::vector<EventIdx> P1 = T.threadProjection(ThreadId(0));
+  ASSERT_EQ(P1.size(), 2u);
+  EXPECT_EQ(P1[0], 0u);
+  EXPECT_EQ(P1[1], 2u);
+}
+
+TEST(ValidatorTest, AcceptsPaperFigures) {
+  for (const PaperTrace &P : allPaperTraces())
+    EXPECT_TRUE(validateTrace(P.T).ok()) << P.Name;
+}
+
+TEST(ValidatorTest, RejectsOverlappingCriticalSections) {
+  TraceBuilder B;
+  B.acquire("t1", "l").acquire("t2", "l");
+  Trace T = B.take();
+  ValidationResult V = validateTrace(T);
+  ASSERT_FALSE(V.ok());
+  EXPECT_NE(V.str().find("lock semantics"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsReleaseWithoutHold) {
+  TraceBuilder B;
+  B.release("t1", "l");
+  EXPECT_FALSE(validateTrace(B.take()).ok());
+}
+
+TEST(ValidatorTest, RejectsReleaseByNonHolder) {
+  TraceBuilder B;
+  B.acquire("t1", "l").release("t2", "l");
+  EXPECT_FALSE(validateTrace(B.take()).ok());
+}
+
+TEST(ValidatorTest, AllowsHandOverHandLocking) {
+  // The paper's Figure 6 idiom: acq(l0) acq(m) rel(l0) ... rel(m).
+  TraceBuilder B;
+  B.acquire("t1", "l0").acquire("t1", "m").release("t1", "l0").release("t1",
+                                                                       "m");
+  Trace T = B.take();
+  EXPECT_TRUE(validateTrace(T).ok());
+  EXPECT_FALSE(isWellNested(T));
+}
+
+TEST(ValidatorTest, WellNestedProbe) {
+  TraceBuilder B;
+  B.acquire("t1", "l0").acquire("t1", "m").release("t1", "m").release("t1",
+                                                                      "l0");
+  EXPECT_TRUE(isWellNested(B.take()));
+}
+
+TEST(ValidatorTest, RejectsDoubleFork) {
+  TraceBuilder B;
+  B.fork("t1", "t2").fork("t1", "t2");
+  EXPECT_FALSE(validateTrace(B.take()).ok());
+}
+
+TEST(ValidatorTest, RejectsEventAfterJoin) {
+  TraceBuilder B;
+  B.fork("t1", "t2").read("t2", "x").join("t1", "t2").read("t2", "x");
+  EXPECT_FALSE(validateTrace(B.take()).ok());
+}
+
+TEST(ValidatorTest, RejectsChildRunningBeforeFork) {
+  TraceBuilder B;
+  B.declareThread("t1");
+  B.read("t2", "x").fork("t1", "t2");
+  EXPECT_FALSE(validateTrace(B.take()).ok());
+}
+
+TEST(ValidatorTest, OpenSectionPolicy) {
+  TraceBuilder B;
+  B.acquire("t1", "l").read("t1", "x");
+  Trace T = B.take();
+  EXPECT_TRUE(validateTrace(T, /*RequireClosedSections=*/false).ok());
+  EXPECT_FALSE(validateTrace(T, /*RequireClosedSections=*/true).ok());
+}
+
+TEST(StatsTest, CountsEventMix) {
+  TraceBuilder B;
+  B.fork("t1", "t2");
+  B.acquire("t1", "l").read("t1", "x").write("t1", "x").release("t1", "l");
+  B.acquire("t2", "m").acquire("t2", "l").release("t2", "l").release("t2",
+                                                                     "m");
+  B.join("t1", "t2");
+  Trace T = B.take();
+  TraceStats S = computeStats(T);
+  EXPECT_EQ(S.NumEvents, 10u);
+  EXPECT_EQ(S.NumReads, 1u);
+  EXPECT_EQ(S.NumWrites, 1u);
+  EXPECT_EQ(S.NumAcquires, 3u);
+  EXPECT_EQ(S.NumReleases, 3u);
+  EXPECT_EQ(S.NumForks, 1u);
+  EXPECT_EQ(S.NumJoins, 1u);
+  EXPECT_EQ(S.NumCriticalSections, 3u);
+  EXPECT_EQ(S.MaxLockNesting, 2u);
+  EXPECT_FALSE(S.str().empty());
+}
+
+TEST(WindowTest, SplitsIntoBoundedFragments) {
+  TraceBuilder B;
+  for (int I = 0; I < 10; ++I)
+    B.write("t1", "x", "w");
+  Trace T = B.take();
+  std::vector<TraceWindow> W = splitIntoWindows(T, 4);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W[0].Fragment.size(), 4u);
+  EXPECT_EQ(W[2].Fragment.size(), 2u);
+  EXPECT_EQ(W[1].Original[0], 4u);
+}
+
+TEST(WindowTest, ReplaysHeldAcquiresAtWindowStart) {
+  TraceBuilder B;
+  B.acquire("t1", "l").read("t1", "x").release("t1", "l").read("t1", "y");
+  Trace T = B.take();
+  // Window size 2: the boundary cuts the critical section, so the second
+  // fragment re-establishes the held lock by replaying the acquire:
+  // [acq(l), rel(l), r(y)] — otherwise the section tail would look
+  // unprotected and windowed analyses would invent races.
+  std::vector<TraceWindow> W = splitIntoWindows(T, 2);
+  ASSERT_EQ(W.size(), 2u);
+  ASSERT_EQ(W[1].Fragment.size(), 3u);
+  EXPECT_EQ(W[1].Fragment.event(0).Kind, EventKind::Acquire);
+  EXPECT_EQ(W[1].Original[0], 0u) << "replayed acquire maps to original";
+  EXPECT_EQ(W[1].Fragment.event(1).Kind, EventKind::Release);
+  // Every fragment is itself a valid trace.
+  for (const TraceWindow &Win : W)
+    EXPECT_TRUE(validateTrace(Win.Fragment).ok());
+}
+
+TEST(WindowTest, WindowedCountersStayRaceFree) {
+  // Lock-protected accesses must stay race-free under any window size.
+  TraceBuilder B;
+  for (int I = 0; I < 12; ++I) {
+    const char *T = I % 2 ? "t1" : "t2";
+    B.acquire(T, "l").read(T, "c").write(T, "c").release(T, "l");
+  }
+  Trace T = B.take();
+  for (uint64_t WS : {3u, 5u, 7u}) {
+    for (TraceWindow &Win : splitIntoWindows(T, WS))
+      EXPECT_TRUE(validateTrace(Win.Fragment).ok()) << "ws=" << WS;
+  }
+}
+
+TEST(WindowTest, FragmentsShareParentIdTables) {
+  TraceBuilder B;
+  B.write("t1", "x", "locA").write("t2", "x", "locB");
+  Trace T = B.take();
+  std::vector<TraceWindow> W = splitIntoWindows(T, 1);
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_EQ(W[0].Fragment.numLocs(), T.numLocs());
+  EXPECT_EQ(W[1].Fragment.locName(W[1].Fragment.event(0).Loc), "locB");
+}

@@ -1,0 +1,108 @@
+//===- tests/vc_test.cpp - Vector clocks and epochs ---------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+#include "vc/Epoch.h"
+#include "vc/VectorClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+TEST(VectorClockTest, BottomIsLeastElement) {
+  VectorClock Bot(4), V(4);
+  V.set(ThreadId(2), 7);
+  EXPECT_TRUE(Bot.lessOrEqual(V));
+  EXPECT_FALSE(V.lessOrEqual(Bot));
+  EXPECT_TRUE(Bot.lessOrEqual(Bot));
+}
+
+TEST(VectorClockTest, JoinIsPointwiseMax) {
+  VectorClock A(3), B(3);
+  A.set(ThreadId(0), 5);
+  A.set(ThreadId(1), 2);
+  B.set(ThreadId(1), 9);
+  B.set(ThreadId(2), 1);
+  VectorClock J = join(A, B);
+  EXPECT_EQ(J.get(ThreadId(0)), 5u);
+  EXPECT_EQ(J.get(ThreadId(1)), 9u);
+  EXPECT_EQ(J.get(ThreadId(2)), 1u);
+}
+
+TEST(VectorClockTest, ComparisonIsPartialNotTotal) {
+  VectorClock A(2), B(2);
+  A.set(ThreadId(0), 1);
+  B.set(ThreadId(1), 1);
+  EXPECT_FALSE(A.lessOrEqual(B));
+  EXPECT_FALSE(B.lessOrEqual(A));
+}
+
+TEST(VectorClockTest, ComponentAssignment) {
+  VectorClock V(3);
+  V.set(ThreadId(1), 4);
+  EXPECT_EQ(V.get(ThreadId(1)), 4u);
+  V.set(ThreadId(1), 2); // Assignment, not join: may decrease.
+  EXPECT_EQ(V.get(ThreadId(1)), 2u);
+}
+
+TEST(VectorClockTest, ClearResetsToBottom) {
+  VectorClock V(3);
+  V.set(ThreadId(0), 9);
+  V.clear();
+  EXPECT_EQ(V, VectorClock(3));
+}
+
+TEST(VectorClockTest, StrRendering) {
+  VectorClock V(3);
+  V.set(ThreadId(1), 2);
+  EXPECT_EQ(V.str(), "[0, 2, 0]");
+}
+
+// Lattice laws, checked on random clocks.
+class VectorClockLatticeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorClockLatticeTest, JoinLaws) {
+  Prng Rng(GetParam());
+  uint32_t N = 1 + Rng.nextBelow(8);
+  auto random = [&] {
+    VectorClock V(N);
+    for (uint32_t I = 0; I < N; ++I)
+      V.set(ThreadId(I), static_cast<ClockValue>(Rng.nextBelow(100)));
+    return V;
+  };
+  VectorClock A = random(), B = random(), C = random();
+  // Commutativity / associativity / idempotence.
+  EXPECT_EQ(join(A, B), join(B, A));
+  EXPECT_EQ(join(join(A, B), C), join(A, join(B, C)));
+  EXPECT_EQ(join(A, A), A);
+  // Join is the least upper bound.
+  EXPECT_TRUE(A.lessOrEqual(join(A, B)));
+  EXPECT_TRUE(B.lessOrEqual(join(A, B)));
+  VectorClock U = join(A, B);
+  if (A.lessOrEqual(C) && B.lessOrEqual(C)) {
+    EXPECT_TRUE(U.lessOrEqual(C));
+  }
+  // Order is antisymmetric.
+  if (A.lessOrEqual(B) && B.lessOrEqual(A)) {
+    EXPECT_EQ(A, B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, VectorClockLatticeTest,
+                         ::testing::Range<uint64_t>(1, 30));
+
+TEST(EpochTest, NoneIsBottom) {
+  VectorClock V(3);
+  EXPECT_TRUE(Epoch::none().lessOrEqual(V));
+}
+
+TEST(EpochTest, ComparesAgainstOwnComponent) {
+  VectorClock V(3);
+  V.set(ThreadId(1), 5);
+  EXPECT_TRUE(Epoch(5, ThreadId(1)).lessOrEqual(V));
+  EXPECT_FALSE(Epoch(6, ThreadId(1)).lessOrEqual(V));
+  EXPECT_FALSE(Epoch(1, ThreadId(2)).lessOrEqual(V));
+}

@@ -1,0 +1,172 @@
+//===- tests/verify_test.cpp - Reordering checker & witnesses -----------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/PaperTraces.h"
+#include "trace/TraceBuilder.h"
+#include "verify/Deadlock.h"
+#include "verify/Reordering.h"
+#include "verify/WitnessSearch.h"
+
+#include <gtest/gtest.h>
+
+using namespace rapid;
+
+namespace {
+
+std::vector<EventIdx> identitySchedule(const Trace &T) {
+  std::vector<EventIdx> S(T.size());
+  for (EventIdx I = 0; I != T.size(); ++I)
+    S[I] = I;
+  return S;
+}
+
+} // namespace
+
+TEST(ReorderingTest, TheTraceItselfIsACorrectReordering) {
+  for (const PaperTrace &P : allPaperTraces()) {
+    ReorderingCheck C = checkCorrectReordering(P.T, identitySchedule(P.T));
+    EXPECT_TRUE(C.Ok) << P.Name << ": " << C.Error;
+  }
+}
+
+TEST(ReorderingTest, PrefixesAreCorrectReorderings) {
+  Trace T = paperFig4().T;
+  std::vector<EventIdx> S = identitySchedule(T);
+  for (size_t Len = 0; Len <= S.size(); ++Len) {
+    std::vector<EventIdx> Prefix(S.begin(), S.begin() + Len);
+    EXPECT_TRUE(checkCorrectReordering(T, Prefix).Ok) << "len " << Len;
+  }
+}
+
+TEST(ReorderingTest, RejectsThreadOrderViolation) {
+  TraceBuilder B;
+  B.read("t1", "x", "a").write("t1", "x", "b");
+  Trace T = B.take();
+  ReorderingCheck C = checkCorrectReordering(T, {1, 0});
+  ASSERT_FALSE(C.Ok);
+  EXPECT_NE(C.Error.find("thread-order"), std::string::npos);
+}
+
+TEST(ReorderingTest, RejectsDuplicateEvents) {
+  Trace T = paperFig1a().T;
+  EXPECT_FALSE(checkCorrectReordering(T, {0, 0}).Ok);
+}
+
+TEST(ReorderingTest, RejectsLockOverlap) {
+  TraceBuilder B;
+  B.acquire("t1", "l").release("t1", "l").acquire("t2", "l");
+  Trace T = B.take();
+  // Schedule t2's acquire before t1's release.
+  ReorderingCheck C = checkCorrectReordering(T, {0, 2});
+  ASSERT_FALSE(C.Ok);
+  EXPECT_NE(C.Error.find("lock semantics"), std::string::npos);
+}
+
+TEST(ReorderingTest, RejectsReadSeeingDifferentWriter) {
+  // σ: t1 w(x); t2 w(x); t1 r(x)  — r(x)'s writer is t2's write.
+  TraceBuilder B;
+  B.write("t1", "x", "w1");
+  B.write("t2", "x", "w2");
+  B.read("t1", "x", "r");
+  Trace T = B.take();
+  // Reordering w1, r: the read sees w1 instead of w2.
+  ReorderingCheck C = checkCorrectReordering(T, {0, 2});
+  ASSERT_FALSE(C.Ok);
+  EXPECT_NE(C.Error.find("different writer"), std::string::npos);
+  // The original order is fine.
+  EXPECT_TRUE(checkCorrectReordering(T, {0, 1, 2}).Ok);
+}
+
+TEST(ReorderingTest, Fig2bPaperWitnessValidates) {
+  // The paper: "the sequence e5, e6, e1 reveals the race" (line numbers
+  // 5, 6, 1 = events 4, 5, 0 — acq(l) by t2, r(y), w(y)).
+  Trace T = paperFig2b().T;
+  ReorderingCheck C = checkRaceWitness(T, {4, 5, 0});
+  EXPECT_TRUE(C.Ok) << C.Error;
+}
+
+TEST(ReorderingTest, RaceWitnessNeedsConflictingTail) {
+  Trace T = paperFig2b().T;
+  // acq, then two reads of x — not conflicting.
+  EXPECT_FALSE(checkRaceWitness(T, {0, 1}).Ok);
+}
+
+TEST(WitnessSearchTest, FindsWitnessForWcpRacePair) {
+  PaperTrace P = paperFig2b();
+  // The racy y pair: locations line1 (w) and line6 (r).
+  LocId A, BLoc;
+  for (EventIdx I = 0; I != P.T.size(); ++I) {
+    const Event &E = P.T.event(I);
+    if (!isAccess(E.Kind) || P.T.varName(E.var()) != "y")
+      continue;
+    if (E.Kind == EventKind::Write)
+      A = E.Loc;
+    else
+      BLoc = E.Loc;
+  }
+  WitnessResult R = findWitness(P.T, RacePair(A, BLoc));
+  EXPECT_EQ(R.Kind, WitnessKind::Race);
+  EXPECT_FALSE(R.Schedule.empty());
+}
+
+TEST(WitnessSearchTest, Fig5RaceClaimResolvesToDeadlock) {
+  // Fig 5: WCP flags the z pair, but no correct reordering exhibits that
+  // race; weak soundness is honored through the predictable deadlock.
+  PaperTrace P = paperFig5();
+  LocId A, BLoc;
+  for (EventIdx I = 0; I != P.T.size(); ++I) {
+    const Event &E = P.T.event(I);
+    if (!isAccess(E.Kind) || P.T.varName(E.var()) != "z")
+      continue;
+    if (E.Kind == EventKind::Read)
+      A = E.Loc;
+    else
+      BLoc = E.Loc;
+  }
+  WitnessResult R = findWitness(P.T, RacePair(A, BLoc));
+  ASSERT_TRUE(R.SearchExhaustive);
+  EXPECT_EQ(R.Kind, WitnessKind::Deadlock);
+  EXPECT_GE(R.DeadlockedThreads.size(), 2u);
+}
+
+TEST(DeadlockTest, FindsFig5Deadlock) {
+  DeadlockReport R = findPredictableDeadlock(paperFig5().T);
+  ASSERT_TRUE(R.Found);
+  ReorderingCheck C =
+      checkDeadlockWitness(paperFig5().T, R.Schedule, R.Threads);
+  EXPECT_TRUE(C.Ok) << C.Error;
+  EXPECT_FALSE(describeDeadlock(paperFig5().T, R).empty());
+}
+
+TEST(DeadlockTest, NoDeadlockWithSingleLock) {
+  DeadlockReport R = findPredictableDeadlock(paperFig1a().T);
+  EXPECT_FALSE(R.Found);
+  EXPECT_TRUE(R.SearchExhaustive);
+}
+
+TEST(DeadlockTest, ClassicTwoThreadAbBaPattern) {
+  TraceBuilder B;
+  B.acquire("t1", "a").acquire("t1", "b").release("t1", "b").release("t1",
+                                                                     "a");
+  B.acquire("t2", "b").acquire("t2", "a").release("t2", "a").release("t2",
+                                                                     "b");
+  Trace T = B.take();
+  DeadlockReport R = findPredictableDeadlock(T);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Threads.size(), 2u);
+  EXPECT_TRUE(checkDeadlockWitness(T, R.Schedule, R.Threads).Ok);
+}
+
+TEST(DeadlockTest, LockOrderDisciplineHasNoDeadlock) {
+  TraceBuilder B;
+  B.acquire("t1", "a").acquire("t1", "b").release("t1", "b").release("t1",
+                                                                     "a");
+  B.acquire("t2", "a").acquire("t2", "b").release("t2", "b").release("t2",
+                                                                     "a");
+  DeadlockReport R = findPredictableDeadlock(B.take());
+  EXPECT_FALSE(R.Found);
+  EXPECT_TRUE(R.SearchExhaustive);
+}
