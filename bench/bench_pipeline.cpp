@@ -1,0 +1,175 @@
+//===- bench/bench_pipeline.cpp - Sequential vs parallel pipeline -------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// Measures the pipeline's multi-detector fan-out: the wall-clock of running
+// WCP + HB + Eraser one after another (three sequential full-trace
+// analyses, the pre-pipeline workflow) against one parallel pipeline run
+// with the same three lanes sharing a single trace residency.
+//
+// Results are emitted as JSON to stdout and to BENCH_pipeline.json (or
+// --out PATH) so the perf trajectory is machine-readable across PRs. The
+// generated trace defaults to >= 1M events (--events N to change), the
+// pool to 4 workers (--threads N).
+//
+// Usage: bench_pipeline [--events N] [--threads N] [--workload NAME]
+//                       [--out PATH]
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DetectorRunner.h"
+#include "gen/Workloads.h"
+#include "hb/HbDetector.h"
+#include "lockset/EraserDetector.h"
+#include "pipeline/Pipeline.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "wcp/WcpDetector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rapid;
+
+namespace {
+
+struct LaneSpec {
+  const char *Name;
+  DetectorFactory Make;
+};
+
+std::string jsonNum(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t TargetEvents = 1050000;
+  unsigned Threads = 4;
+  std::string Workload = "montecarlo";
+  std::string OutPath = "BENCH_pipeline.json";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--events" && I + 1 < Argc)
+      TargetEvents = std::strtoull(Argv[++I], nullptr, 10);
+    else if (Arg == "--threads" && I + 1 < Argc)
+      Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (Arg == "--workload" && I + 1 < Argc)
+      Workload = Argv[++I];
+    else if (Arg == "--out" && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return 1;
+    }
+  }
+
+  WorkloadSpec Spec = workloadSpec(Workload);
+  double Scale = static_cast<double>(TargetEvents) /
+                 static_cast<double>(Spec.Events);
+  std::fprintf(stderr, "generating '%s' at scale %.2f (target %llu "
+               "events)...\n",
+               Workload.c_str(), Scale,
+               (unsigned long long)TargetEvents);
+  Trace T = makeWorkload(Spec, Scale);
+  // The generator treats the event count as approximate; rescale until the
+  // target is a true floor so "--events 1000000" really means >= 1M.
+  for (int Try = 0; Try < 4 && T.size() < TargetEvents; ++Try) {
+    Scale *= 1.05 * static_cast<double>(TargetEvents) /
+             static_cast<double>(T.size());
+    std::fprintf(stderr, "undershot (%llu events); rescaling to %.2f\n",
+                 (unsigned long long)T.size(), Scale);
+    T = makeWorkload(Spec, Scale);
+  }
+  std::fprintf(stderr, "trace: %llu events, %u threads, %u locks, %u vars\n",
+               (unsigned long long)T.size(), T.numThreads(), T.numLocks(),
+               T.numVars());
+
+  std::vector<LaneSpec> Lanes = {
+      {"WCP", [](const Trace &F) { return std::make_unique<WcpDetector>(F); }},
+      {"HB", [](const Trace &F) { return std::make_unique<HbDetector>(F); }},
+      {"Eraser",
+       [](const Trace &F) { return std::make_unique<EraserDetector>(F); }},
+  };
+
+  // Baseline: the pre-pipeline workflow — three separate sequential runs.
+  double SeqTotal = 0;
+  std::string SeqJson;
+  for (LaneSpec &L : Lanes) {
+    std::unique_ptr<Detector> D = L.Make(T);
+    RunResult R = runDetector(*D, T);
+    SeqTotal += R.Seconds;
+    std::fprintf(stderr, "sequential %-9s %6.2fs  %llu race pair(s)\n",
+                 L.Name, R.Seconds,
+                 (unsigned long long)R.Report.numDistinctPairs());
+    if (!SeqJson.empty())
+      SeqJson += ", ";
+    SeqJson += "{\"detector\": \"" + std::string(L.Name) +
+               "\", \"seconds\": " + jsonNum(R.Seconds) +
+               ", \"races\": " +
+               std::to_string(R.Report.numDistinctPairs()) + "}";
+  }
+
+  // Pipeline: same three detectors, one fan-out, Threads workers.
+  PipelineOptions Opts;
+  Opts.NumThreads = Threads;
+  AnalysisPipeline Pipeline(Opts);
+  for (LaneSpec &L : Lanes)
+    Pipeline.addDetector(L.Make, L.Name);
+  PipelineResult P = Pipeline.run(T);
+  std::string ParJson;
+  for (const LaneResult &L : P.Lanes) {
+    std::fprintf(stderr, "parallel   %-9s %6.2fs  %llu race pair(s)\n",
+                 L.DetectorName.c_str(), L.Seconds,
+                 (unsigned long long)L.Report.numDistinctPairs());
+    if (!ParJson.empty())
+      ParJson += ", ";
+    ParJson += "{\"detector\": \"" + L.DetectorName +
+               "\", \"seconds\": " + jsonNum(L.Seconds) +
+               ", \"races\": " +
+               std::to_string(L.Report.numDistinctPairs()) + "}";
+  }
+
+  double Speedup = P.Seconds > 0 ? SeqTotal / P.Seconds : 0;
+  std::fprintf(stderr,
+               "sequential total %.2fs, pipeline wall %.2fs -> %.2fx "
+               "speedup (%llu task(s) stolen)\n",
+               SeqTotal, P.Seconds, Speedup,
+               (unsigned long long)P.TasksStolen);
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"bench\": \"pipeline\",\n";
+  Json += "  \"workload\": \"" + Workload + "\",\n";
+  Json += "  \"events\": " + std::to_string(T.size()) + ",\n";
+  Json += "  \"threads\": " + std::to_string(Threads) + ",\n";
+  Json += "  \"hardware_threads\": " +
+          std::to_string(ThreadPool::defaultConcurrency()) + ",\n";
+  Json += "  \"sequential\": {\"total_seconds\": " + jsonNum(SeqTotal) +
+          ", \"runs\": [" + SeqJson + "]},\n";
+  Json += "  \"parallel\": {\"wall_seconds\": " + jsonNum(P.Seconds) +
+          ", \"lane_seconds_total\": " + jsonNum(P.laneSecondsTotal()) +
+          ", \"tasks_stolen\": " + std::to_string(P.TasksStolen) +
+          ", \"shards\": " + std::to_string(P.NumShards) + ", \"lanes\": [" +
+          ParJson + "]},\n";
+  Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
+  Json += "}\n";
+
+  std::fputs(Json.c_str(), stdout);
+  std::FILE *Out = std::fopen(OutPath.c_str(), "wb");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), Out);
+  std::fclose(Out);
+  std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  return 0;
+}

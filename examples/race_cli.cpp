@@ -8,7 +8,12 @@
 // demo workload so the binary is runnable out of the box.
 //
 // Usage: race_cli [trace-file] [--hb] [--wcp] [--fasttrack] [--eraser]
-//                 [--window N] [--stats]
+//                 [--window N] [--stats] [--pipeline] [--threads N]
+//
+// --pipeline runs all selected detectors through the sharded parallel
+// pipeline (streaming chunked ingestion, one trace residency, one lane
+// per detector, work-stealing across --threads workers). --window N
+// additionally shards each lane into N-event fragments.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +23,8 @@
 #include "hb/HbDetector.h"
 #include "io/TraceFile.h"
 #include "lockset/EraserDetector.h"
+#include "pipeline/ChunkedReader.h"
+#include "pipeline/Pipeline.h"
 #include "support/TablePrinter.h"
 #include "support/Timer.h"
 #include "trace/TraceStats.h"
@@ -40,7 +47,9 @@ struct Options {
   bool RunFastTrack = false;
   bool RunEraser = false;
   bool ShowStats = false;
-  uint64_t Window = 0; // 0 = unwindowed.
+  bool Pipeline = false;
+  unsigned Threads = 0; // 0 = hardware concurrency.
+  uint64_t Window = 0;  // 0 = unwindowed.
 };
 
 void runOne(const char *Name, Detector &D, const Trace &T,
@@ -69,6 +78,11 @@ int main(int Argc, char **Argv) {
       Opts.RunEraser = true;
     else if (Arg == "--stats")
       Opts.ShowStats = true;
+    else if (Arg == "--pipeline")
+      Opts.Pipeline = true;
+    else if (Arg == "--threads" && I + 1 < Argc)
+      Opts.Threads =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (Arg == "--window" && I + 1 < Argc)
       Opts.Window = std::strtoull(Argv[++I], nullptr, 10);
     else if (Arg.rfind("--", 0) == 0) {
@@ -81,16 +95,22 @@ int main(int Argc, char **Argv) {
     Opts.RunHb = Opts.RunWcp = true;
 
   Trace T;
+  double IngestSeconds = 0;
   if (Opts.Path.empty()) {
     std::printf("no trace file given; analyzing the built-in 'mergesort' "
                 "workload model\n\n");
     T = makeWorkload(workloadSpec("mergesort"));
   } else {
-    TraceLoadResult Load = loadTraceFile(Opts.Path);
+    // Pipeline mode ingests in streaming chunks so raw file bytes never
+    // fully materialize; the classic path keeps the one-shot loader.
+    Timer Ingest;
+    TraceLoadResult Load =
+        Opts.Pipeline ? loadTraceFileChunked(Opts.Path) : loadTraceFile(Opts.Path);
     if (!Load.Ok) {
       std::fprintf(stderr, "error: %s\n", Load.Error.c_str());
       return 1;
     }
+    IngestSeconds = Ingest.seconds();
     T = std::move(Load.T);
   }
 
@@ -104,6 +124,54 @@ int main(int Argc, char **Argv) {
     std::printf("%s\n", computeStats(T).str().c_str());
 
   TablePrinter Table({"analysis", "races", "instances", "maxdist", "time"});
+  if (Opts.Pipeline) {
+    PipelineOptions POpts;
+    POpts.NumThreads = Opts.Threads;
+    POpts.ShardEvents = Opts.Window;
+    AnalysisPipeline Pipeline(POpts);
+    if (Opts.RunHb)
+      Pipeline.addDetector(
+          [](const Trace &F) { return std::make_unique<HbDetector>(F); });
+    if (Opts.RunWcp)
+      Pipeline.addDetector(
+          [](const Trace &F) { return std::make_unique<WcpDetector>(F); });
+    if (Opts.RunFastTrack)
+      Pipeline.addDetector([](const Trace &F) {
+        return std::make_unique<FastTrackDetector>(F);
+      });
+    if (Opts.RunEraser)
+      Pipeline.addDetector(
+          [](const Trace &F) { return std::make_unique<EraserDetector>(F); });
+
+    PipelineResult R = Pipeline.run(T);
+    bool LaneFailed = false;
+    for (const LaneResult &L : R.Lanes) {
+      if (!L.Error.empty()) {
+        std::fprintf(stderr, "error: %s lane failed: %s\n",
+                     L.DetectorName.c_str(), L.Error.c_str());
+        LaneFailed = true;
+        continue;
+      }
+      Table.addRow({L.DetectorName, std::to_string(L.Report.numDistinctPairs()),
+                    std::to_string(L.Report.numInstances()),
+                    std::to_string(L.Report.maxPairDistance()),
+                    formatSeconds(L.Seconds)});
+      std::printf("%s findings:\n%s\n", L.DetectorName.c_str(),
+                  L.Report.str(T).c_str());
+    }
+    Table.print();
+    std::printf("\npipeline: %u thread(s), %llu shard(s), %llu task(s) "
+                "stolen\n",
+                R.ThreadsUsed, (unsigned long long)R.NumShards,
+                (unsigned long long)R.TasksStolen);
+    double LaneTotal = R.laneSecondsTotal();
+    std::printf("lane analysis %.3fs total in %.3fs wall", LaneTotal,
+                R.Seconds);
+    if (R.Seconds > 0 && LaneTotal > 0)
+      std::printf(" (%.2fx concurrency)", LaneTotal / R.Seconds);
+    std::printf("; ingest %.3fs\n", IngestSeconds);
+    return LaneFailed ? 1 : 0;
+  }
   if (Opts.Window == 0) {
     if (Opts.RunHb) {
       HbDetector D(T);

@@ -2,12 +2,19 @@
 //
 // Part of rapidpp (PLDI'17 WCP reproduction).
 //
+// runDetector is the timed full-trace walk every analysis mode shares: the
+// pipeline's lane tasks call it for unsharded runs, and the tests pin
+// pipeline output against it. runDetectorWindowed is now a thin adapter
+// over a single-lane sharded pipeline (run inline, on the caller's
+// thread), so there is exactly one implementation of shard/merge logic in
+// the repo.
+//
 //===----------------------------------------------------------------------===//
 
 #include "detect/DetectorRunner.h"
 
+#include "pipeline/Pipeline.h"
 #include "support/Timer.h"
-#include "trace/Window.h"
 
 using namespace rapid;
 
@@ -29,23 +36,18 @@ RunResult rapid::runDetector(Detector &D, const Trace &T) {
 RunResult rapid::runDetectorWindowed(const DetectorFactory &Make,
                                      const Trace &T, uint64_t WindowSize) {
   Timer Clock;
-  RunResult Merged;
-  for (TraceWindow &W : splitIntoWindows(T, WindowSize)) {
-    std::unique_ptr<Detector> D = Make(W.Fragment);
-    Merged.DetectorName = D->name() + "[w=" + std::to_string(WindowSize) + "]";
-    const std::vector<Event> &Events = W.Fragment.events();
-    for (EventIdx I = 0, E = Events.size(); I != E; ++I)
-      D->processEvent(Events[I], I);
-    D->finish();
-    // Translate window-relative indices back to the parent trace.
-    RaceReport Translated;
-    for (RaceInstance Inst : D->report().instances()) {
-      Inst.EarlierIdx = W.Original[Inst.EarlierIdx];
-      Inst.LaterIdx = W.Original[Inst.LaterIdx];
-      Translated.addRace(Inst);
-    }
-    Merged.Report.mergeFrom(Translated);
+  PipelineOptions Opts;
+  Opts.ShardEvents = WindowSize;
+  Opts.Parallel = false; // The windowed baseline stays single-threaded.
+  AnalysisPipeline Pipeline(Opts);
+  Pipeline.addDetector(Make);
+  PipelineResult R = Pipeline.run(T);
+
+  RunResult Result;
+  Result.Seconds = Clock.seconds();
+  if (!R.Lanes.empty()) {
+    Result.Report = std::move(R.Lanes.front().Report);
+    Result.DetectorName = std::move(R.Lanes.front().DetectorName);
   }
-  Merged.Seconds = Clock.seconds();
-  return Merged;
+  return Result;
 }

@@ -7,7 +7,9 @@
 /// \file
 /// Drives a streaming detector over a full trace (the unwindowed mode the
 /// paper insists on) or over fixed-size windows (the handicapped mode other
-/// sound tools are forced into, §1/§4), timing the analysis.
+/// sound tools are forced into, §1/§4), timing the analysis. The windowed
+/// mode is a thin adapter over pipeline/Pipeline, which owns the
+/// shard/merge logic; multi-detector and multi-threaded runs live there.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -6,6 +6,7 @@
 
 #include "io/BinaryFormat.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace rapid;
@@ -33,7 +34,7 @@ struct Writer {
 };
 
 struct Reader {
-  const std::string &In;
+  std::string_view In;
   size_t Pos = 0;
   bool Failed = false;
 
@@ -69,7 +70,7 @@ struct Reader {
     uint32_t N = u32();
     if (!have(N))
       return {};
-    std::string S = In.substr(Pos, N);
+    std::string S(In.substr(Pos, N));
     Pos += N;
     return S;
   }
@@ -100,40 +101,94 @@ std::string rapid::writeBinaryTrace(const Trace &T) {
   return std::move(W.Out);
 }
 
-BinaryParseResult rapid::parseBinaryTrace(const std::string &Bytes) {
-  BinaryParseResult Result;
-  if (Bytes.size() < 8 || std::memcmp(Bytes.data(), Magic, 4) != 0) {
-    Result.Error = "not a rapidpp binary trace (bad magic)";
-    return Result;
+BinaryHeaderStatus rapid::parseBinaryHeader(std::string_view Bytes, Trace &T,
+                                            uint64_t &EventCount,
+                                            size_t &HeaderSize,
+                                            std::string &Error) {
+  if (Bytes.size() < 4) {
+    // Can't even check the magic yet — but reject what's there already.
+    if (!Bytes.empty() &&
+        std::memcmp(Bytes.data(), Magic, Bytes.size()) != 0) {
+      Error = "not a rapidpp binary trace (bad magic)";
+      return BinaryHeaderStatus::Error;
+    }
+    return BinaryHeaderStatus::NeedMoreData;
+  }
+  if (std::memcmp(Bytes.data(), Magic, 4) != 0) {
+    Error = "not a rapidpp binary trace (bad magic)";
+    return BinaryHeaderStatus::Error;
   }
   Reader R{Bytes, 4};
   uint32_t V = R.u32();
+  if (R.Failed)
+    return BinaryHeaderStatus::NeedMoreData;
   if (V != Version) {
-    Result.Error = "unsupported binary trace version " + std::to_string(V);
+    Error = "unsupported binary trace version " + std::to_string(V);
+    return BinaryHeaderStatus::Error;
+  }
+  // Tables intern directly into T, so parse into a scratch trace first and
+  // only commit once the whole header (including the count) is present.
+  Trace Scratch;
+  R.table(Scratch.threadTable());
+  R.table(Scratch.lockTable());
+  R.table(Scratch.varTable());
+  R.table(Scratch.locTable());
+  uint64_t Count = R.u64();
+  if (R.Failed)
+    return BinaryHeaderStatus::NeedMoreData;
+  T.adoptTables(Scratch);
+  EventCount = Count;
+  HeaderSize = R.Pos;
+  return BinaryHeaderStatus::Ok;
+}
+
+bool rapid::decodeBinaryEvent(const char *Bytes, const Trace &T, Event &E,
+                              std::string &Error) {
+  uint8_t Kind = static_cast<uint8_t>(Bytes[0]);
+  uint32_t Thread, Target, Loc;
+  std::memcpy(&Thread, Bytes + 1, 4);
+  std::memcpy(&Target, Bytes + 5, 4);
+  std::memcpy(&Loc, Bytes + 9, 4);
+  if (Kind > static_cast<uint8_t>(EventKind::Join) ||
+      Thread >= T.numThreads() || Loc >= T.numLocs()) {
+    Error = "corrupt event record";
+    return false;
+  }
+  E = Event(static_cast<EventKind>(Kind), ThreadId(Thread), Target,
+            LocId(Loc));
+  return true;
+}
+
+BinaryParseResult rapid::parseBinaryTrace(const std::string &Bytes) {
+  BinaryParseResult Result;
+  uint64_t Count = 0;
+  size_t Pos = 0;
+  BinaryHeaderStatus S =
+      parseBinaryHeader(Bytes, Result.T, Count, Pos, Result.Error);
+  if (S == BinaryHeaderStatus::NeedMoreData) {
+    Result.Error = Bytes.size() < 8 && Result.Error.empty()
+                       ? "not a rapidpp binary trace (bad magic)"
+                       : "truncated binary trace";
     return Result;
   }
-  R.table(Result.T.threadTable());
-  R.table(Result.T.lockTable());
-  R.table(Result.T.varTable());
-  R.table(Result.T.locTable());
-  uint64_t Count = R.u64();
-  Result.T.reserve(Count);
-  for (uint64_t I = 0; I < Count && !R.Failed; ++I) {
-    uint8_t Kind = R.u8();
-    uint32_t Thread = R.u32();
-    uint32_t Target = R.u32();
-    uint32_t Loc = R.u32();
-    if (Kind > static_cast<uint8_t>(EventKind::Join) ||
-        Thread >= Result.T.numThreads() || Loc >= Result.T.numLocs()) {
-      Result.Error = "corrupt event record " + std::to_string(I);
+  if (S == BinaryHeaderStatus::Error)
+    return Result;
+  // The count is attacker-controlled until records are decoded; reserve no
+  // more than the bytes present can deliver so corrupt files fail with an
+  // error instead of an allocation throw.
+  Result.T.reserve(std::min<uint64_t>(
+      Count, (Bytes.size() - Pos) / BinaryEventRecordSize));
+  for (uint64_t I = 0; I < Count; ++I, Pos += BinaryEventRecordSize) {
+    if (Pos + BinaryEventRecordSize > Bytes.size()) {
+      Result.Error = "truncated binary trace";
       return Result;
     }
-    Result.T.append(Event(static_cast<EventKind>(Kind), ThreadId(Thread),
-                          Target, LocId(Loc)));
-  }
-  if (R.Failed) {
-    Result.Error = "truncated binary trace";
-    return Result;
+    Event E;
+    if (!decodeBinaryEvent(Bytes.data() + Pos, Result.T, E, Result.Error)) {
+      Result.Error += " " + std::to_string(I);
+      return Result;
+    }
+    Result.T.append(E);
   }
   Result.Ok = true;
   return Result;

@@ -38,6 +38,33 @@ BinaryParseResult parseBinaryTrace(const std::string &Bytes);
 /// Encodes \p T into the binary format.
 std::string writeBinaryTrace(const Trace &T);
 
+/// Size of one encoded event record (u8 kind + u32 thread/target/loc).
+inline constexpr size_t BinaryEventRecordSize = 13;
+
+/// Outcome of an incremental header decode.
+enum class BinaryHeaderStatus {
+  Ok,           ///< Header complete; tables and count are filled in.
+  NeedMoreData, ///< \p Bytes is a valid but incomplete prefix.
+  Error,        ///< Not a binary trace (bad magic / unsupported version).
+};
+
+/// Attempts to decode the container header (magic, version, the four name
+/// tables and the event count) from the front of \p Bytes. On Ok the tables
+/// are interned into \p T, \p EventCount receives the declared event count
+/// and \p HeaderSize the number of bytes consumed; event records follow at
+/// that offset. This is the incremental entry point the chunked reader in
+/// pipeline/ uses, so a caller may retry with a longer prefix after
+/// NeedMoreData.
+BinaryHeaderStatus parseBinaryHeader(std::string_view Bytes, Trace &T,
+                                     uint64_t &EventCount, size_t &HeaderSize,
+                                     std::string &Error);
+
+/// Decodes the BinaryEventRecordSize-byte record at \p Bytes into \p E,
+/// validating ids against \p T's tables. Returns false and sets \p Error on
+/// a corrupt record.
+bool decodeBinaryEvent(const char *Bytes, const Trace &T, Event &E,
+                       std::string &Error);
+
 } // namespace rapid
 
 #endif // RAPID_IO_BINARYFORMAT_H

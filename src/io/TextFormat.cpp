@@ -10,86 +10,82 @@
 
 using namespace rapid;
 
-namespace {
+bool rapid::trimTextTraceLine(std::string_view &Line) {
+  // Trim trailing carriage return and surrounding spaces.
+  while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+    Line.remove_suffix(1);
+  while (!Line.empty() && Line.front() == ' ')
+    Line.remove_prefix(1);
+  return !Line.empty() && Line.front() != '#';
+}
 
-/// Cursor over the input, tracking line numbers for diagnostics.
-struct LineReader {
-  std::string_view Text;
-  size_t Pos = 0;
-  uint64_t LineNo = 0;
-
-  bool next(std::string_view &Line) {
-    while (Pos < Text.size()) {
-      size_t End = Text.find('\n', Pos);
-      if (End == std::string_view::npos)
-        End = Text.size();
-      Line = Text.substr(Pos, End - Pos);
-      Pos = End + 1;
-      ++LineNo;
-      // Trim trailing carriage return and surrounding spaces.
-      while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
-        Line.remove_suffix(1);
-      while (!Line.empty() && Line.front() == ' ')
-        Line.remove_prefix(1);
-      if (Line.empty() || Line.front() == '#')
-        continue;
-      return true;
-    }
+bool rapid::parseTextTraceLine(std::string_view Line, TraceBuilder &Builder,
+                               std::string &Error) {
+  auto fail = [&](const std::string &Msg) {
+    Error = Msg;
     return false;
-  }
-};
+  };
 
-} // namespace
+  // Split into at most three '|'-separated fields.
+  size_t Bar1 = Line.find('|');
+  if (Bar1 == std::string_view::npos)
+    return fail("expected '<thread>|<op>(<target>)[|<loc>]'");
+  size_t Bar2 = Line.find('|', Bar1 + 1);
+  std::string_view Thread = Line.substr(0, Bar1);
+  std::string_view Op = Bar2 == std::string_view::npos
+                            ? Line.substr(Bar1 + 1)
+                            : Line.substr(Bar1 + 1, Bar2 - Bar1 - 1);
+  std::string_view Loc =
+      Bar2 == std::string_view::npos ? std::string_view() : Line.substr(Bar2 + 1);
+  if (Thread.empty())
+    return fail("empty thread name");
+
+  size_t Paren = Op.find('(');
+  if (Paren == std::string_view::npos || Op.back() != ')')
+    return fail("operation must look like op(target)");
+  std::string_view Name = Op.substr(0, Paren);
+  std::string_view Target = Op.substr(Paren + 1, Op.size() - Paren - 2);
+  if (Target.empty())
+    return fail("empty operation target");
+
+  if (Name == "r")
+    Builder.read(Thread, Target, Loc);
+  else if (Name == "w")
+    Builder.write(Thread, Target, Loc);
+  else if (Name == "acq")
+    Builder.acquire(Thread, Target, Loc);
+  else if (Name == "rel")
+    Builder.release(Thread, Target, Loc);
+  else if (Name == "fork")
+    Builder.fork(Thread, Target, Loc);
+  else if (Name == "join")
+    Builder.join(Thread, Target, Loc);
+  else
+    return fail("unknown operation '" + std::string(Name) + "'");
+  return true;
+}
 
 TextParseResult rapid::parseTextTrace(std::string_view Text) {
   TextParseResult Result;
   TraceBuilder Builder;
-  LineReader Reader{Text};
 
-  auto fail = [&](const std::string &Msg) {
-    Result.Ok = false;
-    Result.Error = "line " + std::to_string(Reader.LineNo) + ": " + Msg;
-    return Result;
-  };
-
-  std::string_view Line;
-  while (Reader.next(Line)) {
-    // Split into at most three '|'-separated fields.
-    size_t Bar1 = Line.find('|');
-    if (Bar1 == std::string_view::npos)
-      return fail("expected '<thread>|<op>(<target>)[|<loc>]'");
-    size_t Bar2 = Line.find('|', Bar1 + 1);
-    std::string_view Thread = Line.substr(0, Bar1);
-    std::string_view Op = Bar2 == std::string_view::npos
-                              ? Line.substr(Bar1 + 1)
-                              : Line.substr(Bar1 + 1, Bar2 - Bar1 - 1);
-    std::string_view Loc =
-        Bar2 == std::string_view::npos ? std::string_view() : Line.substr(Bar2 + 1);
-    if (Thread.empty())
-      return fail("empty thread name");
-
-    size_t Paren = Op.find('(');
-    if (Paren == std::string_view::npos || Op.back() != ')')
-      return fail("operation must look like op(target)");
-    std::string_view Name = Op.substr(0, Paren);
-    std::string_view Target = Op.substr(Paren + 1, Op.size() - Paren - 2);
-    if (Target.empty())
-      return fail("empty operation target");
-
-    if (Name == "r")
-      Builder.read(Thread, Target, Loc);
-    else if (Name == "w")
-      Builder.write(Thread, Target, Loc);
-    else if (Name == "acq")
-      Builder.acquire(Thread, Target, Loc);
-    else if (Name == "rel")
-      Builder.release(Thread, Target, Loc);
-    else if (Name == "fork")
-      Builder.fork(Thread, Target, Loc);
-    else if (Name == "join")
-      Builder.join(Thread, Target, Loc);
-    else
-      return fail("unknown operation '" + std::string(Name) + "'");
+  size_t Pos = 0;
+  uint64_t LineNo = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (!trimTextTraceLine(Line))
+      continue;
+    std::string Error;
+    if (!parseTextTraceLine(Line, Builder, Error)) {
+      Result.Ok = false;
+      Result.Error = "line " + std::to_string(LineNo) + ": " + Error;
+      return Result;
+    }
   }
 
   Result.Ok = true;

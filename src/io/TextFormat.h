@@ -27,6 +27,8 @@
 
 namespace rapid {
 
+class TraceBuilder;
+
 /// Result of parsing a textual trace.
 struct TextParseResult {
   bool Ok = false;
@@ -36,6 +38,17 @@ struct TextParseResult {
 
 /// Parses \p Text into a trace.
 TextParseResult parseTextTrace(std::string_view Text);
+
+/// Parses a single already-trimmed, non-empty, non-comment line into
+/// \p Builder. Returns false and sets \p Error (no line-number prefix; the
+/// caller tracks position) on malformed input. This is the incremental
+/// unit the chunked reader in pipeline/ feeds line by line.
+bool parseTextTraceLine(std::string_view Line, TraceBuilder &Builder,
+                        std::string &Error);
+
+/// Trims spaces and a trailing '\r' from \p Line in place. Returns false
+/// for lines the parser skips (blank or '#' comment).
+bool trimTextTraceLine(std::string_view &Line);
 
 /// Renders \p T in the text format (one event per line).
 std::string writeTextTrace(const Trace &T);

@@ -9,20 +9,29 @@
 #include "io/BinaryFormat.h"
 #include "io/TextFormat.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 using namespace rapid;
 
-static bool hasSuffix(const std::string &S, const char *Suffix) {
+bool rapid::hasTraceSuffix(const std::string &S, const char *Suffix) {
   size_t N = std::char_traits<char>::length(Suffix);
-  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+  if (S.size() < N)
+    return false;
+  for (size_t I = 0; I != N; ++I)
+    if (std::tolower(static_cast<unsigned char>(S[S.size() - N + I])) !=
+        std::tolower(static_cast<unsigned char>(Suffix[I])))
+      return false;
+  return true;
 }
 
 static bool readFile(const std::string &Path, std::string &Out,
                      std::string &Error) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
-    Error = "cannot open '" + Path + "' for reading";
+    Error = "cannot open '" + Path + "' for reading: " + std::strerror(errno);
     return false;
   }
   char Buf[1 << 16];
@@ -44,7 +53,7 @@ TraceLoadResult rapid::loadTraceFile(const std::string &Path) {
   if (!readFile(Path, Bytes, Result.Error))
     return Result;
 
-  if (hasSuffix(Path, ".bin")) {
+  if (hasTraceSuffix(Path, ".bin")) {
     BinaryParseResult B = parseBinaryTrace(Bytes);
     Result.Ok = B.Ok;
     Result.Error = B.Error;
@@ -60,10 +69,11 @@ TraceLoadResult rapid::loadTraceFile(const std::string &Path) {
 
 std::string rapid::saveTraceFile(const Trace &T, const std::string &Path) {
   std::string Bytes =
-      hasSuffix(Path, ".bin") ? writeBinaryTrace(T) : writeTextTrace(T);
+      hasTraceSuffix(Path, ".bin") ? writeBinaryTrace(T) : writeTextTrace(T);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
-    return "cannot open '" + Path + "' for writing";
+    return "cannot open '" + Path + "' for writing: " +
+           std::string(std::strerror(errno));
   size_t Wrote = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
   bool Bad = Wrote != Bytes.size();
   if (std::fclose(F) != 0)

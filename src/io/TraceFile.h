@@ -6,8 +6,9 @@
 ///
 /// \file
 /// File-level entry points: dispatches to the text or binary codec by
-/// extension (".bin" → binary, anything else → text) and reports IO and
-/// parse errors without throwing.
+/// extension (".bin" in any letter case → binary, anything else → text)
+/// and reports IO and parse errors — including the OS errno text for
+/// open failures — without throwing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +34,11 @@ TraceLoadResult loadTraceFile(const std::string &Path);
 /// Saves \p T at \p Path; returns an empty string on success, otherwise
 /// the error message.
 std::string saveTraceFile(const Trace &T, const std::string &Path);
+
+/// True iff \p S ends with \p Suffix, compared case-insensitively (so
+/// ".bin", ".BIN" and ".Bin" all select the binary codec). Shared with the
+/// chunked reader in pipeline/.
+bool hasTraceSuffix(const std::string &S, const char *Suffix);
 
 } // namespace rapid
 

@@ -1,0 +1,210 @@
+//===- pipeline/Pipeline.cpp --------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "pipeline/ChunkedReader.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "trace/Window.h"
+
+using namespace rapid;
+
+double PipelineResult::laneSecondsTotal() const {
+  double Total = 0;
+  for (const LaneResult &L : Lanes)
+    Total += L.Seconds;
+  return Total;
+}
+
+AnalysisPipeline::AnalysisPipeline(PipelineOptions Opts) : Opts(Opts) {}
+
+AnalysisPipeline &AnalysisPipeline::addDetector(DetectorFactory Make,
+                                                std::string Name) {
+  Lanes.push_back(Lane{std::move(Name), std::move(Make)});
+  return *this;
+}
+
+namespace {
+
+/// Walks \p D over the fragment of \p W, translating race indices back to
+/// the parent trace — the per-shard unit of work. Identical to the merge
+/// step runDetectorWindowed has always performed, so sharded pipeline runs
+/// reproduce windowed-runner output exactly.
+/// Runs \p Body, capturing any exception text into \p Error — the per-task
+/// failure slot the ThreadPool contract expects lane tasks to fill.
+template <typename Fn> void guardTask(std::string &Error, Fn &&Body) {
+  try {
+    Body();
+  } catch (const std::exception &E) {
+    Error = E.what();
+  } catch (...) {
+    Error = "unknown exception";
+  }
+}
+
+RaceReport analyzeShard(Detector &D, const TraceWindow &W) {
+  const std::vector<Event> &Events = W.Fragment.events();
+  for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+    D.processEvent(Events[I], I);
+  D.finish();
+  RaceReport Translated;
+  for (RaceInstance Inst : D.report().instances()) {
+    Inst.EarlierIdx = W.Original[Inst.EarlierIdx];
+    Inst.LaterIdx = W.Original[Inst.LaterIdx];
+    Translated.addRace(Inst);
+  }
+  return Translated;
+}
+
+} // namespace
+
+PipelineResult AnalysisPipeline::run(const Trace &T) const {
+  return Opts.Parallel ? runParallel(T) : runFused(T);
+}
+
+PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
+  Timer Wall;
+  PipelineResult Result;
+  Result.Lanes.resize(Lanes.size());
+
+  unsigned NumThreads =
+      Opts.NumThreads == 0 ? ThreadPool::defaultConcurrency() : Opts.NumThreads;
+
+  if (Opts.ShardEvents == 0) {
+    // One task per lane: a full-trace walk, bit-identical to runDetector.
+    {
+      ThreadPool Pool(NumThreads);
+      for (size_t L = 0; L != Lanes.size(); ++L) {
+        Pool.submit([this, L, &T, &Result] {
+          LaneResult &Out = Result.Lanes[L];
+          Out.DetectorName = Lanes[L].Name;
+          guardTask(Out.Error, [&] {
+            std::unique_ptr<Detector> D = Lanes[L].Make(T);
+            RunResult R = runDetector(*D, T);
+            if (Out.DetectorName.empty())
+              Out.DetectorName = R.DetectorName;
+            Out.Report = std::move(R.Report);
+            Out.Seconds = R.Seconds;
+          });
+        });
+      }
+      Pool.wait();
+      Result.TasksStolen = Pool.tasksStolen();
+    }
+    Result.NumShards = 1;
+  } else {
+    // Lane × shard task grid. Shards are computed once and shared by all
+    // lanes — the single fan-out walk of the trace.
+    std::vector<TraceWindow> Shards = splitIntoWindows(T, Opts.ShardEvents);
+    Result.NumShards = Shards.size();
+    std::vector<std::vector<RaceReport>> Reports(
+        Lanes.size(), std::vector<RaceReport>(Shards.size()));
+    std::vector<std::vector<double>> Times(
+        Lanes.size(), std::vector<double>(Shards.size(), 0));
+    std::vector<std::string> Names(Lanes.size());
+    std::vector<std::vector<std::string>> Errors(
+        Lanes.size(), std::vector<std::string>(Shards.size()));
+    {
+      ThreadPool Pool(NumThreads);
+      for (size_t L = 0; L != Lanes.size(); ++L) {
+        for (size_t S = 0; S != Shards.size(); ++S) {
+          Pool.submit([this, L, S, &Shards, &Reports, &Times, &Names,
+                       &Errors] {
+            guardTask(Errors[L][S], [&] {
+              Timer Clock;
+              std::unique_ptr<Detector> D = Lanes[L].Make(Shards[S].Fragment);
+              if (S == 0)
+                Names[L] = D->name();
+              Reports[L][S] = analyzeShard(*D, Shards[S]);
+              Times[L][S] = Clock.seconds();
+            });
+          });
+        }
+      }
+      Pool.wait();
+      Result.TasksStolen = Pool.tasksStolen();
+    }
+    // Deterministic merge: shard order, exactly like runDetectorWindowed.
+    for (size_t L = 0; L != Lanes.size(); ++L) {
+      LaneResult &Out = Result.Lanes[L];
+      std::string Base = Lanes[L].Name.empty() ? Names[L] : Lanes[L].Name;
+      Out.DetectorName = Base + "[w=" + std::to_string(Opts.ShardEvents) + "]";
+      for (size_t S = 0; S != Shards.size(); ++S) {
+        if (!Errors[L][S].empty() && Out.Error.empty())
+          Out.Error = "shard " + std::to_string(S) + ": " + Errors[L][S];
+        Out.Report.mergeFrom(Reports[L][S]);
+        Out.Seconds += Times[L][S];
+      }
+    }
+  }
+
+  Result.ThreadsUsed = NumThreads;
+  Result.Seconds = Wall.seconds();
+  return Result;
+}
+
+PipelineResult AnalysisPipeline::runFused(const Trace &T) const {
+  // Sequential fan-out: a single walk of the event vector feeds every
+  // lane's detector, so N analyses share one pass over the trace.
+  Timer Wall;
+  PipelineResult Result;
+  Result.Lanes.resize(Lanes.size());
+
+  if (Opts.ShardEvents == 0) {
+    std::vector<std::unique_ptr<Detector>> Detectors;
+    Detectors.reserve(Lanes.size());
+    for (const Lane &L : Lanes)
+      Detectors.push_back(L.Make(T));
+    const std::vector<Event> &Events = T.events();
+    for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+      for (std::unique_ptr<Detector> &D : Detectors)
+        D->processEvent(Events[I], I);
+    for (size_t L = 0; L != Lanes.size(); ++L) {
+      Detectors[L]->finish();
+      LaneResult &Out = Result.Lanes[L];
+      Out.DetectorName =
+          Lanes[L].Name.empty() ? Detectors[L]->name() : Lanes[L].Name;
+      Out.Report = Detectors[L]->report();
+    }
+    Result.NumShards = 1;
+  } else {
+    std::vector<TraceWindow> Shards = splitIntoWindows(T, Opts.ShardEvents);
+    Result.NumShards = Shards.size();
+    for (size_t L = 0; L != Lanes.size(); ++L) {
+      LaneResult &Out = Result.Lanes[L];
+      for (const TraceWindow &W : Shards) {
+        std::unique_ptr<Detector> D = Lanes[L].Make(W.Fragment);
+        if (Out.DetectorName.empty())
+          Out.DetectorName =
+              (Lanes[L].Name.empty() ? D->name() : Lanes[L].Name) +
+              "[w=" + std::to_string(Opts.ShardEvents) + "]";
+        Out.Report.mergeFrom(analyzeShard(*D, W));
+      }
+    }
+  }
+
+  Result.ThreadsUsed = 1;
+  Result.Seconds = Wall.seconds();
+  return Result;
+}
+
+PipelineResult AnalysisPipeline::runFile(const std::string &Path,
+                                         std::string &Error,
+                                         Trace *Loaded) const {
+  Timer Ingest;
+  TraceLoadResult Load = loadTraceFileChunked(Path);
+  if (!Load.Ok) {
+    Error = Load.Error;
+    return PipelineResult();
+  }
+  double IngestSeconds = Ingest.seconds();
+  PipelineResult Result = run(Load.T);
+  Result.IngestSeconds = IngestSeconds;
+  if (Loaded)
+    *Loaded = std::move(Load.T);
+  return Result;
+}

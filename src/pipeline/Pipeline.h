@@ -1,0 +1,118 @@
+//===- pipeline/Pipeline.h - Sharded multi-detector analysis ----*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel analysis service: one trace, many detectors, many threads.
+/// A pipeline owns a set of detector *lanes* (WCP, HB, FastTrack, Eraser —
+/// any DetectorFactory). A run fans the trace out to every lane at once,
+/// so N analyses cost one trace residency instead of N separate runs, and
+/// shards the resulting work across a work-stealing ThreadPool:
+///
+///   * unsharded (ShardEvents == 0): each lane is one task walking the
+///     whole trace — results are *identical* to sequential runDetector,
+///     which is the pipeline's correctness contract (pipeline_test pins
+///     it bit-for-bit);
+///   * sharded (ShardEvents > 0): each lane × window fragment (via
+///     trace/Window) is a task; per-lane reports merge deterministically
+///     in shard order with indices translated back to the parent trace,
+///     matching runDetectorWindowed exactly.
+///
+/// Ingestion can stream through pipeline/ChunkedReader (runFile), keeping
+/// raw-byte memory bounded. Overlapping ingestion with analysis is the
+/// next seam (see ROADMAP open items); the pull-based reader and the
+/// lane/task split here are shaped for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_PIPELINE_PIPELINE_H
+#define RAPID_PIPELINE_PIPELINE_H
+
+#include "detect/DetectorRunner.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// Tuning for one pipeline instance.
+struct PipelineOptions {
+  /// Worker threads; 0 = ThreadPool::defaultConcurrency().
+  unsigned NumThreads = 0;
+  /// Events per shard; 0 = unsharded (each lane walks the whole trace,
+  /// results bit-identical to sequential runDetector). Sharded runs have
+  /// windowed-analysis semantics (see trace/Window).
+  uint64_t ShardEvents = 0;
+  /// When false, lanes run fused on the caller's thread: a single walk of
+  /// the trace feeds every detector per event (N analyses, one walk).
+  bool Parallel = true;
+};
+
+/// Per-lane outcome of a pipeline run, in lane registration order.
+struct LaneResult {
+  std::string DetectorName; ///< "WCP", or "WCP[w=1000]" when sharded.
+  RaceReport Report;
+  /// Aggregate analysis time of this lane's tasks (≈ CPU time; lanes run
+  /// concurrently, so these sum to more than the run's wall clock). In
+  /// fused mode the walk is shared and this is left at zero.
+  double Seconds = 0;
+  /// Set when a lane task threw (e.g. bad_alloc on a huge trace): the
+  /// exception text, with the Report left partial/empty. Other lanes are
+  /// unaffected — one detector blowing up must not sink the run.
+  std::string Error;
+};
+
+/// Outcome of one pipeline run.
+struct PipelineResult {
+  std::vector<LaneResult> Lanes;
+  double Seconds = 0;       ///< Wall clock for the whole run.
+  double IngestSeconds = 0; ///< runFile only: chunked ingestion time.
+  uint64_t NumShards = 1;
+  uint64_t TasksStolen = 0; ///< Work-stealing telemetry.
+  unsigned ThreadsUsed = 1;
+
+  /// Sum of per-lane analysis seconds (the sequential-equivalent cost).
+  double laneSecondsTotal() const;
+};
+
+/// A multi-detector, multi-threaded analysis pipeline.
+class AnalysisPipeline {
+public:
+  explicit AnalysisPipeline(PipelineOptions Opts = {});
+
+  /// Registers a detector lane. \p Name is used in results; when empty it
+  /// is resolved from the first detector instance the factory produces.
+  AnalysisPipeline &addDetector(DetectorFactory Make, std::string Name = "");
+
+  unsigned numLanes() const { return static_cast<unsigned>(Lanes.size()); }
+  const PipelineOptions &options() const { return Opts; }
+
+  /// Analyzes \p T across all lanes. Lane results are deterministic: equal
+  /// to sequential runDetector (unsharded) / runDetectorWindowed (sharded)
+  /// regardless of thread count or scheduling.
+  PipelineResult run(const Trace &T) const;
+
+  /// Streams the trace at \p Path through the chunked reader, then
+  /// analyzes it. On load failure returns an empty result with \p Error
+  /// set. \p Loaded (optional) receives the ingested trace for reporting.
+  PipelineResult runFile(const std::string &Path, std::string &Error,
+                         Trace *Loaded = nullptr) const;
+
+private:
+  PipelineResult runParallel(const Trace &T) const;
+  PipelineResult runFused(const Trace &T) const;
+
+  struct Lane {
+    std::string Name;
+    DetectorFactory Make;
+  };
+
+  PipelineOptions Opts;
+  std::vector<Lane> Lanes;
+};
+
+} // namespace rapid
+
+#endif // RAPID_PIPELINE_PIPELINE_H

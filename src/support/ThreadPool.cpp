@@ -1,0 +1,148 @@
+//===- support/ThreadPool.cpp -------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace rapid;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultConcurrency();
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Guard(StateLock);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Target;
+  {
+    std::lock_guard<std::mutex> Guard(StateLock);
+    Target = NextQueue;
+    NextQueue = (NextQueue + 1) % static_cast<unsigned>(Queues.size());
+    ++Pending;
+    ++Queued;
+  }
+  {
+    std::lock_guard<std::mutex> Guard(Queues[Target]->Lock);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Guard(StateLock);
+  AllIdle.wait(Guard, [this] { return Pending == 0; });
+}
+
+uint64_t ThreadPool::tasksExecuted() const {
+  std::lock_guard<std::mutex> Guard(StateLock);
+  return Executed;
+}
+
+uint64_t ThreadPool::tasksStolen() const {
+  std::lock_guard<std::mutex> Guard(StateLock);
+  return Stolen;
+}
+
+uint64_t ThreadPool::tasksFailed() const {
+  std::lock_guard<std::mutex> Guard(StateLock);
+  return Failed;
+}
+
+bool ThreadPool::popOwn(unsigned Self, std::function<void()> &Task) {
+  WorkerQueue &Q = *Queues[Self];
+  std::lock_guard<std::mutex> Guard(Q.Lock);
+  if (Q.Tasks.empty())
+    return false;
+  Task = std::move(Q.Tasks.front());
+  Q.Tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::stealOther(unsigned Self, std::function<void()> &Task) {
+  unsigned N = static_cast<unsigned>(Queues.size());
+  for (unsigned Off = 1; Off < N; ++Off) {
+    WorkerQueue &Q = *Queues[(Self + Off) % N];
+    std::lock_guard<std::mutex> Guard(Q.Lock);
+    if (Q.Tasks.empty())
+      continue;
+    // Steal from the back: the most recently submitted work, which is the
+    // least likely to be cache-warm on the victim.
+    Task = std::move(Q.Tasks.back());
+    Q.Tasks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  for (;;) {
+    std::function<void()> Task;
+    bool ViaSteal = false;
+    bool Got = popOwn(Self, Task);
+    if (!Got) {
+      Got = stealOther(Self, Task);
+      ViaSteal = Got;
+    }
+
+    if (!Got) {
+      std::unique_lock<std::mutex> Guard(StateLock);
+      // Queued is bumped (under this lock) before the task is pushed onto
+      // a queue, so a submission racing with the scan above leaves
+      // Queued > 0 and we fall through to retry instead of sleeping past
+      // the notification.
+      if (Queued == 0 && !Stopping)
+        WorkAvailable.wait(Guard, [this] { return Stopping || Queued > 0; });
+      if (Stopping && Queued == 0)
+        return;
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> Guard(StateLock);
+      --Queued;
+    }
+    bool Threw = false;
+    try {
+      Task();
+    } catch (...) {
+      // Last-resort containment: an escaping exception must not abort the
+      // process or strand wait() with Pending stuck above zero. Tasks are
+      // expected to report failures through their own result slots (the
+      // pipeline lane tasks do); this counter records that one did not.
+      Threw = true;
+    }
+    {
+      std::lock_guard<std::mutex> Guard(StateLock);
+      ++Executed;
+      if (Threw)
+        ++Failed;
+      if (ViaSteal)
+        ++Stolen;
+      if (--Pending == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
