@@ -10,10 +10,12 @@
 // Results are emitted as JSON to stdout and to BENCH_pipeline.json (or
 // --out PATH) so the perf trajectory is machine-readable across PRs. The
 // generated trace defaults to >= 1M events (--events N to change), the
-// pool to 4 workers (--threads N).
+// pool to 4 workers (--threads N; 0 clamps to hardware concurrency), and
+// the per-variable shard count per lane to 4 (--shards N; the var-sharded
+// pass attacks the WCP-bound critical path while staying bit-identical).
 //
-// Usage: bench_pipeline [--events N] [--threads N] [--workload NAME]
-//                       [--out PATH]
+// Usage: bench_pipeline [--events N] [--threads N] [--shards N]
+//                       [--workload NAME] [--out PATH]
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +55,7 @@ std::string jsonNum(double V) {
 int main(int Argc, char **Argv) {
   uint64_t TargetEvents = 1050000;
   unsigned Threads = 4;
+  uint32_t Shards = 4;
   std::string Workload = "montecarlo";
   std::string OutPath = "BENCH_pipeline.json";
   for (int I = 1; I < Argc; ++I) {
@@ -61,6 +64,8 @@ int main(int Argc, char **Argv) {
       TargetEvents = std::strtoull(Argv[++I], nullptr, 10);
     else if (Arg == "--threads" && I + 1 < Argc)
       Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (Arg == "--shards" && I + 1 < Argc)
+      Shards = static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 10));
     else if (Arg == "--workload" && I + 1 < Argc)
       Workload = Argv[++I];
     else if (Arg == "--out" && I + 1 < Argc)
@@ -69,6 +74,13 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return 1;
     }
+  }
+  if (Threads == 0) {
+    // "--threads 0" must not mean a zero-worker pool; clamp to the
+    // hardware concurrency the pool would default to, and say so.
+    Threads = ThreadPool::defaultConcurrency();
+    std::fprintf(stderr, "clamped --threads 0 to hardware concurrency "
+                 "(%u)\n", Threads);
   }
 
   WorkloadSpec Spec = workloadSpec(Workload);
@@ -124,17 +136,58 @@ int main(int Argc, char **Argv) {
   for (LaneSpec &L : Lanes)
     Pipeline.addDetector(L.Make, L.Name);
   PipelineResult P = Pipeline.run(T);
-  std::string ParJson;
-  for (const LaneResult &L : P.Lanes) {
-    std::fprintf(stderr, "parallel   %-9s %6.2fs  %llu race pair(s)\n",
+  bool LaneFailed = false;
+  // A failed lane's report is partial/empty; recording it as a measurement
+  // would silently corrupt the cross-PR perf trajectory — fail the bench.
+  auto laneJson = [&LaneFailed](const LaneResult &L, const char *Mode) {
+    if (!L.Error.empty()) {
+      std::fprintf(stderr, "error: %s lane %s failed: %s\n", Mode,
+                   L.DetectorName.c_str(), L.Error.c_str());
+      LaneFailed = true;
+      return std::string();
+    }
+    std::fprintf(stderr, "%-10s %-9s %6.2fs  %llu race pair(s)\n", Mode,
                  L.DetectorName.c_str(), L.Seconds,
                  (unsigned long long)L.Report.numDistinctPairs());
+    return "{\"detector\": \"" + L.DetectorName +
+           "\", \"seconds\": " + jsonNum(L.Seconds) + ", \"races\": " +
+           std::to_string(L.Report.numDistinctPairs()) + "}";
+  };
+  std::string ParJson;
+  for (const LaneResult &L : P.Lanes) {
+    std::string One = laneJson(L, "parallel");
+    if (One.empty())
+      continue;
     if (!ParJson.empty())
       ParJson += ", ";
-    ParJson += "{\"detector\": \"" + L.DetectorName +
-               "\", \"seconds\": " + jsonNum(L.Seconds) +
-               ", \"races\": " +
-               std::to_string(L.Report.numDistinctPairs()) + "}";
+    ParJson += One;
+  }
+
+  // Var-sharded pipeline: same lanes, each split into a clock pass plus
+  // per-variable check shards (bit-identical reports; see
+  // detect/ShardedAccessHistory.h). This is the knob that attacks the
+  // slowest-lane bound of the plain fan-out.
+  std::string VarJson;
+  double VarSeconds = 0;
+  if (Shards > 0) {
+    PipelineOptions VOpts;
+    VOpts.NumThreads = Threads;
+    VOpts.VarShards = Shards;
+    AnalysisPipeline VarPipeline(VOpts);
+    for (LaneSpec &L : Lanes)
+      VarPipeline.addDetector(L.Make, L.Name);
+    PipelineResult V = VarPipeline.run(T);
+    VarSeconds = V.Seconds;
+    for (const LaneResult &L : V.Lanes) {
+      std::string One = laneJson(L, "varshard");
+      if (One.empty())
+        continue;
+      if (!VarJson.empty())
+        VarJson += ", ";
+      VarJson += One;
+    }
+    std::fprintf(stderr, "var-sharded wall %.2fs (%u shard(s)/lane)\n",
+                 V.Seconds, Shards);
   }
 
   double Speedup = P.Seconds > 0 ? SeqTotal / P.Seconds : 0;
@@ -159,6 +212,10 @@ int main(int Argc, char **Argv) {
           ", \"tasks_stolen\": " + std::to_string(P.TasksStolen) +
           ", \"shards\": " + std::to_string(P.NumShards) + ", \"lanes\": [" +
           ParJson + "]},\n";
+  if (Shards > 0)
+    Json += "  \"var_sharded\": {\"wall_seconds\": " + jsonNum(VarSeconds) +
+            ", \"shards_per_lane\": " + std::to_string(Shards) +
+            ", \"lanes\": [" + VarJson + "]},\n";
   Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
   Json += "}\n";
 
@@ -171,5 +228,5 @@ int main(int Argc, char **Argv) {
   std::fwrite(Json.data(), 1, Json.size(), Out);
   std::fclose(Out);
   std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
-  return 0;
+  return LaneFailed ? 1 : 0;
 }

@@ -8,12 +8,17 @@
 // demo workload so the binary is runnable out of the box.
 //
 // Usage: race_cli [trace-file] [--hb] [--wcp] [--fasttrack] [--eraser]
-//                 [--window N] [--stats] [--pipeline] [--threads N]
+//                 [--window N] [--shards N] [--stats] [--pipeline]
+//                 [--threads N]
 //
 // --pipeline runs all selected detectors through the sharded parallel
 // pipeline (streaming chunked ingestion, one trace residency, one lane
 // per detector, work-stealing across --threads workers). --window N
-// additionally shards each lane into N-event fragments.
+// additionally shards each lane into N-event fragments (windowed
+// semantics: cross-window races are lost). --shards N instead splits
+// each lane's race checks across N per-variable shards — parallelism
+// inside one detector with reports bit-identical to the sequential run.
+// The two sharding modes are mutually exclusive.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +31,7 @@
 #include "pipeline/ChunkedReader.h"
 #include "pipeline/Pipeline.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "trace/TraceStats.h"
 #include "trace/TraceValidator.h"
@@ -34,7 +40,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace rapid;
 
@@ -50,6 +58,7 @@ struct Options {
   bool Pipeline = false;
   unsigned Threads = 0; // 0 = hardware concurrency.
   uint64_t Window = 0;  // 0 = unwindowed.
+  uint32_t Shards = 0;  // 0 = no per-variable sharding.
 };
 
 void runOne(const char *Name, Detector &D, const Trace &T,
@@ -85,6 +94,9 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (Arg == "--window" && I + 1 < Argc)
       Opts.Window = std::strtoull(Argv[++I], nullptr, 10);
+    else if (Arg == "--shards" && I + 1 < Argc)
+      Opts.Shards =
+          static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 10));
     else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return 1;
@@ -93,6 +105,16 @@ int main(int Argc, char **Argv) {
   }
   if (!Opts.RunHb && !Opts.RunWcp && !Opts.RunFastTrack && !Opts.RunEraser)
     Opts.RunHb = Opts.RunWcp = true;
+  if (Opts.Window > 0 && Opts.Shards > 0) {
+    std::fprintf(stderr, "error: --window and --shards are mutually "
+                         "exclusive (windowed vs per-variable sharding)\n");
+    return 1;
+  }
+  if (Opts.Threads == 0) {
+    // "--threads 0" (or an unparsable count) must not build a zero-worker
+    // pool; clamp to the hardware concurrency the pool would default to.
+    Opts.Threads = ThreadPool::defaultConcurrency();
+  }
 
   Trace T;
   double IngestSeconds = 0;
@@ -123,25 +145,39 @@ int main(int Argc, char **Argv) {
   if (Opts.ShowStats)
     std::printf("%s\n", computeStats(T).str().c_str());
 
+  // The selected detector factories, shared by every analysis mode so the
+  // flag-to-factory mapping exists exactly once.
+  struct SelectedDetector {
+    const char *Name;
+    DetectorFactory Make;
+  };
+  std::vector<SelectedDetector> Selected;
+  if (Opts.RunHb)
+    Selected.push_back({"HB", [](const Trace &F) {
+                          return std::make_unique<HbDetector>(F);
+                        }});
+  if (Opts.RunWcp)
+    Selected.push_back({"WCP", [](const Trace &F) {
+                          return std::make_unique<WcpDetector>(F);
+                        }});
+  if (Opts.RunFastTrack)
+    Selected.push_back({"FastTrack", [](const Trace &F) {
+                          return std::make_unique<FastTrackDetector>(F);
+                        }});
+  if (Opts.RunEraser)
+    Selected.push_back({"Eraser", [](const Trace &F) {
+                          return std::make_unique<EraserDetector>(F);
+                        }});
+
   TablePrinter Table({"analysis", "races", "instances", "maxdist", "time"});
   if (Opts.Pipeline) {
     PipelineOptions POpts;
     POpts.NumThreads = Opts.Threads;
     POpts.ShardEvents = Opts.Window;
+    POpts.VarShards = Opts.Shards;
     AnalysisPipeline Pipeline(POpts);
-    if (Opts.RunHb)
-      Pipeline.addDetector(
-          [](const Trace &F) { return std::make_unique<HbDetector>(F); });
-    if (Opts.RunWcp)
-      Pipeline.addDetector(
-          [](const Trace &F) { return std::make_unique<WcpDetector>(F); });
-    if (Opts.RunFastTrack)
-      Pipeline.addDetector([](const Trace &F) {
-        return std::make_unique<FastTrackDetector>(F);
-      });
-    if (Opts.RunEraser)
-      Pipeline.addDetector(
-          [](const Trace &F) { return std::make_unique<EraserDetector>(F); });
+    for (const SelectedDetector &S : Selected)
+      Pipeline.addDetector(S.Make, S.Name);
 
     PipelineResult R = Pipeline.run(T);
     bool LaneFailed = false;
@@ -160,9 +196,10 @@ int main(int Argc, char **Argv) {
                   L.Report.str(T).c_str());
     }
     Table.print();
-    std::printf("\npipeline: %u thread(s), %llu shard(s), %llu task(s) "
-                "stolen\n",
+    std::printf("\npipeline: %u thread(s), %llu shard(s), %llu var "
+                "shard(s)/lane, %llu task(s) stolen\n",
                 R.ThreadsUsed, (unsigned long long)R.NumShards,
+                (unsigned long long)R.VarShards,
                 (unsigned long long)R.TasksStolen);
     double LaneTotal = R.laneSecondsTotal();
     std::printf("lane analysis %.3fs total in %.3fs wall", LaneTotal,
@@ -172,7 +209,29 @@ int main(int Argc, char **Argv) {
     std::printf("; ingest %.3fs\n", IngestSeconds);
     return LaneFailed ? 1 : 0;
   }
-  if (Opts.Window == 0) {
+  bool RunFailed = false;
+  if (Opts.Shards > 0) {
+    // Per-variable sharded single-detector runs: same reports as the
+    // sequential mode below, computed with --shards parallel check tasks.
+    for (const SelectedDetector &S : Selected) {
+      RunResult R = runDetectorSharded(S.Make, T, Opts.Shards, Opts.Threads);
+      if (!R.Error.empty()) {
+        // A failed task means a partial/empty report — never present it
+        // as "no races".
+        std::fprintf(stderr, "error: %s sharded run failed: %s\n", S.Name,
+                     R.Error.c_str());
+        RunFailed = true;
+        continue;
+      }
+      Table.addRow({R.DetectorName.empty() ? S.Name : R.DetectorName.c_str(),
+                    std::to_string(R.Report.numDistinctPairs()),
+                    std::to_string(R.Report.numInstances()),
+                    std::to_string(R.Report.maxPairDistance()),
+                    formatSeconds(R.Seconds)});
+      std::printf("%s findings (%u var shards):\n%s\n", S.Name, Opts.Shards,
+                  R.Report.str(T).c_str());
+    }
+  } else if (Opts.Window == 0) {
     if (Opts.RunHb) {
       HbDetector D(T);
       runOne("HB", D, T, Table);
@@ -194,23 +253,21 @@ int main(int Argc, char **Argv) {
       runOne("Eraser", D, T, Table);
     }
   } else {
-    auto addWindowed = [&](const char *Name, DetectorFactory Make) {
-      RunResult R = runDetectorWindowed(Make, T, Opts.Window);
-      Table.addRow({R.DetectorName.empty() ? Name : R.DetectorName.c_str(),
+    for (const SelectedDetector &S : Selected) {
+      RunResult R = runDetectorWindowed(S.Make, T, Opts.Window);
+      if (!R.Error.empty()) {
+        std::fprintf(stderr, "error: %s windowed run failed: %s\n", S.Name,
+                     R.Error.c_str());
+        RunFailed = true;
+        continue;
+      }
+      Table.addRow({R.DetectorName.empty() ? S.Name : R.DetectorName.c_str(),
                     std::to_string(R.Report.numDistinctPairs()),
                     std::to_string(R.Report.numInstances()),
                     std::to_string(R.Report.maxPairDistance()),
                     formatSeconds(R.Seconds)});
-    };
-    if (Opts.RunHb)
-      addWindowed("HB", [](const Trace &F) {
-        return std::make_unique<HbDetector>(F);
-      });
-    if (Opts.RunWcp)
-      addWindowed("WCP", [](const Trace &F) {
-        return std::make_unique<WcpDetector>(F);
-      });
+    }
   }
   Table.print();
-  return 0;
+  return RunFailed ? 1 : 0;
 }

@@ -22,6 +22,8 @@
 
 namespace rapid {
 
+class AccessLog;
+
 /// Abstract streaming race detector.
 class Detector {
 public:
@@ -29,6 +31,17 @@ public:
 
   /// Processes the \p Index-th event of the trace.
   virtual void processEvent(const Event &E, EventIdx Index) = 0;
+
+  /// Per-variable sharded mode (detect/ShardedAccessHistory.h). A
+  /// detector whose race checks partition by variable redirects them into
+  /// \p Log — subsequent processEvent calls run only the clock machinery
+  /// and append each read/write with its clocks — and returns true. The
+  /// base class does not support it; such detectors run their lane
+  /// sequentially under sharded pipelines.
+  virtual bool beginCapture(AccessLog &Log) {
+    (void)Log;
+    return false;
+  }
 
   /// Called once after the last event; detectors with buffered state may
   /// flush diagnostics here.

@@ -48,6 +48,31 @@ RunResult rapid::runDetectorWindowed(const DetectorFactory &Make,
   if (!R.Lanes.empty()) {
     Result.Report = std::move(R.Lanes.front().Report);
     Result.DetectorName = std::move(R.Lanes.front().DetectorName);
+    Result.Error = std::move(R.Lanes.front().Error);
+  }
+  return Result;
+}
+
+RunResult rapid::runDetectorSharded(const DetectorFactory &Make,
+                                    const Trace &T, uint32_t NumShards,
+                                    unsigned NumThreads) {
+  // Thin adapter over a single-lane var-sharded pipeline, mirroring how
+  // runDetectorWindowed adapts over the window-sharded one — the shard,
+  // broadcast and merge logic each exist exactly once in the repo.
+  Timer Clock;
+  PipelineOptions Opts;
+  Opts.VarShards = NumShards == 0 ? 1 : NumShards;
+  Opts.NumThreads = NumThreads;
+  AnalysisPipeline Pipeline(Opts);
+  Pipeline.addDetector(Make);
+  PipelineResult R = Pipeline.run(T);
+
+  RunResult Result;
+  Result.Seconds = Clock.seconds();
+  if (!R.Lanes.empty()) {
+    Result.Report = std::move(R.Lanes.front().Report);
+    Result.DetectorName = std::move(R.Lanes.front().DetectorName);
+    Result.Error = std::move(R.Lanes.front().Error);
   }
   return Result;
 }

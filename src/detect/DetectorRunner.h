@@ -28,6 +28,9 @@ struct RunResult {
   RaceReport Report;
   double Seconds = 0;
   std::string DetectorName;
+  /// Set when a pipeline-backed run (windowed/sharded adapters) had a
+  /// task fail; the report is then partial or empty, not "no races".
+  std::string Error;
 };
 
 /// Runs \p D over all of \p T in trace order.
@@ -42,6 +45,15 @@ using DetectorFactory = std::function<std::unique_ptr<Detector>(const Trace &)>;
 /// translated back to the parent trace so distances stay meaningful.
 RunResult runDetectorWindowed(const DetectorFactory &Make, const Trace &T,
                               uint64_t WindowSize);
+
+/// Runs a fresh detector over \p T with its race checks split across
+/// \p NumShards per-variable shards (detect/ShardedAccessHistory.h) on
+/// \p NumThreads pool workers (0 = hardware concurrency). Unlike windowed
+/// runs this loses nothing: the report is bit-identical to runDetector for
+/// any shard count. Detectors without capture support fall back to the
+/// sequential walk.
+RunResult runDetectorSharded(const DetectorFactory &Make, const Trace &T,
+                             uint32_t NumShards, unsigned NumThreads = 0);
 
 } // namespace rapid
 

@@ -1,0 +1,123 @@
+//===- detect/ShardedAccessHistory.cpp ----------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/ShardedAccessHistory.h"
+
+using namespace rapid;
+
+// ---- ClockBroadcast ---------------------------------------------------------
+
+ClockBroadcast::ClockBroadcast(uint32_t NumThreads)
+    : LastClock(NumThreads, DeferredAccess::NoClock),
+      LastHard(NumThreads, DeferredAccess::NoClock) {}
+
+uint32_t ClockBroadcast::publishInto(std::vector<uint32_t> &Last, ThreadId T,
+                                     const VectorClock &C) {
+  uint32_t &Prev = Last[T.value()];
+  if (Prev != DeferredAccess::NoClock && Snapshots[Prev] == C)
+    return Prev;
+  Prev = static_cast<uint32_t>(Snapshots.size());
+  Snapshots.push_back(C);
+  return Prev;
+}
+
+uint32_t ClockBroadcast::publish(ThreadId T, const VectorClock &C) {
+  return publishInto(LastClock, T, C);
+}
+
+uint32_t ClockBroadcast::publishHard(ThreadId T, const VectorClock &K) {
+  return publishInto(LastHard, T, K);
+}
+
+// ---- AccessLog --------------------------------------------------------------
+
+void AccessLog::record(EventIdx Idx, VarId V, ThreadId T, LocId Loc,
+                       bool IsWrite, ClockValue N, const VectorClock &Ce,
+                       const VectorClock *Hard) {
+  DeferredAccess A;
+  A.Idx = Idx;
+  A.Var = V;
+  A.Thread = T;
+  A.Loc = Loc;
+  A.N = N;
+  A.IsWrite = IsWrite;
+  A.Clock = Clocks.publish(T, Ce);
+  if (Hard)
+    A.Hard = Clocks.publishHard(T, *Hard);
+  Accesses.push_back(A);
+}
+
+// ---- ShardedAccessHistory ---------------------------------------------------
+
+ShardedAccessHistory::ShardedAccessHistory(ShardPlan Plan, uint32_t NumVars,
+                                           uint32_t NumThreads)
+    : Plan(Plan), NumVars(NumVars), NumThreads(NumThreads) {
+  if (this->Plan.NumShards == 0)
+    this->Plan.NumShards = 1;
+  Work.resize(this->Plan.NumShards);
+}
+
+void ShardedAccessHistory::partition(const AccessLog &Log) {
+  for (std::vector<uint32_t> &W : Work)
+    W.clear();
+  const std::vector<DeferredAccess> &Accesses = Log.accesses();
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Accesses.size()); I != E; ++I)
+    Work[Plan.shardOf(Accesses[I].Var)].push_back(I);
+}
+
+std::vector<RaceInstance>
+ShardedAccessHistory::checkShard(uint32_t S, const AccessLog &Log) const {
+  std::vector<RaceInstance> Out;
+  // Private partition: only this shard's variables, addressed by dense
+  // local ids, so per-shard memory is NumVars/NumShards — the histories
+  // genuinely split rather than replicate.
+  AccessHistory History(Plan.numLocalVars(S, NumVars), NumThreads);
+  const std::vector<DeferredAccess> &Accesses = Log.accesses();
+  const ClockBroadcast &Clocks = Log.clocks();
+  for (uint32_t I : Work[S]) {
+    const DeferredAccess &A = Accesses[I];
+    VarId Local(Plan.localIdOf(A.Var));
+    const VectorClock &Ce = Clocks.snapshot(A.Clock);
+    const VectorClock *Hard =
+        A.Hard == DeferredAccess::NoClock ? nullptr : &Clocks.snapshot(A.Hard);
+    size_t Before = Out.size();
+    if (A.IsWrite) {
+      History.checkWrite(Local, A.Thread, Ce, A.Loc, A.Idx, Out, Hard);
+      History.recordWrite(Local, A.Thread, A.N, A.Loc, A.Idx);
+    } else {
+      History.checkRead(Local, A.Thread, Ce, A.Loc, A.Idx, Out, Hard);
+      History.recordRead(Local, A.Thread, A.N, A.Loc, A.Idx);
+    }
+    // The history only knows local ids; restore the parent variable.
+    for (size_t R = Before; R != Out.size(); ++R)
+      Out[R].Var = A.Var;
+  }
+  return Out;
+}
+
+RaceReport ShardedAccessHistory::mergeInTraceOrder(
+    const std::vector<std::vector<RaceInstance>> &PerShard) {
+  RaceReport Report;
+  std::vector<size_t> Cursor(PerShard.size(), 0);
+  for (;;) {
+    // Pick the shard whose next finding has the smallest later-event
+    // index. Later indices never tie across shards (one event accesses
+    // one variable, which lives in one shard), and within a shard the
+    // findings of one event stay in their sequential push order — so this
+    // interleaving is exactly the sequential discovery order.
+    size_t Best = PerShard.size();
+    for (size_t S = 0; S != PerShard.size(); ++S) {
+      if (Cursor[S] == PerShard[S].size())
+        continue;
+      if (Best == PerShard.size() ||
+          PerShard[S][Cursor[S]].LaterIdx < PerShard[Best][Cursor[Best]].LaterIdx)
+        Best = S;
+    }
+    if (Best == PerShard.size())
+      return Report;
+    Report.addRace(PerShard[Best][Cursor[Best]++]);
+  }
+}

@@ -1,0 +1,165 @@
+//===- detect/ShardedAccessHistory.h - Per-variable shard lane --*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-variable sharding of the paper's single-pass race check. Conflicts
+/// only exist between accesses to the *same* variable (§2.1: e1 ≍ e2
+/// requires the same x), so the AccessHistory side of a detector — the
+/// checkRead/checkWrite calls and last-access records — partitions cleanly
+/// by variable, while the vector-clock machinery stays a sequential stream
+/// (clock propagation orders arbitrary events and cannot be split the same
+/// way). That split turns one detector lane into:
+///
+///   phase 1  clock pass (sequential): the detector runs with its race
+///            checks deferred; every read/write is appended to an
+///            AccessLog together with the clocks the check needs, via the
+///            ClockBroadcast snapshot table (clocks mutate only at a
+///            bounded number of points, so consecutive accesses of a
+///            thread share one immutable snapshot);
+///   phase 2  shard checks (parallel): each shard replays its variables'
+///            deferred accesses, in trace order, against a private
+///            partition of the access history — no locks, no sharing;
+///   phase 3  merge (sequential): per-shard findings interleave back by
+///            parent-trace index. Every access event belongs to exactly
+///            one shard, so the interleaving is unique and reproduces the
+///            sequential detector's discovery order *bit for bit*, for any
+///            shard count.
+///
+/// The determinism contract (sharded report ≡ sequential report, any N) is
+/// pinned by tests/differential_test.cpp against seeded random traces and
+/// the reference/ClosureEngine oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_DETECT_SHARDEDACCESSHISTORY_H
+#define RAPID_DETECT_SHARDEDACCESSHISTORY_H
+
+#include "detect/AccessHistory.h"
+#include "detect/RaceReport.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rapid {
+
+/// Assignment of variables to shards: variable x lives in shard
+/// x mod NumShards, with dense per-shard local ids x div NumShards.
+struct ShardPlan {
+  uint32_t NumShards = 1;
+
+  uint32_t shardOf(VarId V) const { return V.value() % NumShards; }
+  uint32_t localIdOf(VarId V) const { return V.value() / NumShards; }
+
+  /// Number of variables out of \p NumVars that land in \p Shard.
+  uint32_t numLocalVars(uint32_t Shard, uint32_t NumVars) const {
+    if (Shard >= NumVars)
+      return 0; // The smallest candidate, x = Shard, is already out of range.
+    return (NumVars - Shard - 1) / NumShards + 1;
+  }
+};
+
+/// One deferred read/write: everything its race check needs, with the
+/// event's clocks referenced into the broadcast table.
+struct DeferredAccess {
+  static constexpr uint32_t NoClock = UINT32_MAX;
+
+  EventIdx Idx = 0;     ///< Parent-trace index of the access.
+  VarId Var;            ///< Accessed variable (selects the shard).
+  ThreadId Thread;      ///< Accessing thread.
+  LocId Loc;            ///< Program location.
+  ClockValue N = 0;     ///< Local time to record (C_e's own component).
+  uint32_t Clock = 0;   ///< Snapshot index of C_e.
+  uint32_t Hard = NoClock; ///< Snapshot index of the hard clock, if any.
+  bool IsWrite = false;
+};
+
+/// The vector-clock broadcast step: immutable snapshots published by the
+/// sequential clock pass and read concurrently by every shard task.
+/// Thread clocks only change at a bounded set of points (sync events for
+/// HB; sync events and rule-(a) joins for WCP), so publish() deduplicates
+/// against the thread's previous snapshot and most accesses reuse one.
+class ClockBroadcast {
+public:
+  explicit ClockBroadcast(uint32_t NumThreads);
+
+  /// Returns the snapshot index for \p T's current check clock \p C,
+  /// copying it only if it changed since \p T last published.
+  uint32_t publish(ThreadId T, const VectorClock &C);
+
+  /// Same, for the secondary hard-order clock (WCP's K_t).
+  uint32_t publishHard(ThreadId T, const VectorClock &K);
+
+  const VectorClock &snapshot(uint32_t I) const { return Snapshots[I]; }
+  size_t numSnapshots() const { return Snapshots.size(); }
+
+private:
+  uint32_t publishInto(std::vector<uint32_t> &Last, ThreadId T,
+                       const VectorClock &C);
+
+  std::vector<VectorClock> Snapshots;
+  std::vector<uint32_t> LastClock; ///< Per thread: last published C index.
+  std::vector<uint32_t> LastHard;  ///< Per thread: last published K index.
+};
+
+/// Per-lane capture of deferred accesses, filled by a detector running in
+/// capture mode (Detector::beginCapture): clock machinery only, race
+/// checks deferred to the shard phase.
+class AccessLog {
+public:
+  explicit AccessLog(uint32_t NumThreads) : Clocks(NumThreads) {}
+
+  /// Records one access. \p Ce is the clock the sequential check would
+  /// compare against (C_t for HB, P_t for WCP), \p Hard the optional
+  /// secondary clock (WCP's K_t), \p N the local time the sequential
+  /// check would record.
+  void record(EventIdx Idx, VarId V, ThreadId T, LocId Loc, bool IsWrite,
+              ClockValue N, const VectorClock &Ce, const VectorClock *Hard);
+
+  const std::vector<DeferredAccess> &accesses() const { return Accesses; }
+  const ClockBroadcast &clocks() const { return Clocks; }
+
+private:
+  std::vector<DeferredAccess> Accesses; ///< In trace order.
+  ClockBroadcast Clocks;
+};
+
+/// Partitions one lane's access history across N shards and replays the
+/// deferred checks. partition() runs once (sequentially) after capture;
+/// checkShard() is safe to call concurrently for distinct shards (each
+/// builds a private history over only its variables); the merge restores
+/// parent-trace order.
+class ShardedAccessHistory {
+public:
+  ShardedAccessHistory(ShardPlan Plan, uint32_t NumVars, uint32_t NumThreads);
+
+  uint32_t numShards() const { return Plan.NumShards; }
+
+  /// Splits \p Log's accesses into per-shard work lists, keeping trace
+  /// order within each shard.
+  void partition(const AccessLog &Log);
+
+  /// Replays shard \p S's deferred checks and returns its races in trace
+  /// order. Requires partition() to have run; const and data-parallel
+  /// across distinct shards.
+  std::vector<RaceInstance> checkShard(uint32_t S, const AccessLog &Log) const;
+
+  /// Interleaves per-shard findings back into parent-trace order and
+  /// accumulates them into a report. Each access event belongs to exactly
+  /// one shard, so the interleaving is unique: the result is bit-identical
+  /// to the sequential detector's report for any shard count.
+  static RaceReport
+  mergeInTraceOrder(const std::vector<std::vector<RaceInstance>> &PerShard);
+
+private:
+  ShardPlan Plan;
+  uint32_t NumVars;
+  uint32_t NumThreads;
+  std::vector<std::vector<uint32_t>> Work; ///< Per shard: access indices.
+};
+
+} // namespace rapid
+
+#endif // RAPID_DETECT_SHARDEDACCESSHISTORY_H

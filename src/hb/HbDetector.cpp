@@ -6,6 +6,8 @@
 
 #include "hb/HbDetector.h"
 
+#include "detect/ShardedAccessHistory.h"
+
 using namespace rapid;
 
 HbDetector::HbDetector(const Trace &T)
@@ -51,6 +53,11 @@ void HbDetector::processEvent(const Event &E, EventIdx Index) {
     break;
 
   case EventKind::Read: {
+    if (Capture) {
+      Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/false, Ct.get(T),
+                      Ct, nullptr);
+      break;
+    }
     Scratch.clear();
     History.checkRead(E.var(), T, Ct, E.Loc, Index, Scratch);
     for (const RaceInstance &R : Scratch)
@@ -60,6 +67,11 @@ void HbDetector::processEvent(const Event &E, EventIdx Index) {
   }
 
   case EventKind::Write: {
+    if (Capture) {
+      Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/true, Ct.get(T),
+                      Ct, nullptr);
+      break;
+    }
     Scratch.clear();
     History.checkWrite(E.var(), T, Ct, E.Loc, Index, Scratch);
     for (const RaceInstance &R : Scratch)

@@ -38,6 +38,13 @@ public:
   void processEvent(const Event &E, EventIdx Index) override;
   std::string name() const override { return "HB"; }
 
+  /// HB race checks depend only on C_t at the access, so they partition
+  /// by variable: capture mode defers them into \p Log.
+  bool beginCapture(AccessLog &Log) override {
+    Capture = &Log;
+    return true;
+  }
+
   /// The HB time C_e of the last processed event (testing hook).
   const VectorClock &threadClock(ThreadId T) const {
     return ThreadClocks[T.value()];
@@ -50,6 +57,7 @@ private:
   std::vector<VectorClock> LockClocks;   ///< L_l per lock.
   AccessHistory History;
   std::vector<RaceInstance> Scratch;
+  AccessLog *Capture = nullptr; ///< Non-null in capture mode.
 };
 
 } // namespace rapid

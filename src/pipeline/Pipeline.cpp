@@ -6,6 +6,7 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "detect/ShardedAccessHistory.h"
 #include "pipeline/ChunkedReader.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -74,7 +75,9 @@ PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
   unsigned NumThreads =
       Opts.NumThreads == 0 ? ThreadPool::defaultConcurrency() : Opts.NumThreads;
 
-  if (Opts.ShardEvents == 0) {
+  if (Opts.ShardEvents == 0 && Opts.VarShards > 0) {
+    runVarShardedLanes(T, NumThreads, Result);
+  } else if (Opts.ShardEvents == 0) {
     // One task per lane: a full-trace walk, bit-identical to runDetector.
     {
       ThreadPool Pool(NumThreads);
@@ -145,6 +148,100 @@ PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
   Result.ThreadsUsed = NumThreads;
   Result.Seconds = Wall.seconds();
   return Result;
+}
+
+void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
+                                          PipelineResult &Result) const {
+  const uint32_t NumShards = Opts.VarShards == 0 ? 1 : Opts.VarShards;
+  const ShardPlan Plan{NumShards};
+
+  // Per-lane state that outlives the phase-1 tasks: the captured access
+  // log (clock snapshots included) and the partitioned work lists feed
+  // the phase-2 shard tasks.
+  struct LaneWork {
+    std::unique_ptr<AccessLog> Log;
+    std::unique_ptr<ShardedAccessHistory> History;
+    std::vector<std::vector<RaceInstance>> PerShard;
+    std::vector<std::string> ShardErrors;
+    std::vector<double> ShardSeconds;
+    bool Captured = false;
+  };
+  std::vector<LaneWork> Work(Lanes.size());
+
+  ThreadPool Pool(NumThreads);
+
+  // Phase 1 — one clock-pass task per lane. Capture-capable detectors
+  // walk the trace with checks deferred and partition the log; the rest
+  // fall back to the plain sequential walk (their lane is done here).
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    Pool.submit([this, L, &T, &Result, &Work, Plan] {
+      LaneResult &Out = Result.Lanes[L];
+      Out.DetectorName = Lanes[L].Name;
+      guardTask(Out.Error, [&] {
+        Timer Clock;
+        std::unique_ptr<Detector> D = Lanes[L].Make(T);
+        if (Out.DetectorName.empty())
+          Out.DetectorName = D->name();
+        LaneWork &W = Work[L];
+        W.Log = std::make_unique<AccessLog>(T.numThreads());
+        if (D->beginCapture(*W.Log)) {
+          const std::vector<Event> &Events = T.events();
+          for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+            D->processEvent(Events[I], I);
+          D->finish();
+          W.History = std::make_unique<ShardedAccessHistory>(
+              Plan, T.numVars(), T.numThreads());
+          W.History->partition(*W.Log);
+          W.PerShard.resize(Plan.NumShards);
+          W.ShardErrors.resize(Plan.NumShards);
+          W.ShardSeconds.resize(Plan.NumShards, 0);
+          W.Captured = true;
+          Out.Seconds = Clock.seconds();
+        } else {
+          RunResult R = runDetector(*D, T);
+          Out.Report = std::move(R.Report);
+          Out.Seconds = R.Seconds;
+        }
+      });
+    });
+  }
+  Pool.wait();
+
+  // Phase 2 — the lane × shard check grid. Shards of one lane share the
+  // immutable log/broadcast read-only and write disjoint slots.
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    if (!Work[L].Captured)
+      continue;
+    for (uint32_t S = 0; S != NumShards; ++S) {
+      Pool.submit([L, S, &Work] {
+        LaneWork &W = Work[L];
+        guardTask(W.ShardErrors[S], [&] {
+          Timer Clock;
+          W.PerShard[S] = W.History->checkShard(S, *W.Log);
+          W.ShardSeconds[S] = Clock.seconds();
+        });
+      });
+    }
+  }
+  Pool.wait();
+  Result.TasksStolen = Pool.tasksStolen();
+
+  // Phase 3 — deterministic merge back into parent-trace order.
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    LaneWork &W = Work[L];
+    if (!W.Captured)
+      continue;
+    LaneResult &Out = Result.Lanes[L];
+    for (uint32_t S = 0; S != NumShards; ++S) {
+      if (!W.ShardErrors[S].empty() && Out.Error.empty())
+        Out.Error = "var shard " + std::to_string(S) + ": " + W.ShardErrors[S];
+      Out.Seconds += W.ShardSeconds[S];
+    }
+    if (Out.Error.empty())
+      Out.Report = ShardedAccessHistory::mergeInTraceOrder(W.PerShard);
+  }
+  Result.NumShards = 1;
+  Result.VarShards = NumShards;
 }
 
 PipelineResult AnalysisPipeline::runFused(const Trace &T) const {

@@ -18,7 +18,12 @@
 ///   * sharded (ShardEvents > 0): each lane × window fragment (via
 ///     trace/Window) is a task; per-lane reports merge deterministically
 ///     in shard order with indices translated back to the parent trace,
-///     matching runDetectorWindowed exactly.
+///     matching runDetectorWindowed exactly;
+///   * var-sharded (VarShards > 0): each capture-capable lane splits into
+///     a sequential clock pass plus per-variable check shards (see
+///     detect/ShardedAccessHistory.h), parallelizing *within* one
+///     detector while staying bit-identical to sequential runDetector —
+///     unlike window sharding, no races are lost.
 ///
 /// Ingestion can stream through pipeline/ChunkedReader (runFile), keeping
 /// raw-byte memory bounded. Overlapping ingestion with analysis is the
@@ -45,6 +50,14 @@ struct PipelineOptions {
   /// results bit-identical to sequential runDetector). Sharded runs have
   /// windowed-analysis semantics (see trace/Window).
   uint64_t ShardEvents = 0;
+  /// Per-variable shards *inside* each lane (detect/ShardedAccessHistory):
+  /// 0 = off; N >= 1 splits every capture-capable lane (HB, WCP) into a
+  /// sequential clock pass plus N parallel per-variable check tasks, with
+  /// results bit-identical to sequential runDetector for any N. Lanes
+  /// whose detector cannot capture fall back to the sequential walk.
+  /// Only applies to parallel, event-unsharded runs (ShardEvents == 0);
+  /// windowed runs keep windowed semantics and ignore it.
+  uint32_t VarShards = 0;
   /// When false, lanes run fused on the caller's thread: a single walk of
   /// the trace feeds every detector per event (N analyses, one walk).
   bool Parallel = true;
@@ -70,6 +83,7 @@ struct PipelineResult {
   double Seconds = 0;       ///< Wall clock for the whole run.
   double IngestSeconds = 0; ///< runFile only: chunked ingestion time.
   uint64_t NumShards = 1;
+  uint64_t VarShards = 0;   ///< Per-variable shards per lane (0 = off).
   uint64_t TasksStolen = 0; ///< Work-stealing telemetry.
   unsigned ThreadsUsed = 1;
 
@@ -103,6 +117,11 @@ public:
 private:
   PipelineResult runParallel(const Trace &T) const;
   PipelineResult runFused(const Trace &T) const;
+  /// The per-variable sharded lane mode (Opts.VarShards > 0): clock pass
+  /// per lane, then a lane × variable-shard check-task grid, then a
+  /// deterministic trace-order merge. Fills \p Result's lanes.
+  void runVarShardedLanes(const Trace &T, unsigned NumThreads,
+                          PipelineResult &Result) const;
 
   struct Lane {
     std::string Name;

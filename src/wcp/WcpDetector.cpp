@@ -6,6 +6,8 @@
 
 #include "wcp/WcpDetector.h"
 
+#include "detect/ShardedAccessHistory.h"
+
 #include <algorithm>
 #include <cstddef>
 
@@ -215,6 +217,10 @@ void WcpDetector::handleRead(ThreadId T, VarId X, LocId Loc, EventIdx Index) {
 
   // Race check (§3.2): W_x ⊑ C_e, with C_e = P_t[t := N_t]. The history
   // check reads only other threads' components, so P_t stands in for C_e.
+  if (Capture) {
+    Capture->record(Index, X, T, Loc, /*IsWrite=*/false, TS.N, TS.P, &TS.K);
+    return;
+  }
   Scratch.clear();
   History.checkRead(X, T, TS.P, Loc, Index, Scratch, &TS.K);
   for (const RaceInstance &R : Scratch)
@@ -238,6 +244,10 @@ void WcpDetector::handleWrite(ThreadId T, VarId X, LocId Loc,
     Frame.WriteVars.push_back(X.value());
 
   // Race check (§3.2): R_x ⊔ W_x ⊑ C_e.
+  if (Capture) {
+    Capture->record(Index, X, T, Loc, /*IsWrite=*/true, TS.N, TS.P, &TS.K);
+    return;
+  }
   Scratch.clear();
   History.checkWrite(X, T, TS.P, Loc, Index, Scratch, &TS.K);
   for (const RaceInstance &R : Scratch)

@@ -46,6 +46,15 @@ public:
   void processEvent(const Event &E, EventIdx Index) override;
   std::string name() const override { return "WCP"; }
 
+  /// WCP's race checks partition by variable once the clocks are known:
+  /// capture mode keeps the full clock machinery — including the rule (a)
+  /// joins at accesses and the per-section R/W sets — and defers only the
+  /// history checks into \p Log (C_e stand-in P_t, hard clock K_t).
+  bool beginCapture(AccessLog &Log) override {
+    Capture = &Log;
+    return true;
+  }
+
   const WcpStats &stats() const { return Stats; }
   uint64_t numEventsProcessed() const { return EventsProcessed; }
 
@@ -85,6 +94,7 @@ private:
   std::unordered_map<uint64_t, PerThreadReleaseClocks> WriteReleases;
   AccessHistory History;
   std::vector<RaceInstance> Scratch;
+  AccessLog *Capture = nullptr; ///< Non-null in capture mode.
 
   uint64_t EventsProcessed = 0;
   int64_t CurrentAbstract = 0;

@@ -11,11 +11,38 @@
 #include "trace/Trace.h"
 #include "vc/VectorClock.h"
 
+#include <gtest/gtest.h>
+
 #include <set>
 #include <string>
 #include <vector>
 
 namespace rapid::testutil {
+
+/// Bit-for-bit report equality — the determinism contract every parallel
+/// mode is held to: same distinct pairs, same instance count, the same
+/// witness event pairs in the same discovery order, same distances.
+/// Shared by the pipeline and differential suites so "bit-identical"
+/// means one thing.
+inline void expectSameReport(const RaceReport &Got, const RaceReport &Want,
+                             const Trace &T, const std::string &Label) {
+  EXPECT_EQ(Got.numDistinctPairs(), Want.numDistinctPairs()) << Label;
+  EXPECT_EQ(Got.numInstances(), Want.numInstances()) << Label;
+  ASSERT_EQ(Got.instances().size(), Want.instances().size()) << Label;
+  for (size_t I = 0; I != Want.instances().size(); ++I) {
+    const RaceInstance &G = Got.instances()[I];
+    const RaceInstance &W = Want.instances()[I];
+    std::string Where = Label + " #" + std::to_string(I) + ": got " +
+                        G.str(T) + ", want " + W.str(T);
+    EXPECT_EQ(G.EarlierIdx, W.EarlierIdx) << Where;
+    EXPECT_EQ(G.LaterIdx, W.LaterIdx) << Where;
+    EXPECT_TRUE(G.EarlierLoc == W.EarlierLoc) << Where;
+    EXPECT_TRUE(G.LaterLoc == W.LaterLoc) << Where;
+    EXPECT_TRUE(G.Var == W.Var) << Where;
+    EXPECT_EQ(Got.pairDistance(W.pair()), Want.pairDistance(W.pair()))
+        << Label << " #" << I;
+  }
+}
 
 /// Runs detector type \p D over \p T and returns its report.
 template <typename D> RaceReport run(const Trace &T) {

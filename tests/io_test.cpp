@@ -9,8 +9,12 @@
 #include "io/BinaryFormat.h"
 #include "io/TextFormat.h"
 #include "io/TraceFile.h"
+#include "pipeline/ChunkedReader.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
 
 using namespace rapid;
 
@@ -123,4 +127,79 @@ TEST(TraceFileTest, MissingFileReportsError) {
   TraceLoadResult R = loadTraceFile("/nonexistent/path/trace.txt");
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}
+
+// ---- Round-trip property tests ----------------------------------------------
+//
+// Generated traces of varied shapes must survive every codec path: text
+// and binary round-trips, the text -> binary -> text composition, and the
+// chunked reader at pathological chunk sizes where every line and every
+// 13-byte binary event record straddles a refill boundary.
+
+namespace {
+
+RandomTraceParams roundTripParams(uint64_t Seed) {
+  RandomTraceParams P;
+  P.Seed = Seed;
+  P.NumThreads = 2 + Seed % 5;
+  P.NumLocks = 1 + Seed % 4;
+  P.NumVars = 1 + (Seed * 3) % 8;
+  P.OpsPerThread = 15 + (Seed * 7) % 45;
+  P.MaxLockNesting = 1 + Seed % 3;
+  P.WithForkJoin = Seed % 2 == 1;
+  return P;
+}
+
+} // namespace
+
+TEST(RoundTripPropertyTest, TextAndBinaryCodecsComposeOverGeneratedTraces) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Trace T = randomTrace(roundTripParams(Seed));
+
+    TextParseResult FromText = parseTextTrace(writeTextTrace(T));
+    ASSERT_TRUE(FromText.Ok) << "seed " << Seed << ": " << FromText.Error;
+    expectSameTrace(T, FromText.T);
+
+    BinaryParseResult FromBin = parseBinaryTrace(writeBinaryTrace(T));
+    ASSERT_TRUE(FromBin.Ok) << "seed " << Seed << ": " << FromBin.Error;
+    expectSameTrace(T, FromBin.T);
+
+    // Cross-codec composition: text-parsed trace through the binary
+    // codec and back — id tables re-interned by the text parser must
+    // still produce the same events.
+    BinaryParseResult Crossed =
+        parseBinaryTrace(writeBinaryTrace(FromText.T));
+    ASSERT_TRUE(Crossed.Ok) << "seed " << Seed << ": " << Crossed.Error;
+    expectSameTrace(T, Crossed.T);
+
+    // Idempotence of the rendered forms.
+    EXPECT_EQ(writeTextTrace(T), writeTextTrace(FromBin.T)) << Seed;
+    EXPECT_EQ(writeBinaryTrace(T), writeBinaryTrace(FromBin.T)) << Seed;
+  }
+}
+
+TEST(RoundTripPropertyTest, ChunkedReaderSurvivesPathologicalChunkSizes) {
+  Trace T = randomTrace(roundTripParams(5));
+  for (const char *Ext : {".txt", ".bin"}) {
+    std::string Path =
+        ::testing::TempDir() + "rapidpp_roundtrip_chunks" + Ext;
+    ASSERT_EQ(saveTraceFile(T, Path), "");
+    // 1 byte: every text line and every binary record straddles refills;
+    // 13 bytes: binary records alternate between aligned and straddling
+    // (the header shifts the first record off the 13-byte grid).
+    for (size_t ChunkBytes : {size_t(1), size_t(2), size_t(13)}) {
+      for (uint64_t MaxEvents : {uint64_t(1), uint64_t(7)}) {
+        ChunkedReaderOptions Opts;
+        Opts.ChunkBytes = ChunkBytes;
+        Opts.MaxEventsPerChunk = MaxEvents;
+        TraceLoadResult R = loadTraceFileChunked(Path, Opts);
+        ASSERT_TRUE(R.Ok) << Ext << " chunk=" << ChunkBytes << ": "
+                          << R.Error;
+        ASSERT_EQ(R.T.size(), T.size())
+            << Ext << " chunk=" << ChunkBytes << " batch=" << MaxEvents;
+        expectSameTrace(T, R.T);
+      }
+    }
+    std::remove(Path.c_str());
+  }
 }

@@ -60,27 +60,7 @@ AnalysisPipeline makePipeline(const PipelineOptions &Opts) {
   return P;
 }
 
-/// Bit-for-bit report equality: same distinct pairs, same instance count,
-/// and the same witness event pairs in the same discovery order.
-void expectSameReport(const RaceReport &Got, const RaceReport &Want,
-                      const Trace &T, const std::string &Label) {
-  EXPECT_EQ(Got.numDistinctPairs(), Want.numDistinctPairs()) << Label;
-  EXPECT_EQ(Got.numInstances(), Want.numInstances()) << Label;
-  ASSERT_EQ(Got.instances().size(), Want.instances().size()) << Label;
-  for (size_t I = 0; I != Want.instances().size(); ++I) {
-    const RaceInstance &G = Got.instances()[I];
-    const RaceInstance &W = Want.instances()[I];
-    std::string Where = Label + " #" + std::to_string(I) + ": got " +
-                        G.str(T) + ", want " + W.str(T);
-    EXPECT_EQ(G.EarlierIdx, W.EarlierIdx) << Where;
-    EXPECT_EQ(G.LaterIdx, W.LaterIdx) << Where;
-    EXPECT_TRUE(G.EarlierLoc == W.EarlierLoc) << Where;
-    EXPECT_TRUE(G.LaterLoc == W.LaterLoc) << Where;
-    EXPECT_TRUE(G.Var == W.Var) << Where;
-    EXPECT_EQ(Got.pairDistance(W.pair()), Want.pairDistance(W.pair()))
-        << Label << " #" << I;
-  }
-}
+using testutil::expectSameReport;
 
 void expectPipelineMatchesSequential(const Trace &T, const PipelineOptions &Opts,
                                      const std::string &Label) {
@@ -174,6 +154,37 @@ TEST(PipelineTest, ThreadCountDoesNotChangeResults) {
     for (size_t L = 0; L != R.Lanes.size(); ++L)
       expectSameReport(R.Lanes[L].Report, RefRun.Lanes[L].Report, T,
                        "threads=" + std::to_string(N));
+  }
+}
+
+TEST(PipelineTest, VarShardedLanesMatchSequentialForAnyShardAndThreadCount) {
+  // The per-variable sharded lane mode (Opts.VarShards) must be invisible
+  // in the results: capture-capable lanes (HB, WCP) go through the clock
+  // pass + shard check + merge machinery, the others (FastTrack, Eraser)
+  // fall back to a sequential walk, and every lane's report stays
+  // bit-identical to runDetector for any shard or thread count.
+  for (uint64_t Seed : {4u, 9u}) {
+    Trace T = mediumRandomTrace(Seed);
+    for (uint32_t Shards : {1u, 3u, 8u}) {
+      for (unsigned Threads : {1u, 4u}) {
+        PipelineOptions Opts;
+        Opts.NumThreads = Threads;
+        Opts.VarShards = Shards;
+        PipelineResult R = makePipeline(Opts).run(T);
+        EXPECT_EQ(R.VarShards, Shards);
+        std::vector<NamedFactory> Lanes = allLanes();
+        ASSERT_EQ(R.Lanes.size(), Lanes.size());
+        for (size_t L = 0; L != Lanes.size(); ++L) {
+          EXPECT_TRUE(R.Lanes[L].Error.empty()) << R.Lanes[L].Error;
+          std::unique_ptr<Detector> D = Lanes[L].Make(T);
+          RunResult Want = runDetector(*D, T);
+          expectSameReport(R.Lanes[L].Report, Want.Report, T,
+                           "varshards=" + std::to_string(Shards) +
+                               " threads=" + std::to_string(Threads) + "/" +
+                               Lanes[L].Name);
+        }
+      }
+    }
   }
 }
 

@@ -8,11 +8,16 @@
 #include "support/Prng.h"
 #include "support/StringInterner.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 using namespace rapid;
 
@@ -102,4 +107,94 @@ TEST(TablePrinterTest, CountFormatting) {
   EXPECT_EQ(TablePrinter::formatCount(11700), "11K");
   EXPECT_EQ(TablePrinter::formatCount(11700000), "11.7M");
   EXPECT_EQ(TablePrinter::formatCount(216000000), "216.0M");
+}
+
+// ---- ThreadPool stress ------------------------------------------------------
+//
+// The pool underpins every parallel pipeline mode, including the new
+// per-variable shard tasks, so its lifecycle is pinned under contention:
+// repeated construct/submit/steal/shutdown cycles must neither deadlock
+// (the tests would hang their ctest timeout) nor lose or double-count a
+// task.
+
+TEST(ThreadPoolStressTest, SubmitStealShutdownCyclesUnderContention) {
+  for (int Cycle = 0; Cycle != 20; ++Cycle) {
+    ThreadPool Pool(4);
+    std::atomic<uint64_t> Ran{0};
+    // External producers race each other and the workers: submissions
+    // interleave with steals while queues drain.
+    std::vector<std::thread> Producers;
+    for (int P = 0; P != 3; ++P)
+      Producers.emplace_back([&Pool, &Ran] {
+        for (int I = 0; I != 50; ++I)
+          Pool.submit([&Ran] { ++Ran; });
+      });
+    for (std::thread &Th : Producers)
+      Th.join();
+    // Nested fan-out two levels deep: wait() must cover tasks submitted
+    // by running tasks submitted by running tasks.
+    Pool.submit([&Pool, &Ran] {
+      ++Ran;
+      for (int I = 0; I != 10; ++I)
+        Pool.submit([&Pool, &Ran] {
+          ++Ran;
+          Pool.submit([&Ran] { ++Ran; });
+        });
+    });
+    Pool.wait();
+    EXPECT_EQ(Ran.load(), 150u + 21u) << "cycle " << Cycle;
+    EXPECT_EQ(Pool.tasksExecuted(), 150u + 21u) << "cycle " << Cycle;
+    EXPECT_LE(Pool.tasksStolen(), Pool.tasksExecuted());
+    EXPECT_EQ(Pool.tasksFailed(), 0u);
+  }
+}
+
+TEST(ThreadPoolStressTest, DestructorDrainsWithoutExplicitWait) {
+  // Shutdown with work still queued: the destructor must run every task,
+  // not drop the queue.
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 200; ++I)
+      Pool.submit([&Ran] { ++Ran; });
+  }
+  EXPECT_EQ(Ran.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentWaitersAllReleaseTogether) {
+  // Several threads blocked in wait() while tasks (and nested tasks) are
+  // still landing: every waiter must wake exactly when Pending hits zero.
+  ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  std::atomic<int> Released{0};
+  std::vector<std::thread> Waiters;
+  for (int W = 0; W != 4; ++W)
+    Waiters.emplace_back([&Pool, &Released, &Ran] {
+      Pool.wait();
+      EXPECT_EQ(Ran.load(), 100);
+      ++Released;
+    });
+  for (std::thread &Th : Waiters)
+    Th.join();
+  EXPECT_EQ(Released.load(), 4);
+  EXPECT_EQ(Pool.tasksExecuted(), 100u);
+}
+
+TEST(ThreadPoolStressTest, ThrowingTasksAreContainedAndCounted) {
+  // A task that lets an exception escape must neither kill the process
+  // nor strand wait(); the failure counter records it and later batches
+  // still run.
+  ThreadPool Pool(2);
+  for (int I = 0; I != 10; ++I)
+    Pool.submit([] { throw std::runtime_error("task exploded"); });
+  Pool.wait();
+  EXPECT_EQ(Pool.tasksFailed(), 10u);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 10; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 10);
+  EXPECT_EQ(Pool.tasksExecuted(), 20u);
 }
