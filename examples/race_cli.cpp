@@ -2,34 +2,36 @@
 //
 // Part of rapidpp (PLDI'17 WCP reproduction).
 //
-// The equivalent of the paper's RAPID tool: reads a trace file (text or
-// .bin), runs the selected analyses, prints the race pairs and the
-// telemetry Table 1 reports. With no file argument it analyzes a built-in
-// demo workload so the binary is runnable out of the box.
+// The equivalent of the paper's RAPID tool, rebuilt on the session API
+// (api/AnalysisSession.h): flags map onto one AnalysisConfig, every run
+// mode goes through the same validated entry point, and failures surface
+// as structured statuses.
 //
 // Usage: race_cli [trace-file] [--hb] [--wcp] [--fasttrack] [--eraser]
-//                 [--window N] [--shards N] [--stats] [--pipeline]
-//                 [--threads N]
+//                 [--window N] [--shards N] [--balanced] [--stats]
+//                 [--pipeline] [--threads N] [--stream] [--json]
 //
-// --pipeline runs all selected detectors through the sharded parallel
-// pipeline (streaming chunked ingestion, one trace residency, one lane
-// per detector, work-stealing across --threads workers). --window N
-// additionally shards each lane into N-event fragments (windowed
-// semantics: cross-window races are lost). --shards N instead splits
-// each lane's race checks across N per-variable shards — parallelism
-// inside one detector with reports bit-identical to the sequential run.
-// The two sharding modes are mutually exclusive.
+// Modes (mutually exclusive):
+//   default / --pipeline   sequential lanes: one full-trace walk per
+//                          selected detector (concurrent, bit-identical
+//                          to one-at-a-time runs)
+//   --window N             windowed baseline (cross-window races lost)
+//   --shards N             per-variable sharded checks, bit-identical to
+//                          sequential; --balanced selects the
+//                          frequency-balanced shard plan
+//
+// --stream feeds the trace file through the session's streaming engine so
+// analysis overlaps ingestion (binary traces overlap chunk by chunk; text
+// traces publish at EOF). --json replaces the human-readable output with
+// a machine-readable report mirroring BENCH_pipeline.json's style.
 //
 //===----------------------------------------------------------------------===//
 
-#include "detect/DetectorRunner.h"
+#include "api/AnalysisSession.h"
 #include "gen/Workloads.h"
-#include "hb/FastTrackDetector.h"
-#include "hb/HbDetector.h"
 #include "io/TraceFile.h"
-#include "lockset/EraserDetector.h"
 #include "pipeline/ChunkedReader.h"
-#include "pipeline/Pipeline.h"
+#include "support/Json.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -41,6 +43,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,19 +59,73 @@ struct Options {
   bool RunEraser = false;
   bool ShowStats = false;
   bool Pipeline = false;
+  bool Stream = false;
+  bool Json = false;
+  bool Balanced = false;
   unsigned Threads = 0; // 0 = hardware concurrency.
   uint64_t Window = 0;  // 0 = unwindowed.
   uint32_t Shards = 0;  // 0 = no per-variable sharding.
 };
 
-void runOne(const char *Name, Detector &D, const Trace &T,
-            TablePrinter &Table) {
-  RunResult R = runDetector(D, T);
-  Table.addRow({Name, std::to_string(R.Report.numDistinctPairs()),
-                std::to_string(R.Report.numInstances()),
-                std::to_string(R.Report.maxPairDistance()),
-                formatSeconds(R.Seconds)});
-  std::printf("%s findings:\n%s\n", Name, R.Report.str(T).c_str());
+/// WCP lane wrapper that publishes the detector's queue statistics (the
+/// paper's Table 1 column 11 telemetry) into a slot that outlives the
+/// detector — session lanes own and destroy their detectors, so the
+/// stats must escape before teardown.
+class WcpWithStats : public WcpDetector {
+public:
+  WcpWithStats(const Trace &T, std::shared_ptr<WcpStats> Slot)
+      : WcpDetector(T), Slot(std::move(Slot)) {}
+  void finish() override {
+    WcpDetector::finish();
+    *Slot = stats();
+  }
+
+private:
+  std::shared_ptr<WcpStats> Slot;
+};
+
+/// The machine-readable report: same field style as BENCH_pipeline.json
+/// so the two outputs can share tooling.
+std::string renderJson(const AnalysisResult &R, const AnalysisConfig &Cfg,
+                       bool Streamed) {
+  std::string J;
+  J += "{\n";
+  J += "  \"tool\": \"race_cli\",\n";
+  J += "  \"mode\": \"" + std::string(runModeName(Cfg.Mode)) + "\",\n";
+  J += "  \"streamed\": " + std::string(Streamed ? "true" : "false") + ",\n";
+  J += "  \"status\": " + jsonQuote(R.firstError().ok() ? "ok"
+                                                      : R.firstError().str()) +
+       ",\n";
+  J += "  \"events\": " + std::to_string(R.EventsIngested) + ",\n";
+  J += "  \"threads_used\": " + std::to_string(R.ThreadsUsed) + ",\n";
+  J += "  \"window_events\": " + std::to_string(Cfg.WindowEvents) + ",\n";
+  J += "  \"var_shards\": " + std::to_string(Cfg.VarShards) + ",\n";
+  J += "  \"shard_strategy\": \"" +
+       std::string(Cfg.Strategy == ShardStrategy::FrequencyBalanced
+                       ? "frequency-balanced"
+                       : "modulo") +
+       "\",\n";
+  J += "  \"wall_seconds\": " + jsonNum(R.WallSeconds) + ",\n";
+  J += "  \"ingest_seconds\": " + jsonNum(R.IngestSeconds) + ",\n";
+  J += "  \"lane_seconds_total\": " + jsonNum(R.laneSecondsTotal()) + ",\n";
+  J += "  \"tasks_stolen\": " + std::to_string(R.TasksStolen) + ",\n";
+  J += "  \"lanes\": [";
+  for (size_t L = 0; L != R.Lanes.size(); ++L) {
+    const LaneReport &Lane = R.Lanes[L];
+    if (L)
+      J += ",";
+    J += "\n    {\"detector\": " + jsonQuote(Lane.DetectorName) +
+         ", \"status\": " +
+         jsonQuote(Lane.LaneStatus.ok() ? "ok" : Lane.LaneStatus.str()) +
+         ", \"races\": " + std::to_string(Lane.Report.numDistinctPairs()) +
+         ", \"instances\": " + std::to_string(Lane.Report.numInstances()) +
+         ", \"maxdist\": " + std::to_string(Lane.Report.maxPairDistance()) +
+         ", \"seconds\": " + jsonNum(Lane.Seconds) +
+         ", \"events_consumed\": " + std::to_string(Lane.EventsConsumed) +
+         ", \"restarts\": " + std::to_string(Lane.Restarts) + "}";
+  }
+  J += "\n  ]\n}\n";
+  return J;
 }
 
 } // namespace
@@ -89,6 +146,12 @@ int main(int Argc, char **Argv) {
       Opts.ShowStats = true;
     else if (Arg == "--pipeline")
       Opts.Pipeline = true;
+    else if (Arg == "--stream")
+      Opts.Stream = true;
+    else if (Arg == "--json")
+      Opts.Json = true;
+    else if (Arg == "--balanced")
+      Opts.Balanced = true;
     else if (Arg == "--threads" && I + 1 < Argc)
       Opts.Threads =
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
@@ -110,164 +173,160 @@ int main(int Argc, char **Argv) {
                          "exclusive (windowed vs per-variable sharding)\n");
     return 1;
   }
+  if (Opts.Stream && (Opts.Window > 0 || Opts.Shards > 0)) {
+    std::fprintf(stderr, "error: --stream requires the sequential mode "
+                         "(windowed/var-sharded runs need the whole "
+                         "trace)\n");
+    return 1;
+  }
+  if (Opts.Stream && Opts.Path.empty()) {
+    std::fprintf(stderr, "error: --stream needs a trace file\n");
+    return 1;
+  }
+  if (Opts.Balanced && Opts.Shards == 0) {
+    std::fprintf(stderr, "error: --balanced requires --shards N\n");
+    return 1;
+  }
   if (Opts.Threads == 0) {
     // "--threads 0" (or an unparsable count) must not build a zero-worker
     // pool; clamp to the hardware concurrency the pool would default to.
     Opts.Threads = ThreadPool::defaultConcurrency();
   }
 
-  Trace T;
-  double IngestSeconds = 0;
-  if (Opts.Path.empty()) {
-    std::printf("no trace file given; analyzing the built-in 'mergesort' "
-                "workload model\n\n");
-    T = makeWorkload(workloadSpec("mergesort"));
+  // Flags → the one declarative config every mode shares.
+  AnalysisConfig Cfg;
+  Cfg.Threads = Opts.Threads;
+  if (Opts.Shards > 0) {
+    Cfg.Mode = RunMode::VarSharded;
+    Cfg.VarShards = Opts.Shards;
+    Cfg.Strategy = Opts.Balanced ? ShardStrategy::FrequencyBalanced
+                                 : ShardStrategy::Modulo;
+  } else if (Opts.Window > 0) {
+    Cfg.Mode = RunMode::Windowed;
+    Cfg.WindowEvents = Opts.Window;
   } else {
-    // Pipeline mode ingests in streaming chunks so raw file bytes never
-    // fully materialize; the classic path keeps the one-shot loader.
-    Timer Ingest;
-    TraceLoadResult Load =
-        Opts.Pipeline ? loadTraceFileChunked(Opts.Path) : loadTraceFile(Opts.Path);
-    if (!Load.Ok) {
-      std::fprintf(stderr, "error: %s\n", Load.Error.c_str());
-      return 1;
-    }
-    IngestSeconds = Ingest.seconds();
-    T = std::move(Load.T);
+    Cfg.Mode = RunMode::Sequential;
+  }
+  if (Opts.RunHb)
+    Cfg.addDetector(DetectorKind::Hb);
+  // WCP runs through the stats-publishing wrapper so the queue-peak
+  // telemetry (paper §4, Table 1 column 11) survives the lane's detector
+  // teardown.
+  auto WcpQueueStats = std::make_shared<WcpStats>();
+  if (Opts.RunWcp)
+    Cfg.addDetector(
+        [WcpQueueStats](const Trace &F) {
+          return std::make_unique<WcpWithStats>(F, WcpQueueStats);
+        },
+        "WCP");
+  if (Opts.RunFastTrack)
+    Cfg.addDetector(DetectorKind::FastTrack);
+  if (Opts.RunEraser)
+    Cfg.addDetector(DetectorKind::Eraser);
+  if (Status V = Cfg.validate(); !V.ok()) {
+    std::fprintf(stderr, "error: %s\n", V.str().c_str());
+    return 1;
   }
 
-  ValidationResult V = validateTrace(T);
-  if (!V.ok()) {
-    std::fprintf(stderr, "trace is not well-formed:\n%s", V.str().c_str());
-    return 1;
+  // Run: either a streaming session over the file (ingest overlaps
+  // analysis) or the one-shot batch path over an in-memory trace. The
+  // session (when used) stays alive so its trace can be rendered without
+  // a copy.
+  AnalysisResult R;
+  Trace Batch;
+  std::optional<AnalysisSession> Session;
+  double IngestSeconds = 0;
+  if (Opts.Stream) {
+    Session.emplace(Cfg);
+    Status Fed = Session->feedFile(Opts.Path);
+    if (!Fed.ok())
+      std::fprintf(stderr, "error: %s\n", Fed.str().c_str());
+    // Even on ingest failure, finish and render: the session's contract
+    // is that the validated/published prefix stays analyzed, and --json
+    // consumers always get a report (with the failure in its status).
+    R = Session->finish();
+    IngestSeconds = R.IngestSeconds;
+  } else {
+    if (Opts.Path.empty()) {
+      if (!Opts.Json)
+        std::printf("no trace file given; analyzing the built-in "
+                    "'mergesort' workload model\n\n");
+      Batch = makeWorkload(workloadSpec("mergesort"));
+    } else {
+      // Pipeline mode ingests in streaming chunks so raw file bytes
+      // never fully materialize; the classic path keeps the one-shot
+      // loader.
+      Timer Ingest;
+      TraceLoadResult Load = Opts.Pipeline ? loadTraceFileChunked(Opts.Path)
+                                           : loadTraceFile(Opts.Path);
+      if (!Load.Ok) {
+        std::fprintf(stderr, "error: %s\n", Load.status().str().c_str());
+        return 1;
+      }
+      IngestSeconds = Ingest.seconds();
+      Batch = std::move(Load.T);
+    }
+    ValidationResult V = validateTrace(Batch);
+    if (!V.ok()) {
+      std::fprintf(stderr, "trace is not well-formed:\n%s", V.str().c_str());
+      return 1;
+    }
+    R = analyzeTrace(Cfg, Batch);
+  }
+  const Trace &T = Opts.Stream ? Session->trace() : Batch;
+  // (Streamed traces are validated *inside* the session, event by event
+  // before publication — an ill-formed trace surfaces as a
+  // ValidationError in R.Overall, in --json mode too.)
+
+  if (Opts.Json) {
+    std::fputs(renderJson(R, Cfg, Opts.Stream).c_str(), stdout);
+    return R.ok() ? 0 : 1;
   }
 
   if (Opts.ShowStats)
     std::printf("%s\n", computeStats(T).str().c_str());
 
-  // The selected detector factories, shared by every analysis mode so the
-  // flag-to-factory mapping exists exactly once.
-  struct SelectedDetector {
-    const char *Name;
-    DetectorFactory Make;
-  };
-  std::vector<SelectedDetector> Selected;
-  if (Opts.RunHb)
-    Selected.push_back({"HB", [](const Trace &F) {
-                          return std::make_unique<HbDetector>(F);
-                        }});
-  if (Opts.RunWcp)
-    Selected.push_back({"WCP", [](const Trace &F) {
-                          return std::make_unique<WcpDetector>(F);
-                        }});
-  if (Opts.RunFastTrack)
-    Selected.push_back({"FastTrack", [](const Trace &F) {
-                          return std::make_unique<FastTrackDetector>(F);
-                        }});
-  if (Opts.RunEraser)
-    Selected.push_back({"Eraser", [](const Trace &F) {
-                          return std::make_unique<EraserDetector>(F);
-                        }});
-
+  bool LaneFailed = false;
   TablePrinter Table({"analysis", "races", "instances", "maxdist", "time"});
-  if (Opts.Pipeline) {
-    PipelineOptions POpts;
-    POpts.NumThreads = Opts.Threads;
-    POpts.ShardEvents = Opts.Window;
-    POpts.VarShards = Opts.Shards;
-    AnalysisPipeline Pipeline(POpts);
-    for (const SelectedDetector &S : Selected)
-      Pipeline.addDetector(S.Make, S.Name);
-
-    PipelineResult R = Pipeline.run(T);
-    bool LaneFailed = false;
-    for (const LaneResult &L : R.Lanes) {
-      if (!L.Error.empty()) {
-        std::fprintf(stderr, "error: %s lane failed: %s\n",
-                     L.DetectorName.c_str(), L.Error.c_str());
-        LaneFailed = true;
-        continue;
-      }
-      Table.addRow({L.DetectorName, std::to_string(L.Report.numDistinctPairs()),
-                    std::to_string(L.Report.numInstances()),
-                    std::to_string(L.Report.maxPairDistance()),
-                    formatSeconds(L.Seconds)});
-      std::printf("%s findings:\n%s\n", L.DetectorName.c_str(),
-                  L.Report.str(T).c_str());
+  for (const LaneReport &L : R.Lanes) {
+    if (!L.LaneStatus.ok()) {
+      std::fprintf(stderr, "error: %s lane failed: %s\n",
+                   L.DetectorName.c_str(), L.LaneStatus.str().c_str());
+      LaneFailed = true;
+      continue;
     }
-    Table.print();
-    std::printf("\npipeline: %u thread(s), %llu shard(s), %llu var "
-                "shard(s)/lane, %llu task(s) stolen\n",
-                R.ThreadsUsed, (unsigned long long)R.NumShards,
-                (unsigned long long)R.VarShards,
-                (unsigned long long)R.TasksStolen);
-    double LaneTotal = R.laneSecondsTotal();
-    std::printf("lane analysis %.3fs total in %.3fs wall", LaneTotal,
-                R.Seconds);
-    if (R.Seconds > 0 && LaneTotal > 0)
-      std::printf(" (%.2fx concurrency)", LaneTotal / R.Seconds);
-    std::printf("; ingest %.3fs\n", IngestSeconds);
-    return LaneFailed ? 1 : 0;
-  }
-  bool RunFailed = false;
-  if (Opts.Shards > 0) {
-    // Per-variable sharded single-detector runs: same reports as the
-    // sequential mode below, computed with --shards parallel check tasks.
-    for (const SelectedDetector &S : Selected) {
-      RunResult R = runDetectorSharded(S.Make, T, Opts.Shards, Opts.Threads);
-      if (!R.Error.empty()) {
-        // A failed task means a partial/empty report — never present it
-        // as "no races".
-        std::fprintf(stderr, "error: %s sharded run failed: %s\n", S.Name,
-                     R.Error.c_str());
-        RunFailed = true;
-        continue;
-      }
-      Table.addRow({R.DetectorName.empty() ? S.Name : R.DetectorName.c_str(),
-                    std::to_string(R.Report.numDistinctPairs()),
-                    std::to_string(R.Report.numInstances()),
-                    std::to_string(R.Report.maxPairDistance()),
-                    formatSeconds(R.Seconds)});
-      std::printf("%s findings (%u var shards):\n%s\n", S.Name, Opts.Shards,
-                  R.Report.str(T).c_str());
-    }
-  } else if (Opts.Window == 0) {
-    if (Opts.RunHb) {
-      HbDetector D(T);
-      runOne("HB", D, T, Table);
-    }
-    if (Opts.RunWcp) {
-      WcpDetector D(T);
-      runOne("WCP", D, T, Table);
-      std::printf("WCP queue peak: %llu abstract entries (%.2f%% of "
-                  "events)\n\n",
-                  (unsigned long long)D.stats().MaxAbstractQueueEntries,
-                  D.stats().maxQueuePercent(T.size()));
-    }
-    if (Opts.RunFastTrack) {
-      FastTrackDetector D(T);
-      runOne("FastTrack", D, T, Table);
-    }
-    if (Opts.RunEraser) {
-      EraserDetector D(T);
-      runOne("Eraser", D, T, Table);
-    }
-  } else {
-    for (const SelectedDetector &S : Selected) {
-      RunResult R = runDetectorWindowed(S.Make, T, Opts.Window);
-      if (!R.Error.empty()) {
-        std::fprintf(stderr, "error: %s windowed run failed: %s\n", S.Name,
-                     R.Error.c_str());
-        RunFailed = true;
-        continue;
-      }
-      Table.addRow({R.DetectorName.empty() ? S.Name : R.DetectorName.c_str(),
-                    std::to_string(R.Report.numDistinctPairs()),
-                    std::to_string(R.Report.numInstances()),
-                    std::to_string(R.Report.maxPairDistance()),
-                    formatSeconds(R.Seconds)});
-    }
+    Table.addRow({L.DetectorName, std::to_string(L.Report.numDistinctPairs()),
+                  std::to_string(L.Report.numInstances()),
+                  std::to_string(L.Report.maxPairDistance()),
+                  formatSeconds(L.Seconds)});
+    std::printf("%s findings:\n%s\n", L.DetectorName.c_str(),
+                L.Report.str(T).c_str());
   }
   Table.print();
-  return RunFailed ? 1 : 0;
+  // Whole-trace WCP runs expose the paper's queue telemetry; windowed
+  // runs restart WCP per window, so the slot would only hold the last
+  // window's peak — skip it there.
+  if (Opts.RunWcp && Opts.Window == 0)
+    std::printf("WCP queue peak: %llu abstract entries (%.2f%% of events)\n",
+                (unsigned long long)WcpQueueStats->MaxAbstractQueueEntries,
+                WcpQueueStats->maxQueuePercent(T.size()));
+  if (!R.Overall.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.Overall.str().c_str());
+    LaneFailed = true;
+  }
+
+  if (Opts.Pipeline || Opts.Stream || Opts.Window > 0 || Opts.Shards > 0) {
+    std::printf("\npipeline: %u thread(s), %llu shard(s), %llu var "
+                "shard(s)/lane%s\n",
+                R.ThreadsUsed, (unsigned long long)R.NumShards,
+                (unsigned long long)R.VarShards,
+                R.Streamed ? ", streamed" : "");
+    double LaneTotal = R.laneSecondsTotal();
+    std::printf("lane analysis %.3fs total in %.3fs wall", LaneTotal,
+                R.WallSeconds);
+    if (R.WallSeconds > 0 && LaneTotal > 0)
+      std::printf(" (%.2fx concurrency)", LaneTotal / R.WallSeconds);
+    std::printf("; ingest %.3fs\n", IngestSeconds);
+  }
+  return LaneFailed ? 1 : 0;
 }

@@ -1,0 +1,102 @@
+//===- api/AnalysisConfig.h - Declarative analysis configuration -*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single declarative configuration object behind every analysis entry
+/// point. What used to be scattered across runDetector / runDetectorWindowed
+/// / runDetectorSharded signatures and PipelineOptions flag combinations —
+/// detector selection, run mode, thread count, window size, shard count and
+/// shard strategy — is one AnalysisConfig with one validate() that rejects
+/// inconsistent combinations up front with a structured Status, instead of
+/// each entry point silently interpreting its own corner cases.
+///
+/// A config names its detectors either by kind (the built-in HB, WCP,
+/// FastTrack, Eraser) or by custom factory, and selects exactly one run
+/// mode:
+///
+///   Sequential  one independent full-trace walk per detector lane (the
+///               paper's unwindowed single-pass mode); lanes run
+///               concurrently and stream behind ingestion in sessions;
+///   Fused       one walk of the trace feeds every detector per event —
+///               N analyses for one trace traversal, on a single thread;
+///   Windowed    fixed-size event windows, fresh detector per window
+///               (the handicapped baseline of §4.3 — cross-window races
+///               are lost by design);
+///   VarSharded  per-variable sharded checks (bit-identical to
+///               Sequential for any shard count), with the shard
+///               assignment strategy selectable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_API_ANALYSISCONFIG_H
+#define RAPID_API_ANALYSISCONFIG_H
+
+#include "detect/DetectorRunner.h"
+#include "detect/ShardedAccessHistory.h"
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// The built-in detector families, plus Custom for caller factories.
+enum class DetectorKind : uint8_t { Hb, Wcp, FastTrack, Eraser, Custom };
+
+/// Stable display name: "HB", "WCP", "FastTrack", "Eraser", "custom".
+const char *detectorKindName(DetectorKind K);
+
+/// A factory for \p K's detector; empty for Custom (the spec carries its
+/// own factory then).
+DetectorFactory makeDetectorFactory(DetectorKind K);
+
+/// How the analysis walks the trace. See the file comment for semantics.
+enum class RunMode : uint8_t { Sequential, Fused, Windowed, VarSharded };
+
+/// Stable lowercase name: "sequential", "fused", "windowed", "var-sharded".
+const char *runModeName(RunMode M);
+
+/// One detector lane of a config: a built-in kind, or a custom factory.
+struct DetectorSpec {
+  DetectorKind Kind = DetectorKind::Custom;
+  /// Display-name override; empty resolves to the detector's own name().
+  std::string Name;
+  /// Required iff Kind == Custom; must be empty otherwise (validate()
+  /// rejects ambiguous specs that carry both a kind and a factory).
+  DetectorFactory Make;
+};
+
+/// Everything a session needs to know, in one validated object.
+struct AnalysisConfig {
+  std::vector<DetectorSpec> Detectors;
+  RunMode Mode = RunMode::Sequential;
+  /// Worker threads for the batch engines (0 = hardware concurrency).
+  /// Streaming sessions run one consumer thread per lane regardless.
+  unsigned Threads = 0;
+  /// Windowed mode only: events per window (must be > 0 there, 0 elsewhere).
+  uint64_t WindowEvents = 0;
+  /// VarSharded mode only: per-variable shards per lane (>= 1 there,
+  /// 0 elsewhere).
+  uint32_t VarShards = 0;
+  /// VarSharded mode only: how variables map to shards.
+  ShardStrategy Strategy = ShardStrategy::Modulo;
+  /// Streaming sessions: max events a lane consumes per batch — the
+  /// granularity of partial-report visibility and of restart checks.
+  uint64_t StreamBatchEvents = 8192;
+
+  /// Appends a built-in detector lane.
+  AnalysisConfig &addDetector(DetectorKind K, std::string Name = "");
+  /// Appends a custom-factory lane.
+  AnalysisConfig &addDetector(DetectorFactory Make, std::string Name = "");
+
+  /// Structured up-front validation; every entry point runs this before
+  /// touching a trace.
+  Status validate() const;
+};
+
+} // namespace rapid
+
+#endif // RAPID_API_ANALYSISCONFIG_H

@@ -1,0 +1,101 @@
+//===- api/AnalysisResult.h - Unified analysis outcome ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one result type of the analysis API, superseding the RunResult /
+/// PipelineResult / LaneResult trio: per-lane reports with structured
+/// per-lane statuses, plus run-wide timings and telemetry. The legacy
+/// types survive as adapters (detect/DetectorRunner.h) so existing callers
+/// keep their contracts, but new code should consume this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_API_ANALYSISRESULT_H
+#define RAPID_API_ANALYSISRESULT_H
+
+#include "detect/RaceReport.h"
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// One detector lane's outcome.
+struct LaneReport {
+  /// Resolved display name ("WCP", "HB[w=1000]", or the config override).
+  std::string DetectorName;
+  RaceReport Report;
+  /// Failure of this lane only; other lanes are unaffected. When set, the
+  /// report is partial or empty — never present it as "no races".
+  Status LaneStatus;
+  /// This lane's analysis time (≈ CPU seconds; concurrent lanes sum to
+  /// more than wall clock). Streaming lanes exclude time spent waiting
+  /// for ingestion to publish events.
+  double Seconds = 0;
+  /// Events this lane has processed (== EventsIngested on completion;
+  /// smaller in partial snapshots).
+  uint64_t EventsConsumed = 0;
+  /// Streaming lanes: how often the lane rebuilt its detector and
+  /// replayed the prefix because id tables grew mid-stream (always 0 when
+  /// tables were declared or carried up front, e.g. binary inputs).
+  uint64_t Restarts = 0;
+};
+
+/// Outcome of one analysis run or partial snapshot.
+struct AnalysisResult {
+  /// Config/ingest/session-level failure; lane failures live per lane.
+  Status Overall;
+  std::vector<LaneReport> Lanes;
+  uint64_t EventsIngested = 0;
+  /// Wall clock from session open to finish (or to this snapshot).
+  double WallSeconds = 0;
+  /// Producer-side ingestion time (feed/feedFile work, including parse).
+  double IngestSeconds = 0;
+  uint64_t NumShards = 1;   ///< Windowed mode: window count.
+  uint64_t VarShards = 0;   ///< Var-sharded mode: shards per lane.
+  uint64_t TasksStolen = 0; ///< Batch engines: work-stealing telemetry.
+  unsigned ThreadsUsed = 1;
+  /// True for partialResult() snapshots: lanes are mid-stream, reports
+  /// cover only EventsConsumed events and finish() has not run.
+  bool Partial = false;
+  /// True when detector lanes consumed published event ranges while
+  /// ingestion was still appending (the session's streaming engine).
+  bool Streamed = false;
+
+  /// True iff the run and every lane succeeded.
+  bool ok() const {
+    if (!Overall.ok())
+      return false;
+    for (const LaneReport &L : Lanes)
+      if (!L.LaneStatus.ok())
+        return false;
+    return true;
+  }
+
+  /// First failure for quick reporting: Overall if set, else the first
+  /// failed lane's status. Ok when ok().
+  Status firstError() const {
+    if (!Overall.ok())
+      return Overall;
+    for (const LaneReport &L : Lanes)
+      if (!L.LaneStatus.ok())
+        return L.LaneStatus;
+    return Status::success();
+  }
+
+  /// Sum of per-lane analysis seconds (the sequential-equivalent cost).
+  double laneSecondsTotal() const {
+    double Total = 0;
+    for (const LaneReport &L : Lanes)
+      Total += L.Seconds;
+    return Total;
+  }
+};
+
+} // namespace rapid
+
+#endif // RAPID_API_ANALYSISRESULT_H

@@ -1,0 +1,673 @@
+//===- api/AnalysisSession.cpp ------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// The streaming engine: a single-producer / multi-consumer publication
+// protocol over a growable trace. The producer (feed/feedFile on the
+// caller's thread) appends events and advances Published under the session
+// mutex; each lane's consumer thread copies bounded batches of the
+// published prefix out under the same mutex and runs its detector on them
+// outside it, so detector work — the expensive part — overlaps both
+// ingestion and the other lanes. Consumers never hold references into the
+// trace across an unlock (the event vector may reallocate), and all
+// per-lane state shared with partialResult() sits behind a per-lane
+// snapshot mutex. Batch modes (Windowed/VarSharded) reuse the pipeline
+// engine at finish(); the mode mapping lives in pipelineOptionsFor().
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/AnalysisSession.h"
+
+#include "pipeline/ChunkedReader.h"
+#include "pipeline/Pipeline.h"
+#include "support/Timer.h"
+#include "trace/TraceValidator.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace rapid;
+
+namespace {
+
+/// The id-table sizes a detector was constructed against. Location ids are
+/// deliberately absent: detectors never size state by location, so a new
+/// location must not trigger a restart.
+struct TableDims {
+  uint32_t Threads = 0;
+  uint32_t Locks = 0;
+  uint32_t Vars = 0;
+
+  bool operator==(const TableDims &O) const {
+    return Threads == O.Threads && Locks == O.Locks && Vars == O.Vars;
+  }
+  bool operator!=(const TableDims &O) const { return !(*this == O); }
+};
+
+TableDims dimsOf(const Trace &T) {
+  return TableDims{T.numThreads(), T.numLocks(), T.numVars()};
+}
+
+/// Maps a validated config onto the batch pipeline engine.
+PipelineOptions pipelineOptionsFor(const AnalysisConfig &Cfg) {
+  PipelineOptions Opts;
+  Opts.NumThreads = Cfg.Threads;
+  Opts.Parallel = Cfg.Mode != RunMode::Fused;
+  Opts.ShardEvents = Cfg.Mode == RunMode::Windowed ? Cfg.WindowEvents : 0;
+  Opts.VarShards = Cfg.Mode == RunMode::VarSharded ? Cfg.VarShards : 0;
+  Opts.VarShardStrategy = Cfg.Strategy;
+  return Opts;
+}
+
+AnalysisPipeline buildPipeline(const AnalysisConfig &Cfg) {
+  AnalysisPipeline P(pipelineOptionsFor(Cfg));
+  for (const DetectorSpec &S : Cfg.Detectors) {
+    DetectorFactory Make =
+        S.Kind == DetectorKind::Custom ? S.Make : makeDetectorFactory(S.Kind);
+    P.addDetector(std::move(Make), S.Name);
+  }
+  return P;
+}
+
+/// Converts the pipeline's result into the unified type; stringly lane
+/// errors become structured AnalysisError statuses.
+AnalysisResult convertPipelineResult(PipelineResult &&R, uint64_t NumEvents) {
+  AnalysisResult Out;
+  Out.Lanes.reserve(R.Lanes.size());
+  for (LaneResult &L : R.Lanes) {
+    LaneReport Lane;
+    Lane.DetectorName = std::move(L.DetectorName);
+    Lane.Report = std::move(L.Report);
+    Lane.Seconds = L.Seconds;
+    if (!L.Error.empty())
+      Lane.LaneStatus = Status(StatusCode::AnalysisError, std::move(L.Error));
+    else
+      Lane.EventsConsumed = NumEvents;
+    Out.Lanes.push_back(std::move(Lane));
+  }
+  Out.EventsIngested = NumEvents;
+  Out.WallSeconds = R.Seconds;
+  Out.IngestSeconds = R.IngestSeconds;
+  Out.NumShards = R.NumShards;
+  Out.VarShards = R.VarShards;
+  Out.TasksStolen = R.TasksStolen;
+  Out.ThreadsUsed = R.ThreadsUsed;
+  return Out;
+}
+
+} // namespace
+
+AnalysisResult rapid::analyzeTrace(const AnalysisConfig &Config,
+                                   const Trace &T) {
+  if (Status V = Config.validate(); !V.ok()) {
+    AnalysisResult R;
+    R.Overall = std::move(V);
+    return R;
+  }
+  return convertPipelineResult(buildPipeline(Config).run(T), T.size());
+}
+
+// ---- Session internals ------------------------------------------------------
+
+namespace {
+
+/// Per-lane runtime shared between its consumer thread and
+/// partialResult()/finish(). Fields below SnapM are guarded by it; the
+/// detector pointer is owned by the consumer but snapshot-read (report
+/// copy, name) under SnapM as well.
+struct LaneRuntime {
+  std::string Label;    ///< Config name override ("" = detector's name()).
+  std::string Fallback; ///< Kind name, for labeling failed lanes.
+  DetectorFactory Make;
+
+  std::mutex SnapM;
+  std::unique_ptr<Detector> D;
+  std::string Name;      ///< Resolved once the detector first exists.
+  RaceReport Final;      ///< Set by the consumer at drain time.
+  Status LaneStatus;
+  uint64_t Consumed = 0; ///< Events processed (post-restart progress).
+  uint64_t Restarts = 0;
+  double Seconds = 0;    ///< Processing time, excluding waits.
+  bool Done = false;
+};
+
+} // namespace
+
+struct AnalysisSession::Impl {
+  AnalysisConfig Cfg;
+  Status SessionStatus; ///< Sticky: config validation / ingestion failure.
+  Timer Wall;
+  double IngestSeconds = 0;
+
+  // Publication state (guarded by M, signaled via CV).
+  std::mutex M;
+  std::condition_variable CV;
+  Trace Owned;
+  const Trace *Live = &Owned; ///< Points into the reader during feedFile.
+  uint64_t Published = 0;
+  bool IngestDone = false;
+  bool Finished = false;
+  bool Ingested = false; ///< Any feed/declare has happened.
+
+  /// Producer-side §2.1 validation: detectors assume the trace axioms
+  /// (e.g. releases match held locks), so only the validated prefix is
+  /// ever published to lanes. Validated counts events certified OK; the
+  /// first violation sticks in SessionStatus and freezes publication.
+  StreamingTraceValidator Validator;
+  uint64_t Validated = 0;
+
+  bool Streaming = false; ///< Sequential/Fused: consumer threads running.
+  std::vector<std::unique_ptr<LaneRuntime>> Lanes;
+  std::vector<std::thread> Consumers;
+
+  void start();
+  void sequentialConsumer(LaneRuntime &Rt);
+  void fusedConsumer();
+  void buildDetectorLocked(LaneRuntime &Rt);
+  void stopConsumers();
+  Status ingestGate();
+  bool validateNewLocked();
+  void publishLocked();
+  AnalysisResult snapshotLanes(bool Partial);
+};
+
+/// Builds \p Rt's detector against the current tables. Caller holds M;
+/// takes SnapM (M → SnapM is the session's one lock order).
+void AnalysisSession::Impl::buildDetectorLocked(LaneRuntime &Rt) {
+  std::lock_guard<std::mutex> G(Rt.SnapM);
+  Rt.D = Rt.Make(*Live);
+  Rt.Name = Rt.Label.empty() ? Rt.D->name() : Rt.Label;
+}
+
+/// One lane of the sequential streaming mode: wait for published events,
+/// copy a bounded batch out, process it outside the session lock. Table
+/// growth rebuilds the detector and replays the prefix (bit-for-bit with
+/// the batch run; see the header comment).
+void AnalysisSession::Impl::sequentialConsumer(LaneRuntime &Rt) {
+  const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
+  std::vector<Event> Buf;
+  uint64_t Consumed = 0;
+  TableDims Built;
+  try {
+    for (;;) {
+      uint64_t From;
+      {
+        std::unique_lock<std::mutex> Lk(M);
+        CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+        TableDims Cur = dimsOf(*Live);
+        if (Rt.D && Cur != Built) {
+          std::lock_guard<std::mutex> G(Rt.SnapM);
+          Rt.D.reset();
+          Rt.Consumed = Consumed = 0;
+          ++Rt.Restarts;
+        }
+        if (Published == Consumed) {
+          if (IngestDone)
+            break;
+          continue;
+        }
+        if (!Rt.D) {
+          buildDetectorLocked(Rt);
+          Built = Cur;
+        }
+        From = Consumed;
+        uint64_t To = std::min(Published, From + Batch);
+        const std::vector<Event> &Events = Live->events();
+        Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
+                   Events.begin() + static_cast<ptrdiff_t>(To));
+      }
+      {
+        std::lock_guard<std::mutex> G(Rt.SnapM);
+        Timer Clock;
+        for (uint64_t K = 0; K != Buf.size(); ++K)
+          Rt.D->processEvent(Buf[K], From + K);
+        Rt.Seconds += Clock.seconds();
+        Consumed = From + Buf.size();
+        Rt.Consumed = Consumed;
+      }
+    }
+    {
+      // Zero-event sessions still owe a constructed detector (runDetector
+      // on an empty trace constructs, finishes and names one too).
+      std::unique_lock<std::mutex> Lk(M);
+      if (!Rt.D)
+        buildDetectorLocked(Rt);
+    }
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.D->finish();
+    Rt.Final = Rt.D->report();
+    Rt.Done = true;
+  } catch (const std::exception &E) {
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.LaneStatus = Status(StatusCode::AnalysisError, E.what());
+    Rt.Done = true;
+  } catch (...) {
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.LaneStatus = Status(StatusCode::AnalysisError, "unknown exception");
+    Rt.Done = true;
+  }
+}
+
+/// The fused streaming mode: one consumer drives every lane through the
+/// same batch walk, so N detectors cost one pass over the published
+/// prefix. A lane that throws is marked failed and dropped from the walk;
+/// the others continue.
+void AnalysisSession::Impl::fusedConsumer() {
+  const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
+  std::vector<Event> Buf;
+  uint64_t Consumed = 0;
+  TableDims Built;
+  bool Constructed = false;
+  std::vector<bool> Failed(Lanes.size(), false);
+
+  auto failLane = [&](size_t L, const char *What) {
+    std::lock_guard<std::mutex> G(Lanes[L]->SnapM);
+    Lanes[L]->LaneStatus = Status(StatusCode::AnalysisError, What);
+    Lanes[L]->Done = true;
+    Failed[L] = true;
+  };
+  auto guarded = [&](size_t L, auto &&Body) {
+    if (Failed[L])
+      return;
+    try {
+      Body();
+    } catch (const std::exception &E) {
+      failLane(L, E.what());
+    } catch (...) {
+      failLane(L, "unknown exception");
+    }
+  };
+
+  for (;;) {
+    uint64_t From;
+    {
+      std::unique_lock<std::mutex> Lk(M);
+      CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+      TableDims Cur = dimsOf(*Live);
+      if (Constructed && Cur != Built) {
+        for (size_t L = 0; L != Lanes.size(); ++L) {
+          if (Failed[L])
+            continue;
+          std::lock_guard<std::mutex> G(Lanes[L]->SnapM);
+          Lanes[L]->D.reset();
+          Lanes[L]->Consumed = 0;
+          ++Lanes[L]->Restarts;
+        }
+        Consumed = 0;
+        Constructed = false;
+      }
+      if (Published == Consumed) {
+        if (IngestDone)
+          break;
+        continue;
+      }
+      if (!Constructed) {
+        for (size_t L = 0; L != Lanes.size(); ++L)
+          guarded(L, [&] { buildDetectorLocked(*Lanes[L]); });
+        Built = Cur;
+        Constructed = true;
+      }
+      From = Consumed;
+      uint64_t To = std::min(Published, From + Batch);
+      const std::vector<Event> &Events = Live->events();
+      Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
+                 Events.begin() + static_cast<ptrdiff_t>(To));
+    }
+    for (size_t L = 0; L != Lanes.size(); ++L) {
+      guarded(L, [&] {
+        LaneRuntime &Rt = *Lanes[L];
+        std::lock_guard<std::mutex> G(Rt.SnapM);
+        Timer Clock;
+        for (uint64_t K = 0; K != Buf.size(); ++K)
+          Rt.D->processEvent(Buf[K], From + K);
+        Rt.Seconds += Clock.seconds();
+        Rt.Consumed = From + Buf.size();
+      });
+    }
+    Consumed = From + Buf.size();
+  }
+  {
+    std::unique_lock<std::mutex> Lk(M);
+    if (!Constructed)
+      for (size_t L = 0; L != Lanes.size(); ++L)
+        guarded(L, [&] { buildDetectorLocked(*Lanes[L]); });
+  }
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    guarded(L, [&] {
+      LaneRuntime &Rt = *Lanes[L];
+      std::lock_guard<std::mutex> G(Rt.SnapM);
+      Rt.D->finish();
+      Rt.Final = Rt.D->report();
+      Rt.Done = true;
+    });
+  }
+}
+
+void AnalysisSession::Impl::start() {
+  SessionStatus = Cfg.validate();
+  if (!SessionStatus.ok())
+    return;
+  Streaming = Cfg.Mode == RunMode::Sequential || Cfg.Mode == RunMode::Fused;
+  Lanes.reserve(Cfg.Detectors.size());
+  for (const DetectorSpec &S : Cfg.Detectors) {
+    auto Rt = std::make_unique<LaneRuntime>();
+    Rt->Label = S.Name;
+    Rt->Fallback = S.Name.empty() ? detectorKindName(S.Kind) : S.Name;
+    Rt->Make =
+        S.Kind == DetectorKind::Custom ? S.Make : makeDetectorFactory(S.Kind);
+    Lanes.push_back(std::move(Rt));
+  }
+  if (!Streaming)
+    return;
+  if (Cfg.Mode == RunMode::Sequential) {
+    for (auto &Rt : Lanes)
+      Consumers.emplace_back(
+          [this, R = Rt.get()] { sequentialConsumer(*R); });
+  } else {
+    Consumers.emplace_back([this] { fusedConsumer(); });
+  }
+}
+
+void AnalysisSession::Impl::stopConsumers() {
+  {
+    std::lock_guard<std::mutex> Lk(M);
+    IngestDone = true;
+  }
+  CV.notify_all();
+  for (std::thread &T : Consumers)
+    T.join();
+  Consumers.clear();
+}
+
+/// Common precondition of every ingest call.
+Status AnalysisSession::Impl::ingestGate() {
+  if (!SessionStatus.ok())
+    return SessionStatus;
+  if (Finished)
+    return Status(StatusCode::InvalidState,
+                  "session is finished; feeds are no longer accepted");
+  return Status::success();
+}
+
+/// Validates events [Validated, Live->size()) in trace order; stops at
+/// the first violation, which sticks in SessionStatus. Returns true while
+/// clean. Caller holds M.
+bool AnalysisSession::Impl::validateNewLocked() {
+  const std::vector<Event> &Events = Live->events();
+  while (Validated < Events.size()) {
+    Validator.feed(Events[Validated], Validated, *Live);
+    if (!Validator.ok()) {
+      const TraceViolation &V = Validator.result().Violations.front();
+      SessionStatus =
+          Status(StatusCode::ValidationError,
+                 "event " + std::to_string(V.Index) + ": " + V.Message +
+                     " (events up to " + std::to_string(Validated) +
+                     " were analyzed)");
+      return false;
+    }
+    ++Validated;
+  }
+  return true;
+}
+
+/// Advances the published prefix to the validated one. Caller holds M.
+void AnalysisSession::Impl::publishLocked() { Published = Validated; }
+
+AnalysisResult AnalysisSession::Impl::snapshotLanes(bool Partial) {
+  AnalysisResult R;
+  R.Partial = Partial;
+  R.Streamed = Streaming;
+  R.Lanes.reserve(Lanes.size());
+  for (auto &RtPtr : Lanes) {
+    LaneRuntime &Rt = *RtPtr;
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    LaneReport Lane;
+    Lane.DetectorName = Rt.Name.empty() ? Rt.Fallback : Rt.Name;
+    Lane.LaneStatus = Rt.LaneStatus;
+    Lane.Seconds = Rt.Seconds;
+    Lane.EventsConsumed = Rt.Consumed;
+    Lane.Restarts = Rt.Restarts;
+    if (Rt.Done)
+      Lane.Report = Rt.Final;
+    else if (Rt.D)
+      Lane.Report = Rt.D->report(); // Mid-stream copy: races so far.
+    R.Lanes.push_back(std::move(Lane));
+  }
+  return R;
+}
+
+// ---- Public surface ---------------------------------------------------------
+
+AnalysisSession::AnalysisSession(AnalysisConfig Config)
+    : I(std::make_unique<Impl>()) {
+  I->Cfg = std::move(Config);
+  I->start();
+}
+
+AnalysisSession::~AnalysisSession() {
+  if (I)
+    I->stopConsumers();
+}
+
+const AnalysisConfig &AnalysisSession::config() const { return I->Cfg; }
+const Status &AnalysisSession::status() const { return I->SessionStatus; }
+
+ThreadId AnalysisSession::declareThread(std::string_view Name) {
+  std::lock_guard<std::mutex> Lk(I->M);
+  I->Ingested = true;
+  return ThreadId(I->Owned.threadTable().intern(Name));
+}
+LockId AnalysisSession::declareLock(std::string_view Name) {
+  std::lock_guard<std::mutex> Lk(I->M);
+  I->Ingested = true;
+  return LockId(I->Owned.lockTable().intern(Name));
+}
+VarId AnalysisSession::declareVar(std::string_view Name) {
+  std::lock_guard<std::mutex> Lk(I->M);
+  I->Ingested = true;
+  return VarId(I->Owned.varTable().intern(Name));
+}
+LocId AnalysisSession::declareLoc(std::string_view Name) {
+  std::lock_guard<std::mutex> Lk(I->M);
+  I->Ingested = true;
+  return LocId(I->Owned.locTable().intern(Name));
+}
+
+Status AnalysisSession::declareTablesFrom(const Trace &T) {
+  if (Status G = I->ingestGate(); !G.ok())
+    return G;
+  std::lock_guard<std::mutex> Lk(I->M);
+  if (I->Ingested || I->Owned.size() != 0)
+    return Status(StatusCode::InvalidState,
+                  "declareTablesFrom requires an empty session");
+  I->Owned.adoptTables(T);
+  I->Ingested = true;
+  return Status::success();
+}
+
+Status AnalysisSession::feed(const Event &E) {
+  return feed(std::vector<Event>{E});
+}
+
+Status AnalysisSession::feed(const std::vector<Event> &Batch) {
+  if (Status G = I->ingestGate(); !G.ok())
+    return G;
+  Timer Ingest;
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    I->Ingested = true;
+    for (size_t K = 0; K != Batch.size(); ++K) {
+      if (!I->Owned.containsIds(Batch[K]))
+        return Status(StatusCode::ValidationError,
+                      "event " + std::to_string(K) +
+                          " references undeclared ids; declare names (or "
+                          "declareTablesFrom) before feeding");
+    }
+    for (const Event &E : Batch)
+      I->Owned.append(E);
+    bool Clean = I->validateNewLocked();
+    I->publishLocked();
+    I->IngestSeconds += Ingest.seconds();
+    if (!Clean) {
+      I->CV.notify_all();
+      return I->SessionStatus;
+    }
+  }
+  I->CV.notify_all();
+  return Status::success();
+}
+
+Status AnalysisSession::feedTrace(const Trace &T) {
+  if (Status G = I->ingestGate(); !G.ok())
+    return G;
+  Timer Ingest;
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    if (I->Ingested || I->Owned.size() != 0)
+      return Status(StatusCode::InvalidState,
+                    "feedTrace requires an empty session (it adopts the "
+                    "trace's id tables)");
+    I->Ingested = true;
+    I->Owned.adoptTables(T);
+    I->Owned.reserve(T.size());
+    for (const Event &E : T.events())
+      I->Owned.append(E);
+    bool Clean = I->validateNewLocked();
+    I->publishLocked();
+    I->IngestSeconds += Ingest.seconds();
+    if (!Clean) {
+      I->CV.notify_all();
+      return I->SessionStatus;
+    }
+  }
+  I->CV.notify_all();
+  return Status::success();
+}
+
+Status AnalysisSession::feedFile(const std::string &Path) {
+  if (Status G = I->ingestGate(); !G.ok())
+    return G;
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    if (I->Ingested || I->Owned.size() != 0)
+      return Status(StatusCode::InvalidState,
+                    "feedFile requires an empty session (one file per "
+                    "session; it adopts the file's id tables)");
+    I->Ingested = true;
+  }
+  Timer Ingest;
+  ChunkedTraceReader Reader(Path);
+  // The reader's internal trace becomes the live published trace while
+  // the loop runs: chunk parsing mutates it under the session mutex, and
+  // publication only advances once the id tables can no longer change
+  // (binary: right after the header; text: at EOF), so consumer-side
+  // restarts never trigger here.
+  bool Poisoned = false;
+  while (!Reader.done() && !Poisoned) {
+    bool Advanced = false;
+    {
+      std::lock_guard<std::mutex> Lk(I->M);
+      I->Live = &Reader.current();
+      Reader.nextChunk();
+      I->Live = &Reader.current();
+      if (Reader.ok()) {
+        // Only the §2.1-validated prefix may reach live lanes; a
+        // violation freezes publication (and ingestion) right here.
+        Poisoned = !I->validateNewLocked();
+        if (Reader.tablesComplete() && I->Validated > I->Published) {
+          I->publishLocked();
+          Advanced = true;
+        }
+      }
+    }
+    if (Advanced)
+      I->CV.notify_all();
+  }
+  Status ReadStatus = Reader.status();
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    // Move the trace into the session before the reader dies. On success
+    // everything validated publishes (covers the text path); on failure
+    // the already published prefix stays analyzable and the first error
+    // sticks.
+    I->Owned = Reader.take();
+    I->Live = &I->Owned;
+    if (!Poisoned)
+      I->validateNewLocked();
+    if (I->SessionStatus.ok() && !ReadStatus.ok())
+      I->SessionStatus = ReadStatus;
+    I->publishLocked();
+    I->IngestSeconds += Ingest.seconds();
+  }
+  I->CV.notify_all();
+  return I->SessionStatus;
+}
+
+uint64_t AnalysisSession::eventsFed() const {
+  std::lock_guard<std::mutex> Lk(I->M);
+  return I->Live->size();
+}
+
+bool AnalysisSession::finished() const {
+  std::lock_guard<std::mutex> Lk(I->M);
+  return I->Finished;
+}
+
+AnalysisResult AnalysisSession::partialResult() {
+  uint64_t Ingested;
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    if (I->Finished) {
+      AnalysisResult R;
+      R.Overall = Status(StatusCode::InvalidState,
+                         "session is finished; partialResult is only "
+                         "available mid-stream");
+      return R;
+    }
+    Ingested = I->Published;
+  }
+  AnalysisResult R = I->snapshotLanes(/*Partial=*/true);
+  R.Overall = I->SessionStatus;
+  R.EventsIngested = Ingested;
+  R.WallSeconds = I->Wall.seconds();
+  R.IngestSeconds = I->IngestSeconds;
+  R.ThreadsUsed = static_cast<unsigned>(
+      I->Streaming ? std::max<size_t>(I->Consumers.size(), 1) : 1);
+  return R;
+}
+
+AnalysisResult AnalysisSession::finish() {
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    if (I->Finished) {
+      AnalysisResult R;
+      R.Overall = Status(StatusCode::InvalidState, "finish() already called");
+      return R;
+    }
+    I->Finished = true;
+  }
+  unsigned NumConsumers = static_cast<unsigned>(I->Consumers.size());
+  I->stopConsumers();
+
+  AnalysisResult R;
+  if (I->Streaming) {
+    R = I->snapshotLanes(/*Partial=*/false);
+    R.ThreadsUsed = std::max(NumConsumers, 1u);
+  } else {
+    // Windowed/VarSharded: the whole trace is required, so the batch
+    // engine runs here. Skip it if ingestion failed — a partial trace
+    // would silently change windowing.
+    if (I->SessionStatus.ok())
+      R = convertPipelineResult(buildPipeline(I->Cfg).run(I->Owned),
+                                I->Owned.size());
+  }
+  R.Overall = I->SessionStatus;
+  R.EventsIngested = I->Published;
+  R.WallSeconds = I->Wall.seconds();
+  R.IngestSeconds = I->IngestSeconds;
+  return R;
+}
+
+const Trace &AnalysisSession::trace() const { return *I->Live; }

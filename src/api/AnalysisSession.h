@@ -1,0 +1,148 @@
+//===- api/AnalysisSession.h - Push-based streaming analysis ----*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session-oriented analysis API: the paper's single-linear-pass claim,
+/// turned into a surface where the pass can *start before the trace ends*.
+/// A session is opened from one validated AnalysisConfig, fed events
+/// incrementally (push batches or a whole file), queried for partial
+/// reports mid-stream, and finished into one AnalysisResult:
+///
+///   AnalysisSession S(Config);        // validated up front
+///   S.feedFile("trace.bin");          // or declare*/feed(Event) pushes
+///   AnalysisResult Mid = S.partialResult();   // races so far
+///   AnalysisResult R = S.finish();    // joins lanes, full result
+///
+/// In Sequential and Fused modes the session runs a streaming engine:
+/// ingestion publishes a growing event prefix (single producer) and each
+/// detector lane consumes published ranges on its own thread (multiple
+/// consumers), so analysis overlaps ingestion — the ROADMAP's
+/// "overlap ingestion with analysis" seam. Reports are bit-identical to
+/// the batch entry points: a lane is just runDetector's walk, spread over
+/// time.
+///
+/// Detectors are constructed against the id tables (threads/locks/vars)
+/// visible when a lane first has work. If tables grow afterwards — text
+/// inputs intern lazily; push feeds may declare late — the lane restarts:
+/// it rebuilds its detector and replays the (stable, append-only) prefix,
+/// preserving bit-for-bit results at the cost of replay time. Binary
+/// inputs carry all tables in their header, so feedFile(".bin") streams
+/// with zero restarts; push callers get the same by declaring names (or
+/// declareTablesFrom) before feeding. Text files are ingested fully before
+/// publication (no overlap) rather than risking a restart per new name.
+///
+/// Windowed and VarSharded modes need the whole trace (window splitting /
+/// the capture pass), so sessions in those modes buffer feeds and run the
+/// batch engine at finish(); partial results report ingestion progress
+/// with empty lanes.
+///
+/// Because lanes analyze events *live*, the session validates the §2.1
+/// trace axioms on the producer side (trace/TraceValidator's streaming
+/// form) before publication — detectors assume well-formed traces, and
+/// an unvalidated release-without-acquire reaching a live lane would be
+/// undefined behaviour. The first violation freezes ingestion with a
+/// sticky ValidationError; everything validated up to it stays analyzed.
+/// (The zero-copy analyzeTrace() below does NOT validate, preserving the
+/// legacy entry points' exact contracts — batch callers validate
+/// themselves, as race_cli always has.)
+///
+/// Sessions are single-producer: feeds and finish() must come from one
+/// thread (partialResult may race only with the consumers, which is
+/// supported). Errors are structured Statuses throughout — feeding a
+/// finished session, double finish, unknown ids and IO/parse failures all
+/// come back as codes, not strings to grep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_API_ANALYSISSESSION_H
+#define RAPID_API_ANALYSISSESSION_H
+
+#include "api/AnalysisConfig.h"
+#include "api/AnalysisResult.h"
+#include "trace/Trace.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapid {
+
+/// A push-based analysis session. See the file comment for the model.
+class AnalysisSession {
+public:
+  /// Opens a session; config validation failure is reported via status()
+  /// and by every subsequent call.
+  explicit AnalysisSession(AnalysisConfig Config);
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  const AnalysisConfig &config() const;
+  /// The sticky session status: config validation or ingestion failures.
+  const Status &status() const;
+
+  /// Name declaration for push ingestion: interns into the session's id
+  /// tables and returns the id to use in fed events. Declaring every name
+  /// before the first feed keeps streaming lanes restart-free.
+  ThreadId declareThread(std::string_view Name);
+  LockId declareLock(std::string_view Name);
+  VarId declareVar(std::string_view Name);
+  LocId declareLoc(std::string_view Name);
+  /// Adopts \p T's id tables wholesale (the push equivalent of a binary
+  /// header). Only valid before any events or names exist.
+  Status declareTablesFrom(const Trace &T);
+
+  /// Appends one event / a batch. Ids must already be declared; undeclared
+  /// ids reject the whole batch with ValidationError (nothing is appended).
+  Status feed(const Event &E);
+  Status feed(const std::vector<Event> &Batch);
+
+  /// Bulk-adopts a whole in-memory trace (tables + events). Only valid as
+  /// the first ingestion; copies the trace. Prefer analyzeTrace() for
+  /// zero-copy one-shot batch runs.
+  Status feedTrace(const Trace &T);
+
+  /// Streams the file at \p Path through the chunked reader into the
+  /// session. Binary inputs publish to the lanes chunk by chunk (analysis
+  /// overlaps ingestion); text inputs publish once fully parsed. Must be
+  /// the first ingestion; on failure the already-published prefix keeps
+  /// its partial lane reports and the session status carries the error.
+  Status feedFile(const std::string &Path);
+
+  /// Events ingested (== published to lanes, except during a text
+  /// feedFile, where publication happens at the end).
+  uint64_t eventsFed() const;
+  bool finished() const;
+
+  /// Mid-stream snapshot: per-lane races discovered so far, events
+  /// consumed, restarts. Lanes are empty (ingest progress only) in
+  /// Windowed/VarSharded modes, which analyze at finish().
+  AnalysisResult partialResult();
+
+  /// Ends ingestion, drains and joins the lanes (or runs the batch engine
+  /// for Windowed/VarSharded), and returns the unified result. A second
+  /// finish() returns InvalidState; feeds after finish() are rejected.
+  AnalysisResult finish();
+
+  /// The ingested trace (for rendering reports). Stable once finish()
+  /// returned; do not call while feeds are still possible.
+  const Trace &trace() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// One-shot batch convenience: validates \p Config and analyzes \p T in
+/// place (zero-copy — no session trace is built). Reports are
+/// bit-identical to what a session fed the same events would produce.
+AnalysisResult analyzeTrace(const AnalysisConfig &Config, const Trace &T);
+
+} // namespace rapid
+
+#endif // RAPID_API_ANALYSISSESSION_H

@@ -24,6 +24,16 @@ namespace rapid {
 
 class AccessLog;
 
+/// How a capture-capable detector's deferred checks are replayed inside a
+/// per-variable shard (detect/ShardedAccessHistory.h). Most detectors
+/// replay through the shared full-history AccessHistory; FastTrack keeps
+/// epoch/last-access state per variable instead, so its shard replay runs
+/// the epoch algorithm.
+enum class ShardReplay : uint8_t {
+  FullHistory,    ///< AccessHistory checkRead/checkWrite + record (HB, WCP).
+  FastTrackEpoch, ///< FastTrack's epoch checks, replayed per variable.
+};
+
 /// Abstract streaming race detector.
 class Detector {
 public:
@@ -42,6 +52,10 @@ public:
     (void)Log;
     return false;
   }
+
+  /// Which replay engine the shard phase must use for this detector's
+  /// deferred checks. Only meaningful when beginCapture returned true.
+  virtual ShardReplay shardReplay() const { return ShardReplay::FullHistory; }
 
   /// Called once after the last event; detectors with buffered state may
   /// flush diagnostics here.

@@ -3,17 +3,19 @@
 // Part of rapidpp (PLDI'17 WCP reproduction).
 //
 // runDetector is the timed full-trace walk every analysis mode shares: the
-// pipeline's lane tasks call it for unsharded runs, and the tests pin
-// pipeline output against it. runDetectorWindowed is now a thin adapter
-// over a single-lane sharded pipeline (run inline, on the caller's
-// thread), so there is exactly one implementation of shard/merge logic in
-// the repo.
+// session's lanes and the pipeline's tasks both call it, and the tests pin
+// every parallel mode's output against it. The windowed/sharded free
+// functions are thin deprecated adapters over the session API
+// (api/AnalysisSession.h): each builds the equivalent AnalysisConfig, runs
+// the one-shot batch path and translates the unified result back into the
+// legacy RunResult shape — so there is exactly one implementation of the
+// mode mapping in the repo and the old bit-for-bit contracts ride on it.
 //
 //===----------------------------------------------------------------------===//
 
 #include "detect/DetectorRunner.h"
 
-#include "pipeline/Pipeline.h"
+#include "api/AnalysisSession.h"
 #include "support/Timer.h"
 
 using namespace rapid;
@@ -33,46 +35,51 @@ RunResult rapid::runDetector(Detector &D, const Trace &T) {
   return Result;
 }
 
+namespace {
+
+/// Shared tail of the legacy adapters: one-lane AnalysisResult → RunResult.
+RunResult toRunResult(AnalysisResult &&R, double Seconds) {
+  RunResult Result;
+  Result.Seconds = Seconds;
+  if (!R.Lanes.empty()) {
+    LaneReport &Lane = R.Lanes.front();
+    Result.Report = std::move(Lane.Report);
+    Result.DetectorName = std::move(Lane.DetectorName);
+    if (!Lane.LaneStatus.ok())
+      Result.Error = Lane.LaneStatus.Message;
+  }
+  if (Result.Error.empty() && !R.Overall.ok())
+    Result.Error = R.Overall.Message;
+  return Result;
+}
+
+} // namespace
+
 RunResult rapid::runDetectorWindowed(const DetectorFactory &Make,
                                      const Trace &T, uint64_t WindowSize) {
   Timer Clock;
-  PipelineOptions Opts;
-  Opts.ShardEvents = WindowSize;
-  Opts.Parallel = false; // The windowed baseline stays single-threaded.
-  AnalysisPipeline Pipeline(Opts);
-  Pipeline.addDetector(Make);
-  PipelineResult R = Pipeline.run(T);
-
-  RunResult Result;
-  Result.Seconds = Clock.seconds();
-  if (!R.Lanes.empty()) {
-    Result.Report = std::move(R.Lanes.front().Report);
-    Result.DetectorName = std::move(R.Lanes.front().DetectorName);
-    Result.Error = std::move(R.Lanes.front().Error);
+  AnalysisConfig Cfg;
+  Cfg.addDetector(Make);
+  if (WindowSize == 0) {
+    // Degenerate call: no windowing requested — the single fused walk the
+    // old implementation performed.
+    Cfg.Mode = RunMode::Fused;
+  } else {
+    Cfg.Mode = RunMode::Windowed;
+    Cfg.WindowEvents = WindowSize;
+    Cfg.Threads = 1; // The windowed baseline stays single-threaded.
   }
-  return Result;
+  return toRunResult(analyzeTrace(Cfg, T), Clock.seconds());
 }
 
 RunResult rapid::runDetectorSharded(const DetectorFactory &Make,
                                     const Trace &T, uint32_t NumShards,
                                     unsigned NumThreads) {
-  // Thin adapter over a single-lane var-sharded pipeline, mirroring how
-  // runDetectorWindowed adapts over the window-sharded one — the shard,
-  // broadcast and merge logic each exist exactly once in the repo.
   Timer Clock;
-  PipelineOptions Opts;
-  Opts.VarShards = NumShards == 0 ? 1 : NumShards;
-  Opts.NumThreads = NumThreads;
-  AnalysisPipeline Pipeline(Opts);
-  Pipeline.addDetector(Make);
-  PipelineResult R = Pipeline.run(T);
-
-  RunResult Result;
-  Result.Seconds = Clock.seconds();
-  if (!R.Lanes.empty()) {
-    Result.Report = std::move(R.Lanes.front().Report);
-    Result.DetectorName = std::move(R.Lanes.front().DetectorName);
-    Result.Error = std::move(R.Lanes.front().Error);
-  }
-  return Result;
+  AnalysisConfig Cfg;
+  Cfg.addDetector(Make);
+  Cfg.Mode = RunMode::VarSharded;
+  Cfg.VarShards = NumShards == 0 ? 1 : NumShards;
+  Cfg.Threads = NumThreads;
+  return toRunResult(analyzeTrace(Cfg, T), Clock.seconds());
 }

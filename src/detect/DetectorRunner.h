@@ -7,9 +7,14 @@
 /// \file
 /// Drives a streaming detector over a full trace (the unwindowed mode the
 /// paper insists on) or over fixed-size windows (the handicapped mode other
-/// sound tools are forced into, §1/§4), timing the analysis. The windowed
-/// mode is a thin adapter over pipeline/Pipeline, which owns the
-/// shard/merge logic; multi-detector and multi-threaded runs live there.
+/// sound tools are forced into, §1/§4), timing the analysis.
+///
+/// runDetector is the shared primitive walk every engine builds on. The
+/// windowed/sharded free functions below are *legacy adapters* kept for
+/// their bit-for-bit contracts: they now delegate to the session API
+/// (api/AnalysisSession.h), whose AnalysisConfig/AnalysisResult supersede
+/// the per-function parameter lists and this file's RunResult. New code
+/// should target the session API directly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,7 +28,9 @@
 
 namespace rapid {
 
-/// Outcome of one analysis run.
+/// Outcome of one analysis run. Legacy shape: superseded by
+/// api/AnalysisResult.h's AnalysisResult (which carries structured Status
+/// errors instead of the stringly Error below); kept for the adapters.
 struct RunResult {
   RaceReport Report;
   double Seconds = 0;

@@ -38,6 +38,7 @@
 #define RAPID_DETECT_SHARDEDACCESSHISTORY_H
 
 #include "detect/AccessHistory.h"
+#include "detect/Detector.h"
 #include "detect/RaceReport.h"
 
 #include <cstdint>
@@ -45,20 +46,63 @@
 
 namespace rapid {
 
-/// Assignment of variables to shards: variable x lives in shard
-/// x mod NumShards, with dense per-shard local ids x div NumShards.
-struct ShardPlan {
-  uint32_t NumShards = 1;
+/// How variables are assigned to shards.
+enum class ShardStrategy : uint8_t {
+  /// x mod N: stateless, zero setup cost, balanced when accesses are
+  /// spread evenly over the variable space. The default.
+  Modulo,
+  /// Greedy bin-packing on per-variable access counts (longest-processing-
+  /// time-first): heavier variables are placed first, each onto the
+  /// currently lightest shard. Balances skewed traces — a few hot
+  /// variables no longer pile onto one shard — at the cost of one counting
+  /// pass over the access log.
+  FrequencyBalanced,
+};
 
-  uint32_t shardOf(VarId V) const { return V.value() % NumShards; }
-  uint32_t localIdOf(VarId V) const { return V.value() / NumShards; }
+/// Assignment of variables to shards. Default-constructed plans use the
+/// modulo strategy: variable x lives in shard x mod NumShards, with dense
+/// per-shard local ids x div NumShards. Table-based plans (see
+/// balancedByFrequency) carry an explicit per-variable assignment instead.
+/// Either way every variable lands in exactly one shard with a dense local
+/// id, which is all the shard/merge machinery relies on — the sharded
+/// report stays bit-identical to the sequential one under any plan.
+struct ShardPlan {
+  ShardPlan() = default;
+  explicit ShardPlan(uint32_t NumShards) : NumShards(NumShards) {}
+
+  uint32_t NumShards = 1;
+  /// Table mode (empty = modulo): Assign[x] = shard of x, Local[x] = dense
+  /// local id of x within its shard, ShardSizes[s] = variables in shard s.
+  std::vector<uint32_t> Assign;
+  std::vector<uint32_t> Local;
+  std::vector<uint32_t> ShardSizes;
+
+  uint32_t shardOf(VarId V) const {
+    return Assign.empty() ? V.value() % NumShards : Assign[V.value()];
+  }
+  uint32_t localIdOf(VarId V) const {
+    return Assign.empty() ? V.value() / NumShards : Local[V.value()];
+  }
 
   /// Number of variables out of \p NumVars that land in \p Shard.
   uint32_t numLocalVars(uint32_t Shard, uint32_t NumVars) const {
+    if (!Assign.empty())
+      return ShardSizes[Shard];
     if (Shard >= NumVars)
       return 0; // The smallest candidate, x = Shard, is already out of range.
     return (NumVars - Shard - 1) / NumShards + 1;
   }
+
+  /// Builds a frequency-balanced plan over \p Counts (accesses per
+  /// variable; Counts.size() is the variable count). Deterministic:
+  /// variables are placed heaviest-first (ties by id) onto the lightest
+  /// shard (ties by shard id), so equal inputs yield equal plans.
+  static ShardPlan balancedByFrequency(uint32_t NumShards,
+                                       const std::vector<uint64_t> &Counts);
+
+  /// The heaviest shard's total access count under this plan — the
+  /// balance metric the frequency strategy minimizes greedily.
+  uint64_t maxShardLoad(const std::vector<uint64_t> &Counts) const;
 };
 
 /// One deferred read/write: everything its race check needs, with the
@@ -143,8 +187,12 @@ public:
 
   /// Replays shard \p S's deferred checks and returns its races in trace
   /// order. Requires partition() to have run; const and data-parallel
-  /// across distinct shards.
-  std::vector<RaceInstance> checkShard(uint32_t S, const AccessLog &Log) const;
+  /// across distinct shards. \p Replay selects the check engine: the
+  /// shared full-history replay (HB, WCP) or FastTrack's epoch replay —
+  /// it must match the capturing detector's shardReplay().
+  std::vector<RaceInstance>
+  checkShard(uint32_t S, const AccessLog &Log,
+             ShardReplay Replay = ShardReplay::FullHistory) const;
 
   /// Interleaves per-shard findings back into parent-trace order and
   /// accumulates them into a report. Each access event belongs to exactly

@@ -6,6 +6,8 @@
 
 #include "hb/FastTrackDetector.h"
 
+#include "detect/ShardedAccessHistory.h"
+
 using namespace rapid;
 
 FastTrackDetector::FastTrackDetector(const Trace &T)
@@ -58,6 +60,11 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
     return;
 
   case EventKind::Read: {
+    if (Capture) {
+      Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/false, Ct.get(T),
+                      Ct, nullptr);
+      return;
+    }
     VarState &S = Vars[E.var().value()];
     Epoch Mine(Ct.get(T), T);
     // Same-epoch shortcut: redundant read. The stored location still
@@ -93,6 +100,11 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
   }
 
   case EventKind::Write: {
+    if (Capture) {
+      Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/true, Ct.get(T),
+                      Ct, nullptr);
+      return;
+    }
     VarState &S = Vars[E.var().value()];
     Epoch Mine(Ct.get(T), T);
     if (S.Write == Mine) {

@@ -50,18 +50,22 @@ static bool readFile(const std::string &Path, std::string &Out,
 TraceLoadResult rapid::loadTraceFile(const std::string &Path) {
   TraceLoadResult Result;
   std::string Bytes;
-  if (!readFile(Path, Bytes, Result.Error))
+  if (!readFile(Path, Bytes, Result.Error)) {
+    Result.Code = StatusCode::IoError;
     return Result;
+  }
 
   if (hasTraceSuffix(Path, ".bin")) {
     BinaryParseResult B = parseBinaryTrace(Bytes);
     Result.Ok = B.Ok;
+    Result.Code = B.Ok ? StatusCode::Ok : StatusCode::ParseError;
     Result.Error = B.Error;
     Result.T = std::move(B.T);
     return Result;
   }
   TextParseResult P = parseTextTrace(Bytes);
   Result.Ok = P.Ok;
+  Result.Code = P.Ok ? StatusCode::Ok : StatusCode::ParseError;
   Result.Error = P.Error;
   Result.T = std::move(P.T);
   return Result;

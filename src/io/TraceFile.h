@@ -15,17 +15,29 @@
 #ifndef RAPID_IO_TRACEFILE_H
 #define RAPID_IO_TRACEFILE_H
 
+#include "support/Status.h"
 #include "trace/Trace.h"
 
 #include <string>
 
 namespace rapid {
 
-/// Result of loading a trace file.
+/// Result of loading a trace file. `Ok`/`Error` are the legacy fields;
+/// `Code` additionally classifies failures (IoError for open/read
+/// problems, ParseError for malformed bytes) so the session API can
+/// surface structured statuses without re-parsing message text.
 struct TraceLoadResult {
   bool Ok = false;
+  StatusCode Code = StatusCode::Ok;
   std::string Error;
   Trace T;
+
+  /// The structured view of Ok/Code/Error.
+  Status status() const {
+    if (Ok)
+      return Status::success();
+    return Status(Code == StatusCode::Ok ? StatusCode::IoError : Code, Error);
+  }
 };
 
 /// Loads the trace at \p Path.

@@ -113,6 +113,7 @@ uint64_t ChunkedTraceReader::nextTextChunk() {
     std::string LineError;
     if (!parseTextTraceLine(Line, Builder, LineError)) {
       Error = "line " + std::to_string(LineNo) + ": " + LineError;
+      Code = StatusCode::ParseError;
       return Appended;
     }
     ++Appended;
@@ -130,8 +131,10 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
     size_t HeaderSize = 0;
     BinaryHeaderStatus S = parseBinaryHeader(Head, BinTrace, RemainingEvents,
                                              HeaderSize, Error);
-    if (S == BinaryHeaderStatus::Error)
+    if (S == BinaryHeaderStatus::Error) {
+      Code = StatusCode::ParseError;
       return 0;
+    }
     if (S == BinaryHeaderStatus::Ok) {
       Pos += HeaderSize;
       HeaderParsed = true;
@@ -153,6 +156,7 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
       // magic + version is "not a binary trace", not a truncated one.
       Error = TotalRead < 8 ? "not a rapidpp binary trace (bad magic)"
                             : "truncated binary trace";
+      Code = StatusCode::ParseError;
       return 0;
     }
     size_t Target = std::max<size_t>(2 * Head.size(), Opts.ChunkBytes);
@@ -168,13 +172,16 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
     if (Buf.size() - Pos < BinaryEventRecordSize) {
       if (refill())
         continue;
-      if (ok())
+      if (ok()) {
         Error = "truncated binary trace";
+        Code = StatusCode::ParseError;
+      }
       return Appended;
     }
     Event E;
     if (!decodeBinaryEvent(Buf.data() + Pos, BinTrace, E, Error)) {
       Error += " " + std::to_string(BinTrace.size());
+      Code = StatusCode::ParseError;
       return Appended;
     }
     Pos += BinaryEventRecordSize;
@@ -195,6 +202,7 @@ TraceLoadResult rapid::loadTraceFileChunked(const std::string &Path,
     Reader.nextChunk();
   if (!Reader.ok()) {
     Result.Error = Reader.error();
+    Result.Code = Reader.status().Code;
     return Result;
   }
   Result.Ok = true;

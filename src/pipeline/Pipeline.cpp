@@ -153,7 +153,6 @@ PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
 void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
                                           PipelineResult &Result) const {
   const uint32_t NumShards = Opts.VarShards == 0 ? 1 : Opts.VarShards;
-  const ShardPlan Plan{NumShards};
 
   // Per-lane state that outlives the phase-1 tasks: the captured access
   // log (clock snapshots included) and the partitioned work lists feed
@@ -164,6 +163,7 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
     std::vector<std::vector<RaceInstance>> PerShard;
     std::vector<std::string> ShardErrors;
     std::vector<double> ShardSeconds;
+    ShardReplay Replay = ShardReplay::FullHistory;
     bool Captured = false;
   };
   std::vector<LaneWork> Work(Lanes.size());
@@ -174,7 +174,7 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
   // walk the trace with checks deferred and partition the log; the rest
   // fall back to the plain sequential walk (their lane is done here).
   for (size_t L = 0; L != Lanes.size(); ++L) {
-    Pool.submit([this, L, &T, &Result, &Work, Plan] {
+    Pool.submit([this, L, &T, &Result, &Work, NumShards] {
       LaneResult &Out = Result.Lanes[L];
       Out.DetectorName = Lanes[L].Name;
       guardTask(Out.Error, [&] {
@@ -189,12 +189,22 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
           for (EventIdx I = 0, E = Events.size(); I != E; ++I)
             D->processEvent(Events[I], I);
           D->finish();
+          W.Replay = D->shardReplay();
+          // The plan is per lane: the frequency strategy packs shards
+          // from this lane's own captured access counts.
+          ShardPlan Plan{NumShards};
+          if (Opts.VarShardStrategy == ShardStrategy::FrequencyBalanced) {
+            std::vector<uint64_t> Counts(T.numVars(), 0);
+            for (const DeferredAccess &A : W.Log->accesses())
+              ++Counts[A.Var.value()];
+            Plan = ShardPlan::balancedByFrequency(NumShards, Counts);
+          }
           W.History = std::make_unique<ShardedAccessHistory>(
-              Plan, T.numVars(), T.numThreads());
+              std::move(Plan), T.numVars(), T.numThreads());
           W.History->partition(*W.Log);
-          W.PerShard.resize(Plan.NumShards);
-          W.ShardErrors.resize(Plan.NumShards);
-          W.ShardSeconds.resize(Plan.NumShards, 0);
+          W.PerShard.resize(NumShards);
+          W.ShardErrors.resize(NumShards);
+          W.ShardSeconds.resize(NumShards, 0);
           W.Captured = true;
           Out.Seconds = Clock.seconds();
         } else {
@@ -217,7 +227,7 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
         LaneWork &W = Work[L];
         guardTask(W.ShardErrors[S], [&] {
           Timer Clock;
-          W.PerShard[S] = W.History->checkShard(S, *W.Log);
+          W.PerShard[S] = W.History->checkShard(S, *W.Log, W.Replay);
           W.ShardSeconds[S] = Clock.seconds();
         });
       });

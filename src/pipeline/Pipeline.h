@@ -26,9 +26,13 @@
 ///     unlike window sharding, no races are lost.
 ///
 /// Ingestion can stream through pipeline/ChunkedReader (runFile), keeping
-/// raw-byte memory bounded. Overlapping ingestion with analysis is the
-/// next seam (see ROADMAP open items); the pull-based reader and the
-/// lane/task split here are shaped for it.
+/// raw-byte memory bounded.
+///
+/// This class is the *batch engine* beneath the session API: new code
+/// should open an api/AnalysisSession (or call analyzeTrace) with an
+/// AnalysisConfig instead of wiring PipelineOptions by hand — the session
+/// adds push ingestion and ingest/analysis overlap on top, and its
+/// AnalysisResult supersedes PipelineResult/LaneResult's stringly errors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +40,7 @@
 #define RAPID_PIPELINE_PIPELINE_H
 
 #include "detect/DetectorRunner.h"
+#include "detect/ShardedAccessHistory.h"
 
 #include <string>
 #include <vector>
@@ -58,6 +63,12 @@ struct PipelineOptions {
   /// Only applies to parallel, event-unsharded runs (ShardEvents == 0);
   /// windowed runs keep windowed semantics and ignore it.
   uint32_t VarShards = 0;
+  /// Variable→shard assignment for var-sharded lanes: Modulo (default,
+  /// stateless) or FrequencyBalanced (greedy bin-packing on the lane's
+  /// captured access counts — balances skewed traces). Either strategy
+  /// keeps reports bit-identical to sequential runs; only shard load
+  /// changes.
+  ShardStrategy VarShardStrategy = ShardStrategy::Modulo;
   /// When false, lanes run fused on the caller's thread: a single walk of
   /// the trace feeds every detector per event (N analyses, one walk).
   bool Parallel = true;

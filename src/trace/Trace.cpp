@@ -36,6 +36,25 @@ std::string Trace::eventStr(EventIdx I) const {
   return Out;
 }
 
+bool Trace::containsIds(const Event &E) const {
+  if (!E.Thread.isValid() || E.Thread.value() >= numThreads())
+    return false;
+  if (E.Loc.isValid() && E.Loc.value() >= numLocs())
+    return false;
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::Write:
+    return E.Target < numVars();
+  case EventKind::Acquire:
+  case EventKind::Release:
+    return E.Target < numLocks();
+  case EventKind::Fork:
+  case EventKind::Join:
+    return E.Target < numThreads();
+  }
+  return false;
+}
+
 std::vector<EventIdx> Trace::threadProjection(ThreadId T) const {
   std::vector<EventIdx> Result;
   for (EventIdx I = 0, E = Events.size(); I != E; ++I)

@@ -64,6 +64,11 @@ public:
   /// for checked construction.
   void append(const Event &E) { Events.push_back(E); }
 
+  /// True iff every id \p E references (thread, kind-specific target,
+  /// location) is already interned in this trace's tables — the check the
+  /// push-ingestion API runs before appending raw events.
+  bool containsIds(const Event &E) const;
+
   /// Copies \p Parent's id tables into this trace so that event ids from
   /// the parent remain valid here. Used by windowing, which produces
   /// fragments whose locations must stay comparable across windows.

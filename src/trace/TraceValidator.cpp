@@ -38,126 +38,131 @@ bool rapid::isWellNested(const Trace &T) {
   return true;
 }
 
-ValidationResult rapid::validateTrace(const Trace &T,
-                                      bool RequireClosedSections) {
-  ValidationResult Result;
-  auto fail = [&](EventIdx I, std::string Msg) {
+void StreamingTraceValidator::growTo(uint32_t NumThreads,
+                                     uint32_t NumLocks) {
+  if (Holder.size() < NumLocks)
+    Holder.resize(NumLocks, ThreadId::invalid());
+  if (LockStack.size() < NumThreads) {
+    LockStack.resize(NumThreads);
+    Forked.resize(NumThreads, false);
+    Joined.resize(NumThreads, false);
+    Seen.resize(NumThreads, false);
+  }
+}
+
+void StreamingTraceValidator::feed(const Event &Ev, EventIdx I,
+                                   const Trace &T) {
+  auto fail = [&](std::string Msg) {
     Result.Violations.push_back({I, std::move(Msg)});
   };
+  ++EventsSeen;
+  growTo(T.numThreads(), T.numLocks());
 
-  uint32_t NumThreads = T.numThreads();
-  uint32_t NumLocks = T.numLocks();
+  uint32_t Tid = Ev.Thread.value();
+  if (Tid >= T.numThreads()) {
+    fail("thread id out of range");
+    return;
+  }
+  if (Joined[Tid])
+    fail("thread '" + T.threadName(Ev.Thread) +
+         "' performs an event after being joined");
+  Seen[Tid] = true;
 
-  // Holder[l] = thread currently holding lock l (or invalid).
-  std::vector<ThreadId> Holder(NumLocks, ThreadId::invalid());
-  // Depth[l][t] = re-entrancy depth is not modeled: locks are non-reentrant
-  // in the paper's model. LockStack[t] = stack of locks held by t, for
-  // well-nestedness.
-  std::vector<std::vector<LockId>> LockStack(NumThreads);
+  switch (Ev.Kind) {
+  case EventKind::Acquire: {
+    LockId L = Ev.lock();
+    if (L.value() >= T.numLocks()) {
+      fail("lock id out of range");
+      break;
+    }
+    if (Holder[L.value()].isValid())
+      fail("lock semantics violated: '" + T.lockName(L) +
+           "' acquired while held by '" + T.threadName(Holder[L.value()]) +
+           "'");
+    Holder[L.value()] = Ev.Thread;
+    LockStack[Tid].push_back(L);
+    break;
+  }
+  case EventKind::Release: {
+    LockId L = Ev.lock();
+    if (L.value() >= T.numLocks()) {
+      fail("lock id out of range");
+      break;
+    }
+    if (Holder[L.value()] != Ev.Thread) {
+      fail("release of '" + T.lockName(L) +
+           "' by a thread that does not hold it");
+      break;
+    }
+    // Hand-over-hand locking (release of a non-innermost section) is
+    // permitted: the paper's own Figure 6 uses it. isWellNested()
+    // probes for strict nesting separately.
+    for (size_t K = LockStack[Tid].size(); K-- > 0;) {
+      if (LockStack[Tid][K] == L) {
+        LockStack[Tid].erase(LockStack[Tid].begin() +
+                             static_cast<ptrdiff_t>(K));
+        break;
+      }
+    }
+    Holder[L.value()] = ThreadId::invalid();
+    break;
+  }
+  case EventKind::Fork: {
+    ThreadId Child = Ev.targetThread();
+    if (Child.value() >= T.numThreads()) {
+      fail("fork target out of range");
+      break;
+    }
+    if (Child == Ev.Thread)
+      fail("thread forks itself");
+    if (Forked[Child.value()])
+      fail("thread '" + T.threadName(Child) + "' forked twice");
+    if (Seen[Child.value()])
+      fail("fork of thread '" + T.threadName(Child) +
+           "' after its first event");
+    Forked[Child.value()] = true;
+    break;
+  }
+  case EventKind::Join: {
+    ThreadId Child = Ev.targetThread();
+    if (Child.value() >= T.numThreads()) {
+      fail("join target out of range");
+      break;
+    }
+    if (Child == Ev.Thread)
+      fail("thread joins itself");
+    if (Joined[Child.value()])
+      fail("thread '" + T.threadName(Child) + "' joined twice");
+    Joined[Child.value()] = true;
+    break;
+  }
+  case EventKind::Read:
+  case EventKind::Write:
+    if (Ev.var().value() >= T.numVars())
+      fail("variable id out of range");
+    break;
+  }
+}
 
-  std::vector<bool> Forked(NumThreads, false);
-  std::vector<bool> Joined(NumThreads, false);
-  std::vector<bool> Seen(NumThreads, false);
-  // A thread that appears before any fork targets it is a root thread;
-  // only threads with an explicit fork must start after it.
-  std::vector<EventIdx> FirstSeen(NumThreads, UINT64_MAX);
+void StreamingTraceValidator::finish(const Trace &T,
+                                     bool RequireClosedSections) {
+  if (!RequireClosedSections)
+    return;
+  growTo(T.numThreads(), T.numLocks());
+  EventIdx End = EventsSeen ? EventsSeen - 1 : 0;
+  for (uint32_t L = 0; L < T.numLocks(); ++L)
+    if (Holder[L].isValid())
+      Result.Violations.push_back(
+          {End,
+           "lock '" + T.lockName(LockId(L)) + "' still held at end of trace"});
+}
 
+ValidationResult rapid::validateTrace(const Trace &T,
+                                      bool RequireClosedSections) {
+  StreamingTraceValidator V;
   const std::vector<Event> &Events = T.events();
-  for (EventIdx I = 0, E = Events.size(); I != E; ++I) {
-    const Event &Ev = Events[I];
-    uint32_t Tid = Ev.Thread.value();
-    if (Tid >= NumThreads) {
-      fail(I, "thread id out of range");
-      continue;
-    }
-    if (Joined[Tid])
-      fail(I, "thread '" + T.threadName(Ev.Thread) +
-                  "' performs an event after being joined");
-    Seen[Tid] = true;
-    if (FirstSeen[Tid] == UINT64_MAX)
-      FirstSeen[Tid] = I;
-
-    switch (Ev.Kind) {
-    case EventKind::Acquire: {
-      LockId L = Ev.lock();
-      if (L.value() >= NumLocks) {
-        fail(I, "lock id out of range");
-        break;
-      }
-      if (Holder[L.value()].isValid())
-        fail(I, "lock semantics violated: '" + T.lockName(L) +
-                    "' acquired while held by '" +
-                    T.threadName(Holder[L.value()]) + "'");
-      Holder[L.value()] = Ev.Thread;
-      LockStack[Tid].push_back(L);
-      break;
-    }
-    case EventKind::Release: {
-      LockId L = Ev.lock();
-      if (L.value() >= NumLocks) {
-        fail(I, "lock id out of range");
-        break;
-      }
-      if (Holder[L.value()] != Ev.Thread) {
-        fail(I, "release of '" + T.lockName(L) +
-                    "' by a thread that does not hold it");
-        break;
-      }
-      // Hand-over-hand locking (release of a non-innermost section) is
-      // permitted: the paper's own Figure 6 uses it. isWellNested()
-      // probes for strict nesting separately.
-      for (size_t K = LockStack[Tid].size(); K-- > 0;) {
-        if (LockStack[Tid][K] == L) {
-          LockStack[Tid].erase(LockStack[Tid].begin() +
-                               static_cast<ptrdiff_t>(K));
-          break;
-        }
-      }
-      Holder[L.value()] = ThreadId::invalid();
-      break;
-    }
-    case EventKind::Fork: {
-      ThreadId Child = Ev.targetThread();
-      if (Child.value() >= NumThreads) {
-        fail(I, "fork target out of range");
-        break;
-      }
-      if (Child == Ev.Thread)
-        fail(I, "thread forks itself");
-      if (Forked[Child.value()])
-        fail(I, "thread '" + T.threadName(Child) + "' forked twice");
-      if (Seen[Child.value()])
-        fail(I, "fork of thread '" + T.threadName(Child) +
-                    "' after its first event");
-      Forked[Child.value()] = true;
-      break;
-    }
-    case EventKind::Join: {
-      ThreadId Child = Ev.targetThread();
-      if (Child.value() >= NumThreads) {
-        fail(I, "join target out of range");
-        break;
-      }
-      if (Child == Ev.Thread)
-        fail(I, "thread joins itself");
-      if (Joined[Child.value()])
-        fail(I, "thread '" + T.threadName(Child) + "' joined twice");
-      Joined[Child.value()] = true;
-      break;
-    }
-    case EventKind::Read:
-    case EventKind::Write:
-      if (Ev.var().value() >= T.numVars())
-        fail(I, "variable id out of range");
-      break;
-    }
-  }
-
-  if (RequireClosedSections) {
-    for (uint32_t L = 0; L < NumLocks; ++L)
-      if (Holder[L].isValid())
-        fail(Events.size() ? Events.size() - 1 : 0,
-             "lock '" + T.lockName(LockId(L)) + "' still held at end of trace");
-  }
-  return Result;
+  for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+    V.feed(Events[I], I, T);
+  V.finish(T, RequireClosedSections);
+  return V.result();
 }

@@ -55,6 +55,39 @@ struct ValidationResult {
 ValidationResult validateTrace(const Trace &T,
                                bool RequireClosedSections = false);
 
+/// The incremental form of validateTrace: feed events in trace order and
+/// violations accumulate as they happen, so a *prefix* can be certified
+/// well-formed before the trace ends. This is what lets the streaming
+/// session publish events to live detector lanes safely — detectors
+/// assume the §2.1 axioms (a release without a matching acquire is
+/// undefined behaviour in their lock-queue handling), so nothing
+/// unvalidated may reach them. Internal state grows with the trace's id
+/// tables, which may still be interning when events arrive.
+class StreamingTraceValidator {
+public:
+  /// Feeds the \p Index-th event. \p T supplies current table sizes and
+  /// names for messages. Events must arrive in trace order.
+  void feed(const Event &E, EventIdx Index, const Trace &T);
+
+  /// End-of-trace check: open critical sections, when
+  /// \p RequireClosedSections (see validateTrace).
+  void finish(const Trace &T, bool RequireClosedSections);
+
+  bool ok() const { return Result.ok(); }
+  const ValidationResult &result() const { return Result; }
+
+private:
+  void growTo(uint32_t NumThreads, uint32_t NumLocks);
+
+  ValidationResult Result;
+  uint64_t EventsSeen = 0;
+  std::vector<ThreadId> Holder;            ///< Per lock: current holder.
+  std::vector<std::vector<LockId>> LockStack; ///< Per thread: held locks.
+  std::vector<bool> Forked;
+  std::vector<bool> Joined;
+  std::vector<bool> Seen;
+};
+
 /// True iff every release closes the innermost open critical section.
 bool isWellNested(const Trace &T);
 

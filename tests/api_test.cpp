@@ -1,0 +1,525 @@
+//===- tests/api_test.cpp - Session API: streaming, config, statuses ----------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// The session API's contract has three legs, pinned here:
+//
+//   1. equivalence — a streaming session is the sequential detector's
+//      single pass spread over time: for every mode and detector, the
+//      final report is bit-identical to the batch entry points, on 100
+//      seeded random traces per detector, whether events arrive as one
+//      trace, as push batches, through mid-stream table growth (restarts),
+//      or from a file (binary chunks overlap analysis; text publishes at
+//      EOF);
+//   2. session protocol — mid-stream partial reports, feed-after-finish
+//      and double-finish rejection, empty-session preconditions, all as
+//      structured Status codes rather than strings;
+//   3. config validation — every inconsistent AnalysisConfig combination
+//      is rejected up front with InvalidConfig.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "api/AnalysisSession.h"
+#include "gen/RandomTraceGen.h"
+#include "hb/HbDetector.h"
+#include "io/TraceFile.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceValidator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace rapid;
+using testutil::expectSameReport;
+
+namespace {
+
+constexpr DetectorKind kAllKinds[] = {DetectorKind::Hb, DetectorKind::Wcp,
+                                      DetectorKind::FastTrack,
+                                      DetectorKind::Eraser};
+
+AnalysisConfig allDetectorConfig(RunMode Mode) {
+  AnalysisConfig Cfg;
+  Cfg.Mode = Mode;
+  for (DetectorKind K : kAllKinds)
+    Cfg.addDetector(K);
+  return Cfg;
+}
+
+/// Varied trace shapes, mirroring the differential harness.
+RandomTraceParams fuzzParams(uint64_t Seed, bool ForkJoin) {
+  RandomTraceParams P;
+  P.Seed = Seed;
+  P.NumThreads = 2 + Seed % 5;
+  P.NumLocks = 1 + Seed % 4;
+  P.NumVars = 1 + (Seed * 3) % 9;
+  P.OpsPerThread = 25 + (Seed * 11) % 50;
+  P.MaxLockNesting = 1 + Seed % 3;
+  P.AcquirePercent = 10 + (Seed * 5) % 25;
+  P.WritePercent = 30 + (Seed * 13) % 40;
+  P.WithForkJoin = ForkJoin;
+  return P;
+}
+
+/// Checks every lane of \p R against a fresh sequential run over \p T.
+void expectLanesMatchSequential(const AnalysisResult &R, const Trace &T,
+                                const std::string &Label) {
+  ASSERT_EQ(R.Lanes.size(), std::size(kAllKinds)) << Label;
+  for (size_t L = 0; L != R.Lanes.size(); ++L) {
+    ASSERT_TRUE(R.Lanes[L].LaneStatus.ok())
+        << Label << ": " << R.Lanes[L].LaneStatus.str();
+    std::unique_ptr<Detector> D = makeDetectorFactory(kAllKinds[L])(T);
+    RunResult Want = runDetector(*D, T);
+    EXPECT_EQ(R.Lanes[L].DetectorName, Want.DetectorName) << Label;
+    EXPECT_EQ(R.Lanes[L].EventsConsumed, T.size()) << Label;
+    expectSameReport(R.Lanes[L].Report, Want.Report, T,
+                     Label + "/" + Want.DetectorName);
+  }
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "rapidpp_api_" + Name;
+}
+
+class ApiStreamFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+// ---- Streaming vs batch, bit for bit ----------------------------------------
+
+// 50 seeds x {no-forkjoin, forkjoin} = 100 distinct traces, each analyzed
+// by all four detectors: a sequential-mode session fed the whole trace
+// must reproduce runDetector exactly, per lane.
+TEST_P(ApiStreamFuzzTest, SessionFeedTraceMatchesBatchBitForBit) {
+  for (bool ForkJoin : {false, true}) {
+    Trace T = randomTrace(fuzzParams(GetParam(), ForkJoin));
+    ASSERT_TRUE(validateTrace(T).ok());
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    ASSERT_TRUE(S.feedTrace(T).ok());
+    AnalysisResult R = S.finish();
+    ASSERT_TRUE(R.Overall.ok()) << R.Overall.str();
+    EXPECT_TRUE(R.Streamed);
+    EXPECT_EQ(R.EventsIngested, T.size());
+    expectLanesMatchSequential(R, T,
+                               "feedTrace seed " + std::to_string(GetParam()) +
+                                   " fj=" + std::to_string(ForkJoin));
+  }
+}
+
+// Same equivalence with events arriving in small push batches against
+// pre-declared tables, forcing many publication rounds (batch granularity
+// 7 events) — the consumers genuinely run behind the producer here.
+TEST_P(ApiStreamFuzzTest, SessionPushBatchesMatchBatchBitForBit) {
+  Trace T = randomTrace(fuzzParams(GetParam() ^ 0x9e37, GetParam() % 2 == 0));
+  AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+  Cfg.StreamBatchEvents = 7;
+  AnalysisSession S(Cfg);
+  ASSERT_TRUE(S.declareTablesFrom(T).ok());
+  std::vector<Event> Batch;
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    Batch.push_back(T.event(I));
+    if (Batch.size() == 13 || I + 1 == T.size()) {
+      ASSERT_TRUE(S.feed(Batch).ok());
+      Batch.clear();
+    }
+  }
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok()) << R.Overall.str();
+  expectLanesMatchSequential(R, T,
+                             "push seed " + std::to_string(GetParam()));
+  for (const LaneReport &L : R.Lanes)
+    EXPECT_EQ(L.Restarts, 0u) << "tables were declared up front";
+}
+
+// Fused mode: one consumer walks the published prefix once, feeding every
+// detector — still bit-identical to independent sequential runs.
+TEST_P(ApiStreamFuzzTest, FusedSessionMatchesBatchBitForBit) {
+  Trace T = randomTrace(fuzzParams(GetParam() ^ 0x51ed, GetParam() % 2 == 1));
+  AnalysisSession S(allDetectorConfig(RunMode::Fused));
+  ASSERT_TRUE(S.feedTrace(T).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok()) << R.Overall.str();
+  expectLanesMatchSequential(R, T,
+                             "fused seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApiStreamFuzzTest,
+                         ::testing::Range<uint64_t>(1, 51));
+
+// ---- Table growth mid-stream (the restart path) -----------------------------
+
+TEST(ApiSessionTest, LateDeclarationsRestartLanesAndStayBitForBit) {
+  AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+  Cfg.StreamBatchEvents = 1; // Publish/consume as eagerly as possible.
+  AnalysisSession S(Cfg);
+  ThreadId T0 = S.declareThread("T0");
+  ThreadId T1 = S.declareThread("T1");
+  VarId X = S.declareVar("x");
+  LocId L1 = S.declareLoc("L1"), L2 = S.declareLoc("L2");
+  ASSERT_TRUE(S.feed(Event(EventKind::Write, T0, X.value(), L1)).ok());
+  ASSERT_TRUE(S.feed(Event(EventKind::Write, T1, X.value(), L2)).ok());
+
+  // Wait until some lane actually consumed under the old tables, so the
+  // upcoming declaration is a genuine mid-stream growth for it.
+  for (int Spin = 0; Spin != 5000; ++Spin) {
+    AnalysisResult Mid = S.partialResult();
+    ASSERT_TRUE(Mid.Partial);
+    uint64_t MaxConsumed = 0;
+    for (const LaneReport &L : Mid.Lanes)
+      MaxConsumed = std::max(MaxConsumed, L.EventsConsumed);
+    if (MaxConsumed == 2)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  VarId Y = S.declareVar("y");
+  LocId L3 = S.declareLoc("L3"), L4 = S.declareLoc("L4");
+  ASSERT_TRUE(S.feed(Event(EventKind::Write, T0, Y.value(), L3)).ok());
+  ASSERT_TRUE(S.feed(Event(EventKind::Read, T1, Y.value(), L4)).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok()) << R.Overall.str();
+
+  // Bit-for-bit against batch runs over the final ingested trace; both
+  // the x and y races must be present (HB sees 2 write-write/write-read
+  // pairs).
+  const Trace &T = S.trace();
+  ASSERT_EQ(T.size(), 4u);
+  expectLanesMatchSequential(R, T, "late declarations");
+  EXPECT_GT(R.Lanes[0].Report.numDistinctPairs(), 1u);
+}
+
+// ---- File ingestion ---------------------------------------------------------
+
+TEST(ApiSessionTest, FeedFileBinaryStreamsWithoutRestartsBitForBit) {
+  Trace T = randomTrace(fuzzParams(17, true));
+  std::string Path = tempPath("stream.bin");
+  ASSERT_EQ(saveTraceFile(T, Path), "");
+  AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+  Cfg.StreamBatchEvents = 16; // Many publication rounds per file.
+  AnalysisSession S(Cfg);
+  ASSERT_TRUE(S.feedFile(Path).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok()) << R.Overall.str();
+  expectLanesMatchSequential(R, S.trace(), "feedFile binary");
+  for (const LaneReport &L : R.Lanes) {
+    // Binary headers carry all tables up front: streaming must never
+    // have restarted a lane.
+    EXPECT_EQ(L.Restarts, 0u) << L.DetectorName;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ApiSessionTest, FeedFileTextMatchesBatchBitForBit) {
+  Trace T = randomTrace(fuzzParams(23, false));
+  std::string Path = tempPath("stream.txt");
+  ASSERT_EQ(saveTraceFile(T, Path), "");
+  AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+  ASSERT_TRUE(S.feedFile(Path).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok()) << R.Overall.str();
+  expectLanesMatchSequential(R, S.trace(), "feedFile text");
+  std::remove(Path.c_str());
+}
+
+TEST(ApiSessionTest, FeedFileFailuresAreStructured) {
+  {
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    Status St = S.feedFile("/nonexistent/dir/trace.bin");
+    EXPECT_EQ(St.Code, StatusCode::IoError) << St.str();
+    EXPECT_NE(St.Message.find("cannot open"), std::string::npos) << St.str();
+    AnalysisResult R = S.finish();
+    EXPECT_EQ(R.Overall.Code, StatusCode::IoError);
+    EXPECT_FALSE(R.ok());
+  }
+  {
+    std::string Path = tempPath("bad.txt");
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    std::fputs("T0|w(x)|L1\nT1|frobnicate(x)|L2\n", F);
+    std::fclose(F);
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    Status St = S.feedFile(Path);
+    EXPECT_EQ(St.Code, StatusCode::ParseError) << St.str();
+    EXPECT_NE(St.Message.find("line 2"), std::string::npos) << St.str();
+    AnalysisResult R = S.finish();
+    EXPECT_EQ(R.Overall.Code, StatusCode::ParseError);
+    std::remove(Path.c_str());
+  }
+}
+
+// Ill-formed traces must never reach live detector lanes (their lock
+// handling assumes the §2.1 axioms): the session validates event by
+// event before publication, freezes ingestion at the first violation
+// with a sticky ValidationError, and keeps the valid prefix analyzed.
+TEST(ApiSessionTest, IllFormedTracesFreezeIngestionWithValidationError) {
+  {
+    // Push feed: a release without a matching acquire.
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    ThreadId T0 = S.declareThread("T0");
+    ThreadId T1 = S.declareThread("T1");
+    VarId X = S.declareVar("x");
+    LockId L = S.declareLock("l");
+    LocId Loc = S.declareLoc("L1");
+    ASSERT_TRUE(S.feed(Event(EventKind::Write, T0, X.value(), Loc)).ok());
+    ASSERT_TRUE(S.feed(Event(EventKind::Write, T1, X.value(), Loc)).ok());
+    Status Bad = S.feed(Event(EventKind::Release, T0, L.value(), Loc));
+    EXPECT_EQ(Bad.Code, StatusCode::ValidationError) << Bad.str();
+    EXPECT_NE(Bad.Message.find("does not hold"), std::string::npos)
+        << Bad.str();
+    // Sticky: further feeds rejected, finish reports the error, and the
+    // valid prefix was still analyzed.
+    EXPECT_EQ(S.feed(Event(EventKind::Write, T0, X.value(), Loc)).Code,
+              StatusCode::ValidationError);
+    AnalysisResult R = S.finish();
+    EXPECT_EQ(R.Overall.Code, StatusCode::ValidationError);
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.EventsIngested, 2u);
+    for (const LaneReport &Lane : R.Lanes) {
+      EXPECT_TRUE(Lane.LaneStatus.ok()) << Lane.LaneStatus.str();
+      EXPECT_EQ(Lane.EventsConsumed, 2u) << Lane.DetectorName;
+    }
+    EXPECT_GT(R.Lanes[0].Report.numDistinctPairs(), 0u)
+        << "the valid racy prefix must still be reported";
+  }
+  {
+    // Same through feedFile on a text trace.
+    std::string Path = tempPath("ill.txt");
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    std::fputs("T0|w(x)|L1\nT0|rel(l)|L2\n", F);
+    std::fclose(F);
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    Status St = S.feedFile(Path);
+    EXPECT_EQ(St.Code, StatusCode::ValidationError) << St.str();
+    AnalysisResult R = S.finish();
+    EXPECT_EQ(R.Overall.Code, StatusCode::ValidationError);
+    EXPECT_EQ(R.EventsIngested, 1u);
+    std::remove(Path.c_str());
+  }
+}
+
+// ---- Mid-stream partial reports ---------------------------------------------
+
+TEST(ApiSessionTest, PartialReportsSurfaceRacesMidStream) {
+  // Feed a racy prefix, wait for the lanes to drain it, and the partial
+  // snapshot must already contain the race — before any finish().
+  TraceBuilder B;
+  for (int I = 0; I != 20; ++I)
+    B.write(I % 2 ? "T1" : "T0", "x");
+  Trace Prefix = B.take();
+
+  AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+  Cfg.StreamBatchEvents = 4;
+  AnalysisSession S(Cfg);
+  ASSERT_TRUE(S.feedTrace(Prefix).ok());
+
+  bool Drained = false;
+  AnalysisResult Mid;
+  for (int Spin = 0; Spin != 5000 && !Drained; ++Spin) {
+    Mid = S.partialResult();
+    ASSERT_TRUE(Mid.Overall.ok()) << Mid.Overall.str();
+    ASSERT_TRUE(Mid.Partial);
+    Drained = true;
+    for (const LaneReport &L : Mid.Lanes)
+      Drained = Drained && L.EventsConsumed == Prefix.size();
+    if (!Drained)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(Drained) << "lanes did not catch up with the published prefix";
+  EXPECT_EQ(Mid.EventsIngested, Prefix.size());
+  for (const LaneReport &L : Mid.Lanes)
+    EXPECT_GT(L.Report.numDistinctPairs(), 0u)
+        << L.DetectorName << " saw no race mid-stream";
+
+  // The session keeps accepting events after the snapshot.
+  ThreadId T0 = S.declareThread("T0");
+  VarId X = S.declareVar("x");
+  LocId L = S.declareLoc("tail");
+  ASSERT_TRUE(S.feed(Event(EventKind::Read, T0, X.value(), L)).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok());
+  EXPECT_FALSE(R.Partial);
+  EXPECT_EQ(R.EventsIngested, Prefix.size() + 1);
+  expectLanesMatchSequential(R, S.trace(), "after partials");
+}
+
+// ---- Session protocol: structured state errors ------------------------------
+
+TEST(ApiSessionTest, FeedAfterFinishAndDoubleFinishAreRejected) {
+  AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+  ThreadId T0 = S.declareThread("T0");
+  VarId X = S.declareVar("x");
+  LocId L = S.declareLoc("L");
+  ASSERT_TRUE(S.feed(Event(EventKind::Write, T0, X.value(), L)).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.Overall.ok());
+  EXPECT_TRUE(S.finished());
+
+  Status Fed = S.feed(Event(EventKind::Write, T0, X.value(), L));
+  EXPECT_EQ(Fed.Code, StatusCode::InvalidState) << Fed.str();
+  EXPECT_EQ(S.feedTrace(Trace()).Code, StatusCode::InvalidState);
+  EXPECT_EQ(S.feedFile("x.bin").Code, StatusCode::InvalidState);
+
+  AnalysisResult Again = S.finish();
+  EXPECT_EQ(Again.Overall.Code, StatusCode::InvalidState) << "double finish";
+  EXPECT_FALSE(Again.ok());
+
+  AnalysisResult Partial = S.partialResult();
+  EXPECT_EQ(Partial.Overall.Code, StatusCode::InvalidState);
+}
+
+TEST(ApiSessionTest, IngestPreconditionsAreEnforced) {
+  Trace T = randomTrace(fuzzParams(3, false));
+  {
+    // feedTrace/feedFile demand an empty session.
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    S.declareThread("T0");
+    EXPECT_EQ(S.feedTrace(T).Code, StatusCode::InvalidState);
+    EXPECT_EQ(S.declareTablesFrom(T).Code, StatusCode::InvalidState);
+  }
+  {
+    // Events with undeclared ids reject the whole batch atomically.
+    AnalysisSession S(allDetectorConfig(RunMode::Sequential));
+    ThreadId T0 = S.declareThread("T0");
+    LocId L = S.declareLoc("L");
+    std::vector<Event> Batch = {Event(EventKind::Write, T0, /*var=*/0, L)};
+    Status St = S.feed(Batch);
+    EXPECT_EQ(St.Code, StatusCode::ValidationError) << St.str();
+    EXPECT_EQ(S.eventsFed(), 0u);
+    AnalysisResult R = S.finish();
+    EXPECT_TRUE(R.Overall.ok()) << "a rejected batch must not poison the "
+                                   "session";
+  }
+}
+
+// ---- Batch modes through the session ----------------------------------------
+
+TEST(ApiSessionTest, WindowedAndVarShardedSessionsMatchLegacyAdapters) {
+  Trace T = randomTrace(fuzzParams(29, true));
+  for (DetectorKind K : kAllKinds) {
+    DetectorFactory Make = makeDetectorFactory(K);
+    {
+      AnalysisConfig Cfg;
+      Cfg.addDetector(K);
+      Cfg.Mode = RunMode::Windowed;
+      Cfg.WindowEvents = 64;
+      Cfg.Threads = 1;
+      AnalysisSession S(Cfg);
+      ASSERT_TRUE(S.feedTrace(T).ok());
+      AnalysisResult R = S.finish();
+      ASSERT_TRUE(R.ok()) << R.firstError().str();
+      EXPECT_FALSE(R.Streamed) << "windowed sessions analyze at finish";
+      RunResult Want = runDetectorWindowed(Make, T, 64);
+      EXPECT_EQ(R.Lanes[0].DetectorName, Want.DetectorName);
+      EXPECT_GT(R.NumShards, 1u);
+      expectSameReport(R.Lanes[0].Report, Want.Report, T,
+                       std::string("windowed session/") +
+                           detectorKindName(K));
+    }
+    for (ShardStrategy Strategy :
+         {ShardStrategy::Modulo, ShardStrategy::FrequencyBalanced}) {
+      AnalysisConfig Cfg;
+      Cfg.addDetector(K);
+      Cfg.Mode = RunMode::VarSharded;
+      Cfg.VarShards = 4;
+      Cfg.Strategy = Strategy;
+      AnalysisSession S(Cfg);
+      ASSERT_TRUE(S.feedTrace(T).ok());
+      AnalysisResult R = S.finish();
+      ASSERT_TRUE(R.ok()) << R.firstError().str();
+      EXPECT_EQ(R.VarShards, 4u);
+      std::unique_ptr<Detector> D = Make(T);
+      RunResult Want = runDetector(*D, T);
+      expectSameReport(R.Lanes[0].Report, Want.Report, T,
+                       std::string("var-sharded session/") +
+                           detectorKindName(K));
+    }
+  }
+}
+
+// ---- Config validation ------------------------------------------------------
+
+TEST(AnalysisConfigTest, ValidationRejectsInconsistentCombinations) {
+  auto expectInvalid = [](const AnalysisConfig &Cfg, const char *Label) {
+    Status St = Cfg.validate();
+    EXPECT_EQ(St.Code, StatusCode::InvalidConfig) << Label;
+    EXPECT_FALSE(St.Message.empty()) << Label;
+  };
+  expectInvalid(AnalysisConfig(), "no detectors");
+  {
+    AnalysisConfig Cfg;
+    Cfg.Detectors.push_back(DetectorSpec()); // Custom without factory.
+    expectInvalid(Cfg, "custom without factory");
+  }
+  {
+    AnalysisConfig Cfg;
+    Cfg.addDetector(DetectorKind::Hb);
+    Cfg.Detectors.back().Make = makeDetectorFactory(DetectorKind::Wcp);
+    expectInvalid(Cfg, "kind plus factory is ambiguous");
+  }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::Windowed);
+    expectInvalid(Cfg, "windowed without WindowEvents");
+  }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+    Cfg.WindowEvents = 100;
+    expectInvalid(Cfg, "WindowEvents outside windowed mode");
+  }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::VarSharded);
+    expectInvalid(Cfg, "var-sharded without VarShards");
+  }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::Fused);
+    Cfg.VarShards = 2;
+    expectInvalid(Cfg, "VarShards outside var-sharded mode");
+  }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+    Cfg.Strategy = ShardStrategy::FrequencyBalanced;
+    expectInvalid(Cfg, "balanced strategy without var-sharding");
+  }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
+    Cfg.StreamBatchEvents = 0;
+    expectInvalid(Cfg, "zero stream batch");
+  }
+
+  // The same statuses flow through the entry points.
+  AnalysisResult R = analyzeTrace(AnalysisConfig(), Trace());
+  EXPECT_EQ(R.Overall.Code, StatusCode::InvalidConfig);
+  AnalysisSession S{AnalysisConfig()};
+  EXPECT_EQ(S.status().Code, StatusCode::InvalidConfig);
+  EXPECT_EQ(S.feed(Event()).Code, StatusCode::InvalidConfig);
+  EXPECT_EQ(S.finish().Overall.Code, StatusCode::InvalidConfig);
+}
+
+// A lane that throws mid-stream fails alone with a structured status; the
+// other lanes complete.
+TEST(ApiSessionTest, ThrowingLaneFailsAloneInStreamingSessions) {
+  Trace T = randomTrace(fuzzParams(7, false));
+  AnalysisConfig Cfg;
+  Cfg.addDetector(DetectorKind::Hb);
+  Cfg.addDetector(
+      [](const Trace &) -> std::unique_ptr<Detector> {
+        throw std::runtime_error("detector exploded");
+      },
+      "Boom");
+  AnalysisSession S(Cfg);
+  ASSERT_TRUE(S.feedTrace(T).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_EQ(R.Lanes.size(), 2u);
+  EXPECT_TRUE(R.Lanes[0].LaneStatus.ok()) << R.Lanes[0].LaneStatus.str();
+  EXPECT_GT(R.Lanes[0].Report.numDistinctPairs(), 0u);
+  EXPECT_EQ(R.Lanes[1].LaneStatus.Code, StatusCode::AnalysisError);
+  EXPECT_NE(R.Lanes[1].LaneStatus.Message.find("detector exploded"),
+            std::string::npos);
+  EXPECT_EQ(R.Lanes[1].DetectorName, "Boom");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.firstError().Code, StatusCode::AnalysisError);
+}

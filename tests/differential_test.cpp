@@ -23,6 +23,7 @@
 #include "TestUtil.h"
 #include "detect/ShardedAccessHistory.h"
 #include "gen/RandomTraceGen.h"
+#include "hb/FastTrackDetector.h"
 #include "hb/HbDetector.h"
 #include "pipeline/Pipeline.h"
 #include "reference/ClosureEngine.h"
@@ -32,7 +33,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 
 using namespace rapid;
 
@@ -106,6 +109,51 @@ TEST_P(DifferentialFuzzTest, ShardedWcpMatchesSequentialBitForBit) {
   }
 }
 
+// FastTrack's epoch checks also partition by variable; its capture mode
+// defers them into the shard phase's epoch replayer. Same contract, same
+// harness: bit-identical to the sequential FastTrack run for any shard
+// count (including the epoch-mode shortcuts and the read-vector
+// promotions, which now happen inside the shards).
+TEST_P(DifferentialFuzzTest, ShardedFastTrackMatchesSequentialBitForBit) {
+  for (bool ForkJoin : {false, true}) {
+    Trace T = randomTrace(fuzzParams(GetParam() ^ 0x77aa, ForkJoin));
+    ASSERT_TRUE(validateTrace(T).ok());
+    expectShardedMatchesSequential(
+        [](const Trace &F) { return std::make_unique<FastTrackDetector>(F); },
+        T,
+        "FastTrack seed " + std::to_string(GetParam()) + " fj=" +
+            std::to_string(ForkJoin));
+  }
+}
+
+// The frequency-balanced shard plan must be invisible in results: same
+// bit-for-bit contract as the modulo plan, via the pipeline's strategy
+// option.
+TEST_P(DifferentialFuzzTest, BalancedStrategyMatchesSequentialBitForBit) {
+  Trace T = randomTrace(fuzzParams(GetParam() ^ 0x1234, GetParam() % 2 == 0));
+  std::vector<std::pair<const char *, DetectorFactory>> Factories = {
+      {"HB", [](const Trace &F) { return std::make_unique<HbDetector>(F); }},
+      {"FastTrack",
+       [](const Trace &F) { return std::make_unique<FastTrackDetector>(F); }},
+  };
+  for (auto &[Name, Make] : Factories) {
+    std::unique_ptr<Detector> D = Make(T);
+    RunResult Want = runDetector(*D, T);
+    PipelineOptions Opts;
+    Opts.NumThreads = 2;
+    Opts.VarShards = 4;
+    Opts.VarShardStrategy = ShardStrategy::FrequencyBalanced;
+    AnalysisPipeline P(Opts);
+    P.addDetector(Make);
+    PipelineResult R = P.run(T);
+    ASSERT_EQ(R.Lanes.size(), 1u);
+    ASSERT_TRUE(R.Lanes[0].Error.empty()) << R.Lanes[0].Error;
+    expectSameReport(R.Lanes[0].Report, Want.Report, T,
+                     std::string("balanced/") + Name + " seed " +
+                         std::to_string(GetParam()));
+  }
+}
+
 // ---- Oracle cross-check -----------------------------------------------------
 
 // On small traces the declarative closure is affordable: every race the
@@ -151,6 +199,51 @@ TEST(ShardPlanTest, PartitionCoversEveryVariableExactlyOnce) {
       }
     }
   }
+}
+
+TEST(ShardPlanTest, BalancedPlanCoversEveryVariableWithDenseLocalIds) {
+  // Same partition invariants as the modulo plan, on skewed counts: every
+  // variable in exactly one shard, local ids dense per shard.
+  std::vector<uint64_t> Counts = {1000, 1, 1, 1, 999, 0, 5, 5, 5, 5, 2, 0};
+  for (uint32_t NumShards : {1u, 2u, 4u, 7u}) {
+    ShardPlan Plan = ShardPlan::balancedByFrequency(NumShards, Counts);
+    EXPECT_EQ(Plan.NumShards, NumShards);
+    uint32_t Total = 0;
+    for (uint32_t S = 0; S != NumShards; ++S)
+      Total += Plan.numLocalVars(S, Counts.size());
+    EXPECT_EQ(Total, Counts.size());
+    std::vector<std::set<uint32_t>> Locals(NumShards);
+    for (uint32_t V = 0; V != Counts.size(); ++V) {
+      uint32_t S = Plan.shardOf(VarId(V));
+      ASSERT_LT(S, NumShards);
+      uint32_t Local = Plan.localIdOf(VarId(V));
+      EXPECT_LT(Local, Plan.numLocalVars(S, Counts.size()));
+      EXPECT_TRUE(Locals[S].insert(Local).second)
+          << "local id " << Local << " reused in shard " << S;
+    }
+  }
+}
+
+TEST(ShardPlanTest, BalancedPlanBeatsModuloOnSkewedCounts) {
+  // Adversarial skew for x mod N: the heavy hitters all share a residue
+  // class, so the modulo plan piles them onto one shard. The greedy
+  // frequency plan must spread them, and can never do worse than modulo's
+  // hottest shard... nor better than the single heaviest variable.
+  const uint32_t NumShards = 4;
+  std::vector<uint64_t> Counts(32, 1);
+  for (uint32_t V = 0; V < 32; V += NumShards)
+    Counts[V] = 1000; // All multiples of 4 → modulo shard 0.
+  ShardPlan Modulo{NumShards};
+  ShardPlan Balanced = ShardPlan::balancedByFrequency(NumShards, Counts);
+  uint64_t ModuloMax = Modulo.maxShardLoad(Counts);
+  uint64_t BalancedMax = Balanced.maxShardLoad(Counts);
+  EXPECT_EQ(ModuloMax, 8 * 1000u);
+  EXPECT_LT(BalancedMax, ModuloMax / 3) << "skew not balanced";
+  EXPECT_GE(BalancedMax, 2 * 1000u) << "8 heavy vars on 4 shards";
+  // Deterministic: same counts, same plan.
+  ShardPlan Again = ShardPlan::balancedByFrequency(NumShards, Counts);
+  EXPECT_EQ(Balanced.Assign, Again.Assign);
+  EXPECT_EQ(Balanced.Local, Again.Local);
 }
 
 TEST(ClockBroadcastTest, ConsecutiveAccessesShareSnapshots) {
