@@ -14,15 +14,22 @@
 // the per-variable shard count per lane to 4 (--shards N; the var-sharded
 // pass attacks the WCP-bound critical path while staying bit-identical).
 //
-// The streamed section (--stream, on by default; --no-stream to skip)
-// round-trips the trace through a binary file and compares batch
-// (ingest fully, then analyze) against an api/AnalysisSession feedFile
-// run where detector lanes consume published chunks while ingestion is
-// still appending — the overlap the session API exists for. The two runs'
-// reports are cross-checked lane by lane before timings are recorded.
+// The streamed sections (--stream, on by default; --no-stream to skip)
+// round-trip the trace through a binary file and compare batch (ingest
+// fully, then analyze) against an api/AnalysisSession feedFile run where
+// analysis consumes published chunks while ingestion is still appending —
+// the overlap the session API exists for. Three sessions are measured:
+// sequential lanes ("streamed"), a windowed session that dispatches each
+// window as its range publishes ("streamed_windowed", window size
+// --window N, default events/8), and a var-sharded session that runs the
+// capture clock pass and shard checks behind the reader
+// ("streamed_var_sharded"). Every streamed run's reports are cross-checked
+// lane by lane against its batch twin before timings are recorded — a
+// divergence fails the bench.
 //
 // Usage: bench_pipeline [--events N] [--threads N] [--shards N]
-//                       [--workload NAME] [--out PATH] [--no-stream]
+//                       [--window N] [--workload NAME] [--out PATH]
+//                       [--no-stream]
 //
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +68,7 @@ int main(int Argc, char **Argv) {
   uint64_t TargetEvents = 1050000;
   unsigned Threads = 4;
   uint32_t Shards = 4;
+  uint64_t WindowEvents = 0; // 0 = events/8, set after generation.
   bool Stream = true;
   std::string Workload = "montecarlo";
   std::string OutPath = "BENCH_pipeline.json";
@@ -72,6 +80,8 @@ int main(int Argc, char **Argv) {
       Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (Arg == "--shards" && I + 1 < Argc)
       Shards = static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (Arg == "--window" && I + 1 < Argc)
+      WindowEvents = std::strtoull(Argv[++I], nullptr, 10);
     else if (Arg == "--stream")
       Stream = true;
     else if (Arg == "--no-stream")
@@ -200,13 +210,104 @@ int main(int Argc, char **Argv) {
                  V.Seconds, Shards);
   }
 
-  // Streamed session vs batch: write the trace to a binary file, then
-  // (a) ingest fully and analyze, (b) run one AnalysisSession whose lanes
-  // consume published chunks while feedFile is still parsing. Reports are
-  // cross-checked; the JSON records how much wall clock the overlap saves.
-  std::string StreamJson;
-  double StreamWall = 0, BatchIngest = 0, BatchAnalyze = 0, StreamIngest = 0;
-  bool StreamRan = false;
+  // Streamed sessions vs batch: write the trace to a binary file once,
+  // then for each mode (a) ingest fully and analyze, (b) run one
+  // AnalysisSession that analyzes published chunks while feedFile is
+  // still parsing. Reports are cross-checked lane by lane; each section's
+  // JSON records how much wall clock the overlap saves. All four session
+  // modes stream now — this measures the three parallel ones.
+  if (WindowEvents == 0)
+    WindowEvents = std::max<uint64_t>(T.size() / 8, 1);
+  struct StreamSection {
+    std::string Json;       ///< Full JSON object, "" until the run passed.
+    double Wall = 0;
+  };
+  // The batch ingest is mode-independent: load (and time) the round-trip
+  // file once, and let every section reuse the trace and the number.
+  Trace BatchLoaded;
+  double BatchIngest = 0;
+  auto streamedSection = [&](const char *SectionName, RunMode Mode,
+                             const std::string &TracePath,
+                             const char *Extra) -> StreamSection {
+    StreamSection Out;
+    AnalysisConfig SCfg;
+    SCfg.Mode = Mode;
+    SCfg.Threads = Threads;
+    if (Mode == RunMode::Windowed)
+      SCfg.WindowEvents = WindowEvents;
+    if (Mode == RunMode::VarSharded)
+      SCfg.VarShards = Shards;
+    for (LaneSpec &L : Lanes)
+      SCfg.addDetector(L.Make, L.Name);
+
+    Timer AnalyzeClock;
+    AnalysisResult Batch = analyzeTrace(SCfg, BatchLoaded);
+    double BatchAnalyze = AnalyzeClock.seconds();
+
+    Timer StreamClock;
+    AnalysisSession Session(SCfg);
+    Status Fed = Session.feedFile(TracePath);
+    AnalysisResult Streamed = Session.finish();
+    Out.Wall = StreamClock.seconds();
+
+    if (!Fed.ok() || !Streamed.ok() || !Batch.ok()) {
+      Status Why = !Fed.ok() ? Fed
+                   : !Streamed.ok() ? Streamed.firstError()
+                                    : Batch.firstError();
+      std::fprintf(stderr, "error: %s section failed: %s\n", SectionName,
+                   Why.str().c_str());
+      LaneFailed = true;
+      return Out;
+    }
+    std::string LanesJson;
+    for (size_t L = 0; L != Streamed.Lanes.size(); ++L) {
+      const LaneReport &SL = Streamed.Lanes[L];
+      const LaneReport &BL = Batch.Lanes[L];
+      if (SL.Report.numDistinctPairs() != BL.Report.numDistinctPairs() ||
+          SL.Report.numInstances() != BL.Report.numInstances()) {
+        // A silent divergence here would corrupt the perf record *and*
+        // the correctness story; fail loudly instead.
+        std::fprintf(stderr,
+                     "error: %s %s diverged from batch "
+                     "(%llu/%llu vs %llu/%llu races/instances)\n",
+                     SectionName, SL.DetectorName.c_str(),
+                     (unsigned long long)SL.Report.numDistinctPairs(),
+                     (unsigned long long)SL.Report.numInstances(),
+                     (unsigned long long)BL.Report.numDistinctPairs(),
+                     (unsigned long long)BL.Report.numInstances());
+        LaneFailed = true;
+        return Out;
+      }
+      std::fprintf(stderr, "%-18s %-12s %6.2fs  %llu race pair(s), "
+                   "%llu restart(s)\n",
+                   SectionName, SL.DetectorName.c_str(), SL.Seconds,
+                   (unsigned long long)SL.Report.numDistinctPairs(),
+                   (unsigned long long)SL.Restarts);
+      if (!LanesJson.empty())
+        LanesJson += ", ";
+      LanesJson += "{\"detector\": \"" + SL.DetectorName +
+                   "\", \"seconds\": " + jsonNum(SL.Seconds) +
+                   ", \"races\": " +
+                   std::to_string(SL.Report.numDistinctPairs()) + "}";
+    }
+    double BatchTotal = BatchIngest + BatchAnalyze;
+    std::fprintf(stderr,
+                 "%s wall %.2fs vs batch %.2fs (ingest %.2fs + "
+                 "analyze %.2fs): %.2fs saved by overlap\n",
+                 SectionName, Out.Wall, BatchTotal, BatchIngest,
+                 BatchAnalyze, BatchTotal - Out.Wall);
+    Out.Json = std::string("{\"wall_seconds\": ") + jsonNum(Out.Wall) +
+               ", \"ingest_seconds\": " + jsonNum(Streamed.IngestSeconds) +
+               ", \"batch_ingest_seconds\": " + jsonNum(BatchIngest) +
+               ", \"batch_analyze_seconds\": " + jsonNum(BatchAnalyze) +
+               ", \"batch_total_seconds\": " + jsonNum(BatchTotal) +
+               ", \"overlap_saved_seconds\": " +
+               jsonNum(BatchTotal - Out.Wall) + Extra +
+               ", \"lanes\": [" + LanesJson + "]}";
+    return Out;
+  };
+
+  StreamSection StreamSeq, StreamWin, StreamVar;
   if (Stream) {
     std::string TracePath = OutPath + ".stream_trace.bin";
     std::string SaveErr = saveTraceFile(T, TracePath);
@@ -214,12 +315,6 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: %s\n", SaveErr.c_str());
       return 1;
     }
-    AnalysisConfig SCfg;
-    SCfg.Mode = RunMode::Sequential;
-    SCfg.Threads = Threads;
-    for (LaneSpec &L : Lanes)
-      SCfg.addDetector(L.Make, L.Name);
-
     Timer IngestClock;
     TraceLoadResult Load = loadTraceFileChunked(TracePath);
     if (!Load.Ok) {
@@ -227,63 +322,21 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     BatchIngest = IngestClock.seconds();
-    Timer AnalyzeClock;
-    AnalysisResult Batch = analyzeTrace(SCfg, Load.T);
-    BatchAnalyze = AnalyzeClock.seconds();
-
-    Timer StreamClock;
-    AnalysisSession Session(SCfg);
-    Status Fed = Session.feedFile(TracePath);
-    AnalysisResult Streamed = Session.finish();
-    StreamWall = StreamClock.seconds();
-    StreamIngest = Streamed.IngestSeconds;
-    std::remove(TracePath.c_str());
-
-    if (!Fed.ok() || !Streamed.ok() || !Batch.ok()) {
-      Status Why = !Fed.ok() ? Fed
-                   : !Streamed.ok() ? Streamed.firstError()
-                                    : Batch.firstError();
-      std::fprintf(stderr, "error: streamed section failed: %s\n",
-                   Why.str().c_str());
-      LaneFailed = true;
-    } else {
-      for (size_t L = 0; L != Streamed.Lanes.size(); ++L) {
-        const LaneReport &SL = Streamed.Lanes[L];
-        const LaneReport &BL = Batch.Lanes[L];
-        if (SL.Report.numDistinctPairs() != BL.Report.numDistinctPairs() ||
-            SL.Report.numInstances() != BL.Report.numInstances()) {
-          // A silent divergence here would corrupt the perf record *and*
-          // the correctness story; fail loudly instead.
-          std::fprintf(stderr,
-                       "error: streamed %s diverged from batch "
-                       "(%llu/%llu vs %llu/%llu races/instances)\n",
-                       SL.DetectorName.c_str(),
-                       (unsigned long long)SL.Report.numDistinctPairs(),
-                       (unsigned long long)SL.Report.numInstances(),
-                       (unsigned long long)BL.Report.numDistinctPairs(),
-                       (unsigned long long)BL.Report.numInstances());
-          LaneFailed = true;
-          continue;
-        }
-        std::fprintf(stderr, "%-10s %-9s %6.2fs  %llu race pair(s), "
-                     "%llu restart(s)\n",
-                     "streamed", SL.DetectorName.c_str(), SL.Seconds,
-                     (unsigned long long)SL.Report.numDistinctPairs(),
-                     (unsigned long long)SL.Restarts);
-        if (!StreamJson.empty())
-          StreamJson += ", ";
-        StreamJson += "{\"detector\": \"" + SL.DetectorName +
-                      "\", \"seconds\": " + jsonNum(SL.Seconds) +
-                      ", \"races\": " +
-                      std::to_string(SL.Report.numDistinctPairs()) + "}";
-      }
-      StreamRan = true;
-      std::fprintf(stderr,
-                   "streamed wall %.2fs vs batch %.2fs (ingest %.2fs + "
-                   "analyze %.2fs): %.2fs saved by overlap\n",
-                   StreamWall, BatchIngest + BatchAnalyze, BatchIngest,
-                   BatchAnalyze, BatchIngest + BatchAnalyze - StreamWall);
+    BatchLoaded = std::move(Load.T);
+    StreamSeq = streamedSection("streamed", RunMode::Sequential, TracePath,
+                                "");
+    std::string WinExtra =
+        ", \"window_events\": " + std::to_string(WindowEvents);
+    StreamWin = streamedSection("streamed_windowed", RunMode::Windowed,
+                                TracePath, WinExtra.c_str());
+    if (Shards > 0) {
+      std::string VarExtra =
+          ", \"shards_per_lane\": " + std::to_string(Shards);
+      StreamVar = streamedSection("streamed_var_sharded",
+                                  RunMode::VarSharded, TracePath,
+                                  VarExtra.c_str());
     }
+    std::remove(TracePath.c_str());
   }
 
   double Speedup = P.Seconds > 0 ? SeqTotal / P.Seconds : 0;
@@ -312,16 +365,12 @@ int main(int Argc, char **Argv) {
     Json += "  \"var_sharded\": {\"wall_seconds\": " + jsonNum(VarSeconds) +
             ", \"shards_per_lane\": " + std::to_string(Shards) +
             ", \"lanes\": [" + VarJson + "]},\n";
-  if (StreamRan)
-    Json += "  \"streamed\": {\"wall_seconds\": " + jsonNum(StreamWall) +
-            ", \"ingest_seconds\": " + jsonNum(StreamIngest) +
-            ", \"batch_ingest_seconds\": " + jsonNum(BatchIngest) +
-            ", \"batch_analyze_seconds\": " + jsonNum(BatchAnalyze) +
-            ", \"batch_total_seconds\": " + jsonNum(BatchIngest +
-                                                    BatchAnalyze) +
-            ", \"overlap_saved_seconds\": " +
-            jsonNum(BatchIngest + BatchAnalyze - StreamWall) +
-            ", \"lanes\": [" + StreamJson + "]},\n";
+  if (!StreamSeq.Json.empty())
+    Json += "  \"streamed\": " + StreamSeq.Json + ",\n";
+  if (!StreamWin.Json.empty())
+    Json += "  \"streamed_windowed\": " + StreamWin.Json + ",\n";
+  if (!StreamVar.Json.empty())
+    Json += "  \"streamed_var_sharded\": " + StreamVar.Json + ",\n";
   Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
   Json += "}\n";
 

@@ -7,23 +7,14 @@
 // mode goes through the same validated entry point, and failures surface
 // as structured statuses.
 //
-// Usage: race_cli [trace-file] [--hb] [--wcp] [--fasttrack] [--eraser]
-//                 [--window N] [--shards N] [--balanced] [--stats]
-//                 [--pipeline] [--threads N] [--stream] [--json]
-//
-// Modes (mutually exclusive):
-//   default / --pipeline   sequential lanes: one full-trace walk per
-//                          selected detector (concurrent, bit-identical
-//                          to one-at-a-time runs)
-//   --window N             windowed baseline (cross-window races lost)
-//   --shards N             per-variable sharded checks, bit-identical to
-//                          sequential; --balanced selects the
-//                          frequency-balanced shard plan
-//
-// --stream feeds the trace file through the session's streaming engine so
-// analysis overlaps ingestion (binary traces overlap chunk by chunk; text
-// traces publish at EOF). --json replaces the human-readable output with
-// a machine-readable report mirroring BENCH_pipeline.json's style.
+// Run `race_cli --help` for the full flag matrix. --stream composes with
+// every mode (sequential, --window, --shards): the session's streaming
+// engine overlaps analysis with ingestion — windows dispatch as their
+// event range arrives; the var-sharded clock pass and shard checks run
+// behind the reader. --json replaces the human-readable output with a
+// machine-readable report mirroring BENCH_pipeline.json's style;
+// --dry-run validates the flag combination and exits (the docs CI job
+// uses it to keep every invocation quoted in docs/*.md parseable).
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,10 +53,62 @@ struct Options {
   bool Stream = false;
   bool Json = false;
   bool Balanced = false;
+  bool DryRun = false;
   unsigned Threads = 0; // 0 = hardware concurrency.
   uint64_t Window = 0;  // 0 = unwindowed.
   uint32_t Shards = 0;  // 0 = no per-variable sharding.
 };
+
+void printHelp() {
+  std::fputs(
+      "usage: race_cli [trace-file] [options]\n"
+      "\n"
+      "Analyzes a trace (.bin or .txt; the built-in 'mergesort' workload\n"
+      "model when no file is given) for predictable data races.\n"
+      "\n"
+      "detectors (default: --hb --wcp):\n"
+      "  --hb           Djit+-style happens-before\n"
+      "  --wcp          weak-causally-precedes (the paper's linear-time "
+      "core)\n"
+      "  --fasttrack    FastTrack epochs\n"
+      "  --eraser       Eraser locksets\n"
+      "\n"
+      "modes (pick at most one; default is sequential lanes):\n"
+      "  --window N     windowed baseline: fresh detector per N-event\n"
+      "                 window (cross-window races lost by design)\n"
+      "  --shards N     per-variable sharded checks, bit-identical to\n"
+      "                 sequential for any N\n"
+      "  --balanced     with --shards: frequency-balanced shard plan\n"
+      "                 (greedy bin-packing on access counts)\n"
+      "\n"
+      "execution:\n"
+      "  --stream       feed the file through a streaming session so\n"
+      "                 analysis overlaps ingestion; composes with every\n"
+      "                 mode (sequential lanes consume published chunks,\n"
+      "                 windows dispatch as their range arrives, the\n"
+      "                 var-sharded clock pass + shard checks run behind\n"
+      "                 the reader). Requires a trace file; binary traces\n"
+      "                 overlap chunk by chunk, text publishes at EOF\n"
+      "  --pipeline     batch mode with chunked (bounded-memory) "
+      "ingestion\n"
+      "  --threads N    worker threads (0 or default: hardware "
+      "concurrency)\n"
+      "\n"
+      "output:\n"
+      "  --stats        print trace statistics first\n"
+      "  --json         machine-readable report (schema shared with\n"
+      "                 BENCH_pipeline.json tooling)\n"
+      "  --dry-run      validate the flag combination and exit 0 without\n"
+      "                 reading the trace or analyzing\n"
+      "  --help         this text\n"
+      "\n"
+      "examples:\n"
+      "  race_cli trace.bin --hb --wcp\n"
+      "  race_cli trace.bin --stream --window 100000\n"
+      "  race_cli trace.bin --stream --shards 8 --balanced --threads 4\n"
+      "  race_cli trace.txt --json --fasttrack\n",
+      stdout);
+}
 
 /// WCP lane wrapper that publishes the detector's queue statistics (the
 /// paper's Table 1 column 11 telemetry) into a slot that outlives the
@@ -152,6 +195,12 @@ int main(int Argc, char **Argv) {
       Opts.Json = true;
     else if (Arg == "--balanced")
       Opts.Balanced = true;
+    else if (Arg == "--dry-run")
+      Opts.DryRun = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      printHelp();
+      return 0;
+    }
     else if (Arg == "--threads" && I + 1 < Argc)
       Opts.Threads =
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
@@ -173,13 +222,10 @@ int main(int Argc, char **Argv) {
                          "exclusive (windowed vs per-variable sharding)\n");
     return 1;
   }
-  if (Opts.Stream && (Opts.Window > 0 || Opts.Shards > 0)) {
-    std::fprintf(stderr, "error: --stream requires the sequential mode "
-                         "(windowed/var-sharded runs need the whole "
-                         "trace)\n");
-    return 1;
-  }
-  if (Opts.Stream && Opts.Path.empty()) {
+  // --stream composes with every mode: windowed sessions dispatch each
+  // window as its event range publishes, var-sharded sessions run the
+  // clock pass and shard checks behind ingestion.
+  if (Opts.Stream && Opts.Path.empty() && !Opts.DryRun) {
     std::fprintf(stderr, "error: --stream needs a trace file\n");
     return 1;
   }
@@ -226,6 +272,12 @@ int main(int Argc, char **Argv) {
   if (Status V = Cfg.validate(); !V.ok()) {
     std::fprintf(stderr, "error: %s\n", V.str().c_str());
     return 1;
+  }
+  if (Opts.DryRun) {
+    std::printf("dry-run ok: mode=%s detectors=%zu threads=%u%s\n",
+                runModeName(Cfg.Mode), Cfg.Detectors.size(), Cfg.Threads,
+                Opts.Stream ? " streamed" : "");
+    return 0;
   }
 
   // Run: either a streaming session over the file (ingest overlaps

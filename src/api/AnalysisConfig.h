@@ -24,10 +24,16 @@
 ///               N analyses for one trace traversal, on a single thread;
 ///   Windowed    fixed-size event windows, fresh detector per window
 ///               (the handicapped baseline of §4.3 — cross-window races
-///               are lost by design);
+///               are lost by design); sessions dispatch each window onto
+///               the thread pool as soon as its event range publishes;
 ///   VarSharded  per-variable sharded checks (bit-identical to
 ///               Sequential for any shard count), with the shard
-///               assignment strategy selectable.
+///               assignment strategy selectable; sessions run the
+///               capture clock pass behind ingestion and shard checks on
+///               the published prefix.
+///
+/// Every mode is available both as a one-shot batch run (analyzeTrace)
+/// and as a streaming session (AnalysisSession) with identical reports.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,17 +79,22 @@ struct DetectorSpec {
 struct AnalysisConfig {
   std::vector<DetectorSpec> Detectors;
   RunMode Mode = RunMode::Sequential;
-  /// Worker threads for the batch engines (0 = hardware concurrency).
-  /// Streaming sessions run one consumer thread per lane regardless.
+  /// Worker threads (0 = hardware concurrency) for the batch engines and
+  /// for the session thread pool that runs Windowed window tasks /
+  /// VarSharded shard-check tasks. Sequential/Fused sessions run one
+  /// consumer thread per lane (one total for Fused) regardless.
   unsigned Threads = 0;
   /// Windowed mode only: events per window (must be > 0 there, 0 elsewhere).
   uint64_t WindowEvents = 0;
   /// VarSharded mode only: per-variable shards per lane (>= 1 there,
   /// 0 elsewhere).
   uint32_t VarShards = 0;
-  /// VarSharded mode only: how variables map to shards.
+  /// VarSharded mode only: how variables map to shards. Modulo streams
+  /// shard checks behind the capture pass; FrequencyBalanced needs the
+  /// full capture counts, so in sessions its shard checks start when the
+  /// clock pass retires (reports are bit-identical either way).
   ShardStrategy Strategy = ShardStrategy::Modulo;
-  /// Streaming sessions: max events a lane consumes per batch — the
+  /// Streaming sessions: max events a consumer takes per batch — the
   /// granularity of partial-report visibility and of restart checks.
   uint64_t StreamBatchEvents = 8192;
 

@@ -37,11 +37,17 @@ struct LaneReport {
   /// for ingestion to publish events.
   double Seconds = 0;
   /// Events this lane has processed (== EventsIngested on completion;
-  /// smaller in partial snapshots).
+  /// smaller in partial snapshots). What "processed" means per mode:
+  /// sequential/fused — events the detector walked; windowed — events
+  /// covered by the retired-window prefix merged into Report; var-sharded
+  /// — events the capture clock pass walked (Report covers the possibly
+  /// smaller fully-checked frontier mid-stream).
   uint64_t EventsConsumed = 0;
-  /// Streaming lanes: how often the lane rebuilt its detector and
-  /// replayed the prefix because id tables grew mid-stream (always 0 when
-  /// tables were declared or carried up front, e.g. binary inputs).
+  /// Streaming lanes: how often the lane rebuilt its analysis state and
+  /// replayed the prefix because id tables grew mid-stream — the detector
+  /// in sequential/fused mode, the window set in windowed mode, the
+  /// capture log + shard checkers in var-sharded mode. Always 0 when
+  /// tables were declared or carried up front (e.g. binary inputs).
   uint64_t Restarts = 0;
 };
 
@@ -60,10 +66,13 @@ struct AnalysisResult {
   uint64_t TasksStolen = 0; ///< Batch engines: work-stealing telemetry.
   unsigned ThreadsUsed = 1;
   /// True for partialResult() snapshots: lanes are mid-stream, reports
-  /// cover only EventsConsumed events and finish() has not run.
+  /// cover a prefix of the ingested events and finish() has not run.
+  /// Partial reports are always exact prefixes of the final report —
+  /// never torn merges (see AnalysisSession::partialResult).
   bool Partial = false;
-  /// True when detector lanes consumed published event ranges while
-  /// ingestion was still appending (the session's streaming engine).
+  /// True when analysis consumed published event ranges while ingestion
+  /// was still appending (every session run; false for the one-shot batch
+  /// analyzeTrace).
   bool Streamed = false;
 
   /// True iff the run and every lane succeeded.

@@ -5,28 +5,54 @@
 // The streaming engine: a single-producer / multi-consumer publication
 // protocol over a growable trace. The producer (feed/feedFile on the
 // caller's thread) appends events and advances Published under the session
-// mutex; each lane's consumer thread copies bounded batches of the
-// published prefix out under the same mutex and runs its detector on them
-// outside it, so detector work — the expensive part — overlaps both
-// ingestion and the other lanes. Consumers never hold references into the
-// trace across an unlock (the event vector may reallocate), and all
-// per-lane state shared with partialResult() sits behind a per-lane
-// snapshot mutex. Batch modes (Windowed/VarSharded) reuse the pipeline
-// engine at finish(); the mode mapping lives in pipelineOptionsFor().
+// mutex; consumers copy bounded batches of the published prefix out under
+// the same mutex and run detector work — the expensive part — outside it,
+// so analysis overlaps both ingestion and the other consumers. Consumers
+// never hold references into the trace across an unlock (the event vector
+// may reallocate), and all per-lane state shared with partialResult() sits
+// behind a per-lane snapshot mutex.
+//
+// Every run mode streams:
+//
+//   Sequential   one consumer thread per lane, each running its detector
+//                over published batches (sequentialConsumer);
+//   Fused        one consumer thread walking every lane's detector over
+//                each batch (fusedConsumer);
+//   Windowed     one window-builder consumer cuts completed windows out of
+//                the published prefix (trace/IncrementalWindowSplitter)
+//                and dispatches a fresh detector per lane × window onto
+//                the session ThreadPool; reports merge deterministically
+//                in window order as they retire (windowedConsumer);
+//   VarSharded   one capture consumer per lane runs the clock pass behind
+//                ingestion, publishing AccessLog prefixes that per-shard
+//                drain tasks on the pool replay incrementally
+//                (detect/ShardChecker); only the final trace-order merge
+//                waits for finish() (varShardConsumer/drainVarShard).
+//
+// Lock order. The session mutex M nests SnapM inside (M → SnapM). The
+// var-sharded lane log mutex LogM also nests SnapM (LogM → SnapM, while
+// the capture detector appends to the published log). Shard mutexes (SM)
+// and window-epoch mutexes (EM) are leaves taken on their own. M is never
+// held together with LogM/SM/EM.
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/AnalysisSession.h"
 
+#include "detect/ShardedAccessHistory.h"
 #include "pipeline/ChunkedReader.h"
 #include "pipeline/Pipeline.h"
+#include "support/GuardedTask.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "trace/TraceValidator.h"
+#include "trace/Window.h"
 
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 using namespace rapid;
 
@@ -50,7 +76,7 @@ TableDims dimsOf(const Trace &T) {
   return TableDims{T.numThreads(), T.numLocks(), T.numVars()};
 }
 
-/// Maps a validated config onto the batch pipeline engine.
+/// Maps a validated config onto the batch pipeline engine (analyzeTrace).
 PipelineOptions pipelineOptionsFor(const AnalysisConfig &Cfg) {
   PipelineOptions Opts;
   Opts.NumThreads = Cfg.Threads;
@@ -133,6 +159,75 @@ struct LaneRuntime {
   bool Done = false;
 };
 
+// ---- Windowed-mode streaming state ------------------------------------------
+
+/// One lane's outcome for one window, filled by its pool task.
+struct WindowSlot {
+  RaceReport Report;
+  std::string Name; ///< Detector's name() (window 0 resolves the lane's).
+  std::string Error;
+  double Seconds = 0;
+  bool Done = false;
+};
+
+/// One completed window plus its per-lane result slots.
+struct WindowEntry {
+  std::shared_ptr<const TraceWindow> W;
+  uint64_t EndIdx = 0; ///< Parent events covered: [0, EndIdx) after merge.
+  std::vector<WindowSlot> Slots;
+};
+
+/// One window-builder epoch. Table growth mid-stream orphans the whole
+/// epoch (in-flight tasks keep it alive via shared_ptr and write into it
+/// harmlessly) and the builder starts a fresh one — the windowed form of
+/// rebuild-and-replay.
+struct WindowEpoch {
+  std::mutex EM;
+  std::condition_variable DoneCV;
+  std::vector<std::unique_ptr<WindowEntry>> Windows; ///< Appended in order.
+  uint64_t TasksLaunched = 0;
+  uint64_t TasksDone = 0;
+};
+
+// ---- Var-sharded-mode streaming state ---------------------------------------
+
+/// One lane's shard-check runtime for the streamed var-sharded mode.
+/// WorkList/cursors/Error/Seconds are guarded by the lane's LogM; the
+/// checker itself by SM (claim under LogM, replay under SM, commit under
+/// LogM — so capture publication, shard replay and partial snapshots all
+/// overlap without sharing).
+struct VarShard {
+  std::vector<uint32_t> WorkList; ///< Access indices, in trace order.
+  size_t Claimed = 0;             ///< Handed to the drain task.
+  size_t Completed = 0;           ///< Replayed into the checker.
+  bool Scheduled = false;         ///< A drain task is in flight.
+  std::string Error;
+  double Seconds = 0;
+
+  std::mutex SM;
+  uint64_t CheckerEpoch = 0;
+  std::unique_ptr<ShardChecker> Checker;
+};
+
+/// Per-lane capture/publication state for the streamed var-sharded mode.
+struct VarShardState {
+  std::mutex LogM;
+  std::condition_variable DrainCV; ///< Drain tasks signal progress.
+  uint64_t Epoch = 0;              ///< Bumped on rebuild-and-replay.
+  AccessLog *Log = nullptr;        ///< Owned via LogHolder; appended by the
+                                   ///< capture detector under LogM → SnapM.
+  std::unique_ptr<AccessLog> LogHolder;
+  uint64_t Partitioned = 0;     ///< Accesses split into WorkLists so far.
+  uint64_t CapturedEvents = 0;  ///< Trace events the clock pass covered.
+  bool Capturing = false;       ///< Detector accepted beginCapture.
+  bool PlanReady = false;       ///< Plan fixed (modulo: at build;
+                                ///< frequency-balanced: at capture end).
+  ShardPlan Plan;
+  ShardReplay Replay = ShardReplay::FullHistory;
+  TableDims BuildDims;
+  std::vector<std::unique_ptr<VarShard>> Shards;
+};
+
 } // namespace
 
 struct AnalysisSession::Impl {
@@ -158,19 +253,33 @@ struct AnalysisSession::Impl {
   StreamingTraceValidator Validator;
   uint64_t Validated = 0;
 
-  bool Streaming = false; ///< Sequential/Fused: consumer threads running.
   std::vector<std::unique_ptr<LaneRuntime>> Lanes;
+  std::vector<std::unique_ptr<VarShardState>> VarStates; ///< VarSharded only.
+  std::shared_ptr<WindowEpoch> WinEpoch; ///< Windowed only; ptr under M.
+  uint64_t FinalNumWindows = 0;          ///< Set at windowed finalize.
   std::vector<std::thread> Consumers;
+  /// Lane × window tasks (Windowed) / shard drain tasks (VarSharded).
+  /// Declared last so its destructor drains in-flight tasks before the
+  /// state they reference dies.
+  std::unique_ptr<ThreadPool> Pool;
 
   void start();
   void sequentialConsumer(LaneRuntime &Rt);
   void fusedConsumer();
+  void windowedConsumer();
+  void dispatchWindow(const std::shared_ptr<WindowEpoch> &Ep, TraceWindow &&W);
+  void finalizeWindowedLanes(WindowEpoch &Ep);
+  void varShardConsumer(LaneRuntime &Rt, VarShardState &VS);
+  void drainVarShard(VarShardState &VS, uint32_t S);
+  void scheduleDrains(VarShardState &VS, std::vector<uint32_t> &ToSchedule);
   void buildDetectorLocked(LaneRuntime &Rt);
   void stopConsumers();
   Status ingestGate();
   bool validateNewLocked();
   void publishLocked();
   AnalysisResult snapshotLanes(bool Partial);
+  void snapshotWindowedLane(size_t L, LaneReport &Lane);
+  void snapshotVarShardLane(VarShardState &VS, LaneReport &Lane);
 };
 
 /// Builds \p Rt's detector against the current tables. Caller holds M;
@@ -268,7 +377,7 @@ void AnalysisSession::Impl::fusedConsumer() {
     Lanes[L]->Done = true;
     Failed[L] = true;
   };
-  auto guarded = [&](size_t L, auto &&Body) {
+  auto guardedLane = [&](size_t L, auto &&Body) {
     if (Failed[L])
       return;
     try {
@@ -305,7 +414,7 @@ void AnalysisSession::Impl::fusedConsumer() {
       }
       if (!Constructed) {
         for (size_t L = 0; L != Lanes.size(); ++L)
-          guarded(L, [&] { buildDetectorLocked(*Lanes[L]); });
+          guardedLane(L, [&] { buildDetectorLocked(*Lanes[L]); });
         Built = Cur;
         Constructed = true;
       }
@@ -316,7 +425,7 @@ void AnalysisSession::Impl::fusedConsumer() {
                  Events.begin() + static_cast<ptrdiff_t>(To));
     }
     for (size_t L = 0; L != Lanes.size(); ++L) {
-      guarded(L, [&] {
+      guardedLane(L, [&] {
         LaneRuntime &Rt = *Lanes[L];
         std::lock_guard<std::mutex> G(Rt.SnapM);
         Timer Clock;
@@ -332,10 +441,10 @@ void AnalysisSession::Impl::fusedConsumer() {
     std::unique_lock<std::mutex> Lk(M);
     if (!Constructed)
       for (size_t L = 0; L != Lanes.size(); ++L)
-        guarded(L, [&] { buildDetectorLocked(*Lanes[L]); });
+        guardedLane(L, [&] { buildDetectorLocked(*Lanes[L]); });
   }
   for (size_t L = 0; L != Lanes.size(); ++L) {
-    guarded(L, [&] {
+    guardedLane(L, [&] {
       LaneRuntime &Rt = *Lanes[L];
       std::lock_guard<std::mutex> G(Rt.SnapM);
       Rt.D->finish();
@@ -345,11 +454,508 @@ void AnalysisSession::Impl::fusedConsumer() {
   }
 }
 
+// ---- Windowed streaming -----------------------------------------------------
+
+/// Appends \p W to the epoch and launches one analysis task per lane: a
+/// fresh detector over the fragment (the windowed baseline's defining
+/// move), results written into the window's slots. Tasks hold the epoch
+/// alive via shared_ptr, so an epoch orphaned by a restart absorbs its
+/// stragglers harmlessly.
+void AnalysisSession::Impl::dispatchWindow(
+    const std::shared_ptr<WindowEpoch> &Ep, TraceWindow &&W) {
+  auto Entry = std::make_unique<WindowEntry>();
+  Entry->W = std::make_shared<const TraceWindow>(std::move(W));
+  Entry->EndIdx = Entry->W->Original.empty() ? 0 : Entry->W->Original.back() + 1;
+  Entry->Slots.resize(Lanes.size());
+  WindowEntry *E = Entry.get();
+  {
+    std::lock_guard<std::mutex> G(Ep->EM);
+    Ep->Windows.push_back(std::move(Entry));
+    Ep->TasksLaunched += Lanes.size();
+  }
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    Pool->submit([this, Ep, E, L] {
+      RaceReport Report;
+      std::string Name;
+      std::string Err;
+      double Seconds = 0;
+      guardedTask(Err, [&] {
+        Timer Clock;
+        std::unique_ptr<Detector> D = Lanes[L]->Make(E->W->Fragment);
+        Name = D->name();
+        Report = runDetectorOnWindow(*D, *E->W);
+        Seconds = Clock.seconds();
+      });
+      std::lock_guard<std::mutex> G(Ep->EM);
+      WindowSlot &S = E->Slots[L];
+      S.Report = std::move(Report);
+      S.Name = std::move(Name);
+      S.Error = std::move(Err);
+      S.Seconds = Seconds;
+      S.Done = true;
+      ++Ep->TasksDone;
+      Ep->DoneCV.notify_all();
+    });
+  }
+}
+
+/// Merges the retired windows into each lane's final report, reproducing
+/// the batch engine's shard-order merge (and its naming and first-error
+/// labeling) exactly. Runs on the builder thread after every task of the
+/// final epoch completed.
+void AnalysisSession::Impl::finalizeWindowedLanes(WindowEpoch &Ep) {
+  FinalNumWindows = Ep.Windows.size();
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    LaneRuntime &Rt = *Lanes[L];
+    RaceReport Merged;
+    std::string Err;
+    std::string Base = Rt.Label;
+    double Seconds = 0;
+    uint64_t Covered = 0;
+    for (size_t K = 0; K != Ep.Windows.size(); ++K) {
+      WindowSlot &S = Ep.Windows[K]->Slots[L];
+      if (K == 0 && Base.empty())
+        Base = S.Name;
+      if (!S.Error.empty() && Err.empty())
+        Err = "shard " + std::to_string(K) + ": " + S.Error;
+      Merged.mergeFrom(S.Report);
+      Seconds += S.Seconds;
+      Covered = Ep.Windows[K]->EndIdx;
+    }
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.Name = Base + "[w=" + std::to_string(Cfg.WindowEvents) + "]";
+    Rt.Seconds = Seconds;
+    Rt.Final = std::move(Merged); // Kept even on error, like the batch merge.
+    if (!Err.empty())
+      Rt.LaneStatus = Status(StatusCode::AnalysisError, std::move(Err));
+    else
+      Rt.Consumed = Covered;
+    Rt.Done = true;
+  }
+}
+
+/// The windowed mode's one consumer: replays the published prefix through
+/// an incremental window splitter and dispatches each completed window the
+/// moment its last event publishes — no per-window global state, so
+/// analysis starts while ingestion is still appending. Table growth
+/// restarts the epoch (windows rebuilt and re-dispatched over the stable
+/// prefix, counted per lane in LaneReport::Restarts).
+void AnalysisSession::Impl::windowedConsumer() {
+  const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
+  std::vector<Event> Buf;
+  uint64_t Consumed = 0;
+  TableDims Built;
+  bool Started = false;
+  std::shared_ptr<WindowEpoch> Ep;
+  std::unique_ptr<IncrementalWindowSplitter> Split;
+  try {
+    for (;;) {
+      uint64_t From = 0;
+      bool Flush = false;
+      {
+        std::unique_lock<std::mutex> Lk(M);
+        CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+        TableDims Cur = dimsOf(*Live);
+        if (Started && Cur != Built) {
+          // Rebuild-and-replay: orphan the epoch (stragglers keep it
+          // alive), re-cut every window against the grown tables.
+          for (auto &Rt : Lanes) {
+            std::lock_guard<std::mutex> G(Rt->SnapM);
+            Rt->Consumed = 0;
+            ++Rt->Restarts;
+          }
+          Consumed = 0;
+          Started = false;
+        }
+        if (!Started) {
+          Ep = std::make_shared<WindowEpoch>();
+          WinEpoch = Ep;
+          Split =
+              std::make_unique<IncrementalWindowSplitter>(*Live,
+                                                          Cfg.WindowEvents);
+          Built = Cur;
+          Started = true;
+        }
+        if (Published == Consumed) {
+          if (!IngestDone)
+            continue;
+          Flush = true;
+        } else {
+          From = Consumed;
+          uint64_t To = std::min(Published, From + Batch);
+          const std::vector<Event> &Events = Live->events();
+          Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
+                     Events.begin() + static_cast<ptrdiff_t>(To));
+          Consumed = To;
+        }
+      }
+      if (!Flush) {
+        for (uint64_t K = 0; K != Buf.size(); ++K)
+          if (std::optional<TraceWindow> W = Split->push(Buf[K], From + K))
+            dispatchWindow(Ep, std::move(*W));
+        continue;
+      }
+      if (std::optional<TraceWindow> W = Split->flush())
+        dispatchWindow(Ep, std::move(*W));
+      {
+        std::unique_lock<std::mutex> ELk(Ep->EM);
+        Ep->DoneCV.wait(ELk,
+                        [&] { return Ep->TasksDone == Ep->TasksLaunched; });
+      }
+      finalizeWindowedLanes(*Ep);
+      return;
+    }
+  } catch (const std::exception &E) {
+    for (auto &Rt : Lanes) {
+      std::lock_guard<std::mutex> G(Rt->SnapM);
+      Rt->LaneStatus = Status(StatusCode::AnalysisError, E.what());
+      Rt->Done = true;
+    }
+  } catch (...) {
+    for (auto &Rt : Lanes) {
+      std::lock_guard<std::mutex> G(Rt->SnapM);
+      Rt->LaneStatus = Status(StatusCode::AnalysisError, "unknown exception");
+      Rt->Done = true;
+    }
+  }
+}
+
+// ---- Var-sharded streaming --------------------------------------------------
+
+/// Submits drain tasks for the shards in \p ToSchedule (already marked
+/// Scheduled under LogM by the caller; called after LogM is released).
+void AnalysisSession::Impl::scheduleDrains(VarShardState &VS,
+                                           std::vector<uint32_t> &ToSchedule) {
+  for (uint32_t S : ToSchedule)
+    Pool->submit([this, &VS, S] { drainVarShard(VS, S); });
+  ToSchedule.clear();
+}
+
+/// One drain round for shard \p S: claim a bounded run of newly published
+/// accesses under LogM (copying them and the clock snapshots they
+/// reference out, so the growing log is never read unlocked), replay them
+/// into the shard's checker under SM, commit completion under LogM.
+/// Loops until no work is left, then clears Scheduled and exits — the
+/// capture consumer re-submits when it publishes more.
+void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
+  constexpr size_t DrainBatch = 4096;
+  VarShard &Sh = *VS.Shards[S];
+  struct Item {
+    DeferredAccess A;
+    uint32_t Local = 0;
+    uint32_t Ce = 0;
+    uint32_t Hard = DeferredAccess::NoClock;
+  };
+  std::vector<Item> Batch;
+  std::vector<VectorClock> Clocks;
+  for (;;) {
+    uint64_t Epoch;
+    Batch.clear();
+    Clocks.clear();
+    {
+      std::lock_guard<std::mutex> G(VS.LogM);
+      if (Sh.Claimed == Sh.WorkList.size()) {
+        Sh.Scheduled = false;
+        return;
+      }
+      Epoch = VS.Epoch;
+      size_t End = std::min(Sh.WorkList.size(), Sh.Claimed + DrainBatch);
+      const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
+      const ClockBroadcast &Broadcast = VS.Log->clocks();
+      std::unordered_map<uint32_t, uint32_t> Remap;
+      auto localClock = [&](uint32_t Idx) {
+        auto [It, New] =
+            Remap.emplace(Idx, static_cast<uint32_t>(Clocks.size()));
+        if (New)
+          Clocks.push_back(Broadcast.snapshot(Idx));
+        return It->second;
+      };
+      Batch.reserve(End - Sh.Claimed);
+      for (size_t K = Sh.Claimed; K != End; ++K) {
+        Item It;
+        It.A = Accesses[Sh.WorkList[K]];
+        It.Local = VS.Plan.localIdOf(It.A.Var);
+        It.Ce = localClock(It.A.Clock);
+        if (It.A.Hard != DeferredAccess::NoClock)
+          It.Hard = localClock(It.A.Hard);
+        Batch.push_back(std::move(It));
+      }
+      Sh.Claimed = End;
+    }
+    std::string Err;
+    double Seconds = 0;
+    {
+      std::lock_guard<std::mutex> G(Sh.SM);
+      if (Sh.CheckerEpoch == Epoch && Sh.Checker) {
+        guardedTask(Err, [&] {
+          Timer Clock;
+          for (const Item &It : Batch)
+            Sh.Checker->replay(It.A, VarId(It.Local), Clocks[It.Ce],
+                               It.Hard == DeferredAccess::NoClock
+                                   ? nullptr
+                                   : &Clocks[It.Hard]);
+          Seconds = Clock.seconds();
+        });
+      }
+    }
+    {
+      std::lock_guard<std::mutex> G(VS.LogM);
+      if (VS.Epoch == Epoch) {
+        Sh.Completed += Batch.size();
+        Sh.Seconds += Seconds;
+        if (!Err.empty() && Sh.Error.empty())
+          Sh.Error = std::move(Err);
+        VS.DrainCV.notify_all();
+      }
+    }
+  }
+}
+
+/// One lane of the streamed var-sharded mode. The consumer runs the
+/// capture clock pass behind ingestion (exactly the sequential consumer's
+/// walk, but with race checks deferred into the lane's AccessLog), and
+/// publishes the captured prefix to per-shard drain tasks that replay the
+/// deferred checks concurrently — the batch engine's three phases, spread
+/// over time. Detectors without capture support keep the plain sequential
+/// walk (bit-identical to the batch fallback). Only the trace-order merge
+/// is deferred to the very end.
+void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
+                                             VarShardState &VS) {
+  const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
+  const uint32_t NumShards = std::max<uint32_t>(Cfg.VarShards, 1);
+  std::vector<Event> Buf;
+  std::vector<uint32_t> ToSchedule;
+  uint64_t Consumed = 0;
+  TableDims Built;
+  try {
+    for (;;) {
+      uint64_t From;
+      bool FreshDetector = false;
+      TableDims Cur;
+      {
+        std::unique_lock<std::mutex> Lk(M);
+        CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+        Cur = dimsOf(*Live);
+        if (Rt.D && Cur != Built) {
+          {
+            std::lock_guard<std::mutex> G(Rt.SnapM);
+            Rt.D.reset();
+            Rt.Consumed = Consumed = 0;
+            ++Rt.Restarts;
+          }
+          // Rebuild-and-replay: retire this capture epoch. Shard state
+          // resets below, outside M (M is never held with LogM/SM).
+          FreshDetector = true;
+        }
+        if (Published == Consumed) {
+          if (IngestDone)
+            break;
+          continue;
+        }
+        if (!Rt.D) {
+          buildDetectorLocked(Rt);
+          Built = Cur;
+          FreshDetector = true;
+        }
+        From = Consumed;
+        uint64_t To = std::min(Published, From + Batch);
+        const std::vector<Event> &Events = Live->events();
+        Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
+                   Events.begin() + static_cast<ptrdiff_t>(To));
+      }
+      if (FreshDetector) {
+        // (Re)attach capture: new log, new epoch, fresh shard checkers.
+        auto NewLog = std::make_unique<AccessLog>(Built.Threads);
+        bool Capturing;
+        ShardReplay Replay = ShardReplay::FullHistory;
+        {
+          std::lock_guard<std::mutex> G(Rt.SnapM);
+          Capturing = Rt.D && Rt.D->beginCapture(*NewLog);
+          if (Capturing)
+            Replay = Rt.D->shardReplay();
+        }
+        uint64_t Epoch;
+        {
+          std::lock_guard<std::mutex> G(VS.LogM);
+          Epoch = ++VS.Epoch;
+          VS.LogHolder = std::move(NewLog);
+          VS.Log = VS.LogHolder.get();
+          VS.Partitioned = 0;
+          VS.CapturedEvents = 0;
+          VS.Capturing = Capturing;
+          VS.Replay = Replay;
+          VS.BuildDims = Built;
+          VS.PlanReady =
+              Capturing && Cfg.Strategy == ShardStrategy::Modulo;
+          VS.Plan = ShardPlan(NumShards);
+          for (auto &Sh : VS.Shards) {
+            Sh->WorkList.clear();
+            Sh->Claimed = Sh->Completed = 0;
+            Sh->Error.clear();
+            Sh->Seconds = 0;
+          }
+        }
+        for (uint32_t S = 0; S != NumShards; ++S) {
+          VarShard &Sh = *VS.Shards[S];
+          std::lock_guard<std::mutex> G(Sh.SM);
+          Sh.CheckerEpoch = Epoch;
+          Sh.Checker =
+              VS.PlanReady
+                  ? std::make_unique<ShardChecker>(
+                        Replay, VS.Plan.numLocalVars(S, Built.Vars),
+                        Built.Threads)
+                  : nullptr;
+        }
+      }
+      {
+        // The capture detector appends to the published log, so the walk
+        // runs under LogM (→ SnapM); drain tasks only ever read the log
+        // under the same LogM.
+        std::lock_guard<std::mutex> LG(VS.LogM);
+        {
+          std::lock_guard<std::mutex> G(Rt.SnapM);
+          Timer Clock;
+          for (uint64_t K = 0; K != Buf.size(); ++K)
+            Rt.D->processEvent(Buf[K], From + K);
+          Rt.Seconds += Clock.seconds();
+          Consumed = From + Buf.size();
+          Rt.Consumed = Consumed;
+        }
+        VS.CapturedEvents = Consumed;
+        if (VS.PlanReady) {
+          const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
+          for (uint64_t I = VS.Partitioned; I != Accesses.size(); ++I) {
+            uint32_t S = VS.Plan.shardOf(Accesses[I].Var);
+            VarShard &Sh = *VS.Shards[S];
+            Sh.WorkList.push_back(static_cast<uint32_t>(I));
+            if (!Sh.Scheduled) {
+              Sh.Scheduled = true;
+              ToSchedule.push_back(S);
+            }
+          }
+          VS.Partitioned = Accesses.size();
+        }
+      }
+      scheduleDrains(VS, ToSchedule);
+    }
+
+    {
+      // Zero-event sessions still owe a constructed detector.
+      std::unique_lock<std::mutex> Lk(M);
+      if (!Rt.D)
+        buildDetectorLocked(Rt);
+    }
+    bool Capturing;
+    {
+      std::lock_guard<std::mutex> G(VS.LogM);
+      Capturing = VS.Capturing;
+    }
+    if (!Capturing) {
+      // Sequential fallback lane (no capture support) — or a zero-event
+      // session whose detector never attached; either way the plain walk
+      // already happened and finish()/report() is the whole story, just
+      // like the batch engine's fallback.
+      std::lock_guard<std::mutex> G(Rt.SnapM);
+      Rt.D->finish();
+      Rt.Final = Rt.D->report();
+      Rt.Done = true;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> G(Rt.SnapM);
+      Timer Clock;
+      Rt.D->finish();
+      Rt.Seconds += Clock.seconds();
+    }
+    {
+      std::lock_guard<std::mutex> G(VS.LogM);
+      if (!VS.PlanReady) {
+        // FrequencyBalanced: the plan is a pure function of the full
+        // capture counts, so it is fixed here — shard checks for this
+        // strategy start once the clock pass retires (the modulo plan
+        // needs no counts and streams all along).
+        std::vector<uint64_t> Counts(VS.BuildDims.Vars, 0);
+        for (const DeferredAccess &A : VS.Log->accesses())
+          ++Counts[A.Var.value()];
+        VS.Plan = ShardPlan::balancedByFrequency(NumShards, Counts);
+        VS.PlanReady = true;
+        for (uint32_t S = 0; S != NumShards; ++S) {
+          VarShard &Sh = *VS.Shards[S];
+          std::lock_guard<std::mutex> SG(Sh.SM);
+          Sh.CheckerEpoch = VS.Epoch;
+          Sh.Checker = std::make_unique<ShardChecker>(
+              VS.Replay, VS.Plan.numLocalVars(S, VS.BuildDims.Vars),
+              VS.BuildDims.Threads);
+        }
+        const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
+        for (uint64_t I = 0; I != Accesses.size(); ++I)
+          VS.Shards[VS.Plan.shardOf(Accesses[I].Var)]->WorkList.push_back(
+              static_cast<uint32_t>(I));
+        VS.Partitioned = Accesses.size();
+      }
+      for (uint32_t S = 0; S != NumShards; ++S) {
+        VarShard &Sh = *VS.Shards[S];
+        if (Sh.Completed != Sh.WorkList.size() && !Sh.Scheduled) {
+          Sh.Scheduled = true;
+          ToSchedule.push_back(S);
+        }
+      }
+    }
+    scheduleDrains(VS, ToSchedule);
+    {
+      // Wait for the drains to retire every shard of this final epoch.
+      std::unique_lock<std::mutex> G(VS.LogM);
+      VS.DrainCV.wait(G, [&] {
+        for (auto &Sh : VS.Shards)
+          if (Sh->Completed != Sh->WorkList.size())
+            return false;
+        return true;
+      });
+    }
+    // Phase 3 — the deterministic trace-order merge, identical to the
+    // batch engine's. Everything is quiescent now (drains exited, no more
+    // publication), but the locks are cheap and keep the invariants
+    // simple.
+    std::string Err;
+    std::vector<std::vector<RaceInstance>> PerShard(NumShards);
+    double ShardSeconds = 0;
+    for (uint32_t S = 0; S != NumShards; ++S) {
+      VarShard &Sh = *VS.Shards[S];
+      {
+        std::lock_guard<std::mutex> G(VS.LogM);
+        if (!Sh.Error.empty() && Err.empty())
+          Err = "var shard " + std::to_string(S) + ": " + Sh.Error;
+        ShardSeconds += Sh.Seconds;
+      }
+      std::lock_guard<std::mutex> SG(Sh.SM);
+      if (Sh.Checker)
+        PerShard[S] = std::move(Sh.Checker->findings());
+    }
+    RaceReport Merged = ShardedAccessHistory::mergeInTraceOrder(PerShard);
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.Seconds += ShardSeconds;
+    if (!Err.empty())
+      Rt.LaneStatus = Status(StatusCode::AnalysisError, std::move(Err));
+    else
+      Rt.Final = std::move(Merged);
+    Rt.Done = true;
+  } catch (const std::exception &E) {
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.LaneStatus = Status(StatusCode::AnalysisError, E.what());
+    Rt.Done = true;
+  } catch (...) {
+    std::lock_guard<std::mutex> G(Rt.SnapM);
+    Rt.LaneStatus = Status(StatusCode::AnalysisError, "unknown exception");
+    Rt.Done = true;
+  }
+}
+
+// ---- Session lifecycle ------------------------------------------------------
+
 void AnalysisSession::Impl::start() {
   SessionStatus = Cfg.validate();
   if (!SessionStatus.ok())
     return;
-  Streaming = Cfg.Mode == RunMode::Sequential || Cfg.Mode == RunMode::Fused;
   Lanes.reserve(Cfg.Detectors.size());
   for (const DetectorSpec &S : Cfg.Detectors) {
     auto Rt = std::make_unique<LaneRuntime>();
@@ -359,14 +965,33 @@ void AnalysisSession::Impl::start() {
         S.Kind == DetectorKind::Custom ? S.Make : makeDetectorFactory(S.Kind);
     Lanes.push_back(std::move(Rt));
   }
-  if (!Streaming)
-    return;
-  if (Cfg.Mode == RunMode::Sequential) {
+  switch (Cfg.Mode) {
+  case RunMode::Sequential:
     for (auto &Rt : Lanes)
-      Consumers.emplace_back(
-          [this, R = Rt.get()] { sequentialConsumer(*R); });
-  } else {
+      Consumers.emplace_back([this, R = Rt.get()] { sequentialConsumer(*R); });
+    break;
+  case RunMode::Fused:
     Consumers.emplace_back([this] { fusedConsumer(); });
+    break;
+  case RunMode::Windowed:
+    Pool = std::make_unique<ThreadPool>(Cfg.Threads);
+    Consumers.emplace_back([this] { windowedConsumer(); });
+    break;
+  case RunMode::VarSharded:
+    Pool = std::make_unique<ThreadPool>(Cfg.Threads);
+    VarStates.reserve(Lanes.size());
+    for (size_t L = 0; L != Lanes.size(); ++L) {
+      auto VS = std::make_unique<VarShardState>();
+      for (uint32_t S = 0; S != std::max<uint32_t>(Cfg.VarShards, 1); ++S)
+        VS->Shards.push_back(std::make_unique<VarShard>());
+      VarStates.push_back(std::move(VS));
+    }
+    for (size_t L = 0; L != Lanes.size(); ++L)
+      Consumers.emplace_back(
+          [this, R = Lanes[L].get(), V = VarStates[L].get()] {
+            varShardConsumer(*R, *V);
+          });
+    break;
   }
 }
 
@@ -378,7 +1003,14 @@ void AnalysisSession::Impl::stopConsumers() {
   CV.notify_all();
   for (std::thread &T : Consumers)
     T.join();
-  Consumers.clear();
+  {
+    // partialResult() (possibly on a monitoring thread) reads the
+    // consumer count under M; clearing must synchronize with it.
+    std::lock_guard<std::mutex> Lk(M);
+    Consumers.clear();
+  }
+  if (Pool)
+    Pool->wait(); // Orphaned-epoch stragglers, if any.
 }
 
 /// Common precondition of every ingest call.
@@ -415,24 +1047,111 @@ bool AnalysisSession::Impl::validateNewLocked() {
 /// Advances the published prefix to the validated one. Caller holds M.
 void AnalysisSession::Impl::publishLocked() { Published = Validated; }
 
+/// Mid-stream view of a windowed lane: the longest prefix of consecutive
+/// retired windows, merged in window order — never a torn merge, because
+/// a window either contributes whole or not at all.
+void AnalysisSession::Impl::snapshotWindowedLane(size_t L, LaneReport &Lane) {
+  std::shared_ptr<WindowEpoch> Ep;
+  {
+    std::lock_guard<std::mutex> Lk(M);
+    Ep = WinEpoch;
+  }
+  if (!Ep)
+    return;
+  std::lock_guard<std::mutex> G(Ep->EM);
+  std::string Base;
+  for (const std::unique_ptr<WindowEntry> &W : Ep->Windows) {
+    const WindowSlot &S = W->Slots[L];
+    if (!S.Done)
+      break;
+    if (Base.empty())
+      Base = S.Name;
+    if (!S.Error.empty()) {
+      Lane.LaneStatus = Status(StatusCode::AnalysisError, S.Error);
+      break;
+    }
+    Lane.Report.mergeFrom(S.Report);
+    Lane.Seconds += S.Seconds;
+    Lane.EventsConsumed = W->EndIdx;
+  }
+  if (!Base.empty())
+    Lane.DetectorName =
+        Base + "[w=" + std::to_string(Cfg.WindowEvents) + "]";
+}
+
+/// Mid-stream view of a streamed var-sharded lane: merges every finding
+/// whose later event lies below the *fully checked* frontier — the
+/// smallest trace index any shard has yet to replay past — so the report
+/// is exactly the sequential detector's over that prefix (no torn
+/// merges).
+void AnalysisSession::Impl::snapshotVarShardLane(VarShardState &VS,
+                                                 LaneReport &Lane) {
+  uint64_t Epoch;
+  uint64_t Bound = 0;
+  double ShardSeconds = 0;
+  {
+    std::lock_guard<std::mutex> G(VS.LogM);
+    if (!VS.Capturing) {
+      // Fallback lane: the live detector report (snapshotLanes already
+      // copied it under SnapM).
+      return;
+    }
+    if (!VS.PlanReady || !VS.Log)
+      return; // Clock pass only so far: no checked prefix yet.
+    Epoch = VS.Epoch;
+    Bound = VS.CapturedEvents;
+    for (const std::unique_ptr<VarShard> &Sh : VS.Shards) {
+      ShardSeconds += Sh->Seconds;
+      if (Sh->Completed != Sh->WorkList.size())
+        Bound = std::min(
+            Bound, VS.Log->accesses()[Sh->WorkList[Sh->Completed]].Idx);
+    }
+  }
+  std::vector<std::vector<RaceInstance>> PerShard(VS.Shards.size());
+  for (size_t S = 0; S != VS.Shards.size(); ++S) {
+    VarShard &Sh = *VS.Shards[S];
+    std::lock_guard<std::mutex> G(Sh.SM);
+    if (Sh.CheckerEpoch != Epoch || !Sh.Checker)
+      return; // Restart in flight; the rebuilt epoch will re-cover this.
+    for (const RaceInstance &Inst : Sh.Checker->findings()) {
+      if (Inst.LaterIdx >= Bound)
+        break; // Findings are ascending in LaterIdx within a shard.
+      PerShard[S].push_back(Inst);
+    }
+  }
+  Lane.Report = ShardedAccessHistory::mergeInTraceOrder(PerShard);
+  Lane.Seconds += ShardSeconds;
+}
+
 AnalysisResult AnalysisSession::Impl::snapshotLanes(bool Partial) {
   AnalysisResult R;
   R.Partial = Partial;
-  R.Streamed = Streaming;
+  R.Streamed = true;
   R.Lanes.reserve(Lanes.size());
-  for (auto &RtPtr : Lanes) {
-    LaneRuntime &Rt = *RtPtr;
-    std::lock_guard<std::mutex> G(Rt.SnapM);
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    LaneRuntime &Rt = *Lanes[L];
     LaneReport Lane;
-    Lane.DetectorName = Rt.Name.empty() ? Rt.Fallback : Rt.Name;
-    Lane.LaneStatus = Rt.LaneStatus;
-    Lane.Seconds = Rt.Seconds;
-    Lane.EventsConsumed = Rt.Consumed;
-    Lane.Restarts = Rt.Restarts;
-    if (Rt.Done)
-      Lane.Report = Rt.Final;
-    else if (Rt.D)
-      Lane.Report = Rt.D->report(); // Mid-stream copy: races so far.
+    bool Done;
+    {
+      std::lock_guard<std::mutex> G(Rt.SnapM);
+      Lane.DetectorName = Rt.Name.empty() ? Rt.Fallback : Rt.Name;
+      Lane.LaneStatus = Rt.LaneStatus;
+      Lane.Seconds = Rt.Seconds;
+      Lane.EventsConsumed = Rt.Consumed;
+      Lane.Restarts = Rt.Restarts;
+      Done = Rt.Done;
+      if (Done)
+        Lane.Report = Rt.Final;
+      else if (Rt.D)
+        Lane.Report = Rt.D->report(); // Mid-stream copy: races so far.
+    }
+    if (!Done && Cfg.Mode == RunMode::Windowed) {
+      Lane.Seconds = 0;
+      Lane.EventsConsumed = 0;
+      snapshotWindowedLane(L, Lane);
+    } else if (!Done && Cfg.Mode == RunMode::VarSharded) {
+      snapshotVarShardLane(*VarStates[L], Lane);
+    }
     R.Lanes.push_back(std::move(Lane));
   }
   return R;
@@ -616,7 +1335,6 @@ bool AnalysisSession::finished() const {
 }
 
 AnalysisResult AnalysisSession::partialResult() {
-  uint64_t Ingested;
   {
     std::lock_guard<std::mutex> Lk(I->M);
     if (I->Finished) {
@@ -626,15 +1344,25 @@ AnalysisResult AnalysisSession::partialResult() {
                          "available mid-stream");
       return R;
     }
-    Ingested = I->Published;
   }
   AnalysisResult R = I->snapshotLanes(/*Partial=*/true);
-  R.Overall = I->SessionStatus;
-  R.EventsIngested = Ingested;
+  {
+    // Read the published watermark *after* the lane snapshots: consumers
+    // never pass it, so every lane's EventsConsumed (and every reported
+    // race index) stays within EventsIngested in one snapshot. Session
+    // status and ingest timing are producer-written under the same lock —
+    // partialResult may run concurrently with the producer thread.
+    std::lock_guard<std::mutex> Lk(I->M);
+    R.EventsIngested = I->Published;
+    R.Overall = I->SessionStatus;
+    R.IngestSeconds = I->IngestSeconds;
+    R.ThreadsUsed = static_cast<unsigned>(
+        std::max<size_t>(I->Consumers.size(), 1) +
+        (I->Pool ? I->Pool->numThreads() : 0));
+  }
   R.WallSeconds = I->Wall.seconds();
-  R.IngestSeconds = I->IngestSeconds;
-  R.ThreadsUsed = static_cast<unsigned>(
-      I->Streaming ? std::max<size_t>(I->Consumers.size(), 1) : 1);
+  if (I->Cfg.Mode == RunMode::VarSharded)
+    R.VarShards = I->Cfg.VarShards;
   return R;
 }
 
@@ -651,17 +1379,30 @@ AnalysisResult AnalysisSession::finish() {
   unsigned NumConsumers = static_cast<unsigned>(I->Consumers.size());
   I->stopConsumers();
 
-  AnalysisResult R;
-  if (I->Streaming) {
-    R = I->snapshotLanes(/*Partial=*/false);
+  AnalysisResult R = I->snapshotLanes(/*Partial=*/false);
+  switch (I->Cfg.Mode) {
+  case RunMode::Sequential:
+  case RunMode::Fused:
     R.ThreadsUsed = std::max(NumConsumers, 1u);
-  } else {
-    // Windowed/VarSharded: the whole trace is required, so the batch
-    // engine runs here. Skip it if ingestion failed — a partial trace
-    // would silently change windowing.
-    if (I->SessionStatus.ok())
-      R = convertPipelineResult(buildPipeline(I->Cfg).run(I->Owned),
-                                I->Owned.size());
+    break;
+  case RunMode::Windowed:
+    // Mirrors the batch engine's shape: NumShards is the window count and
+    // ThreadsUsed the pool width. No pool exists when the config failed
+    // validation (start() bailed before creating one).
+    R.NumShards = I->FinalNumWindows;
+    if (I->Pool) {
+      R.ThreadsUsed = I->Pool->numThreads();
+      R.TasksStolen = I->Pool->tasksStolen();
+    }
+    break;
+  case RunMode::VarSharded:
+    R.NumShards = 1;
+    R.VarShards = I->Cfg.VarShards;
+    if (I->Pool) {
+      R.ThreadsUsed = I->Pool->numThreads();
+      R.TasksStolen = I->Pool->tasksStolen();
+    }
+    break;
   }
   R.Overall = I->SessionStatus;
   R.EventsIngested = I->Published;

@@ -16,28 +16,35 @@
 ///   AnalysisResult Mid = S.partialResult();   // races so far
 ///   AnalysisResult R = S.finish();    // joins lanes, full result
 ///
-/// In Sequential and Fused modes the session runs a streaming engine:
-/// ingestion publishes a growing event prefix (single producer) and each
-/// detector lane consumes published ranges on its own thread (multiple
-/// consumers), so analysis overlaps ingestion — the ROADMAP's
-/// "overlap ingestion with analysis" seam. Reports are bit-identical to
-/// the batch entry points: a lane is just runDetector's walk, spread over
-/// time.
+/// Every mode streams: ingestion publishes a growing event prefix (single
+/// producer) and analysis consumes published ranges concurrently
+/// (multiple consumers), so analysis overlaps ingestion — the ROADMAP's
+/// "overlap ingestion with analysis" seam, applied to all four run modes.
+/// Reports are bit-identical to the batch entry points in every mode:
+///
+///   Sequential   one consumer thread per lane runs runDetector's walk,
+///                spread over time;
+///   Fused        one consumer thread walks every lane per batch;
+///   Windowed     each window dispatches onto the session's thread pool
+///                (a fresh detector per lane × window — no global state)
+///                the moment its event range publishes, and window
+///                reports merge deterministically in window order;
+///   VarSharded   the capture clock pass runs behind ingestion and
+///                per-shard check tasks replay published AccessLog
+///                prefixes concurrently; only the final trace-order
+///                merge waits for finish().
 ///
 /// Detectors are constructed against the id tables (threads/locks/vars)
 /// visible when a lane first has work. If tables grow afterwards — text
 /// inputs intern lazily; push feeds may declare late — the lane restarts:
-/// it rebuilds its detector and replays the (stable, append-only) prefix,
-/// preserving bit-for-bit results at the cost of replay time. Binary
-/// inputs carry all tables in their header, so feedFile(".bin") streams
-/// with zero restarts; push callers get the same by declaring names (or
-/// declareTablesFrom) before feeding. Text files are ingested fully before
-/// publication (no overlap) rather than risking a restart per new name.
-///
-/// Windowed and VarSharded modes need the whole trace (window splitting /
-/// the capture pass), so sessions in those modes buffer feeds and run the
-/// batch engine at finish(); partial results report ingestion progress
-/// with empty lanes.
+/// it rebuilds its detector (and, in the batch modes, its windows or
+/// capture log and shard checkers) and replays the (stable, append-only)
+/// prefix, preserving bit-for-bit results at the cost of replay time.
+/// Binary inputs carry all tables in their header, so feedFile(".bin")
+/// streams with zero restarts; push callers get the same by declaring
+/// names (or declareTablesFrom) before feeding. Text files are ingested
+/// fully before publication (no overlap) rather than risking a restart
+/// per new name.
 ///
 /// Because lanes analyze events *live*, the session validates the §2.1
 /// trace axioms on the producer side (trace/TraceValidator's streaming
@@ -50,8 +57,12 @@
 /// themselves, as race_cli always has.)
 ///
 /// Sessions are single-producer: feeds and finish() must come from one
-/// thread (partialResult may race only with the consumers, which is
-/// supported). Errors are structured Statuses throughout — feeding a
+/// thread. partialResult() may be called concurrently with the producer
+/// and with the consumers (e.g. from a monitoring thread); each snapshot
+/// is internally consistent — a lane never reports progress or races
+/// beyond the snapshot's EventsIngested, and windowed/var-sharded
+/// snapshots are torn-merge free (always an exact prefix of the final
+/// report). Errors are structured Statuses throughout — feeding a
 /// finished session, double finish, unknown ids and IO/parse failures all
 /// come back as codes, not strings to grep.
 ///
@@ -120,12 +131,20 @@ public:
   bool finished() const;
 
   /// Mid-stream snapshot: per-lane races discovered so far, events
-  /// consumed, restarts. Lanes are empty (ingest progress only) in
-  /// Windowed/VarSharded modes, which analyze at finish().
+  /// consumed, restarts. Every mode reports live progress — sequential
+  /// and fused lanes return their detector's report so far; windowed
+  /// lanes the merge of the retired-window prefix (EventsConsumed counts
+  /// the events those windows cover); var-sharded lanes the merged
+  /// findings below the fully checked frontier (EventsConsumed tracks the
+  /// capture clock pass). A snapshot is always an exact prefix of the
+  /// final report — never a torn merge. Safe to call concurrently with
+  /// feeds and with the consumer threads.
   AnalysisResult partialResult();
 
-  /// Ends ingestion, drains and joins the lanes (or runs the batch engine
-  /// for Windowed/VarSharded), and returns the unified result. A second
+  /// Ends ingestion, drains and joins the lanes (windowed sessions flush
+  /// the trailing partial window and retire in-flight window tasks;
+  /// var-sharded sessions finish the clock pass, drain the shard checks
+  /// and merge in trace order), and returns the unified result. A second
   /// finish() returns InvalidState; feeds after finish() are rejected.
   AnalysisResult finish();
 

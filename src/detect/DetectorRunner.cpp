@@ -17,6 +17,7 @@
 
 #include "api/AnalysisSession.h"
 #include "support/Timer.h"
+#include "trace/Window.h"
 
 using namespace rapid;
 
@@ -33,6 +34,20 @@ RunResult rapid::runDetector(Detector &D, const Trace &T) {
   Result.Report = D.report();
   Result.DetectorName = D.name();
   return Result;
+}
+
+RaceReport rapid::runDetectorOnWindow(Detector &D, const TraceWindow &W) {
+  const std::vector<Event> &Events = W.Fragment.events();
+  for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+    D.processEvent(Events[I], I);
+  D.finish();
+  RaceReport Translated;
+  for (RaceInstance Inst : D.report().instances()) {
+    Inst.EarlierIdx = W.Original[Inst.EarlierIdx];
+    Inst.LaterIdx = W.Original[Inst.LaterIdx];
+    Translated.addRace(Inst);
+  }
+  return Translated;
 }
 
 namespace {

@@ -43,6 +43,14 @@ struct RunResult {
 /// Runs \p D over all of \p T in trace order.
 RunResult runDetector(Detector &D, const Trace &T);
 
+struct TraceWindow;
+
+/// Walks \p D over the fragment of \p W and returns its report with race
+/// indices translated back to the parent trace — the per-window unit of
+/// work shared by the batch pipeline and the streaming session's windowed
+/// mode (one implementation, so the two modes cannot drift).
+RaceReport runDetectorOnWindow(Detector &D, const TraceWindow &W);
+
 /// Factory signature for windowed runs: each window gets a fresh detector,
 /// mirroring how windowed tools restart their analysis per fragment.
 using DetectorFactory = std::function<std::unique_ptr<Detector>(const Trace &)>;

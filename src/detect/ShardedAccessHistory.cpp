@@ -220,47 +220,70 @@ private:
 
 } // namespace
 
+// ---- ShardChecker -----------------------------------------------------------
+
+/// The selected engine: exactly one of the two members is live (selected
+/// by Replay at construction), so per-shard memory matches the old
+/// one-shot checkShard.
+struct ShardChecker::Impl {
+  ShardReplay Replay;
+  std::unique_ptr<AccessHistory> History;       ///< FullHistory engine.
+  std::unique_ptr<FastTrackShardReplayer> Fast; ///< FastTrackEpoch engine.
+
+  Impl(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads)
+      : Replay(Replay) {
+    if (Replay == ShardReplay::FastTrackEpoch)
+      Fast = std::make_unique<FastTrackShardReplayer>(NumLocalVars,
+                                                      NumThreads);
+    else
+      History = std::make_unique<AccessHistory>(NumLocalVars, NumThreads);
+  }
+};
+
+ShardChecker::ShardChecker(ShardReplay Replay, uint32_t NumLocalVars,
+                           uint32_t NumThreads)
+    : I(std::make_unique<Impl>(Replay, NumLocalVars, NumThreads)) {}
+
+ShardChecker::~ShardChecker() = default;
+
+void ShardChecker::replay(const DeferredAccess &A, VarId Local,
+                          const VectorClock &Ce, const VectorClock *Hard) {
+  if (I->Replay == ShardReplay::FastTrackEpoch) {
+    I->Fast->replay(A, Local, Ce, Out);
+    return;
+  }
+  size_t Before = Out.size();
+  if (A.IsWrite) {
+    I->History->checkWrite(Local, A.Thread, Ce, A.Loc, A.Idx, Out, Hard);
+    I->History->recordWrite(Local, A.Thread, A.N, A.Loc, A.Idx);
+  } else {
+    I->History->checkRead(Local, A.Thread, Ce, A.Loc, A.Idx, Out, Hard);
+    I->History->recordRead(Local, A.Thread, A.N, A.Loc, A.Idx);
+  }
+  // The history only knows local ids; restore the parent variable.
+  for (size_t R = Before; R != Out.size(); ++R)
+    Out[R].Var = A.Var;
+}
+
 std::vector<RaceInstance>
 ShardedAccessHistory::checkShard(uint32_t S, const AccessLog &Log,
                                  ShardReplay Replay) const {
-  std::vector<RaceInstance> Out;
   // Private partition: only this shard's variables, addressed by dense
   // local ids, so per-shard memory is NumVars/NumShards — the histories
-  // genuinely split rather than replicate.
-  const uint32_t LocalVars = Plan.numLocalVars(S, NumVars);
+  // genuinely split rather than replicate. One engine serves both the
+  // batch and streaming paths: this is the incremental ShardChecker fed
+  // the full work list in one go.
+  ShardChecker Checker(Replay, Plan.numLocalVars(S, NumVars), NumThreads);
   const std::vector<DeferredAccess> &Accesses = Log.accesses();
   const ClockBroadcast &Clocks = Log.clocks();
-
-  if (Replay == ShardReplay::FastTrackEpoch) {
-    FastTrackShardReplayer Replayer(LocalVars, NumThreads);
-    for (uint32_t I : Work[S]) {
-      const DeferredAccess &A = Accesses[I];
-      Replayer.replay(A, VarId(Plan.localIdOf(A.Var)),
-                      Clocks.snapshot(A.Clock), Out);
-    }
-    return Out;
-  }
-
-  AccessHistory History(LocalVars, NumThreads);
   for (uint32_t I : Work[S]) {
     const DeferredAccess &A = Accesses[I];
-    VarId Local(Plan.localIdOf(A.Var));
-    const VectorClock &Ce = Clocks.snapshot(A.Clock);
-    const VectorClock *Hard =
-        A.Hard == DeferredAccess::NoClock ? nullptr : &Clocks.snapshot(A.Hard);
-    size_t Before = Out.size();
-    if (A.IsWrite) {
-      History.checkWrite(Local, A.Thread, Ce, A.Loc, A.Idx, Out, Hard);
-      History.recordWrite(Local, A.Thread, A.N, A.Loc, A.Idx);
-    } else {
-      History.checkRead(Local, A.Thread, Ce, A.Loc, A.Idx, Out, Hard);
-      History.recordRead(Local, A.Thread, A.N, A.Loc, A.Idx);
-    }
-    // The history only knows local ids; restore the parent variable.
-    for (size_t R = Before; R != Out.size(); ++R)
-      Out[R].Var = A.Var;
+    Checker.replay(A, VarId(Plan.localIdOf(A.Var)), Clocks.snapshot(A.Clock),
+                   A.Hard == DeferredAccess::NoClock
+                       ? nullptr
+                       : &Clocks.snapshot(A.Hard));
   }
-  return Out;
+  return std::move(Checker.findings());
 }
 
 RaceReport ShardedAccessHistory::mergeInTraceOrder(

@@ -42,6 +42,7 @@
 #include "detect/RaceReport.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace rapid {
@@ -168,6 +169,43 @@ public:
 private:
   std::vector<DeferredAccess> Accesses; ///< In trace order.
   ClockBroadcast Clocks;
+};
+
+/// Incremental replay of ONE shard's deferred checks — the streaming form
+/// of ShardedAccessHistory::checkShard for consumers that publish AccessLog
+/// prefixes while the capture pass is still appending (the session's
+/// streamed var-sharded mode). Accesses must arrive in trace order and
+/// pre-mapped to the shard (caller applies the ShardPlan); clocks are
+/// passed in explicitly so the caller can hand over stable copies instead
+/// of references into a concurrently growing broadcast table. Findings
+/// accumulate in discovery order; feeding a full shard's work list
+/// reproduces checkShard's output exactly (checkShard is implemented on
+/// top of this class).
+class ShardChecker {
+public:
+  /// \p Replay selects the engine (must match the capturing detector's
+  /// Detector::shardReplay()); \p NumLocalVars is the shard's dense
+  /// local-variable count (ShardPlan::numLocalVars).
+  ShardChecker(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads);
+  ~ShardChecker();
+
+  ShardChecker(const ShardChecker &) = delete;
+  ShardChecker &operator=(const ShardChecker &) = delete;
+
+  /// Replays one deferred access. \p Local is A.Var's dense local id under
+  /// the plan; \p Ce / \p Hard are the snapshots A.Clock / A.Hard resolve
+  /// to (Hard null when A.Hard is DeferredAccess::NoClock).
+  void replay(const DeferredAccess &A, VarId Local, const VectorClock &Ce,
+              const VectorClock *Hard);
+
+  /// Findings so far, in this shard's trace order (LaterIdx ascending).
+  std::vector<RaceInstance> &findings() { return Out; }
+  const std::vector<RaceInstance> &findings() const { return Out; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  std::vector<RaceInstance> Out;
 };
 
 /// Partitions one lane's access history across N shards and replays the

@@ -8,6 +8,7 @@
 
 #include "detect/ShardedAccessHistory.h"
 #include "pipeline/ChunkedReader.h"
+#include "support/GuardedTask.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "trace/Window.h"
@@ -28,40 +29,6 @@ AnalysisPipeline &AnalysisPipeline::addDetector(DetectorFactory Make,
   Lanes.push_back(Lane{std::move(Name), std::move(Make)});
   return *this;
 }
-
-namespace {
-
-/// Walks \p D over the fragment of \p W, translating race indices back to
-/// the parent trace — the per-shard unit of work. Identical to the merge
-/// step runDetectorWindowed has always performed, so sharded pipeline runs
-/// reproduce windowed-runner output exactly.
-/// Runs \p Body, capturing any exception text into \p Error — the per-task
-/// failure slot the ThreadPool contract expects lane tasks to fill.
-template <typename Fn> void guardTask(std::string &Error, Fn &&Body) {
-  try {
-    Body();
-  } catch (const std::exception &E) {
-    Error = E.what();
-  } catch (...) {
-    Error = "unknown exception";
-  }
-}
-
-RaceReport analyzeShard(Detector &D, const TraceWindow &W) {
-  const std::vector<Event> &Events = W.Fragment.events();
-  for (EventIdx I = 0, E = Events.size(); I != E; ++I)
-    D.processEvent(Events[I], I);
-  D.finish();
-  RaceReport Translated;
-  for (RaceInstance Inst : D.report().instances()) {
-    Inst.EarlierIdx = W.Original[Inst.EarlierIdx];
-    Inst.LaterIdx = W.Original[Inst.LaterIdx];
-    Translated.addRace(Inst);
-  }
-  return Translated;
-}
-
-} // namespace
 
 PipelineResult AnalysisPipeline::run(const Trace &T) const {
   return Opts.Parallel ? runParallel(T) : runFused(T);
@@ -85,7 +52,7 @@ PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
         Pool.submit([this, L, &T, &Result] {
           LaneResult &Out = Result.Lanes[L];
           Out.DetectorName = Lanes[L].Name;
-          guardTask(Out.Error, [&] {
+          guardedTask(Out.Error, [&] {
             std::unique_ptr<Detector> D = Lanes[L].Make(T);
             RunResult R = runDetector(*D, T);
             if (Out.DetectorName.empty())
@@ -117,12 +84,12 @@ PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
         for (size_t S = 0; S != Shards.size(); ++S) {
           Pool.submit([this, L, S, &Shards, &Reports, &Times, &Names,
                        &Errors] {
-            guardTask(Errors[L][S], [&] {
+            guardedTask(Errors[L][S], [&] {
               Timer Clock;
               std::unique_ptr<Detector> D = Lanes[L].Make(Shards[S].Fragment);
               if (S == 0)
                 Names[L] = D->name();
-              Reports[L][S] = analyzeShard(*D, Shards[S]);
+              Reports[L][S] = runDetectorOnWindow(*D, Shards[S]);
               Times[L][S] = Clock.seconds();
             });
           });
@@ -177,7 +144,7 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
     Pool.submit([this, L, &T, &Result, &Work, NumShards] {
       LaneResult &Out = Result.Lanes[L];
       Out.DetectorName = Lanes[L].Name;
-      guardTask(Out.Error, [&] {
+      guardedTask(Out.Error, [&] {
         Timer Clock;
         std::unique_ptr<Detector> D = Lanes[L].Make(T);
         if (Out.DetectorName.empty())
@@ -225,7 +192,7 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
     for (uint32_t S = 0; S != NumShards; ++S) {
       Pool.submit([L, S, &Work] {
         LaneWork &W = Work[L];
-        guardTask(W.ShardErrors[S], [&] {
+        guardedTask(W.ShardErrors[S], [&] {
           Timer Clock;
           W.PerShard[S] = W.History->checkShard(S, *W.Log, W.Replay);
           W.ShardSeconds[S] = Clock.seconds();
@@ -289,7 +256,7 @@ PipelineResult AnalysisPipeline::runFused(const Trace &T) const {
           Out.DetectorName =
               (Lanes[L].Name.empty() ? D->name() : Lanes[L].Name) +
               "[w=" + std::to_string(Opts.ShardEvents) + "]";
-        Out.Report.mergeFrom(analyzeShard(*D, W));
+        Out.Report.mergeFrom(runDetectorOnWindow(*D, W));
       }
     }
   }

@@ -7,50 +7,82 @@
 #include "trace/Window.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace rapid;
 
-std::vector<TraceWindow> rapid::splitIntoWindows(const Trace &T,
-                                                 uint64_t WindowSize) {
+IncrementalWindowSplitter::IncrementalWindowSplitter(const Trace &Tables,
+                                                     uint64_t WindowSize)
+    : WindowSize(WindowSize),
+      PendingAcq(Tables.numLocks(),
+                 std::make_pair<EventIdx, Event>(UINT64_MAX, Event())) {
   assert(WindowSize > 0 && "window size must be positive");
-  std::vector<TraceWindow> Windows;
-  const std::vector<Event> &Events = T.events();
+  this->Tables.adoptTables(Tables);
+}
+
+void IncrementalWindowSplitter::open() {
+  Pending = TraceWindow();
+  Pending.Fragment.adoptTables(Tables);
+  Pending.Fragment.reserve(WindowSize);
 
   // Locks held when a window opens are re-established by replaying their
   // original acquire events at the head of the fragment. Without this,
   // the tail of a critical section cut by the boundary would look
   // unprotected and the fragment would *invent* races — windowed tools
   // carry lock context across fragments for exactly this reason.
-  // PendingAcq[l] = index of the acquire currently holding l.
-  std::vector<EventIdx> PendingAcq(T.numLocks(), UINT64_MAX);
-
-  for (uint64_t Start = 0; Start < Events.size(); Start += WindowSize) {
-    uint64_t End = std::min<uint64_t>(Start + WindowSize, Events.size());
-    TraceWindow W;
-    W.Fragment.adoptTables(T);
-    W.Fragment.reserve(End - Start);
-
-    // Replay held acquires, oldest first.
-    std::vector<EventIdx> Held;
-    for (EventIdx A : PendingAcq)
-      if (A != UINT64_MAX)
-        Held.push_back(A);
-    std::sort(Held.begin(), Held.end());
-    for (EventIdx A : Held) {
-      W.Original.push_back(A);
-      W.Fragment.append(Events[A]);
-    }
-
-    for (uint64_t I = Start; I != End; ++I) {
-      const Event &E = Events[I];
-      if (E.Kind == EventKind::Acquire)
-        PendingAcq[E.lock().value()] = I;
-      else if (E.Kind == EventKind::Release)
-        PendingAcq[E.lock().value()] = UINT64_MAX;
-      W.Original.push_back(I);
-      W.Fragment.append(E);
-    }
-    Windows.push_back(std::move(W));
+  std::vector<const std::pair<EventIdx, Event> *> Held;
+  for (const std::pair<EventIdx, Event> &A : PendingAcq)
+    if (A.first != UINT64_MAX)
+      Held.push_back(&A);
+  std::sort(Held.begin(), Held.end(),
+            [](const std::pair<EventIdx, Event> *A,
+               const std::pair<EventIdx, Event> *B) {
+              return A->first < B->first;
+            });
+  for (const std::pair<EventIdx, Event> *A : Held) {
+    Pending.Original.push_back(A->first);
+    Pending.Fragment.append(A->second);
   }
+  InWindow = 0;
+  Open = true;
+}
+
+std::optional<TraceWindow> IncrementalWindowSplitter::push(const Event &E,
+                                                           EventIdx I) {
+  if (!Open)
+    open();
+  if (E.Kind == EventKind::Acquire)
+    PendingAcq[E.lock().value()] = {I, E};
+  else if (E.Kind == EventKind::Release)
+    PendingAcq[E.lock().value()] = {UINT64_MAX, Event()};
+  Pending.Original.push_back(I);
+  Pending.Fragment.append(E);
+  if (++InWindow != WindowSize)
+    return std::nullopt;
+  Open = false;
+  return std::move(Pending);
+}
+
+std::optional<TraceWindow> IncrementalWindowSplitter::flush() {
+  if (!Open || InWindow == 0)
+    return std::nullopt;
+  Open = false;
+  return std::move(Pending);
+}
+
+std::vector<TraceWindow> rapid::splitIntoWindows(const Trace &T,
+                                                 uint64_t WindowSize) {
+  assert(WindowSize > 0 && "window size must be positive");
+  // One shared implementation: the batch splitter is the incremental one
+  // fed the whole trace — so streaming consumers that cut windows as the
+  // prefix grows produce these exact fragments.
+  IncrementalWindowSplitter Splitter(T, WindowSize);
+  std::vector<TraceWindow> Windows;
+  const std::vector<Event> &Events = T.events();
+  for (EventIdx I = 0, E = Events.size(); I != E; ++I)
+    if (std::optional<TraceWindow> W = Splitter.push(Events[I], I))
+      Windows.push_back(std::move(*W));
+  if (std::optional<TraceWindow> W = Splitter.flush())
+    Windows.push_back(std::move(*W));
   return Windows;
 }

@@ -4,13 +4,15 @@
 //
 // The session API's contract has three legs, pinned here:
 //
-//   1. equivalence — a streaming session is the sequential detector's
-//      single pass spread over time: for every mode and detector, the
-//      final report is bit-identical to the batch entry points, on 100
-//      seeded random traces per detector, whether events arrive as one
-//      trace, as push batches, through mid-stream table growth (restarts),
-//      or from a file (binary chunks overlap analysis; text publishes at
-//      EOF);
+//   1. equivalence — a streaming session is the batch engine's pass
+//      spread over time: for every mode (sequential, fused, windowed,
+//      var-sharded) and detector, the final report is bit-identical to
+//      the batch entry points, on 100 seeded random traces per detector,
+//      whether events arrive as one trace, as push batches, through
+//      mid-stream table growth (restarts), or from a file (binary chunks
+//      overlap analysis; text publishes at EOF). Windowed/var-sharded
+//      partial snapshots must additionally be torn-merge free: every
+//      mid-stream report is a prefix of the final one;
 //   2. session protocol — mid-stream partial reports, feed-after-finish
 //      and double-finish rejection, empty-session preconditions, all as
 //      structured Status codes rather than strings;
@@ -85,6 +87,24 @@ std::string tempPath(const std::string &Name) {
   return ::testing::TempDir() + "rapidpp_api_" + Name;
 }
 
+/// Torn-merge detector: \p Partial must be an exact prefix of \p Final's
+/// instance sequence (same fields, same order). Windowed sessions merge
+/// whole retired windows; var-sharded sessions merge below the fully
+/// checked frontier — either way a mid-stream report may only ever grow
+/// into the final one, never reorder or lose findings.
+void expectReportIsPrefix(const RaceReport &Partial, const RaceReport &Final,
+                          const std::string &Label) {
+  ASSERT_LE(Partial.instances().size(), Final.instances().size()) << Label;
+  for (size_t I = 0; I != Partial.instances().size(); ++I) {
+    const RaceInstance &P = Partial.instances()[I];
+    const RaceInstance &F = Final.instances()[I];
+    ASSERT_TRUE(P.EarlierIdx == F.EarlierIdx && P.LaterIdx == F.LaterIdx &&
+                P.EarlierLoc == F.EarlierLoc && P.LaterLoc == F.LaterLoc &&
+                P.Var == F.Var)
+        << Label << ": instance #" << I << " diverges mid-stream";
+  }
+}
+
 class ApiStreamFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 } // namespace
@@ -147,6 +167,104 @@ TEST_P(ApiStreamFuzzTest, FusedSessionMatchesBatchBitForBit) {
                              "fused seed " + std::to_string(GetParam()));
 }
 
+// Windowed sessions stream: windows dispatch onto the pool as their event
+// range publishes, and the merged result must equal the batch windowed
+// engine bit for bit — with every mid-stream partial a prefix of the
+// final report (no torn merges). 50 seeds x 4 detectors, varied window
+// and push-batch sizes.
+TEST_P(ApiStreamFuzzTest, WindowedSessionStreamsBitForBit) {
+  uint64_t Seed = GetParam();
+  Trace T = randomTrace(fuzzParams(Seed ^ 0x77aa, Seed % 2 == 0));
+  AnalysisConfig Cfg = allDetectorConfig(RunMode::Windowed);
+  Cfg.WindowEvents = 8 + Seed % 57;
+  Cfg.StreamBatchEvents = 1 + Seed % 9;
+  Cfg.Threads = 1 + Seed % 3;
+  AnalysisSession S(Cfg);
+  ASSERT_TRUE(S.declareTablesFrom(T).ok());
+  std::vector<AnalysisResult> Partials;
+  std::vector<Event> Batch;
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    Batch.push_back(T.event(I));
+    if (Batch.size() == 17 || I + 1 == T.size()) {
+      ASSERT_TRUE(S.feed(Batch).ok());
+      Batch.clear();
+      if (I % 64 == 63)
+        Partials.push_back(S.partialResult());
+    }
+  }
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.ok()) << R.firstError().str();
+  EXPECT_TRUE(R.Streamed);
+  AnalysisResult Want = analyzeTrace(Cfg, T);
+  ASSERT_TRUE(Want.ok()) << Want.firstError().str();
+  EXPECT_EQ(R.NumShards, Want.NumShards) << "window count";
+  ASSERT_EQ(R.Lanes.size(), Want.Lanes.size());
+  for (size_t L = 0; L != R.Lanes.size(); ++L) {
+    std::string Label = "windowed seed " + std::to_string(Seed) + "/" +
+                        Want.Lanes[L].DetectorName;
+    EXPECT_EQ(R.Lanes[L].DetectorName, Want.Lanes[L].DetectorName) << Label;
+    EXPECT_EQ(R.Lanes[L].EventsConsumed, T.size()) << Label;
+    EXPECT_EQ(R.Lanes[L].Restarts, 0u) << "tables were declared up front";
+    expectSameReport(R.Lanes[L].Report, Want.Lanes[L].Report, T, Label);
+    for (const AnalysisResult &Mid : Partials) {
+      ASSERT_TRUE(Mid.Partial);
+      expectReportIsPrefix(Mid.Lanes[L].Report, R.Lanes[L].Report, Label);
+    }
+  }
+}
+
+// Var-sharded sessions stream too: the capture clock pass runs behind
+// ingestion and shard checks replay published AccessLog prefixes; the
+// merged result must equal both the batch var-sharded engine and (for
+// capture-capable detectors) plain sequential runDetector, bit for bit,
+// under both shard strategies.
+TEST_P(ApiStreamFuzzTest, VarShardedSessionStreamsBitForBit) {
+  uint64_t Seed = GetParam();
+  Trace T = randomTrace(fuzzParams(Seed ^ 0x1c3f, Seed % 2 == 1));
+  AnalysisConfig Cfg = allDetectorConfig(RunMode::VarSharded);
+  Cfg.VarShards = 1 + Seed % 7;
+  Cfg.Strategy = Seed % 2 ? ShardStrategy::FrequencyBalanced
+                          : ShardStrategy::Modulo;
+  Cfg.StreamBatchEvents = 1 + Seed % 11;
+  Cfg.Threads = 1 + Seed % 3;
+  AnalysisSession S(Cfg);
+  ASSERT_TRUE(S.declareTablesFrom(T).ok());
+  std::vector<AnalysisResult> Partials;
+  std::vector<Event> Batch;
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    Batch.push_back(T.event(I));
+    if (Batch.size() == 13 || I + 1 == T.size()) {
+      ASSERT_TRUE(S.feed(Batch).ok());
+      Batch.clear();
+      if (I % 64 == 63)
+        Partials.push_back(S.partialResult());
+    }
+  }
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.ok()) << R.firstError().str();
+  EXPECT_TRUE(R.Streamed);
+  EXPECT_EQ(R.VarShards, Cfg.VarShards);
+  AnalysisResult Want = analyzeTrace(Cfg, T);
+  ASSERT_TRUE(Want.ok()) << Want.firstError().str();
+  ASSERT_EQ(R.Lanes.size(), std::size(kAllKinds));
+  for (size_t L = 0; L != R.Lanes.size(); ++L) {
+    std::string Label = "var-sharded seed " + std::to_string(Seed) + "/" +
+                        Want.Lanes[L].DetectorName;
+    EXPECT_EQ(R.Lanes[L].DetectorName, Want.Lanes[L].DetectorName) << Label;
+    EXPECT_EQ(R.Lanes[L].EventsConsumed, T.size()) << Label;
+    EXPECT_EQ(R.Lanes[L].Restarts, 0u) << "tables were declared up front";
+    expectSameReport(R.Lanes[L].Report, Want.Lanes[L].Report, T,
+                     Label + "/vs-batch");
+    // The var-sharded contract on top: nothing may differ from the plain
+    // sequential walk either.
+    std::unique_ptr<Detector> D = makeDetectorFactory(kAllKinds[L])(T);
+    RunResult Seq = runDetector(*D, T);
+    expectSameReport(R.Lanes[L].Report, Seq.Report, T, Label + "/vs-seq");
+    for (const AnalysisResult &Mid : Partials)
+      expectReportIsPrefix(Mid.Lanes[L].Report, R.Lanes[L].Report, Label);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ApiStreamFuzzTest,
                          ::testing::Range<uint64_t>(1, 51));
 
@@ -190,6 +308,138 @@ TEST(ApiSessionTest, LateDeclarationsRestartLanesAndStayBitForBit) {
   ASSERT_EQ(T.size(), 4u);
   expectLanesMatchSequential(R, T, "late declarations");
   EXPECT_GT(R.Lanes[0].Report.numDistinctPairs(), 1u);
+}
+
+// The rebuild-and-replay path of the streamed batch modes: late
+// declarations grow the tables after a lane already consumed events, so
+// the windowed builder / capture pass must restart (counted in
+// LaneReport::Restarts) and the final report must still match the batch
+// engine over the final trace, bit for bit.
+TEST(ApiSessionTest, StreamedBatchModesRestartOnLateDeclarations) {
+  for (RunMode Mode : {RunMode::Windowed, RunMode::VarSharded}) {
+    AnalysisConfig Cfg = allDetectorConfig(Mode);
+    Cfg.StreamBatchEvents = 1; // Publish/consume as eagerly as possible.
+    Cfg.Threads = 2;
+    if (Mode == RunMode::Windowed)
+      Cfg.WindowEvents = 1; // Every event closes a window.
+    else
+      Cfg.VarShards = 3;
+    AnalysisSession S(Cfg);
+    ThreadId T0 = S.declareThread("T0");
+    ThreadId T1 = S.declareThread("T1");
+    VarId X = S.declareVar("x");
+    LocId L1 = S.declareLoc("L1"), L2 = S.declareLoc("L2");
+    ASSERT_TRUE(S.feed(Event(EventKind::Write, T0, X.value(), L1)).ok());
+    ASSERT_TRUE(S.feed(Event(EventKind::Write, T1, X.value(), L2)).ok());
+
+    // Wait until some lane consumed under the old tables, so the upcoming
+    // declaration is a genuine mid-stream growth for it.
+    bool Progressed = false;
+    for (int Spin = 0; Spin != 5000 && !Progressed; ++Spin) {
+      AnalysisResult Mid = S.partialResult();
+      ASSERT_TRUE(Mid.Partial);
+      for (const LaneReport &L : Mid.Lanes)
+        Progressed = Progressed || L.EventsConsumed == 2;
+      if (!Progressed)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(Progressed) << runModeName(Mode);
+
+    VarId Y = S.declareVar("y");
+    LocId L3 = S.declareLoc("L3"), L4 = S.declareLoc("L4");
+    ASSERT_TRUE(S.feed(Event(EventKind::Write, T0, Y.value(), L3)).ok());
+    ASSERT_TRUE(S.feed(Event(EventKind::Read, T1, Y.value(), L4)).ok());
+    AnalysisResult R = S.finish();
+    ASSERT_TRUE(R.ok()) << R.firstError().str();
+
+    const Trace &T = S.trace();
+    ASSERT_EQ(T.size(), 4u);
+    AnalysisResult Want = analyzeTrace(Cfg, T);
+    ASSERT_TRUE(Want.ok()) << Want.firstError().str();
+    uint64_t Restarts = 0;
+    for (size_t L = 0; L != R.Lanes.size(); ++L) {
+      std::string Label = std::string("late decls ") + runModeName(Mode) +
+                          "/" + Want.Lanes[L].DetectorName;
+      EXPECT_EQ(R.Lanes[L].DetectorName, Want.Lanes[L].DetectorName) << Label;
+      expectSameReport(R.Lanes[L].Report, Want.Lanes[L].Report, T, Label);
+      if (Mode == RunMode::VarSharded) { // 1-event windows see no races.
+        EXPECT_GT(R.Lanes[L].Report.numDistinctPairs(), 0u) << Label;
+      }
+      Restarts += R.Lanes[L].Restarts;
+    }
+    EXPECT_GT(Restarts, 0u)
+        << runModeName(Mode) << ": growth after consumption must restart";
+  }
+}
+
+// Torn-merge stress: a producer thread pushes batches while this thread
+// hammers partialResult(). Every snapshot must be well-formed — lanes ok,
+// races confined to the consumed prefix, instance counts monotone — and a
+// prefix of the final report. Run under TSan in CI, this also pins the
+// publication protocol data-race-free for the streamed batch modes.
+TEST(ApiSessionTest, StreamedBatchModesPartialResultStressUnderIngestion) {
+  for (RunMode Mode : {RunMode::Windowed, RunMode::VarSharded}) {
+    Trace T = randomTrace(fuzzParams(41, true));
+    AnalysisConfig Cfg;
+    Cfg.Mode = Mode;
+    Cfg.addDetector(DetectorKind::Hb);
+    Cfg.addDetector(DetectorKind::FastTrack);
+    Cfg.StreamBatchEvents = 8;
+    Cfg.Threads = 2;
+    if (Mode == RunMode::Windowed)
+      Cfg.WindowEvents = 16;
+    else
+      Cfg.VarShards = 4;
+    AnalysisSession S(Cfg);
+    ASSERT_TRUE(S.declareTablesFrom(T).ok());
+
+    // The session contract: feeds come from one thread; partialResult may
+    // run concurrently with both the producer and the consumers.
+    std::thread Producer([&] {
+      std::vector<Event> Batch;
+      for (EventIdx I = 0; I != T.size(); ++I) {
+        Batch.push_back(T.event(I));
+        if (Batch.size() == 23 || I + 1 == T.size()) {
+          ASSERT_TRUE(S.feed(Batch).ok());
+          Batch.clear();
+          std::this_thread::yield();
+        }
+      }
+    });
+    std::vector<AnalysisResult> Snaps;
+    for (int Spin = 0; Spin != 200; ++Spin) {
+      Snaps.push_back(S.partialResult());
+      std::this_thread::yield();
+    }
+    Producer.join();
+    Snaps.push_back(S.partialResult());
+    AnalysisResult R = S.finish();
+    ASSERT_TRUE(R.ok()) << R.firstError().str();
+
+    std::vector<size_t> LastCount(R.Lanes.size(), 0);
+    for (const AnalysisResult &Mid : Snaps) {
+      ASSERT_TRUE(Mid.Partial);
+      ASSERT_TRUE(Mid.Overall.ok()) << Mid.Overall.str();
+      ASSERT_EQ(Mid.Lanes.size(), R.Lanes.size());
+      for (size_t L = 0; L != Mid.Lanes.size(); ++L) {
+        const LaneReport &Lane = Mid.Lanes[L];
+        ASSERT_TRUE(Lane.LaneStatus.ok()) << Lane.LaneStatus.str();
+        EXPECT_LE(Lane.EventsConsumed, Mid.EventsIngested);
+        for (const RaceInstance &Inst : Lane.Report.instances())
+          EXPECT_LT(Inst.LaterIdx, Mid.EventsIngested);
+        EXPECT_GE(Lane.Report.instances().size(), LastCount[L])
+            << "mid-stream reports must only grow";
+        LastCount[L] = Lane.Report.instances().size();
+        expectReportIsPrefix(Lane.Report, R.Lanes[L].Report,
+                             std::string("stress ") + runModeName(Mode));
+      }
+    }
+    // And the final result still matches the batch engine bit for bit.
+    AnalysisResult Want = analyzeTrace(Cfg, T);
+    for (size_t L = 0; L != R.Lanes.size(); ++L)
+      expectSameReport(R.Lanes[L].Report, Want.Lanes[L].Report, T,
+                       std::string("stress final ") + runModeName(Mode));
+  }
 }
 
 // ---- File ingestion ---------------------------------------------------------
@@ -412,7 +662,7 @@ TEST(ApiSessionTest, WindowedAndVarShardedSessionsMatchLegacyAdapters) {
       ASSERT_TRUE(S.feedTrace(T).ok());
       AnalysisResult R = S.finish();
       ASSERT_TRUE(R.ok()) << R.firstError().str();
-      EXPECT_FALSE(R.Streamed) << "windowed sessions analyze at finish";
+      EXPECT_TRUE(R.Streamed) << "windowed sessions stream since PR 4";
       RunResult Want = runDetectorWindowed(Make, T, 64);
       EXPECT_EQ(R.Lanes[0].DetectorName, Want.DetectorName);
       EXPECT_GT(R.NumShards, 1u);
@@ -497,6 +747,21 @@ TEST(AnalysisConfigTest, ValidationRejectsInconsistentCombinations) {
   EXPECT_EQ(S.status().Code, StatusCode::InvalidConfig);
   EXPECT_EQ(S.feed(Event()).Code, StatusCode::InvalidConfig);
   EXPECT_EQ(S.finish().Overall.Code, StatusCode::InvalidConfig);
+
+  // Invalid configs in the pool-backed modes too: no streaming engine is
+  // started, and finish()/partialResult() must report the config error,
+  // not touch a pool that was never created.
+  for (RunMode Mode : {RunMode::Windowed, RunMode::VarSharded}) {
+    AnalysisConfig Cfg = allDetectorConfig(Mode); // Missing window/shards.
+    AnalysisSession Bad(Cfg);
+    EXPECT_EQ(Bad.status().Code, StatusCode::InvalidConfig)
+        << runModeName(Mode);
+    EXPECT_EQ(Bad.partialResult().Overall.Code, StatusCode::InvalidConfig);
+    AnalysisResult Fin = Bad.finish();
+    EXPECT_EQ(Fin.Overall.Code, StatusCode::InvalidConfig)
+        << runModeName(Mode);
+    EXPECT_TRUE(Fin.Lanes.empty());
+  }
 }
 
 // A lane that throws mid-stream fails alone with a structured status; the
