@@ -27,9 +27,20 @@
 // lane by lane against its batch twin before timings are recorded — a
 // divergence fails the bench.
 //
+// The "late_declaration" section is the restart-heavy workload: a
+// declaration-dense trace (--late-workload, default "eclipse": thousands
+// of lock/thread names first mentioned deep into the stream) scaled to
+// the same event target, round-tripped as *text* — every name declares
+// lazily at its first mid-stream mention — and streamed against the
+// declared-up-front *binary* path on the same trace. It reports the
+// text/binary wall ratio (growable detector state keeps the two in the
+// same overlap envelope; on multi-core hosts both walls sit on the
+// slowest lane) and the total restart count, which is structurally 0 —
+// a nonzero count fails the bench.
+//
 // Usage: bench_pipeline [--events N] [--threads N] [--shards N]
-//                       [--window N] [--workload NAME] [--out PATH]
-//                       [--no-stream]
+//                       [--window N] [--workload NAME]
+//                       [--late-workload NAME] [--out PATH] [--no-stream]
 //
 //===----------------------------------------------------------------------===//
 
@@ -71,6 +82,7 @@ int main(int Argc, char **Argv) {
   uint64_t WindowEvents = 0; // 0 = events/8, set after generation.
   bool Stream = true;
   std::string Workload = "montecarlo";
+  std::string LateWorkload = "eclipse";
   std::string OutPath = "BENCH_pipeline.json";
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -88,6 +100,8 @@ int main(int Argc, char **Argv) {
       Stream = false;
     else if (Arg == "--workload" && I + 1 < Argc)
       Workload = Argv[++I];
+    else if (Arg == "--late-workload" && I + 1 < Argc)
+      LateWorkload = Argv[++I];
     else if (Arg == "--out" && I + 1 < Argc)
       OutPath = Argv[++I];
     else {
@@ -308,6 +322,7 @@ int main(int Argc, char **Argv) {
   };
 
   StreamSection StreamSeq, StreamWin, StreamVar;
+  std::string LateJson;
   if (Stream) {
     std::string TracePath = OutPath + ".stream_trace.bin";
     std::string SaveErr = saveTraceFile(T, TracePath);
@@ -335,6 +350,126 @@ int main(int Argc, char **Argv) {
       StreamVar = streamedSection("streamed_var_sharded",
                                   RunMode::VarSharded, TracePath,
                                   VarExtra.c_str());
+    }
+
+    // Late-declaration section: the restart-heavy workload. A
+    // declaration-dense trace's text form declares every thread/lock/
+    // variable/location lazily, at its first mention mid-stream — the
+    // case that used to force text inputs to buffer to EOF (and push
+    // sessions to rebuild-and-replay). Growable detector state streams
+    // it chunk by chunk like a binary file, so the section compares
+    // streamed *text* ingestion (thousands of mid-stream declarations)
+    // against the declared-up-front *binary* path on the same trace, and
+    // counts restarts (structurally 0).
+    {
+      WorkloadSpec LateSpec = workloadSpec(LateWorkload);
+      Trace LateTrace = makeWorkload(
+          LateSpec, static_cast<double>(TargetEvents) /
+                        static_cast<double>(LateSpec.Events));
+      std::fprintf(stderr,
+                   "late_declaration workload '%s': %llu events, %u "
+                   "threads, %u locks, %u vars\n",
+                   LateWorkload.c_str(), (unsigned long long)LateTrace.size(),
+                   LateTrace.numThreads(), LateTrace.numLocks(),
+                   LateTrace.numVars());
+      std::string LateBinPath = OutPath + ".late_trace.bin";
+      std::string TextPath = OutPath + ".late_trace.txt";
+      std::string SaveErr = saveTraceFile(LateTrace, LateBinPath);
+      if (!SaveErr.empty()) {
+        std::fprintf(stderr, "error: writing %s: %s\n", LateBinPath.c_str(),
+                     SaveErr.c_str());
+        return 1;
+      }
+      SaveErr = saveTraceFile(LateTrace, TextPath);
+      if (!SaveErr.empty()) {
+        std::fprintf(stderr, "error: writing %s: %s\n", TextPath.c_str(),
+                     SaveErr.c_str());
+        return 1;
+      }
+      AnalysisConfig LCfg;
+      LCfg.Mode = RunMode::Sequential;
+      LCfg.Threads = Threads;
+      for (LaneSpec &L : Lanes)
+        LCfg.addDetector(L.Make, L.Name);
+      auto runSession = [&](const std::string &Path, double &Wall) {
+        Timer Clock;
+        AnalysisSession Session(LCfg);
+        Status Fed = Session.feedFile(Path);
+        AnalysisResult R = Session.finish();
+        Wall = Clock.seconds();
+        if (!Fed.ok() && R.Overall.ok())
+          R.Overall = Fed;
+        return R;
+      };
+      double BinWall = 0, TextWall = 0;
+      AnalysisResult BinRun = runSession(LateBinPath, BinWall);
+      AnalysisResult TextRun = runSession(TextPath, TextWall);
+      uint64_t Restarts = 0;
+      bool LateOk = BinRun.ok() && TextRun.ok();
+      if (!LateOk)
+        std::fprintf(stderr, "error: late_declaration section failed: %s\n",
+                     (!BinRun.ok() ? BinRun : TextRun).firstError()
+                         .str().c_str());
+      std::string LanesJson;
+      for (size_t L = 0; LateOk && L != TextRun.Lanes.size(); ++L) {
+        const LaneReport &TL = TextRun.Lanes[L];
+        const LaneReport &BL = BinRun.Lanes[L];
+        Restarts += TL.Restarts + BL.Restarts;
+        if (TL.Report.numDistinctPairs() != BL.Report.numDistinctPairs() ||
+            TL.Report.numInstances() != BL.Report.numInstances()) {
+          std::fprintf(stderr,
+                       "error: late_declaration %s text/binary diverged "
+                       "(%llu/%llu vs %llu/%llu races/instances)\n",
+                       TL.DetectorName.c_str(),
+                       (unsigned long long)TL.Report.numDistinctPairs(),
+                       (unsigned long long)TL.Report.numInstances(),
+                       (unsigned long long)BL.Report.numDistinctPairs(),
+                       (unsigned long long)BL.Report.numInstances());
+          LateOk = false;
+          break;
+        }
+        if (!LanesJson.empty())
+          LanesJson += ", ";
+        LanesJson += "{\"detector\": \"" + TL.DetectorName +
+                     "\", \"races\": " +
+                     std::to_string(TL.Report.numDistinctPairs()) + "}";
+      }
+      if (LateOk && Restarts != 0) {
+        // Zero restarts is a structural invariant now; a nonzero count
+        // means the growable-state machinery regressed — fail the bench.
+        std::fprintf(stderr,
+                     "error: late_declaration counted %llu restart(s)\n",
+                     (unsigned long long)Restarts);
+        LateOk = false;
+      }
+      if (!LateOk) {
+        LaneFailed = true;
+      } else {
+        double Ratio = BinWall > 0 ? TextWall / BinWall : 0;
+        std::fprintf(stderr,
+                     "late_declaration text wall %.2fs vs binary wall "
+                     "%.2fs (ratio %.3f), 0 restarts\n",
+                     TextWall, BinWall, Ratio);
+        if (Ratio > 1.1)
+          // The tracked target is <= 1.10. A single-core host cannot hide
+          // the text parse behind the lanes (no overlap is possible), so
+          // the miss is flagged, not fatal — the JSON carries
+          // hardware_threads for interpreting the data point.
+          std::fprintf(stderr,
+                       "warning: late_declaration ratio %.3f exceeds the "
+                       "1.10 target (%u hardware thread(s); parse cannot "
+                       "overlap analysis without a second core)\n",
+                       Ratio, ThreadPool::defaultConcurrency());
+        LateJson = std::string("{\"workload\": \"") + LateWorkload +
+                   "\", \"events\": " + std::to_string(LateTrace.size()) +
+                   ", \"text_wall_seconds\": " + jsonNum(TextWall) +
+                   ", \"binary_wall_seconds\": " + jsonNum(BinWall) +
+                   ", \"text_over_binary_ratio\": " + jsonNum(Ratio) +
+                   ", \"restarts\": " + std::to_string(Restarts) +
+                   ", \"lanes\": [" + LanesJson + "]}";
+      }
+      std::remove(TextPath.c_str());
+      std::remove(LateBinPath.c_str());
     }
     std::remove(TracePath.c_str());
   }
@@ -371,6 +506,8 @@ int main(int Argc, char **Argv) {
     Json += "  \"streamed_windowed\": " + StreamWin.Json + ",\n";
   if (!StreamVar.Json.empty())
     Json += "  \"streamed_var_sharded\": " + StreamVar.Json + ",\n";
+  if (!LateJson.empty())
+    Json += "  \"late_declaration\": " + LateJson + ",\n";
   Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
   Json += "}\n";
 

@@ -95,7 +95,7 @@ struct AnalysisConfig {
   /// clock pass retires (reports are bit-identical either way).
   ShardStrategy Strategy = ShardStrategy::Modulo;
   /// Streaming sessions: max events a consumer takes per batch — the
-  /// granularity of partial-report visibility and of restart checks.
+  /// granularity of partial-report visibility.
   uint64_t StreamBatchEvents = 8192;
 
   /// Appends a built-in detector lane.

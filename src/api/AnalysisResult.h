@@ -43,11 +43,14 @@ struct LaneReport {
   /// — events the capture clock pass walked (Report covers the possibly
   /// smaller fully-checked frontier mid-stream).
   uint64_t EventsConsumed = 0;
-  /// Streaming lanes: how often the lane rebuilt its analysis state and
-  /// replayed the prefix because id tables grew mid-stream — the detector
-  /// in sequential/fused mode, the window set in windowed mode, the
-  /// capture log + shard checkers in var-sharded mode. Always 0 when
-  /// tables were declared or carried up front (e.g. binary inputs).
+  /// Deprecated; structurally 0. Streaming lanes used to rebuild their
+  /// analysis state and replay the stable prefix when id tables grew
+  /// mid-stream, counted here. Detector state is growable now (implicit-
+  /// zero vector clocks, grow-on-first-touch histories and lockset
+  /// tables), so mid-stream thread/lock/variable declarations are O(1)
+  /// metadata updates and no lane ever restarts. The field survives one
+  /// deprecation cycle so telemetry consumers (race_cli --json, bench)
+  /// keep parsing.
   uint64_t Restarts = 0;
 };
 

@@ -29,6 +29,14 @@
 //                (detect/ShardChecker); only the final trace-order merge
 //                waits for finish() (varShardConsumer/drainVarShard).
 //
+// Mid-stream table growth (text inputs intern lazily; push feeds may
+// declare late) is free: detector state is growable end to end —
+// implicit-zero vector clocks, grow-on-first-touch access histories,
+// lockset and queue tables — so a lane built against a prefix of the id
+// tables keeps analyzing bit-for-bit with one built against the final
+// tables. The rebuild-and-replay restart machinery this file used to
+// carry is gone; LaneReport::Restarts is structurally 0.
+//
 // Lock order. The session mutex M nests SnapM inside (M → SnapM). The
 // var-sharded lane log mutex LogM also nests SnapM (LogM → SnapM, while
 // the capture detector appends to the published log). Shard mutexes (SM)
@@ -57,24 +65,6 @@
 using namespace rapid;
 
 namespace {
-
-/// The id-table sizes a detector was constructed against. Location ids are
-/// deliberately absent: detectors never size state by location, so a new
-/// location must not trigger a restart.
-struct TableDims {
-  uint32_t Threads = 0;
-  uint32_t Locks = 0;
-  uint32_t Vars = 0;
-
-  bool operator==(const TableDims &O) const {
-    return Threads == O.Threads && Locks == O.Locks && Vars == O.Vars;
-  }
-  bool operator!=(const TableDims &O) const { return !(*this == O); }
-};
-
-TableDims dimsOf(const Trace &T) {
-  return TableDims{T.numThreads(), T.numLocks(), T.numVars()};
-}
 
 /// Maps a validated config onto the batch pipeline engine (analyzeTrace).
 PipelineOptions pipelineOptionsFor(const AnalysisConfig &Cfg) {
@@ -153,8 +143,7 @@ struct LaneRuntime {
   std::string Name;      ///< Resolved once the detector first exists.
   RaceReport Final;      ///< Set by the consumer at drain time.
   Status LaneStatus;
-  uint64_t Consumed = 0; ///< Events processed (post-restart progress).
-  uint64_t Restarts = 0;
+  uint64_t Consumed = 0; ///< Events processed.
   double Seconds = 0;    ///< Processing time, excluding waits.
   bool Done = false;
 };
@@ -177,10 +166,10 @@ struct WindowEntry {
   std::vector<WindowSlot> Slots;
 };
 
-/// One window-builder epoch. Table growth mid-stream orphans the whole
-/// epoch (in-flight tasks keep it alive via shared_ptr and write into it
-/// harmlessly) and the builder starts a fresh one — the windowed form of
-/// rebuild-and-replay.
+/// The window-builder's run state: every window cut so far plus task
+/// accounting. (Historically one of several per run — table growth used
+/// to orphan the epoch and start a fresh one; with growable detector
+/// state there is exactly one per session.)
 struct WindowEpoch {
   std::mutex EM;
   std::condition_variable DoneCV;
@@ -205,26 +194,23 @@ struct VarShard {
   double Seconds = 0;
 
   std::mutex SM;
-  uint64_t CheckerEpoch = 0;
-  std::unique_ptr<ShardChecker> Checker;
+  std::unique_ptr<ShardChecker> Checker; ///< Growable; built once.
 };
 
 /// Per-lane capture/publication state for the streamed var-sharded mode.
 struct VarShardState {
   std::mutex LogM;
   std::condition_variable DrainCV; ///< Drain tasks signal progress.
-  uint64_t Epoch = 0;              ///< Bumped on rebuild-and-replay.
   AccessLog *Log = nullptr;        ///< Owned via LogHolder; appended by the
                                    ///< capture detector under LogM → SnapM.
   std::unique_ptr<AccessLog> LogHolder;
   uint64_t Partitioned = 0;     ///< Accesses split into WorkLists so far.
   uint64_t CapturedEvents = 0;  ///< Trace events the clock pass covered.
   bool Capturing = false;       ///< Detector accepted beginCapture.
-  bool PlanReady = false;       ///< Plan fixed (modulo: at build;
+  bool PlanReady = false;       ///< Plan fixed (modulo: at attach;
                                 ///< frequency-balanced: at capture end).
   ShardPlan Plan;
   ShardReplay Replay = ShardReplay::FullHistory;
-  TableDims BuildDims;
   std::vector<std::unique_ptr<VarShard>> Shards;
 };
 
@@ -291,36 +277,28 @@ void AnalysisSession::Impl::buildDetectorLocked(LaneRuntime &Rt) {
 }
 
 /// One lane of the sequential streaming mode: wait for published events,
-/// copy a bounded batch out, process it outside the session lock. Table
-/// growth rebuilds the detector and replays the prefix (bit-for-bit with
-/// the batch run; see the header comment).
+/// copy a bounded batch out, process it outside the session lock. The
+/// detector is built once, against whatever id tables exist when the lane
+/// first has work; growable detector state admits ids declared later, so
+/// table growth never restarts the lane (bit-for-bit with the batch run;
+/// see the header comment).
 void AnalysisSession::Impl::sequentialConsumer(LaneRuntime &Rt) {
   const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
   std::vector<Event> Buf;
   uint64_t Consumed = 0;
-  TableDims Built;
   try {
     for (;;) {
       uint64_t From;
       {
         std::unique_lock<std::mutex> Lk(M);
         CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
-        TableDims Cur = dimsOf(*Live);
-        if (Rt.D && Cur != Built) {
-          std::lock_guard<std::mutex> G(Rt.SnapM);
-          Rt.D.reset();
-          Rt.Consumed = Consumed = 0;
-          ++Rt.Restarts;
-        }
         if (Published == Consumed) {
           if (IngestDone)
             break;
           continue;
         }
-        if (!Rt.D) {
+        if (!Rt.D)
           buildDetectorLocked(Rt);
-          Built = Cur;
-        }
         From = Consumed;
         uint64_t To = std::min(Published, From + Batch);
         const std::vector<Event> &Events = Live->events();
@@ -367,7 +345,6 @@ void AnalysisSession::Impl::fusedConsumer() {
   const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
   std::vector<Event> Buf;
   uint64_t Consumed = 0;
-  TableDims Built;
   bool Constructed = false;
   std::vector<bool> Failed(Lanes.size(), false);
 
@@ -394,19 +371,6 @@ void AnalysisSession::Impl::fusedConsumer() {
     {
       std::unique_lock<std::mutex> Lk(M);
       CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
-      TableDims Cur = dimsOf(*Live);
-      if (Constructed && Cur != Built) {
-        for (size_t L = 0; L != Lanes.size(); ++L) {
-          if (Failed[L])
-            continue;
-          std::lock_guard<std::mutex> G(Lanes[L]->SnapM);
-          Lanes[L]->D.reset();
-          Lanes[L]->Consumed = 0;
-          ++Lanes[L]->Restarts;
-        }
-        Consumed = 0;
-        Constructed = false;
-      }
       if (Published == Consumed) {
         if (IngestDone)
           break;
@@ -415,7 +379,6 @@ void AnalysisSession::Impl::fusedConsumer() {
       if (!Constructed) {
         for (size_t L = 0; L != Lanes.size(); ++L)
           guardedLane(L, [&] { buildDetectorLocked(*Lanes[L]); });
-        Built = Cur;
         Constructed = true;
       }
       From = Consumed;
@@ -459,8 +422,8 @@ void AnalysisSession::Impl::fusedConsumer() {
 /// Appends \p W to the epoch and launches one analysis task per lane: a
 /// fresh detector over the fragment (the windowed baseline's defining
 /// move), results written into the window's slots. Tasks hold the epoch
-/// alive via shared_ptr, so an epoch orphaned by a restart absorbs its
-/// stragglers harmlessly.
+/// alive via shared_ptr, so in-flight stragglers stay valid even if the
+/// session is torn down around them.
 void AnalysisSession::Impl::dispatchWindow(
     const std::shared_ptr<WindowEpoch> &Ep, TraceWindow &&W) {
   auto Entry = std::make_unique<WindowEntry>();
@@ -537,15 +500,13 @@ void AnalysisSession::Impl::finalizeWindowedLanes(WindowEpoch &Ep) {
 /// The windowed mode's one consumer: replays the published prefix through
 /// an incremental window splitter and dispatches each completed window the
 /// moment its last event publishes — no per-window global state, so
-/// analysis starts while ingestion is still appending. Table growth
-/// restarts the epoch (windows rebuilt and re-dispatched over the stable
-/// prefix, counted per lane in LaneReport::Restarts).
+/// analysis starts while ingestion is still appending. The splitter and
+/// the per-window detectors tolerate ids beyond the tables they were
+/// built against (growable state), so table growth never re-cuts windows.
 void AnalysisSession::Impl::windowedConsumer() {
   const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
   std::vector<Event> Buf;
   uint64_t Consumed = 0;
-  TableDims Built;
-  bool Started = false;
   std::shared_ptr<WindowEpoch> Ep;
   std::unique_ptr<IncrementalWindowSplitter> Split;
   try {
@@ -555,26 +516,12 @@ void AnalysisSession::Impl::windowedConsumer() {
       {
         std::unique_lock<std::mutex> Lk(M);
         CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
-        TableDims Cur = dimsOf(*Live);
-        if (Started && Cur != Built) {
-          // Rebuild-and-replay: orphan the epoch (stragglers keep it
-          // alive), re-cut every window against the grown tables.
-          for (auto &Rt : Lanes) {
-            std::lock_guard<std::mutex> G(Rt->SnapM);
-            Rt->Consumed = 0;
-            ++Rt->Restarts;
-          }
-          Consumed = 0;
-          Started = false;
-        }
-        if (!Started) {
+        if (!Ep) {
           Ep = std::make_shared<WindowEpoch>();
           WinEpoch = Ep;
           Split =
               std::make_unique<IncrementalWindowSplitter>(*Live,
                                                           Cfg.WindowEvents);
-          Built = Cur;
-          Started = true;
         }
         if (Published == Consumed) {
           if (!IngestDone)
@@ -649,7 +596,6 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
   std::vector<Item> Batch;
   std::vector<VectorClock> Clocks;
   for (;;) {
-    uint64_t Epoch;
     Batch.clear();
     Clocks.clear();
     {
@@ -658,7 +604,6 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
         Sh.Scheduled = false;
         return;
       }
-      Epoch = VS.Epoch;
       size_t End = std::min(Sh.WorkList.size(), Sh.Claimed + DrainBatch);
       const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
       const ClockBroadcast &Broadcast = VS.Log->clocks();
@@ -686,27 +631,23 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
     double Seconds = 0;
     {
       std::lock_guard<std::mutex> G(Sh.SM);
-      if (Sh.CheckerEpoch == Epoch && Sh.Checker) {
-        guardedTask(Err, [&] {
-          Timer Clock;
-          for (const Item &It : Batch)
-            Sh.Checker->replay(It.A, VarId(It.Local), Clocks[It.Ce],
-                               It.Hard == DeferredAccess::NoClock
-                                   ? nullptr
-                                   : &Clocks[It.Hard]);
-          Seconds = Clock.seconds();
-        });
-      }
+      guardedTask(Err, [&] {
+        Timer Clock;
+        for (const Item &It : Batch)
+          Sh.Checker->replay(It.A, VarId(It.Local), Clocks[It.Ce],
+                             It.Hard == DeferredAccess::NoClock
+                                 ? nullptr
+                                 : &Clocks[It.Hard]);
+        Seconds = Clock.seconds();
+      });
     }
     {
       std::lock_guard<std::mutex> G(VS.LogM);
-      if (VS.Epoch == Epoch) {
-        Sh.Completed += Batch.size();
-        Sh.Seconds += Seconds;
-        if (!Err.empty() && Sh.Error.empty())
-          Sh.Error = std::move(Err);
-        VS.DrainCV.notify_all();
-      }
+      Sh.Completed += Batch.size();
+      Sh.Seconds += Seconds;
+      if (!Err.empty() && Sh.Error.empty())
+        Sh.Error = std::move(Err);
+      VS.DrainCV.notify_all();
     }
   }
 }
@@ -726,27 +667,14 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
   std::vector<Event> Buf;
   std::vector<uint32_t> ToSchedule;
   uint64_t Consumed = 0;
-  TableDims Built;
   try {
     for (;;) {
       uint64_t From;
       bool FreshDetector = false;
-      TableDims Cur;
+      uint32_t HintThreads = 0, HintVars = 0;
       {
         std::unique_lock<std::mutex> Lk(M);
         CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
-        Cur = dimsOf(*Live);
-        if (Rt.D && Cur != Built) {
-          {
-            std::lock_guard<std::mutex> G(Rt.SnapM);
-            Rt.D.reset();
-            Rt.Consumed = Consumed = 0;
-            ++Rt.Restarts;
-          }
-          // Rebuild-and-replay: retire this capture epoch. Shard state
-          // resets below, outside M (M is never held with LogM/SM).
-          FreshDetector = true;
-        }
         if (Published == Consumed) {
           if (IngestDone)
             break;
@@ -754,8 +682,9 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         }
         if (!Rt.D) {
           buildDetectorLocked(Rt);
-          Built = Cur;
           FreshDetector = true;
+          HintThreads = Live->numThreads();
+          HintVars = Live->numVars();
         }
         From = Consumed;
         uint64_t To = std::min(Published, From + Batch);
@@ -764,8 +693,10 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
                    Events.begin() + static_cast<ptrdiff_t>(To));
       }
       if (FreshDetector) {
-        // (Re)attach capture: new log, new epoch, fresh shard checkers.
-        auto NewLog = std::make_unique<AccessLog>(Built.Threads);
+        // Attach capture, once per session: the log, the broadcast table
+        // and the shard checkers are all growable, so the table sizes at
+        // attach time are sizing hints, not bounds.
+        auto NewLog = std::make_unique<AccessLog>(HintThreads);
         bool Capturing;
         ShardReplay Replay = ShardReplay::FullHistory;
         {
@@ -774,37 +705,23 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           if (Capturing)
             Replay = Rt.D->shardReplay();
         }
-        uint64_t Epoch;
         {
           std::lock_guard<std::mutex> G(VS.LogM);
-          Epoch = ++VS.Epoch;
           VS.LogHolder = std::move(NewLog);
           VS.Log = VS.LogHolder.get();
-          VS.Partitioned = 0;
-          VS.CapturedEvents = 0;
           VS.Capturing = Capturing;
           VS.Replay = Replay;
-          VS.BuildDims = Built;
           VS.PlanReady =
               Capturing && Cfg.Strategy == ShardStrategy::Modulo;
           VS.Plan = ShardPlan(NumShards);
-          for (auto &Sh : VS.Shards) {
-            Sh->WorkList.clear();
-            Sh->Claimed = Sh->Completed = 0;
-            Sh->Error.clear();
-            Sh->Seconds = 0;
-          }
         }
-        for (uint32_t S = 0; S != NumShards; ++S) {
-          VarShard &Sh = *VS.Shards[S];
-          std::lock_guard<std::mutex> G(Sh.SM);
-          Sh.CheckerEpoch = Epoch;
-          Sh.Checker =
-              VS.PlanReady
-                  ? std::make_unique<ShardChecker>(
-                        Replay, VS.Plan.numLocalVars(S, Built.Vars),
-                        Built.Threads)
-                  : nullptr;
+        if (VS.PlanReady) {
+          for (uint32_t S = 0; S != NumShards; ++S) {
+            VarShard &Sh = *VS.Shards[S];
+            std::lock_guard<std::mutex> G(Sh.SM);
+            Sh.Checker = std::make_unique<ShardChecker>(
+                Replay, VS.Plan.numLocalVars(S, HintVars), HintThreads);
+          }
         }
       }
       {
@@ -839,11 +756,16 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
       scheduleDrains(VS, ToSchedule);
     }
 
+    uint32_t FinalThreads, FinalVars;
     {
-      // Zero-event sessions still owe a constructed detector.
+      // Zero-event sessions still owe a constructed detector. Ingestion
+      // is over, so these are the final table sizes — the ones the batch
+      // engine would have built everything against.
       std::unique_lock<std::mutex> Lk(M);
       if (!Rt.D)
         buildDetectorLocked(Rt);
+      FinalThreads = Live->numThreads();
+      FinalVars = Live->numVars();
     }
     bool Capturing;
     {
@@ -873,8 +795,9 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         // FrequencyBalanced: the plan is a pure function of the full
         // capture counts, so it is fixed here — shard checks for this
         // strategy start once the clock pass retires (the modulo plan
-        // needs no counts and streams all along).
-        std::vector<uint64_t> Counts(VS.BuildDims.Vars, 0);
+        // needs no counts and streams all along). Counts are sized to the
+        // final tables, so the plan is exactly the batch engine's.
+        std::vector<uint64_t> Counts(FinalVars, 0);
         for (const DeferredAccess &A : VS.Log->accesses())
           ++Counts[A.Var.value()];
         VS.Plan = ShardPlan::balancedByFrequency(NumShards, Counts);
@@ -882,10 +805,8 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         for (uint32_t S = 0; S != NumShards; ++S) {
           VarShard &Sh = *VS.Shards[S];
           std::lock_guard<std::mutex> SG(Sh.SM);
-          Sh.CheckerEpoch = VS.Epoch;
           Sh.Checker = std::make_unique<ShardChecker>(
-              VS.Replay, VS.Plan.numLocalVars(S, VS.BuildDims.Vars),
-              VS.BuildDims.Threads);
+              VS.Replay, VS.Plan.numLocalVars(S, FinalVars), FinalThreads);
         }
         const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
         for (uint64_t I = 0; I != Accesses.size(); ++I)
@@ -1010,7 +931,7 @@ void AnalysisSession::Impl::stopConsumers() {
     Consumers.clear();
   }
   if (Pool)
-    Pool->wait(); // Orphaned-epoch stragglers, if any.
+    Pool->wait(); // In-flight stragglers, if any.
 }
 
 /// Common precondition of every ingest call.
@@ -1086,7 +1007,6 @@ void AnalysisSession::Impl::snapshotWindowedLane(size_t L, LaneReport &Lane) {
 /// merges).
 void AnalysisSession::Impl::snapshotVarShardLane(VarShardState &VS,
                                                  LaneReport &Lane) {
-  uint64_t Epoch;
   uint64_t Bound = 0;
   double ShardSeconds = 0;
   {
@@ -1098,7 +1018,6 @@ void AnalysisSession::Impl::snapshotVarShardLane(VarShardState &VS,
     }
     if (!VS.PlanReady || !VS.Log)
       return; // Clock pass only so far: no checked prefix yet.
-    Epoch = VS.Epoch;
     Bound = VS.CapturedEvents;
     for (const std::unique_ptr<VarShard> &Sh : VS.Shards) {
       ShardSeconds += Sh->Seconds;
@@ -1111,8 +1030,8 @@ void AnalysisSession::Impl::snapshotVarShardLane(VarShardState &VS,
   for (size_t S = 0; S != VS.Shards.size(); ++S) {
     VarShard &Sh = *VS.Shards[S];
     std::lock_guard<std::mutex> G(Sh.SM);
-    if (Sh.CheckerEpoch != Epoch || !Sh.Checker)
-      return; // Restart in flight; the rebuilt epoch will re-cover this.
+    if (!Sh.Checker)
+      return; // Checkers are being built; no checked prefix yet.
     for (const RaceInstance &Inst : Sh.Checker->findings()) {
       if (Inst.LaterIdx >= Bound)
         break; // Findings are ascending in LaterIdx within a shard.
@@ -1138,7 +1057,7 @@ AnalysisResult AnalysisSession::Impl::snapshotLanes(bool Partial) {
       Lane.LaneStatus = Rt.LaneStatus;
       Lane.Seconds = Rt.Seconds;
       Lane.EventsConsumed = Rt.Consumed;
-      Lane.Restarts = Rt.Restarts;
+      Lane.Restarts = 0; // Structurally: growable state never restarts.
       Done = Rt.Done;
       if (Done)
         Lane.Report = Rt.Final;
@@ -1280,9 +1199,11 @@ Status AnalysisSession::feedFile(const std::string &Path) {
   ChunkedTraceReader Reader(Path);
   // The reader's internal trace becomes the live published trace while
   // the loop runs: chunk parsing mutates it under the session mutex, and
-  // publication only advances once the id tables can no longer change
-  // (binary: right after the header; text: at EOF), so consumer-side
-  // restarts never trigger here.
+  // every validated chunk publishes immediately — for text inputs too,
+  // whose id tables intern lazily as lines parse. Growable detector state
+  // makes that safe: lanes built against the tables of an early chunk
+  // admit later-interned ids in place, so analysis overlaps ingestion for
+  // both formats and no lane ever restarts.
   bool Poisoned = false;
   while (!Reader.done() && !Poisoned) {
     bool Advanced = false;
@@ -1295,7 +1216,7 @@ Status AnalysisSession::feedFile(const std::string &Path) {
         // Only the §2.1-validated prefix may reach live lanes; a
         // violation freezes publication (and ingestion) right here.
         Poisoned = !I->validateNewLocked();
-        if (Reader.tablesComplete() && I->Validated > I->Published) {
+        if (I->Validated > I->Published) {
           I->publishLocked();
           Advanced = true;
         }

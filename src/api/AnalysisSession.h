@@ -35,16 +35,16 @@
 ///                merge waits for finish().
 ///
 /// Detectors are constructed against the id tables (threads/locks/vars)
-/// visible when a lane first has work. If tables grow afterwards — text
-/// inputs intern lazily; push feeds may declare late — the lane restarts:
-/// it rebuilds its detector (and, in the batch modes, its windows or
-/// capture log and shard checkers) and replays the (stable, append-only)
-/// prefix, preserving bit-for-bit results at the cost of replay time.
-/// Binary inputs carry all tables in their header, so feedFile(".bin")
-/// streams with zero restarts; push callers get the same by declaring
-/// names (or declareTablesFrom) before feeding. Text files are ingested
-/// fully before publication (no overlap) rather than risking a restart
-/// per new name.
+/// visible when a lane first has work, and *grow in place* when tables
+/// grow afterwards — text inputs intern lazily; push feeds may declare
+/// late. Every piece of detector state is size-polymorphic (implicit-zero
+/// vector clocks, grow-on-first-touch access histories/locksets/queues),
+/// so a mid-stream declaration is an O(1) metadata update: no lane ever
+/// rebuilds or replays, and LaneReport::Restarts is structurally 0.
+/// Declaring names up front (binary headers, declareTablesFrom) is still
+/// good hygiene — it sizes state once — but is no longer required for
+/// streaming: text files publish chunk by chunk exactly like binary ones,
+/// so analysis overlaps ingestion for every input format.
 ///
 /// Because lanes analyze events *live*, the session validates the §2.1
 /// trace axioms on the producer side (trace/TraceValidator's streaming
@@ -98,8 +98,9 @@ public:
   const Status &status() const;
 
   /// Name declaration for push ingestion: interns into the session's id
-  /// tables and returns the id to use in fed events. Declaring every name
-  /// before the first feed keeps streaming lanes restart-free.
+  /// tables and returns the id to use in fed events. Names may be
+  /// declared at any point before their first use — mid-stream
+  /// declarations grow detector state in place (no restart).
   ThreadId declareThread(std::string_view Name);
   LockId declareLock(std::string_view Name);
   VarId declareVar(std::string_view Name);
@@ -118,20 +119,22 @@ public:
   /// zero-copy one-shot batch runs.
   Status feedTrace(const Trace &T);
 
-  /// Streams the file at \p Path through the chunked reader into the
-  /// session. Binary inputs publish to the lanes chunk by chunk (analysis
-  /// overlaps ingestion); text inputs publish once fully parsed. Must be
-  /// the first ingestion; on failure the already-published prefix keeps
-  /// its partial lane reports and the session status carries the error.
+  /// Streams the file at \p Path into the session. Regular files are
+  /// memory-mapped (io/MappedFile) and parsed zero-copy; other inputs go
+  /// through the chunked reader. Both binary and text inputs publish to
+  /// the lanes chunk by chunk, so analysis overlaps ingestion regardless
+  /// of format (text id tables intern lazily; lanes grow in place). Must
+  /// be the first ingestion; on failure the already-published prefix
+  /// keeps its partial lane reports and the session status carries the
+  /// error.
   Status feedFile(const std::string &Path);
 
-  /// Events ingested (== published to lanes, except during a text
-  /// feedFile, where publication happens at the end).
+  /// Events ingested (== published to lanes).
   uint64_t eventsFed() const;
   bool finished() const;
 
-  /// Mid-stream snapshot: per-lane races discovered so far, events
-  /// consumed, restarts. Every mode reports live progress — sequential
+  /// Mid-stream snapshot: per-lane races discovered so far and events
+  /// consumed. Every mode reports live progress — sequential
   /// and fused lanes return their detector's report so far; windowed
   /// lanes the merge of the retired-window prefix (EventsConsumed counts
   /// the events those windows cover); var-sharded lanes the merged

@@ -11,10 +11,14 @@ using namespace rapid;
 AccessHistory::AccessHistory(uint32_t NumVars, uint32_t NumThreads)
     : NumThreads(NumThreads), States(NumVars) {}
 
-AccessHistory::VarState &AccessHistory::state(VarId V) {
-  assert(V.value() < States.size() && "variable out of range");
+AccessHistory::VarState &AccessHistory::state(VarId V, ThreadId T) {
+  if (T.value() >= NumThreads)
+    NumThreads = T.value() + 1;
+  if (V.value() >= States.size())
+    States.resize(V.value() + 1);
   VarState &S = States[V.value()];
-  if (S.LastRead.empty()) {
+  if (S.LastRead.size() < NumThreads) {
+    // First touch, or a thread beyond this variable's current records.
     S.LastRead.resize(NumThreads);
     S.LastWrite.resize(NumThreads);
   }
@@ -22,19 +26,20 @@ AccessHistory::VarState &AccessHistory::state(VarId V) {
 }
 
 const AccessHistory::VarState *AccessHistory::stateIfPresent(VarId V) const {
-  assert(V.value() < States.size() && "variable out of range");
+  if (V.value() >= States.size())
+    return nullptr;
   const VarState &S = States[V.value()];
   return S.LastRead.empty() ? nullptr : &S;
 }
 
 void AccessHistory::recordRead(VarId V, ThreadId T, ClockValue N, LocId Loc,
                                EventIdx I) {
-  state(V).LastRead[T.value()] = AccessRecord{N, Loc, I};
+  state(V, T).LastRead[T.value()] = AccessRecord{N, Loc, I};
 }
 
 void AccessHistory::recordWrite(VarId V, ThreadId T, ClockValue N, LocId Loc,
                                 EventIdx I) {
-  state(V).LastWrite[T.value()] = AccessRecord{N, Loc, I};
+  state(V, T).LastWrite[T.value()] = AccessRecord{N, Loc, I};
 }
 
 void AccessHistory::checkAgainst(const std::vector<AccessRecord> &Records,

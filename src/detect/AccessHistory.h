@@ -15,6 +15,13 @@
 /// the conjunction of the per-thread checks, so the race *verdicts* are
 /// identical to the paper's; we simply remember locations and indices too.
 ///
+/// The table is growable: the constructor counts are capacity hints, and
+/// both the per-variable states and the per-thread record arrays extend on
+/// first touch. A history built against a trace prefix therefore behaves
+/// exactly like one built against the final tables — variables and
+/// threads that were never recorded have no records either way — which is
+/// what lets streaming detectors admit new ids without a restart.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAPID_DETECT_ACCESSHISTORY_H
@@ -36,7 +43,8 @@ struct AccessRecord {
   bool valid() const { return Loc.isValid(); }
 };
 
-/// Access histories for every variable in a trace.
+/// Access histories for every variable in a trace. Grows on first touch;
+/// the constructor counts are sizing hints only.
 class AccessHistory {
 public:
   AccessHistory(uint32_t NumVars, uint32_t NumThreads);
@@ -67,7 +75,7 @@ private:
     std::vector<AccessRecord> LastWrite; ///< Indexed by thread.
   };
 
-  VarState &state(VarId V);
+  VarState &state(VarId V, ThreadId T);
   const VarState *stateIfPresent(VarId V) const;
 
   static void checkAgainst(const std::vector<AccessRecord> &Records,
@@ -76,7 +84,7 @@ private:
                            EventIdx I, bool &Found,
                            std::vector<RaceInstance> &Out);
 
-  uint32_t NumThreads;
+  uint32_t NumThreads; ///< High-water thread count (record sizing).
   // Lazily materialized per variable: most variables in big traces are
   // touched by one thread and never race.
   std::vector<VarState> States;

@@ -65,6 +65,8 @@ ClockBroadcast::ClockBroadcast(uint32_t NumThreads)
 
 uint32_t ClockBroadcast::publishInto(std::vector<uint32_t> &Last, ThreadId T,
                                      const VectorClock &C) {
+  if (T.value() >= Last.size())
+    Last.resize(T.value() + 1, DeferredAccess::NoClock); // Mid-stream thread.
   uint32_t &Prev = Last[T.value()];
   if (Prev != DeferredAccess::NoClock && Snapshots[Prev] == C)
     return Prev;
@@ -132,6 +134,12 @@ public:
 
   void replay(const DeferredAccess &A, VarId Local, const VectorClock &Ct,
               std::vector<RaceInstance> &Out) {
+    // Growable like the live detector: variables/threads admitted
+    // mid-stream start in the state up-front construction gives them.
+    if (A.Thread.value() >= NumThreads)
+      NumThreads = A.Thread.value() + 1;
+    if (Local.value() >= Vars.size())
+      Vars.resize(Local.value() + 1);
     VarState &S = Vars[Local.value()];
     ThreadId T = A.Thread;
     Epoch Mine(A.N, T);
@@ -145,7 +153,7 @@ public:
       if (!S.Write.lessOrEqual(Ct) && S.Write.Thread != T)
         report(S.WriteIdx, S.WriteLoc, A, Out);
       if (S.ReadShared) {
-        for (uint32_t U = 0; U != NumThreads; ++U) {
+        for (uint32_t U = 0, E = S.ReadVC.size(); U != E; ++U) {
           if (U == T.value())
             continue;
           ClockValue RU = S.ReadVC.get(ThreadId(U));
@@ -182,6 +190,8 @@ public:
       S.ReadVC.set(S.Read.Thread, S.Read.Clock);
       S.ReadInfo[S.Read.Thread.value()] = {S.ReadLoc, S.ReadIdx};
     }
+    if (S.ReadInfo.size() <= T.value())
+      S.ReadInfo.resize(NumThreads); // Threads admitted after promotion.
     S.ReadVC.set(T, Mine.Clock);
     S.ReadInfo[T.value()] = {A.Loc, A.Idx};
   }

@@ -126,6 +126,8 @@ struct DeferredAccess {
 /// Thread clocks only change at a bounded set of points (sync events for
 /// HB; sync events and rule-(a) joins for WCP), so publish() deduplicates
 /// against the thread's previous snapshot and most accesses reuse one.
+/// The per-thread dedup tables grow on first publish, so threads admitted
+/// mid-stream need no rebuild (the constructor count is a sizing hint).
 class ClockBroadcast {
 public:
   explicit ClockBroadcast(uint32_t NumThreads);
@@ -185,7 +187,9 @@ class ShardChecker {
 public:
   /// \p Replay selects the engine (must match the capturing detector's
   /// Detector::shardReplay()); \p NumLocalVars is the shard's dense
-  /// local-variable count (ShardPlan::numLocalVars).
+  /// local-variable count (ShardPlan::numLocalVars). Both counts are
+  /// sizing hints — the engines grow on first touch, so local ids and
+  /// threads admitted mid-stream replay without a rebuild.
   ShardChecker(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads);
   ~ShardChecker();
 

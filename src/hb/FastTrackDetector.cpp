@@ -24,6 +24,28 @@ void FastTrackDetector::incrementLocal(ThreadId T) {
   C.set(T, C.get(T) + 1);
 }
 
+void FastTrackDetector::ensureThread(ThreadId T) {
+  if (T.value() >= NumThreads)
+    NumThreads = T.value() + 1;
+  if (T.value() < ThreadClocks.size())
+    return;
+  uint32_t Old = static_cast<uint32_t>(ThreadClocks.size());
+  ThreadClocks.resize(T.value() + 1);
+  for (uint32_t I = Old; I <= T.value(); ++I)
+    ThreadClocks[I].set(ThreadId(I), 1);
+}
+
+void FastTrackDetector::ensureLock(LockId L) {
+  if (L.value() >= LockClocks.size())
+    LockClocks.resize(L.value() + 1);
+}
+
+FastTrackDetector::VarState &FastTrackDetector::varState(VarId V) {
+  if (V.value() >= Vars.size())
+    Vars.resize(V.value() + 1);
+  return Vars[V.value()];
+}
+
 void FastTrackDetector::reportRace(EventIdx EarlierIdx, LocId EarlierLoc,
                                    EventIdx LaterIdx, LocId LaterLoc,
                                    VarId Var) {
@@ -38,6 +60,12 @@ void FastTrackDetector::reportRace(EventIdx EarlierIdx, LocId EarlierLoc,
 
 void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
   ThreadId T = E.Thread;
+  // Grow every table the event touches before taking references.
+  ensureThread(T);
+  if (E.Kind == EventKind::Fork || E.Kind == EventKind::Join)
+    ensureThread(E.targetThread());
+  else if (E.Kind == EventKind::Acquire || E.Kind == EventKind::Release)
+    ensureLock(E.lock());
   VectorClock &Ct = ThreadClocks[T.value()];
 
   switch (E.Kind) {
@@ -65,7 +93,7 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
                       Ct, nullptr);
       return;
     }
-    VarState &S = Vars[E.var().value()];
+    VarState &S = varState(E.var());
     Epoch Mine(Ct.get(T), T);
     // Same-epoch shortcut: redundant read. The stored location still
     // advances so that later race reports name the most recent
@@ -94,6 +122,8 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
       S.ReadVC.set(S.Read.Thread, S.Read.Clock);
       S.ReadInfo[S.Read.Thread.value()] = {S.ReadLoc, S.ReadIdx};
     }
+    if (S.ReadInfo.size() <= T.value())
+      S.ReadInfo.resize(NumThreads); // Threads admitted after promotion.
     S.ReadVC.set(T, Mine.Clock);
     S.ReadInfo[T.value()] = {E.Loc, Index};
     return;
@@ -105,7 +135,7 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
                       Ct, nullptr);
       return;
     }
-    VarState &S = Vars[E.var().value()];
+    VarState &S = varState(E.var());
     Epoch Mine(Ct.get(T), T);
     if (S.Write == Mine) {
       // Same-epoch write: keep the freshest representative (see read).
@@ -116,9 +146,10 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
     // Write-write check against the most recent write.
     if (!S.Write.lessOrEqual(Ct) && S.Write.Thread != T)
       reportRace(S.WriteIdx, S.WriteLoc, Index, E.Loc, E.var());
-    // Read-write checks.
+    // Read-write checks. The loop bound is the read vector's physical
+    // size: components beyond it are implicitly 0 and cannot race.
     if (S.ReadShared) {
-      for (uint32_t U = 0; U < NumThreads; ++U) {
+      for (uint32_t U = 0, E2 = S.ReadVC.size(); U < E2; ++U) {
         if (U == T.value())
           continue;
         ClockValue RU = S.ReadVC.get(ThreadId(U));

@@ -73,11 +73,17 @@ private:
     std::vector<ReadLocInfo> ReadInfo; ///< Per-thread read locs (promoted).
   };
 
+  /// Admits threads [size, T] (local time 1, as at construction) and
+  /// raises the high-water NumThreads.
+  void ensureThread(ThreadId T);
+  void ensureLock(LockId L);
+  VarState &varState(VarId V);
+
   void incrementLocal(ThreadId T);
   void reportRace(EventIdx EarlierIdx, LocId EarlierLoc, EventIdx LaterIdx,
                   LocId LaterLoc, VarId Var);
 
-  uint32_t NumThreads;
+  uint32_t NumThreads; ///< High-water thread count (promotion sizing).
   std::vector<VectorClock> ThreadClocks;
   std::vector<VectorClock> LockClocks;
   std::vector<VarState> Vars;

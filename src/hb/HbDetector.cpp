@@ -25,8 +25,29 @@ void HbDetector::incrementLocal(ThreadId T) {
   C.set(T, C.get(T) + 1);
 }
 
+void HbDetector::ensureThread(ThreadId T) {
+  if (T.value() < ThreadClocks.size())
+    return;
+  uint32_t Old = static_cast<uint32_t>(ThreadClocks.size());
+  ThreadClocks.resize(T.value() + 1);
+  for (uint32_t I = Old; I <= T.value(); ++I)
+    ThreadClocks[I].set(ThreadId(I), 1);
+}
+
+void HbDetector::ensureLock(LockId L) {
+  if (L.value() >= LockClocks.size())
+    LockClocks.resize(L.value() + 1);
+}
+
 void HbDetector::processEvent(const Event &E, EventIdx Index) {
   ThreadId T = E.Thread;
+  // Grow every table the event touches *before* taking references into
+  // them (a resize mid-handler would dangle).
+  ensureThread(T);
+  if (E.Kind == EventKind::Fork || E.Kind == EventKind::Join)
+    ensureThread(E.targetThread());
+  else if (E.Kind == EventKind::Acquire || E.Kind == EventKind::Release)
+    ensureLock(E.lock());
   VectorClock &Ct = ThreadClocks[T.value()];
 
   switch (E.Kind) {

@@ -30,7 +30,11 @@
 namespace rapid {
 
 /// Streaming HB detector with full per-thread access histories (reports
-/// both endpoints of every distinct race pair).
+/// both endpoints of every distinct race pair). All state is growable:
+/// threads, locks and variables first seen mid-stream are admitted with
+/// the same initial state a full-table construction would have given
+/// them, so a detector built against a trace prefix reports bit-for-bit
+/// what a detector built against the final tables reports.
 class HbDetector : public Detector {
 public:
   explicit HbDetector(const Trace &T);
@@ -52,6 +56,11 @@ public:
 
 private:
   void incrementLocal(ThreadId T);
+  /// Admits threads [size, T]: every new thread starts at local time 1,
+  /// exactly as the constructor initializes declared-up-front threads.
+  void ensureThread(ThreadId T);
+  /// Admits locks up to \p L (new locks start at ⊥, as at construction).
+  void ensureLock(LockId L);
 
   std::vector<VectorClock> ThreadClocks; ///< C_t per thread.
   std::vector<VectorClock> LockClocks;   ///< L_l per lock.

@@ -1,0 +1,64 @@
+//===- io/MappedFile.cpp ------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/MappedFile.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RAPID_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace rapid;
+
+bool MappedFile::map(const std::string &Path) {
+  reset();
+#if RAPID_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return false; // Pipes and friends keep the buffered path.
+  }
+  if (St.st_size == 0) {
+    // mmap of length 0 is EINVAL; an empty view is the correct mapping.
+    ::close(Fd);
+    Ok = true;
+    return true;
+  }
+  void *Mem = ::mmap(nullptr, static_cast<size_t>(St.st_size), PROT_READ,
+                     MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // The mapping outlives the descriptor.
+  if (Mem == MAP_FAILED)
+    return false;
+  Data = static_cast<const char *>(Mem);
+  Size = static_cast<size_t>(St.st_size);
+  Ok = true;
+#ifdef MADV_SEQUENTIAL
+  // Traces parse front to back; tell the pager so read-ahead is aggressive
+  // and consumed pages are cheap to evict. Best-effort.
+  ::madvise(Mem, Size, MADV_SEQUENTIAL);
+#endif
+  return true;
+#else
+  (void)Path;
+  return false;
+#endif
+}
+
+void MappedFile::reset() {
+#if RAPID_HAVE_MMAP
+  if (Data)
+    ::munmap(const_cast<char *>(Data), Size);
+#endif
+  Data = nullptr;
+  Size = 0;
+  Ok = false;
+}

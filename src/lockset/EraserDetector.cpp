@@ -13,8 +13,20 @@ using namespace rapid;
 EraserDetector::EraserDetector(const Trace &T)
     : Vars(T.numVars()), Held(T.numThreads()) {}
 
+EraserDetector::VarState &EraserDetector::varState(VarId V) {
+  if (V.value() >= Vars.size())
+    Vars.resize(V.value() + 1);
+  return Vars[V.value()];
+}
+
+std::vector<uint32_t> &EraserDetector::heldOf(ThreadId T) {
+  if (T.value() >= Held.size())
+    Held.resize(T.value() + 1);
+  return Held[T.value()];
+}
+
 void EraserDetector::refineLockset(VarState &S, ThreadId T) {
-  const std::vector<uint32_t> &Mine = Held[T.value()];
+  const std::vector<uint32_t> &Mine = heldOf(T);
   if (!S.LocksetInitialized) {
     S.Lockset = Mine;
     S.LocksetInitialized = true;
@@ -27,7 +39,7 @@ void EraserDetector::refineLockset(VarState &S, ThreadId T) {
 }
 
 void EraserDetector::access(const Event &E, EventIdx Index, bool IsWrite) {
-  VarState &S = Vars[E.var().value()];
+  VarState &S = varState(E.var());
   ThreadId T = E.Thread;
 
   switch (S.Phase) {
@@ -91,13 +103,13 @@ void EraserDetector::access(const Event &E, EventIdx Index, bool IsWrite) {
 void EraserDetector::processEvent(const Event &E, EventIdx Index) {
   switch (E.Kind) {
   case EventKind::Acquire: {
-    std::vector<uint32_t> &Mine = Held[E.Thread.value()];
+    std::vector<uint32_t> &Mine = heldOf(E.Thread);
     Mine.insert(std::upper_bound(Mine.begin(), Mine.end(), E.lock().value()),
                 E.lock().value());
     return;
   }
   case EventKind::Release: {
-    std::vector<uint32_t> &Mine = Held[E.Thread.value()];
+    std::vector<uint32_t> &Mine = heldOf(E.Thread);
     auto It = std::find(Mine.begin(), Mine.end(), E.lock().value());
     if (It != Mine.end())
       Mine.erase(It);

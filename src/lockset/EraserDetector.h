@@ -55,6 +55,11 @@ private:
 
   void access(const Event &E, EventIdx Index, bool IsWrite);
   void refineLockset(VarState &S, ThreadId T);
+  /// Growable accessors: variables/threads first seen mid-stream start in
+  /// the same state construction would have given them (Virgin phase, no
+  /// held locks).
+  VarState &varState(VarId V);
+  std::vector<uint32_t> &heldOf(ThreadId T);
 
   std::vector<VarState> Vars;
   std::vector<std::vector<uint32_t>> Held; ///< Sorted held locks per thread.

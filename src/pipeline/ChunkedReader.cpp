@@ -22,6 +22,21 @@ ChunkedTraceReader::ChunkedTraceReader(const std::string &Path,
     this->Opts.ChunkBytes = 1;
   if (this->Opts.MaxEventsPerChunk == 0)
     this->Opts.MaxEventsPerChunk = 1;
+  if (this->Opts.UseMmap && Map.map(Path)) {
+    // mmap backend: the whole file is addressable up front, zero-copy.
+    // Eof from the start — there is nothing to refill.
+    Mapped = true;
+    Eof = true;
+    FileSize = Map.size();
+    TotalRead = Map.size();
+    if (!Binary && FileSize > 0) {
+      // Text lines run ~16-30 bytes ("T0|r(x)|L1" plus names); /16 lands
+      // within ~2x of the true count either way, which converts the
+      // append path's realloc cascade into at most one final doubling.
+      Builder.reserve(FileSize / 16);
+    }
+    return;
+  }
   File = std::fopen(Path.c_str(), "rb");
   if (!File) {
     Error = "cannot open '" + Path + "' for reading: " + std::strerror(errno);
@@ -52,7 +67,7 @@ Trace ChunkedTraceReader::take() {
 }
 
 bool ChunkedTraceReader::refill() {
-  if (Eof || !File)
+  if (Eof || !File) // The mmap backend is Eof by construction.
     return false;
   compactBuffer();
   size_t Old = Buf.size();
@@ -72,7 +87,8 @@ bool ChunkedTraceReader::refill() {
 
 void ChunkedTraceReader::compactBuffer() {
   // Drop the consumed prefix once it dominates the buffer, keeping refill
-  // appends cheap without repeated front-erases.
+  // appends cheap without repeated front-erases. (Buffered backend only:
+  // the mmap view is immutable and never refills.)
   if (Pos > 0 && (Pos >= Buf.size() || Pos >= Opts.ChunkBytes)) {
     Buf.erase(0, Pos);
     Pos = 0;
@@ -90,8 +106,9 @@ uint64_t ChunkedTraceReader::nextChunk() {
 uint64_t ChunkedTraceReader::nextTextChunk() {
   uint64_t Appended = 0;
   while (Appended < Opts.MaxEventsPerChunk) {
-    size_t Nl = Buf.find('\n', Pos);
-    if (Nl == std::string::npos) {
+    std::string_view V = view();
+    size_t Nl = V.find('\n', Pos);
+    if (Nl == std::string_view::npos) {
       if (!Eof) {
         if (refill())
           continue;
@@ -99,14 +116,15 @@ uint64_t ChunkedTraceReader::nextTextChunk() {
           return Appended;
       }
       // EOF: the remainder (if any) is one final unterminated line.
-      if (Pos >= Buf.size()) {
+      V = view();
+      if (Pos >= V.size()) {
         Done = true;
         return Appended;
       }
-      Nl = Buf.size();
+      Nl = V.size();
     }
-    std::string_view Line(Buf.data() + Pos, Nl - Pos);
-    Pos = Nl < Buf.size() ? Nl + 1 : Nl;
+    std::string_view Line(V.data() + Pos, Nl - Pos);
+    Pos = Nl < V.size() ? Nl + 1 : Nl;
     ++LineNo;
     if (!trimTextTraceLine(Line))
       continue;
@@ -127,7 +145,7 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
   // a re-parse of the buffered prefix, so grow the buffer geometrically
   // between attempts to keep total header work linear.
   while (!HeaderParsed) {
-    std::string_view Head(Buf.data() + Pos, Buf.size() - Pos);
+    std::string_view Head = view().substr(Pos);
     size_t HeaderSize = 0;
     BinaryHeaderStatus S = parseBinaryHeader(Head, BinTrace, RemainingEvents,
                                              HeaderSize, Error);
@@ -142,7 +160,7 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
       // corrupt count cannot trigger a huge allocation.
       uint64_t Cap = RemainingEvents;
       if (FileSize != UINT64_MAX) {
-        uint64_t Consumed = TotalRead - (Buf.size() - Pos);
+        uint64_t Consumed = TotalRead - (view().size() - Pos);
         uint64_t BytesLeft = FileSize > Consumed ? FileSize - Consumed : 0;
         Cap = std::min<uint64_t>(Cap, BytesLeft / BinaryEventRecordSize);
       } else {
@@ -160,7 +178,7 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
       return 0;
     }
     size_t Target = std::max<size_t>(2 * Head.size(), Opts.ChunkBytes);
-    while (!Eof && Buf.size() - Pos < Target)
+    while (!Eof && view().size() - Pos < Target)
       if (!refill() && !ok())
         return 0;
     if (!ok())
@@ -169,7 +187,7 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
 
   uint64_t Appended = 0;
   while (Appended < Opts.MaxEventsPerChunk && RemainingEvents > 0) {
-    if (Buf.size() - Pos < BinaryEventRecordSize) {
+    if (view().size() - Pos < BinaryEventRecordSize) {
       if (refill())
         continue;
       if (ok()) {
@@ -179,7 +197,7 @@ uint64_t ChunkedTraceReader::nextBinaryChunk() {
       return Appended;
     }
     Event E;
-    if (!decodeBinaryEvent(Buf.data() + Pos, BinTrace, E, Error)) {
+    if (!decodeBinaryEvent(view().data() + Pos, BinTrace, E, Error)) {
       Error += " " + std::to_string(BinTrace.size());
       Code = StatusCode::ParseError;
       return Appended;

@@ -5,40 +5,53 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Streaming ingestion for the analysis pipeline: reads a trace file in
-/// bounded chunks instead of slurping the whole byte stream the way
-/// io/TraceFile does. Only one chunk of raw bytes is resident at a time,
-/// so peak memory for an N-event file drops from (file size + trace size)
-/// to (chunk size + trace size) — the difference is the whole file for the
-/// multi-hundred-million-event traces the paper targets.
+/// Streaming ingestion for the analysis pipeline. Two byte-source
+/// backends sit behind one parse loop:
+///
+///   mmap     regular files are memory-mapped (io/MappedFile) and parsed
+///            zero-copy straight out of the page cache — no refill
+///            buffer, no fread copies, and the OS manages residency on
+///            multi-hundred-million-event traces. Selected automatically
+///            when the path names a regular file (and UseMmap is on).
+///   buffered pipes, sockets and mmap-less platforms read in bounded
+///            chunks through a refill buffer, so only one chunk of raw
+///            bytes is resident at a time.
+///
+/// Either way events are still delivered in bounded batches (nextChunk),
+/// which is what the streaming session keys its publication rounds off.
 ///
 /// Format dispatch matches io/TraceFile (".bin" in any letter case →
 /// binary, otherwise text) and reuses the codecs' incremental entry points
 /// (parseTextTraceLine, parseBinaryHeader/decodeBinaryEvent), so the two
 /// paths cannot drift. The reader is pull-based: each nextChunk() call
-/// appends a bounded batch of events to the trace under construction,
-/// which is the seam a future ingest-while-analyzing mode will plug into.
+/// appends a bounded batch of events to the trace under construction —
+/// the seam the ingest-while-analyzing session plugs into.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAPID_PIPELINE_CHUNKEDREADER_H
 #define RAPID_PIPELINE_CHUNKEDREADER_H
 
+#include "io/MappedFile.h"
 #include "io/TraceFile.h"
 #include "support/Status.h"
 #include "trace/TraceBuilder.h"
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 namespace rapid {
 
 /// Tuning knobs for the chunked reader.
 struct ChunkedReaderOptions {
-  /// Raw bytes read from disk per refill.
+  /// Raw bytes read from disk per refill (buffered backend only).
   size_t ChunkBytes = 1 << 20;
   /// Upper bound on events appended per nextChunk() call.
   uint64_t MaxEventsPerChunk = 64 * 1024;
+  /// Memory-map regular files and parse zero-copy (the default). Off
+  /// forces the buffered backend — tests pin both paths byte-for-byte.
+  bool UseMmap = true;
 };
 
 /// Pull-based streaming reader for one trace file.
@@ -85,6 +98,10 @@ public:
   /// Total events delivered so far.
   uint64_t eventsDelivered() const { return Delivered; }
 
+  /// True when the file was memory-mapped (regular file, UseMmap on):
+  /// parsing runs zero-copy over the mapping.
+  bool mapped() const { return Mapped; }
+
   /// Finalizes and returns the trace; call after done().
   Trace take();
 
@@ -93,9 +110,17 @@ private:
   uint64_t nextTextChunk();
   uint64_t nextBinaryChunk();
   void compactBuffer();
+  /// The live unconsumed byte window: the whole mapping (mmap backend) or
+  /// the refill buffer (buffered backend); [Pos, view().size()) is live.
+  std::string_view view() const {
+    return Mapped ? std::string_view(Map.data(), Map.size())
+                  : std::string_view(Buf);
+  }
 
   ChunkedReaderOptions Opts;
   std::FILE *File = nullptr;
+  MappedFile Map;       ///< mmap backend; valid when Mapped.
+  bool Mapped = false;
   bool Binary = false;
   bool Eof = false;  ///< Underlying file exhausted.
   bool Done = false; ///< Eof and buffer drained.
@@ -104,8 +129,8 @@ private:
   uint64_t FileSize = UINT64_MAX; ///< From fseek/ftell; MAX if unknown.
   uint64_t TotalRead = 0;         ///< Raw bytes consumed from the file.
 
-  std::string Buf; ///< Unconsumed bytes; [Pos, Buf.size()) is live.
-  size_t Pos = 0;
+  std::string Buf; ///< Buffered backend's refill buffer.
+  size_t Pos = 0;  ///< First unconsumed byte of view().
 
   TraceBuilder Builder; ///< Text: interning appender.
   Trace BinTrace;       ///< Binary: events appended directly.

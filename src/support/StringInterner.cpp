@@ -8,19 +8,59 @@
 
 using namespace rapid;
 
+uint64_t StringInterner::hashName(std::string_view Name) {
+  // FNV-1a: names are short (a handful of bytes), so the byte loop beats
+  // fancier hashes once setup costs count.
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Name) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+size_t StringInterner::probe(std::string_view Name, uint64_t H) const {
+  size_t Mask = Slots.size() - 1;
+  size_t I = static_cast<size_t>(H) & Mask;
+  while (Slots[I]) {
+    if (Names[Slots[I] - 1] == Name)
+      return I;
+    I = (I + 1) & Mask;
+  }
+  return I;
+}
+
+void StringInterner::grow() {
+  size_t NewSize = Slots.empty() ? 16 : Slots.size() * 2;
+  Slots.assign(NewSize, 0);
+  for (uint32_t Id = 0; Id != Names.size(); ++Id) {
+    size_t Mask = NewSize - 1;
+    size_t I = static_cast<size_t>(hashName(Names[Id])) & Mask;
+    while (Slots[I])
+      I = (I + 1) & Mask;
+    Slots[I] = Id + 1;
+  }
+}
+
 uint32_t StringInterner::intern(std::string_view Name) {
-  auto It = IdByName.find(std::string(Name));
-  if (It != IdByName.end())
-    return It->second;
+  if (Slots.empty())
+    grow();
+  size_t I = probe(Name, hashName(Name));
+  if (Slots[I])
+    return Slots[I] - 1;
   uint32_t Id = static_cast<uint32_t>(Names.size());
   Names.emplace_back(Name);
-  IdByName.emplace(Names.back(), Id);
+  if ((Names.size() + 1) * 4 > Slots.size() * 3) {
+    grow(); // Re-seats everything, including the new id.
+    return Id;
+  }
+  Slots[I] = Id + 1;
   return Id;
 }
 
 uint32_t StringInterner::lookup(std::string_view Name) const {
-  auto It = IdByName.find(std::string(Name));
-  if (It == IdByName.end())
+  if (Slots.empty())
     return UINT32_MAX;
-  return It->second;
+  size_t I = probe(Name, hashName(Name));
+  return Slots[I] ? Slots[I] - 1 : UINT32_MAX;
 }

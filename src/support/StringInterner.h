@@ -9,6 +9,14 @@
 /// dense ids used internally. One interner instance exists per id namespace
 /// (threads, locks, variables, locations) inside a Trace.
 ///
+/// The hot path is intern() on an already-known name — text ingestion
+/// calls it for every field of every line, so the index is built for that
+/// case: an open-addressed probe table of ids (no nodes, no pointers, no
+/// temporary std::string per lookup) over names stored in a deque (stable
+/// addresses). A hit is one hash, typically one probe, one comparison —
+/// and because slots hold ids rather than views, copies are plain member
+/// copies.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAPID_SUPPORT_STRINGINTERNER_H
@@ -16,9 +24,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace rapid {
@@ -42,8 +50,16 @@ public:
   bool empty() const { return Names.empty(); }
 
 private:
-  std::vector<std::string> Names;
-  std::unordered_map<std::string, uint32_t> IdByName;
+  static uint64_t hashName(std::string_view Name);
+  /// Probes for \p Name (hash \p H): returns the slot holding its id+1,
+  /// or the empty slot where it would be inserted.
+  size_t probe(std::string_view Name, uint64_t H) const;
+  void grow(); ///< Doubles the slot table and re-seats every id.
+
+  std::deque<std::string> Names; ///< Stable addresses; id -> name.
+  /// Open-addressed index: Slots[i] is id+1, 0 = empty. Power-of-2 sized,
+  /// load factor <= 3/4.
+  std::vector<uint32_t> Slots;
 };
 
 } // namespace rapid

@@ -67,6 +67,10 @@ public:
 
   uint64_t size() const { return Result.size(); }
 
+  /// Reserves event storage (ingestion knows the file size; a reserve up
+  /// front saves the append path's realloc-and-copy cascade).
+  void reserve(uint64_t N) { Result.reserve(N); }
+
   /// Finalizes and returns the trace. The builder is left empty.
   Trace take();
 

@@ -51,10 +51,17 @@ std::optional<TraceWindow> IncrementalWindowSplitter::push(const Event &E,
                                                            EventIdx I) {
   if (!Open)
     open();
-  if (E.Kind == EventKind::Acquire)
-    PendingAcq[E.lock().value()] = {I, E};
-  else if (E.Kind == EventKind::Release)
-    PendingAcq[E.lock().value()] = {UINT64_MAX, Event()};
+  if (E.Kind == EventKind::Acquire || E.Kind == EventKind::Release) {
+    // Locks declared after construction (streaming producers grow their
+    // tables mid-stream) extend the held-lock table on first touch.
+    if (E.lock().value() >= PendingAcq.size())
+      PendingAcq.resize(E.lock().value() + 1,
+                        std::make_pair<EventIdx, Event>(UINT64_MAX, Event()));
+    PendingAcq[E.lock().value()] =
+        E.Kind == EventKind::Acquire
+            ? std::make_pair(I, E)
+            : std::make_pair<EventIdx, Event>(UINT64_MAX, Event());
+  }
   Pending.Original.push_back(I);
   Pending.Fragment.append(E);
   if (++InWindow != WindowSize)

@@ -11,19 +11,43 @@
 using namespace rapid;
 
 void VectorClock::joinWith(const VectorClock &Other) {
-  assert(Values.size() == Other.Values.size() && "clock size mismatch");
+  // Components beyond Other's physical size are 0 in Other, so only the
+  // overlap needs the max; beyond our own size we adopt Other's values.
+  if (Other.Values.size() > Values.size())
+    Values.resize(Other.Values.size(), 0);
   const ClockValue *Src = Other.Values.data();
   ClockValue *Dst = Values.data();
-  for (size_t I = 0, E = Values.size(); I != E; ++I)
+  for (size_t I = 0, E = Other.Values.size(); I != E; ++I)
     Dst[I] = std::max(Dst[I], Src[I]);
 }
 
 bool VectorClock::lessOrEqual(const VectorClock &Other) const {
-  assert(Values.size() == Other.Values.size() && "clock size mismatch");
   const ClockValue *A = Values.data();
   const ClockValue *B = Other.Values.data();
-  for (size_t I = 0, E = Values.size(); I != E; ++I)
+  const size_t Mine = Values.size();
+  const size_t Common = std::min(Mine, Other.Values.size());
+  for (size_t I = 0; I != Common; ++I)
     if (A[I] > B[I])
+      return false;
+  // Our tail past Other's physical size compares against implicit zeros.
+  for (size_t I = Common; I != Mine; ++I)
+    if (A[I] != 0)
+      return false;
+  return true;
+}
+
+bool VectorClock::operator==(const VectorClock &Other) const {
+  const ClockValue *A = Values.data();
+  const ClockValue *B = Other.Values.data();
+  const size_t Common = std::min(Values.size(), Other.Values.size());
+  for (size_t I = 0; I != Common; ++I)
+    if (A[I] != B[I])
+      return false;
+  for (size_t I = Common, E = Values.size(); I < E; ++I)
+    if (A[I] != 0)
+      return false;
+  for (size_t I = Common, E = Other.Values.size(); I < E; ++I)
+    if (B[I] != 0)
       return false;
   return true;
 }

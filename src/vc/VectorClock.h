@@ -9,10 +9,20 @@
 /// pointwise comparison (⊑), pointwise-maximum join (⊔), component
 /// assignment V[t := n], and the ⊥ time mapping every thread to 0.
 ///
-/// The representation is a flat array sized to the number of threads in the
-/// trace, which is known up front (the trace header records it). All
-/// detectors allocate their clocks at construction, so the hot loop does no
-/// allocation.
+/// The representation is a flat array with *implicit-zero extension*: a
+/// clock conceptually maps every thread id to a value, and components at
+/// or beyond the physical size read as 0. All operations are legal across
+/// clocks of different physical sizes — join grows the receiver only as
+/// far as the argument's physical size, comparison treats missing tails
+/// as ⊥, assignment grows on demand (a zero assignment past the end is a
+/// no-op), and equality is semantic (trailing zeros are invisible).
+///
+/// This is what lets detector state grow mid-stream: a detector built
+/// against a trace prefix with fewer threads keeps analyzing, bit-for-bit
+/// with a detector built against the final tables, because every clock it
+/// owns behaves as if it had always been wide enough. Batch runs size
+/// their clocks up front (the trace header records the counts) and never
+/// hit the growth paths, so the hot loop still does no allocation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,47 +41,55 @@ namespace rapid {
 /// A single component of a vector time: the local time of one thread.
 using ClockValue = uint32_t;
 
-/// Vector time over a fixed set of threads (paper §3.1).
+/// Vector time over an open-ended set of threads (paper §3.1): components
+/// beyond the physical size are implicitly 0.
 class VectorClock {
 public:
-  /// The ⊥ clock over \p NumThreads threads (all components zero).
+  /// The ⊥ clock, physically sized for \p NumThreads threads (all
+  /// components zero; the size is a capacity hint, not a semantic bound).
   explicit VectorClock(uint32_t NumThreads = 0) : Values(NumThreads, 0) {}
 
+  /// Physical size: the number of explicitly stored components.
   uint32_t size() const { return static_cast<uint32_t>(Values.size()); }
 
-  /// Component read: V(t).
+  /// Component read: V(t). Components past the physical size are 0.
   ClockValue get(ThreadId T) const {
-    assert(T.value() < Values.size() && "thread out of range");
-    return Values[T.value()];
+    return T.value() < Values.size() ? Values[T.value()] : 0;
   }
 
-  /// Component assignment: V[t := n].
+  /// Component assignment: V[t := n]. Grows the physical representation on
+  /// demand; assigning 0 past the end is the identity.
   void set(ThreadId T, ClockValue N) {
-    assert(T.value() < Values.size() && "thread out of range");
+    if (T.value() >= Values.size()) {
+      if (N == 0)
+        return;
+      Values.resize(T.value() + 1, 0);
+    }
     Values[T.value()] = N;
   }
 
-  /// Pointwise maximum: *this := *this ⊔ Other.
+  /// Pointwise maximum: *this := *this ⊔ Other. Grows to Other's physical
+  /// size when Other is wider.
   void joinWith(const VectorClock &Other);
 
-  /// Pointwise comparison: *this ⊑ Other.
+  /// Pointwise comparison: *this ⊑ Other, with implicit-zero tails.
   bool lessOrEqual(const VectorClock &Other) const;
 
-  /// Resets every component to zero (⊥).
+  /// Resets every component to zero (⊥). Keeps the physical capacity.
   void clear();
 
-  /// Exact equality of all components.
-  bool operator==(const VectorClock &Other) const {
-    return Values == Other.Values;
-  }
+  /// Semantic equality: equal on every thread id, so physical sizes may
+  /// differ as long as the longer tail is all zeros.
+  bool operator==(const VectorClock &Other) const;
   bool operator!=(const VectorClock &Other) const {
     return !(*this == Other);
   }
 
-  /// Renders as "[3, 0, 1]" for diagnostics.
+  /// Renders as "[3, 0, 1]" for diagnostics (physical components only).
   std::string str() const;
 
-  /// Direct access for the hot loops (DetectorRunner, queues).
+  /// Direct access for the hot loops (DetectorRunner, queues). Only the
+  /// physical components are addressable.
   const ClockValue *data() const { return Values.data(); }
   ClockValue *data() { return Values.data(); }
 

@@ -25,15 +25,28 @@ WcpDetector::WcpDetector(const Trace &T)
   }
 }
 
-VectorClock WcpDetector::currentC(ThreadId T) const {
+void WcpDetector::currentC(ThreadId T, VectorClock &Out) const {
   // The *effective* time of the thread's last event: WCP predecessors
   // plus hard (fork/join) order. Two events a <tr b satisfy
   // currentC(a) ⊑ currentC(b) iff a ≤WCP b in the fork/join-extended
   // sense (Theorem 2).
+  //
+  // Composed in one pass over P_t/K_t's components into caller-owned
+  // storage — no intermediate copy-then-join, and per-event callers
+  // (the Theorem 2 harness walks every event) reuse \p Out's capacity
+  // instead of allocating a clock per call.
   const WcpThreadState &TS = Threads[T.value()];
-  VectorClock C = TS.P;
-  C.joinWith(TS.K);
-  C.set(T, TS.N);
+  Out.clear();
+  const uint32_t N = std::max(TS.P.size(), TS.K.size());
+  for (uint32_t U = 0; U != N; ++U)
+    Out.set(ThreadId(U),
+            std::max(TS.P.get(ThreadId(U)), TS.K.get(ThreadId(U))));
+  Out.set(T, TS.N);
+}
+
+VectorClock WcpDetector::currentC(ThreadId T) const {
+  VectorClock C;
+  currentC(T, C);
   return C;
 }
 
@@ -41,7 +54,9 @@ bool WcpDetector::frontLeqCt(const VectorClock &Front,
                              const WcpThreadState &TS, ThreadId T) const {
   // The guard tests "acquire ordered before this release" — hard
   // (fork/join) order counts, so the comparison is against P_t ⊔ K_t.
-  for (uint32_t U = 0; U < NumThreads; ++U) {
+  // Only Front's physical components can exceed anything (the implicit
+  // tail is 0), so the loop bound is Front's size, not the thread count.
+  for (uint32_t U = 0, E = Front.size(); U < E; ++U) {
     ClockValue Mine =
         U == T.value()
             ? TS.N
@@ -50,6 +65,47 @@ bool WcpDetector::frontLeqCt(const VectorClock &Front,
       return false;
   }
   return true;
+}
+
+void WcpDetector::ensureThread(ThreadId T) {
+  if (T.value() >= NumThreads)
+    NumThreads = T.value() + 1;
+  if (T.value() < Threads.size())
+    return;
+  uint32_t Old = static_cast<uint32_t>(Threads.size());
+  Threads.resize(T.value() + 1, WcpThreadState());
+  for (uint32_t I = Old; I <= T.value(); ++I) {
+    // Initialization (§3.2), exactly as the constructor performs it.
+    Threads[I].H.set(ThreadId(I), 1);
+    Threads[I].K.set(ThreadId(I), 1);
+  }
+}
+
+void WcpDetector::ensureLock(LockId L) {
+  if (L.value() >= Locks.size())
+    Locks.resize(L.value() + 1, WcpLockState());
+}
+
+void WcpDetector::collectLockGarbage(WcpLockState &LS) {
+  // An entry below every cursor can never be popped by a *current*
+  // thread again — but a thread declared later starts with a fresh
+  // cursor, and in the up-front-construction world it would have walked
+  // these entries. Collection is safe for such future threads only once
+  // the entry's release time is covered by its own thread's P: every
+  // other thread's P covers it already (they popped it), so from that
+  // point *any* release of this lock publishes a P_ℓ ⊒ ReleaseTime, and
+  // a future thread must acquire (joining P_ℓ) before it can release and
+  // walk the queue — its pop of the entry would be a no-op join. New
+  // cursors therefore start at Base (WcpLockState::cursorOf).
+  uint64_t End = LS.collectibleEnd(NumThreads);
+  while (LS.Base < End && !LS.Entries.empty()) {
+    const WcpQueueEntry &E = LS.Entries.front();
+    if (!E.HasRelease ||
+        !E.ReleaseTime.lessOrEqual(Threads[E.Thread.value()].P))
+      break;
+    LS.Entries.pop_front();
+    ++LS.Base;
+  }
 }
 
 const PerThreadReleaseClocks *WcpDetector::readRelease(LockId L,
@@ -88,15 +144,15 @@ void WcpDetector::handleAcquire(ThreadId T, LockId L) {
 
   // First contact with ℓ: this thread's abstract queues become live, and
   // all pending entries of other threads now count against them.
-  if (!LS.Touched[T.value()]) {
-    LS.Touched[T.value()] = true;
+  if (!LS.touched(T.value())) {
+    LS.setTouched(T.value());
     uint64_t Pending = 0;
     for (uint64_t I = LS.Base; I < LS.logicalEnd(); ++I) {
       const WcpQueueEntry &E = LS.entry(I);
       if (E.Thread != T)
         Pending += E.HasRelease ? 2 : 1;
     }
-    LS.LiveCount[T.value()] = Pending;
+    LS.liveCountOf(T.value()) = Pending;
     bumpLive(static_cast<int64_t>(Pending));
   }
 
@@ -109,9 +165,12 @@ void WcpDetector::handleAcquire(ThreadId T, LockId L) {
   uint64_t LogicalIdx = LS.logicalEnd();
   LS.Entries.push_back(std::move(Entry));
   bumpAbstract(static_cast<int64_t>(NumThreads) - 1);
-  for (uint32_t U = 0; U < NumThreads; ++U) {
+  // Touchers beyond Touched's physical size don't exist, so its size
+  // bounds the live accounting loop.
+  for (uint32_t U = 0, E = static_cast<uint32_t>(LS.Touched.size()); U < E;
+       ++U) {
     if (U != T.value() && LS.Touched[U]) {
-      ++LS.LiveCount[U];
+      ++LS.liveCountOf(U);
       bumpLive(1);
     }
   }
@@ -129,7 +188,8 @@ void WcpDetector::handleRelease(ThreadId T, LockId L) {
   // acquire is already ⊑ C_t; their release H-times become WCP
   // predecessors of this release. C_t changes as P_t grows, so the guard
   // is re-evaluated every iteration, exactly like the pseudocode's while.
-  uint64_t &Cur = LS.Cursor[T.value()];
+  uint64_t &Cur = LS.cursorOf(T.value());
+  uint64_t &MyLive = LS.liveCountOf(T.value());
   for (;;) {
     // Entries by T itself are not part of T's abstract queues (Line 3
     // enqueues only to other threads).
@@ -146,8 +206,8 @@ void WcpDetector::handleRelease(ThreadId T, LockId L) {
     TS.P.joinWith(Front.ReleaseTime);
     ++Cur;
     bumpAbstract(-2); // One entry leaves Acq_ℓ(T) and one leaves Rel_ℓ(T).
-    assert(LS.LiveCount[T.value()] >= 2 && "live count out of sync");
-    LS.LiveCount[T.value()] -= 2;
+    assert(MyLive >= 2 && "live count out of sync");
+    MyLive -= 2;
     bumpLive(-2);
   }
 
@@ -187,14 +247,15 @@ void WcpDetector::handleRelease(ThreadId T, LockId L) {
   Own.ReleaseTime = TS.H;
   Own.HasRelease = true;
   bumpAbstract(static_cast<int64_t>(NumThreads) - 1);
-  for (uint32_t U = 0; U < NumThreads; ++U) {
+  for (uint32_t U = 0, E = static_cast<uint32_t>(LS.Touched.size()); U < E;
+       ++U) {
     if (U != T.value() && LS.Touched[U]) {
-      ++LS.LiveCount[U];
+      ++LS.liveCountOf(U);
       bumpLive(1);
     }
   }
 
-  LS.collectGarbage();
+  collectLockGarbage(LS);
 
   // Local clock increment: N_t advances before the next event of T
   // because this event is a release.
@@ -258,6 +319,13 @@ void WcpDetector::handleWrite(ThreadId T, VarId X, LocId Loc,
 void WcpDetector::processEvent(const Event &E, EventIdx Index) {
   ++EventsProcessed;
   ThreadId T = E.Thread;
+  // Grow every table the event touches before taking references into
+  // them (a resize mid-handler would dangle).
+  ensureThread(T);
+  if (E.Kind == EventKind::Fork || E.Kind == EventKind::Join)
+    ensureThread(E.targetThread());
+  else if (E.Kind == EventKind::Acquire || E.Kind == EventKind::Release)
+    ensureLock(E.lock());
   WcpThreadState &TS = Threads[T.value()];
   if (TS.IncrementNext) {
     ++TS.N;

@@ -60,6 +60,9 @@ public:
 
   /// Testing hooks: the C_e time of the *last* event processed for thread
   /// \p T, i.e. P_t[t := N_t]. Used by the Theorem 2 equivalence tests.
+  /// The two-argument form composes into \p Out in one pass (no fresh
+  /// clock per call — per-event callers reuse the same storage).
+  void currentC(ThreadId T, VectorClock &Out) const;
   VectorClock currentC(ThreadId T) const;
   const VectorClock &currentP(ThreadId T) const {
     return Threads[T.value()].P;
@@ -86,7 +89,19 @@ private:
   void bumpAbstract(int64_t Delta);
   void bumpLive(int64_t Delta);
 
-  uint32_t NumThreads;
+  /// Admits threads [size, T] with the §3.2 initial state (N_t = 1,
+  /// P_t = ⊥, H_t = K_t = ⊥[t := N_t]) and raises NumThreads — so a
+  /// thread declared mid-stream is indistinguishable from one declared
+  /// up front.
+  void ensureThread(ThreadId T);
+  /// Admits locks up to \p L (P_ℓ = H_ℓ = ⊥, empty queues).
+  void ensureLock(LockId L);
+  /// Trims \p LS's shared queue: drops entries every current thread has
+  /// passed whose release times are already redundant for any
+  /// later-declared thread (see the implementation comment).
+  void collectLockGarbage(WcpLockState &LS);
+
+  uint32_t NumThreads; ///< High-water thread count (telemetry sizing).
   std::vector<WcpThreadState> Threads;
   std::vector<WcpLockState> Locks;
   /// L^r_{ℓ,x} / L^w_{ℓ,x}, split per releasing thread (see WcpState.h).

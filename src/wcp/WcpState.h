@@ -45,7 +45,10 @@ struct WcpQueueEntry {
   bool HasRelease = false;
 };
 
-/// Per-lock state.
+/// Per-lock state. The per-thread vectors (Cursor/Touched/LiveCount) are
+/// growable: a thread first seen mid-stream gets the zero state the batch
+/// constructor would have given it, and components beyond the physical
+/// size read as that zero state.
 struct WcpLockState {
   VectorClock P; ///< P_ℓ: WCP-predecessor time of the last release.
   VectorClock H; ///< H_ℓ: HB time of the last release.
@@ -67,7 +70,7 @@ struct WcpLockState {
   std::vector<bool> Touched;
   std::vector<uint64_t> LiveCount;
 
-  explicit WcpLockState(uint32_t NumThreads)
+  explicit WcpLockState(uint32_t NumThreads = 0)
       : P(NumThreads), H(NumThreads), Cursor(NumThreads, 0),
         Touched(NumThreads, false), LiveCount(NumThreads, 0) {}
 
@@ -78,15 +81,43 @@ struct WcpLockState {
     return Entries[LogicalIdx - Base];
   }
 
-  /// Drops entries every thread's cursor has passed.
-  void collectGarbage() {
-    uint64_t Min = UINT64_MAX;
+  /// Growable component accessors (untouched defaults, exactly the batch
+  /// constructor's initial state — except the cursor, which starts at
+  /// Base: entries below it were collected under the invariant that
+  /// their release times already flow to every possible future thread
+  /// through P_ℓ, so skipping them is a semantic no-op; see
+  /// WcpDetector::collectLockGarbage).
+  uint64_t &cursorOf(uint32_t T) {
+    if (T >= Cursor.size())
+      Cursor.resize(T + 1, Base);
+    return Cursor[T];
+  }
+  bool touched(uint32_t T) const { return T < Touched.size() && Touched[T]; }
+  void setTouched(uint32_t T) {
+    if (T >= Touched.size())
+      Touched.resize(T + 1, false);
+    Touched[T] = true;
+  }
+  uint64_t &liveCountOf(uint32_t T) {
+    if (T >= LiveCount.size())
+      LiveCount.resize(T + 1, 0);
+    return LiveCount[T];
+  }
+
+  /// The largest logical index every thread's cursor has passed (the
+  /// collection candidates are [Base, this)). \p NumThreads is the
+  /// detector's thread count: threads without a physical cursor entry sit
+  /// implicitly at 0, so nothing is collectible until every one of them
+  /// has a cursor past Base (matching the fixed-size behavior exactly).
+  /// The actual collection lives in WcpDetector::collectLockGarbage —
+  /// it additionally requires each entry's release time to be covered by
+  /// its own thread's P, which makes collection safe even for threads
+  /// declared in the future (growable mode).
+  uint64_t collectibleEnd(uint32_t NumThreads) const {
+    uint64_t Min = Cursor.size() < NumThreads ? 0 : UINT64_MAX;
     for (uint64_t C : Cursor)
       Min = std::min(Min, C);
-    while (Base < Min && !Entries.empty()) {
-      Entries.pop_front();
-      ++Base;
-    }
+    return Min;
   }
 };
 
@@ -116,7 +147,7 @@ struct WcpThreadState {
   bool IncrementNext = false; ///< Previous event was a release/fork.
   std::vector<WcpCsFrame> CsStack; ///< Open critical sections, innermost last.
 
-  explicit WcpThreadState(uint32_t NumThreads)
+  explicit WcpThreadState(uint32_t NumThreads = 0)
       : P(NumThreads), H(NumThreads), K(NumThreads) {}
 };
 

@@ -68,7 +68,8 @@ std::vector<VectorClock> captureTimestamps(const Trace &T) {
   Times.reserve(T.size());
   for (EventIdx I = 0; I != T.size(); ++I) {
     Detector.processEvent(T.event(I), I);
-    Times.push_back(Detector.currentC(T.event(I).Thread));
+    Times.emplace_back();
+    Detector.currentC(T.event(I).Thread, Times.back());
   }
   return Times;
 }

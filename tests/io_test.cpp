@@ -192,6 +192,7 @@ TEST(RoundTripPropertyTest, ChunkedReaderSurvivesPathologicalChunkSizes) {
         ChunkedReaderOptions Opts;
         Opts.ChunkBytes = ChunkBytes;
         Opts.MaxEventsPerChunk = MaxEvents;
+        Opts.UseMmap = false; // Pin the buffered backend's refill seams.
         TraceLoadResult R = loadTraceFileChunked(Path, Opts);
         ASSERT_TRUE(R.Ok) << Ext << " chunk=" << ChunkBytes << ": "
                           << R.Error;
@@ -202,4 +203,79 @@ TEST(RoundTripPropertyTest, ChunkedReaderSurvivesPathologicalChunkSizes) {
     }
     std::remove(Path.c_str());
   }
+}
+
+// The mmap backend (io/MappedFile) must be byte-for-byte equivalent to
+// the buffered backend on regular files, for both codecs and under small
+// event batches (the session's publication granularity).
+TEST(RoundTripPropertyTest, MappedReaderMatchesBufferedReader) {
+  for (uint64_t Seed : {uint64_t(3), uint64_t(11)}) {
+    Trace T = randomTrace(roundTripParams(Seed));
+    for (const char *Ext : {".txt", ".bin"}) {
+      std::string Path = ::testing::TempDir() + "rapidpp_mmap_rt" + Ext;
+      ASSERT_EQ(saveTraceFile(T, Path), "");
+      for (uint64_t MaxEvents : {uint64_t(1), uint64_t(64 * 1024)}) {
+        ChunkedReaderOptions MapOpts;
+        MapOpts.MaxEventsPerChunk = MaxEvents;
+        ChunkedTraceReader Mapped(Path, MapOpts);
+        EXPECT_TRUE(Mapped.mapped())
+            << Ext << ": regular files must select the mmap backend";
+        while (!Mapped.done())
+          Mapped.nextChunk();
+        ASSERT_TRUE(Mapped.ok()) << Ext << ": " << Mapped.error();
+
+        ChunkedReaderOptions BufOpts = MapOpts;
+        BufOpts.UseMmap = false;
+        TraceLoadResult Buffered = loadTraceFileChunked(Path, BufOpts);
+        ASSERT_TRUE(Buffered.Ok) << Ext << ": " << Buffered.Error;
+
+        Trace FromMap = Mapped.take();
+        expectSameTrace(T, FromMap);
+        expectSameTrace(Buffered.T, FromMap);
+      }
+      std::remove(Path.c_str());
+    }
+  }
+}
+
+TEST(RoundTripPropertyTest, MappedReaderHandlesEdgeFiles) {
+  // Empty file: text yields an empty trace; the mapping is a zero-length
+  // view, not an error.
+  std::string Empty = ::testing::TempDir() + "rapidpp_mmap_empty.txt";
+  { std::FILE *F = std::fopen(Empty.c_str(), "wb"); ASSERT_NE(F, nullptr);
+    std::fclose(F); }
+  ChunkedTraceReader Reader(Empty);
+  EXPECT_TRUE(Reader.mapped());
+  while (!Reader.done())
+    Reader.nextChunk();
+  EXPECT_TRUE(Reader.ok()) << Reader.error();
+  EXPECT_EQ(Reader.take().size(), 0u);
+  std::remove(Empty.c_str());
+
+  // Missing file: same structured IoError as the buffered path.
+  ChunkedTraceReader Missing("/nonexistent/dir/rapidpp_mmap.bin");
+  EXPECT_FALSE(Missing.ok());
+  EXPECT_FALSE(Missing.mapped());
+  EXPECT_EQ(Missing.status().Code, StatusCode::IoError);
+
+  // Truncated binary: the mapped parse reports the same ParseError the
+  // buffered parse does.
+  Trace T = randomTrace(roundTripParams(7));
+  std::string Path = ::testing::TempDir() + "rapidpp_mmap_trunc.bin";
+  std::string Bytes = writeBinaryTrace(T);
+  Bytes.resize(Bytes.size() - 5);
+  { std::FILE *F = std::fopen(Path.c_str(), "wb"); ASSERT_NE(F, nullptr);
+    std::fwrite(Bytes.data(), 1, Bytes.size(), F); std::fclose(F); }
+  for (bool UseMmap : {true, false}) {
+    ChunkedReaderOptions Opts;
+    Opts.UseMmap = UseMmap;
+    ChunkedTraceReader Trunc(Path, Opts);
+    EXPECT_EQ(Trunc.mapped(), UseMmap);
+    while (!Trunc.done())
+      Trunc.nextChunk();
+    EXPECT_FALSE(Trunc.ok());
+    EXPECT_EQ(Trunc.status().Code, StatusCode::ParseError)
+        << "mmap=" << UseMmap;
+  }
+  std::remove(Path.c_str());
 }

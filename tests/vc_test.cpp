@@ -61,6 +61,70 @@ TEST(VectorClockTest, StrRendering) {
   EXPECT_EQ(V.str(), "[0, 2, 0]");
 }
 
+// Implicit-zero extension (growable clocks): components at or beyond the
+// physical size behave as 0, and every operation is legal across clocks
+// of different physical sizes.
+TEST(VectorClockTest, ImplicitZeroReadsAndGrowth) {
+  VectorClock V(2);
+  EXPECT_EQ(V.get(ThreadId(7)), 0u); // Beyond physical size: implicit 0.
+  V.set(ThreadId(7), 0);             // Zero assignment past the end...
+  EXPECT_EQ(V.size(), 2u);           // ...is the identity, no growth.
+  V.set(ThreadId(4), 9);
+  EXPECT_EQ(V.size(), 5u); // Nonzero assignment grows to fit.
+  EXPECT_EQ(V.get(ThreadId(4)), 9u);
+  EXPECT_EQ(V.get(ThreadId(2)), 0u); // Filled-in components start at 0.
+  EXPECT_EQ(V.get(ThreadId(3)), 0u);
+}
+
+TEST(VectorClockTest, MixedSizeJoinAndComparison) {
+  VectorClock Small(2), Big(5);
+  Small.set(ThreadId(0), 3);
+  Big.set(ThreadId(1), 4);
+  Big.set(ThreadId(4), 2);
+
+  // Join grows the receiver only as far as needed; values land pointwise.
+  VectorClock J = Small;
+  J.joinWith(Big);
+  EXPECT_EQ(J.get(ThreadId(0)), 3u);
+  EXPECT_EQ(J.get(ThreadId(1)), 4u);
+  EXPECT_EQ(J.get(ThreadId(4)), 2u);
+
+  // A narrow clock compares against a wide one (and vice versa) with
+  // implicit-zero tails.
+  EXPECT_TRUE(Small.lessOrEqual(J));
+  EXPECT_TRUE(Big.lessOrEqual(J));
+  EXPECT_FALSE(J.lessOrEqual(Small));
+  VectorClock WideZeros(8);
+  EXPECT_TRUE(WideZeros.lessOrEqual(Small)); // All-zero tail ⊑ anything.
+  EXPECT_TRUE(VectorClock(0).lessOrEqual(Small));
+}
+
+TEST(VectorClockTest, EqualityIsSemanticAcrossSizes) {
+  VectorClock A(2), B(6);
+  A.set(ThreadId(1), 5);
+  B.set(ThreadId(1), 5);
+  EXPECT_EQ(A, B); // Trailing zeros are invisible.
+  EXPECT_EQ(VectorClock(0), VectorClock(9));
+  B.set(ThreadId(5), 1);
+  EXPECT_NE(A, B);
+}
+
+// The growth laws compose with the lattice laws: a clock and its
+// zero-extended copy are interchangeable in every operation.
+TEST(VectorClockTest, ZeroExtensionIsObservationallyEquivalent) {
+  VectorClock V(3);
+  V.set(ThreadId(0), 2);
+  V.set(ThreadId(2), 7);
+  VectorClock Wide(10);
+  Wide.joinWith(V); // Wide == V semantically, physically size 10.
+  EXPECT_EQ(V, Wide);
+  VectorClock Probe(4);
+  Probe.set(ThreadId(3), 1);
+  EXPECT_EQ(join(Probe, V), join(Probe, Wide));
+  EXPECT_EQ(V.lessOrEqual(Probe), Wide.lessOrEqual(Probe));
+  EXPECT_EQ(Probe.lessOrEqual(V), Probe.lessOrEqual(Wide));
+}
+
 // Lattice laws, checked on random clocks.
 class VectorClockLatticeTest : public ::testing::TestWithParam<uint64_t> {};
 
