@@ -27,6 +27,13 @@
 // lane by lane against its batch twin before timings are recorded — a
 // divergence fails the bench.
 //
+// Three observability sections ride along: "stage_breakdown" republishes
+// each streamed session's telemetry (obs/Metrics.h) with *_ns stages as
+// seconds; "metrics_overhead" re-runs the streamed sequential session
+// with metrics enabled vs disabled (min-of-3) and fails the bench when
+// the enabled wall exceeds the disabled one by more than 5% (and 20ms);
+// "scaling" sweeps the parallel fan-out across 1/2/4/8 workers.
+//
 // The "late_declaration" section is the restart-heavy workload: a
 // declaration-dense trace (--late-workload, default "eclipse": thousands
 // of lock/thread names first mentioned deep into the stream) scaled to
@@ -50,6 +57,7 @@
 #include "hb/HbDetector.h"
 #include "io/TraceFile.h"
 #include "lockset/EraserDetector.h"
+#include "obs/Metrics.h"
 #include "pipeline/ChunkedReader.h"
 #include "pipeline/Pipeline.h"
 #include "support/Json.h"
@@ -72,6 +80,27 @@ struct LaneSpec {
   const char *Name;
   DetectorFactory Make;
 };
+
+/// Session-level telemetry → one stage_breakdown entry: *_ns counters
+/// render as seconds (the unit every other bench number uses), counts
+/// and gauges pass through verbatim. Samples arrive name-sorted.
+std::string stageJson(const std::vector<MetricSample> &Telemetry) {
+  std::string J = "{";
+  bool First = true;
+  for (const MetricSample &S : Telemetry) {
+    if (!First)
+      J += ", ";
+    First = false;
+    if (S.Name.size() > 3 &&
+        S.Name.compare(S.Name.size() - 3, 3, "_ns") == 0)
+      J += "\"" + S.Name.substr(0, S.Name.size() - 3) +
+           "_seconds\": " + jsonNum(static_cast<double>(S.Value) / 1e9);
+    else
+      J += "\"" + S.Name + "\": " + std::to_string(S.Value);
+  }
+  J += "}";
+  return J;
+}
 
 } // namespace
 
@@ -234,6 +263,7 @@ int main(int Argc, char **Argv) {
     WindowEvents = std::max<uint64_t>(T.size() / 8, 1);
   struct StreamSection {
     std::string Json;       ///< Full JSON object, "" until the run passed.
+    std::string Stages;     ///< Session telemetry for stage_breakdown.
     double Wall = 0;
   };
   // The batch ingest is mode-independent: load (and time) the round-trip
@@ -292,11 +322,9 @@ int main(int Argc, char **Argv) {
         LaneFailed = true;
         return Out;
       }
-      std::fprintf(stderr, "%-18s %-12s %6.2fs  %llu race pair(s), "
-                   "%llu restart(s)\n",
+      std::fprintf(stderr, "%-18s %-12s %6.2fs  %llu race pair(s)\n",
                    SectionName, SL.DetectorName.c_str(), SL.Seconds,
-                   (unsigned long long)SL.Report.numDistinctPairs(),
-                   (unsigned long long)SL.Restarts);
+                   (unsigned long long)SL.Report.numDistinctPairs());
       if (!LanesJson.empty())
         LanesJson += ", ";
       LanesJson += "{\"detector\": \"" + SL.DetectorName +
@@ -318,11 +346,13 @@ int main(int Argc, char **Argv) {
                ", \"overlap_saved_seconds\": " +
                jsonNum(BatchTotal - Out.Wall) + Extra +
                ", \"lanes\": [" + LanesJson + "]}";
+    Out.Stages = stageJson(Streamed.Telemetry);
     return Out;
   };
 
   StreamSection StreamSeq, StreamWin, StreamVar;
   std::string LateJson;
+  std::string OverheadJson;
   if (Stream) {
     std::string TracePath = OutPath + ".stream_trace.bin";
     std::string SaveErr = saveTraceFile(T, TracePath);
@@ -350,6 +380,62 @@ int main(int Argc, char **Argv) {
       StreamVar = streamedSection("streamed_var_sharded",
                                   RunMode::VarSharded, TracePath,
                                   VarExtra.c_str());
+    }
+
+    // Disabled-metrics overhead guard: the obs/ layer promises that
+    // Metrics=false costs nothing but a dead branch per update, so the
+    // enabled/disabled walls of the same streamed sequential run must
+    // stay within 5% of each other. Min-of-3 on both sides to shed
+    // scheduler noise; the relative budget only binds when the absolute
+    // delta is above timer jitter (20ms).
+    {
+      AnalysisConfig OCfg;
+      OCfg.Mode = RunMode::Sequential;
+      OCfg.Threads = Threads;
+      for (LaneSpec &L : Lanes)
+        OCfg.addDetector(L.Make, L.Name);
+      auto minWall = [&](bool Metrics) {
+        double Best = -1;
+        for (int Rep = 0; Rep != 3; ++Rep) {
+          AnalysisConfig C = OCfg;
+          C.Metrics = Metrics;
+          Timer Clock;
+          AnalysisSession Session(C);
+          Status Fed = Session.feedFile(TracePath);
+          AnalysisResult R = Session.finish();
+          double Wall = Clock.seconds();
+          if (!Fed.ok() || !R.ok()) {
+            std::fprintf(stderr, "error: metrics_overhead run failed: %s\n",
+                         (!Fed.ok() ? Fed : R.firstError()).str().c_str());
+            return -1.0;
+          }
+          if (Best < 0 || Wall < Best)
+            Best = Wall;
+        }
+        return Best;
+      };
+      double Enabled = minWall(true);
+      double Disabled = minWall(false);
+      if (Enabled < 0 || Disabled < 0) {
+        LaneFailed = true;
+      } else {
+        double Ratio = Disabled > 0 ? Enabled / Disabled : 1.0;
+        std::fprintf(stderr,
+                     "metrics overhead: enabled %.3fs vs disabled %.3fs "
+                     "(ratio %.3f)\n",
+                     Enabled, Disabled, Ratio);
+        if (Ratio > 1.05 && Enabled - Disabled > 0.02) {
+          std::fprintf(stderr,
+                       "error: metrics overhead %.1f%% exceeds the 5%% "
+                       "budget\n",
+                       (Ratio - 1.0) * 100.0);
+          LaneFailed = true;
+        }
+        OverheadJson =
+            std::string("{\"enabled_seconds\": ") + jsonNum(Enabled) +
+            ", \"disabled_seconds\": " + jsonNum(Disabled) +
+            ", \"ratio\": " + jsonNum(Ratio) + "}";
+      }
     }
 
     // Late-declaration section: the restart-heavy workload. A
@@ -474,6 +560,40 @@ int main(int Argc, char **Argv) {
     std::remove(TracePath.c_str());
   }
 
+  // Thread-scaling sweep: the same three-lane parallel fan-out at 1, 2,
+  // 4 and 8 workers. With three lanes the plain fan-out plateaus at
+  // three-way concurrency (the slowest-lane bound); the curve makes that
+  // plateau — and any regression in it — visible across PRs.
+  std::string ScalingJson;
+  {
+    double Base = 0;
+    for (unsigned N : {1u, 2u, 4u, 8u}) {
+      PipelineOptions SOpts;
+      SOpts.NumThreads = N;
+      AnalysisPipeline ScalePipeline(SOpts);
+      for (LaneSpec &L : Lanes)
+        ScalePipeline.addDetector(L.Make, L.Name);
+      PipelineResult SR = ScalePipeline.run(T);
+      for (const LaneResult &L : SR.Lanes)
+        if (!L.Error.empty()) {
+          std::fprintf(stderr, "error: scaling lane %s failed at %u "
+                       "thread(s): %s\n",
+                       L.DetectorName.c_str(), N, L.Error.c_str());
+          LaneFailed = true;
+        }
+      if (N == 1)
+        Base = SR.Seconds;
+      double ScaleSpeedup = SR.Seconds > 0 ? Base / SR.Seconds : 0;
+      std::fprintf(stderr, "scaling %u thread(s): %.2fs wall (%.2fx)\n", N,
+                   SR.Seconds, ScaleSpeedup);
+      if (!ScalingJson.empty())
+        ScalingJson += ", ";
+      ScalingJson += "{\"threads\": " + std::to_string(N) +
+                     ", \"wall_seconds\": " + jsonNum(SR.Seconds) +
+                     ", \"speedup\": " + jsonNum(ScaleSpeedup) + "}";
+    }
+  }
+
   double Speedup = P.Seconds > 0 ? SeqTotal / P.Seconds : 0;
   std::fprintf(stderr,
                "sequential total %.2fs, pipeline wall %.2fs -> %.2fx "
@@ -506,8 +626,30 @@ int main(int Argc, char **Argv) {
     Json += "  \"streamed_windowed\": " + StreamWin.Json + ",\n";
   if (!StreamVar.Json.empty())
     Json += "  \"streamed_var_sharded\": " + StreamVar.Json + ",\n";
+  // Per-mode session telemetry (obs/Metrics.h), *_ns stages as seconds:
+  // where each streamed run's time actually went.
+  if (!StreamSeq.Stages.empty() || !StreamWin.Stages.empty() ||
+      !StreamVar.Stages.empty()) {
+    Json += "  \"stage_breakdown\": {";
+    bool First = true;
+    auto addStages = [&](const char *Name, const std::string &Stages) {
+      if (Stages.empty())
+        return;
+      if (!First)
+        Json += ",";
+      First = false;
+      Json += std::string("\n    \"") + Name + "\": " + Stages;
+    };
+    addStages("streamed", StreamSeq.Stages);
+    addStages("streamed_windowed", StreamWin.Stages);
+    addStages("streamed_var_sharded", StreamVar.Stages);
+    Json += "\n  },\n";
+  }
+  if (!OverheadJson.empty())
+    Json += "  \"metrics_overhead\": " + OverheadJson + ",\n";
   if (!LateJson.empty())
     Json += "  \"late_declaration\": " + LateJson + ",\n";
+  Json += "  \"scaling\": [" + ScalingJson + "],\n";
   Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
   Json += "}\n";
 

@@ -21,6 +21,7 @@
 #include "api/AnalysisSession.h"
 #include "gen/Workloads.h"
 #include "io/TraceFile.h"
+#include "obs/Metrics.h"
 #include "pipeline/ChunkedReader.h"
 #include "support/Json.h"
 #include "support/TablePrinter.h"
@@ -28,7 +29,6 @@
 #include "support/Timer.h"
 #include "trace/TraceStats.h"
 #include "trace/TraceValidator.h"
-#include "wcp/WcpDetector.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +54,9 @@ struct Options {
   bool Json = false;
   bool Balanced = false;
   bool DryRun = false;
+  bool ShowMetrics = false; // --metrics: human-readable telemetry tables.
+  bool NoMetrics = false;   // --no-metrics: zero-cost disable.
+  std::string TraceOut;     // --trace-out: Perfetto timeline destination.
   unsigned Threads = 0; // 0 = hardware concurrency.
   uint64_t Window = 0;  // 0 = unwindowed.
   uint32_t Shards = 0;  // 0 = no per-variable sharding.
@@ -97,7 +100,16 @@ void printHelp() {
       "output:\n"
       "  --stats        print trace statistics first\n"
       "  --json         machine-readable report (schema shared with\n"
-      "                 BENCH_pipeline.json tooling)\n"
+      "                 BENCH_pipeline.json tooling); includes per-lane\n"
+      "                 and session \"telemetry\" objects\n"
+      "  --metrics      print the telemetry tables (session counters,\n"
+      "                 then one table per lane; see docs/OBSERVABILITY.md\n"
+      "                 for the metric catalog)\n"
+      "  --no-metrics   disable metric collection entirely (the zero-cost\n"
+      "                 path: no atomics, no clock reads)\n"
+      "  --trace-out F  write a Chrome/Perfetto trace_event timeline of\n"
+      "                 the run to F (requires --stream; open the file at\n"
+      "                 ui.perfetto.dev)\n"
       "  --dry-run      validate the flag combination and exit 0 without\n"
       "                 reading the trace or analyzing\n"
       "  --help         this text\n"
@@ -106,26 +118,45 @@ void printHelp() {
       "  race_cli trace.bin --hb --wcp\n"
       "  race_cli trace.bin --stream --window 100000\n"
       "  race_cli trace.bin --stream --shards 8 --balanced --threads 4\n"
+      "  race_cli trace.bin --stream --metrics\n"
+      "  race_cli trace.bin --stream --window 100000 --trace-out run.json\n"
       "  race_cli trace.txt --json --fasttrack\n",
       stdout);
 }
 
-/// WCP lane wrapper that publishes the detector's queue statistics (the
-/// paper's Table 1 column 11 telemetry) into a slot that outlives the
-/// detector — session lanes own and destroy their detectors, so the
-/// stats must escape before teardown.
-class WcpWithStats : public WcpDetector {
-public:
-  WcpWithStats(const Trace &T, std::shared_ptr<WcpStats> Slot)
-      : WcpDetector(T), Slot(std::move(Slot)) {}
-  void finish() override {
-    WcpDetector::finish();
-    *Slot = stats();
-  }
+/// Looks up one metric by name in a telemetry block. Returns false when
+/// the sample is absent (metrics disabled, or the lane never registered
+/// it).
+bool findSample(const std::vector<MetricSample> &Telemetry,
+                const char *Name, uint64_t &Value) {
+  for (const MetricSample &S : Telemetry)
+    if (S.Name == Name) {
+      Value = S.Value;
+      return true;
+    }
+  return false;
+}
 
-private:
-  std::shared_ptr<WcpStats> Slot;
-};
+/// Renders a telemetry block as a JSON object: {"name": value, ...}.
+/// Samples are already name-sorted by the session, so output is stable.
+std::string renderTelemetryJson(const std::vector<MetricSample> &Telemetry,
+                                const char *Indent) {
+  std::string J = "{";
+  for (size_t I = 0; I != Telemetry.size(); ++I) {
+    if (I)
+      J += ",";
+    J += "\n";
+    J += Indent;
+    J += "  " + jsonQuote(Telemetry[I].Name) + ": " +
+         std::to_string(Telemetry[I].Value);
+  }
+  if (!Telemetry.empty()) {
+    J += "\n";
+    J += Indent;
+  }
+  J += "}";
+  return J;
+}
 
 /// The machine-readable report: same field style as BENCH_pipeline.json
 /// so the two outputs can share tooling.
@@ -152,6 +183,12 @@ std::string renderJson(const AnalysisResult &R, const AnalysisConfig &Cfg,
   J += "  \"ingest_seconds\": " + jsonNum(R.IngestSeconds) + ",\n";
   J += "  \"lane_seconds_total\": " + jsonNum(R.laneSecondsTotal()) + ",\n";
   J += "  \"tasks_stolen\": " + std::to_string(R.TasksStolen) + ",\n";
+  // Per-lane restarts left the schema in the growable-state redesign:
+  // detectors grow in place, so the count is structurally zero. The compat
+  // note is the forwarding address for tooling that still greps for it.
+  J += "  \"compat\": {\"restarts\": \"deprecated; detectors grow in place "
+       "and never restart, so the per-lane count is structurally 0\"},\n";
+  J += "  \"telemetry\": " + renderTelemetryJson(R.Telemetry, "  ") + ",\n";
   J += "  \"lanes\": [";
   for (size_t L = 0; L != R.Lanes.size(); ++L) {
     const LaneReport &Lane = R.Lanes[L];
@@ -165,7 +202,8 @@ std::string renderJson(const AnalysisResult &R, const AnalysisConfig &Cfg,
          ", \"maxdist\": " + std::to_string(Lane.Report.maxPairDistance()) +
          ", \"seconds\": " + jsonNum(Lane.Seconds) +
          ", \"events_consumed\": " + std::to_string(Lane.EventsConsumed) +
-         ", \"restarts\": " + std::to_string(Lane.Restarts) + "}";
+         ",\n     \"telemetry\": " +
+         renderTelemetryJson(Lane.Telemetry, "     ") + "}";
   }
   J += "\n  ]\n}\n";
   return J;
@@ -197,6 +235,14 @@ int main(int Argc, char **Argv) {
       Opts.Balanced = true;
     else if (Arg == "--dry-run")
       Opts.DryRun = true;
+    else if (Arg == "--metrics")
+      Opts.ShowMetrics = true;
+    else if (Arg == "--no-metrics")
+      Opts.NoMetrics = true;
+    else if (Arg == "--trace-out" && I + 1 < Argc)
+      Opts.TraceOut = Argv[++I];
+    else if (Arg.rfind("--trace-out=", 0) == 0)
+      Opts.TraceOut = Arg.substr(std::strlen("--trace-out="));
     else if (Arg == "--help" || Arg == "-h") {
       printHelp();
       return 0;
@@ -233,6 +279,16 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: --balanced requires --shards N\n");
     return 1;
   }
+  if (!Opts.TraceOut.empty() && !Opts.Stream) {
+    // The timeline records the streaming pipeline's stages; batch runs
+    // have no recorder threaded through them.
+    std::fprintf(stderr, "error: --trace-out requires --stream\n");
+    return 1;
+  }
+  if (Opts.ShowMetrics && Opts.NoMetrics) {
+    std::fprintf(stderr, "error: --metrics and --no-metrics conflict\n");
+    return 1;
+  }
   if (Opts.Threads == 0) {
     // "--threads 0" (or an unparsable count) must not build a zero-worker
     // pool; clamp to the hardware concurrency the pool would default to.
@@ -242,6 +298,8 @@ int main(int Argc, char **Argv) {
   // Flags → the one declarative config every mode shares.
   AnalysisConfig Cfg;
   Cfg.Threads = Opts.Threads;
+  Cfg.Metrics = !Opts.NoMetrics;
+  Cfg.Timeline = !Opts.TraceOut.empty();
   if (Opts.Shards > 0) {
     Cfg.Mode = RunMode::VarSharded;
     Cfg.VarShards = Opts.Shards;
@@ -255,16 +313,10 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.RunHb)
     Cfg.addDetector(DetectorKind::Hb);
-  // WCP runs through the stats-publishing wrapper so the queue-peak
-  // telemetry (paper §4, Table 1 column 11) survives the lane's detector
-  // teardown.
-  auto WcpQueueStats = std::make_shared<WcpStats>();
+  // WCP's queue peaks (paper §4, Table 1 column 11) now ride the lane's
+  // Telemetry block (Detector::telemetry), so the plain detector suffices.
   if (Opts.RunWcp)
-    Cfg.addDetector(
-        [WcpQueueStats](const Trace &F) {
-          return std::make_unique<WcpWithStats>(F, WcpQueueStats);
-        },
-        "WCP");
+    Cfg.addDetector(DetectorKind::Wcp);
   if (Opts.RunFastTrack)
     Cfg.addDetector(DetectorKind::FastTrack);
   if (Opts.RunEraser)
@@ -298,6 +350,22 @@ int main(int Argc, char **Argv) {
     // consumers always get a report (with the failure in its status).
     R = Session->finish();
     IngestSeconds = R.IngestSeconds;
+    if (!Opts.TraceOut.empty()) {
+      std::string Timeline = Session->exportTimeline();
+      std::FILE *F = std::fopen(Opts.TraceOut.c_str(), "wb");
+      if (!F || std::fwrite(Timeline.data(), 1, Timeline.size(), F) !=
+                    Timeline.size()) {
+        std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                     Opts.TraceOut.c_str());
+        if (F)
+          std::fclose(F);
+        return 1;
+      }
+      std::fclose(F);
+      if (!Opts.Json)
+        std::printf("timeline written to %s (open at ui.perfetto.dev)\n",
+                    Opts.TraceOut.c_str());
+    }
   } else {
     if (Opts.Path.empty()) {
       if (!Opts.Json)
@@ -355,13 +423,47 @@ int main(int Argc, char **Argv) {
                 L.Report.str(T).c_str());
   }
   Table.print();
-  // Whole-trace WCP runs expose the paper's queue telemetry; windowed
-  // runs restart WCP per window, so the slot would only hold the last
-  // window's peak — skip it there.
-  if (Opts.RunWcp && Opts.Window == 0)
-    std::printf("WCP queue peak: %llu abstract entries (%.2f%% of events)\n",
-                (unsigned long long)WcpQueueStats->MaxAbstractQueueEntries,
-                WcpQueueStats->maxQueuePercent(T.size()));
+  // Whole-trace WCP runs expose the paper's queue telemetry via the
+  // lane's Telemetry block; windowed runs use a fresh detector per
+  // window, so no whole-run peak exists — skip it there. (Absent when
+  // --no-metrics.)
+  if (Opts.RunWcp && Opts.Window == 0) {
+    for (const LaneReport &L : R.Lanes) {
+      uint64_t Abstract = 0;
+      if (!findSample(L.Telemetry, "wcp.queue_peak_abstract", Abstract))
+        continue;
+      uint64_t Live = 0;
+      findSample(L.Telemetry, "wcp.queue_peak_live", Live);
+      double Pct = T.size() == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(Live) /
+                                       static_cast<double>(T.size());
+      std::printf("WCP queue peak: %llu abstract entries (%.2f%% of "
+                  "events)\n",
+                  (unsigned long long)Abstract, Pct);
+      break;
+    }
+  }
+  if (Opts.ShowMetrics) {
+    // Session-scope table first, then one per lane — mirroring the
+    // --json "telemetry" objects. See docs/OBSERVABILITY.md for what
+    // each metric means.
+    TablePrinter SessionTable({"session metric", "kind", "value"});
+    for (const MetricSample &S : R.Telemetry)
+      SessionTable.addRow(
+          {S.Name, metricKindName(S.Kind), std::to_string(S.Value)});
+    std::printf("\n");
+    SessionTable.print();
+    for (const LaneReport &L : R.Lanes) {
+      if (L.Telemetry.empty())
+        continue;
+      TablePrinter LaneTable({L.DetectorName + " metric", "kind", "value"});
+      for (const MetricSample &S : L.Telemetry)
+        LaneTable.addRow(
+            {S.Name, metricKindName(S.Kind), std::to_string(S.Value)});
+      std::printf("\n");
+      LaneTable.print();
+    }
+  }
   if (!R.Overall.ok()) {
     std::fprintf(stderr, "error: %s\n", R.Overall.str().c_str());
     LaneFailed = true;

@@ -97,6 +97,16 @@ struct AnalysisConfig {
   /// Streaming sessions: max events a consumer takes per batch — the
   /// granularity of partial-report visibility.
   uint64_t StreamBatchEvents = 8192;
+  /// Observability (obs/Metrics.h): when false, no metric slots are
+  /// registered and every instrument handle on the hot paths is null, so
+  /// the disabled cost per update site is one branch on a cached pointer —
+  /// no atomics, no clock reads. Telemetry blocks come back empty.
+  bool Metrics = true;
+  /// Observability (obs/TraceRecorder.h): record per-stage spans and
+  /// counter samples for AnalysisSession::exportTimeline(). Off by
+  /// default — timelines buffer one span per batch/window/drain and are
+  /// only worth paying for when someone will open the trace.
+  bool Timeline = false;
 
   /// Appends a built-in detector lane.
   AnalysisConfig &addDetector(DetectorKind K, std::string Name = "");

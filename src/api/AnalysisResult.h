@@ -17,6 +17,7 @@
 #define RAPID_API_ANALYSISRESULT_H
 
 #include "detect/RaceReport.h"
+#include "obs/Metrics.h"
 #include "support/Status.h"
 
 #include <string>
@@ -49,9 +50,14 @@ struct LaneReport {
   /// zero vector clocks, grow-on-first-touch histories and lockset
   /// tables), so mid-stream thread/lock/variable declarations are O(1)
   /// metadata updates and no lane ever restarts. The field survives one
-  /// deprecation cycle so telemetry consumers (race_cli --json, bench)
-  /// keep parsing.
+  /// deprecation cycle so telemetry consumers (bench's invariant check)
+  /// keep reading it; race_cli --json no longer emits it per lane.
   uint64_t Restarts = 0;
+  /// This lane's metrics (names relative to the lane: "consume_ns",
+  /// "batches", "lag_events_peak", ...) plus whatever the detector itself
+  /// reports via Detector::telemetry() ("wcp.queue_peak_abstract", ...).
+  /// Empty when AnalysisConfig::Metrics is false. Sorted by name.
+  std::vector<MetricSample> Telemetry;
 };
 
 /// Outcome of one analysis run or partial snapshot.
@@ -77,6 +83,11 @@ struct AnalysisResult {
   /// was still appending (every session run; false for the one-shot batch
   /// analyzeTrace).
   bool Streamed = false;
+  /// Session/pipeline-level metrics (producer, publication, pool:
+  /// "ingest.parse_ns", "publish.batches", "pool.steals", ...). Per-lane
+  /// metrics live in each LaneReport::Telemetry. Empty when
+  /// AnalysisConfig::Metrics is false. Sorted by name.
+  std::vector<MetricSample> Telemetry;
 
   /// True iff the run and every lane succeeded.
   bool ok() const {

@@ -48,6 +48,8 @@
 #include "api/AnalysisSession.h"
 
 #include "detect/ShardedAccessHistory.h"
+#include "obs/Metrics.h"
+#include "obs/TraceRecorder.h"
 #include "pipeline/ChunkedReader.h"
 #include "pipeline/Pipeline.h"
 #include "support/GuardedTask.h"
@@ -74,7 +76,40 @@ PipelineOptions pipelineOptionsFor(const AnalysisConfig &Cfg) {
   Opts.ShardEvents = Cfg.Mode == RunMode::Windowed ? Cfg.WindowEvents : 0;
   Opts.VarShards = Cfg.Mode == RunMode::VarSharded ? Cfg.VarShards : 0;
   Opts.VarShardStrategy = Cfg.Strategy;
+  Opts.Metrics = Cfg.Metrics;
   return Opts;
+}
+
+/// Converts stage seconds to the integer nanoseconds the *_ns metrics use.
+uint64_t toNs(double Seconds) {
+  return Seconds <= 0 ? 0 : static_cast<uint64_t>(Seconds * 1e9);
+}
+
+/// Locks the deferred \p Lk, charging acquisition time to \p WaitNs when
+/// metrics are enabled — the SPMC publication-lock contention probe. The
+/// disabled path is the plain lock: no clock reads.
+void lockCharged(std::unique_lock<std::mutex> &Lk, Counter WaitNs) {
+  if (WaitNs.enabled()) {
+    uint64_t T0 = obsNowNs();
+    Lk.lock();
+    WaitNs.add(obsNowNs() - T0);
+  } else {
+    Lk.lock();
+  }
+}
+
+/// CV wait with the blocked time charged to \p WaitNs (consumer-side "how
+/// long did I sit behind the producer" probe).
+template <typename Pred>
+void waitCharged(std::condition_variable &CV, std::unique_lock<std::mutex> &Lk,
+                 Counter WaitNs, Pred P) {
+  if (WaitNs.enabled()) {
+    uint64_t T0 = obsNowNs();
+    CV.wait(Lk, std::move(P));
+    WaitNs.add(obsNowNs() - T0);
+  } else {
+    CV.wait(Lk, std::move(P));
+  }
 }
 
 AnalysisPipeline buildPipeline(const AnalysisConfig &Cfg) {
@@ -101,6 +136,7 @@ AnalysisResult convertPipelineResult(PipelineResult &&R, uint64_t NumEvents) {
       Lane.LaneStatus = Status(StatusCode::AnalysisError, std::move(L.Error));
     else
       Lane.EventsConsumed = NumEvents;
+    Lane.Telemetry = std::move(L.Telemetry);
     Out.Lanes.push_back(std::move(Lane));
   }
   Out.EventsIngested = NumEvents;
@@ -146,6 +182,23 @@ struct LaneRuntime {
   uint64_t Consumed = 0; ///< Events processed.
   double Seconds = 0;    ///< Processing time, excluding waits.
   bool Done = false;
+
+  // Cached instrument handles (obs/Metrics.h; null when metrics are off)
+  // plus the lane's timeline track. Written once at session start, then
+  // only read — safe to use from the lane's consumer and pool tasks.
+  Counter ConsumeNs;       ///< Detector processing time.
+  Counter LockWaitNs;      ///< Time acquiring the session (SPMC) lock.
+  Counter PublishWaitNs;   ///< Time blocked waiting for published events.
+  Counter Batches;         ///< Batches copied out of the published prefix.
+  Counter WindowsChecked;  ///< Windowed: lane × window tasks completed.
+  Counter WindowCheckNs;   ///< Windowed: time inside window tasks.
+  Counter DrainNs;         ///< Var-sharded: shard replay time.
+  Counter DrainBatches;    ///< Var-sharded: drain rounds replayed.
+  Gauge CapturedAccesses;  ///< Var-sharded: deferred accesses logged.
+  Gauge BroadcastClocks;   ///< Var-sharded: distinct clock snapshots.
+  HighWater BatchEventsPeak; ///< Largest batch copied.
+  HighWater LagEventsPeak;   ///< Peak published-minus-consumed lag.
+  uint32_t Track = TraceRecorder::NoTrack;
 };
 
 // ---- Windowed-mode streaming state ------------------------------------------
@@ -212,6 +265,7 @@ struct VarShardState {
   ShardPlan Plan;
   ShardReplay Replay = ShardReplay::FullHistory;
   std::vector<std::unique_ptr<VarShard>> Shards;
+  LaneRuntime *Rt = nullptr; ///< Back-pointer for drain-task telemetry.
 };
 
 } // namespace
@@ -244,6 +298,25 @@ struct AnalysisSession::Impl {
   std::shared_ptr<WindowEpoch> WinEpoch; ///< Windowed only; ptr under M.
   uint64_t FinalNumWindows = 0;          ///< Set at windowed finalize.
   std::vector<std::thread> Consumers;
+
+  // ---- Observability (obs/) -------------------------------------------------
+  // The registry exists for every session (disabled registries hand out
+  // null handles — the zero-cost path); the recorder only when
+  // Cfg.Timeline. Handles below are cached once in start().
+  std::unique_ptr<MetricsRegistry> Reg;
+  std::unique_ptr<TraceRecorder> Rec;
+  Counter IngestParseNs;    ///< feedFile: chunk parse time.
+  Counter IngestLockWaitNs; ///< Producer time acquiring the session lock.
+  Counter IngestValidateNs; ///< §2.1 streaming validation time.
+  Counter PublishBatches;
+  Gauge PublishedGauge;     ///< The published watermark.
+  HighWater PublishBatchPeak;
+  Counter ConsumerLockWaitNs;    ///< Shared-consumer modes (fused/builder).
+  Counter ConsumerPublishWaitNs; ///< Shared-consumer modes (fused/builder).
+  Counter WindowsDispatched;
+  Gauge WindowsRetired;
+  uint32_t IngestTrack = TraceRecorder::NoTrack;
+  uint32_t BuilderTrack = TraceRecorder::NoTrack;
   /// Lane × window tasks (Windowed) / shard drain tasks (VarSharded).
   /// Declared last so its destructor drains in-flight tasks before the
   /// state they reference dies.
@@ -259,9 +332,11 @@ struct AnalysisSession::Impl {
   void drainVarShard(VarShardState &VS, uint32_t S);
   void scheduleDrains(VarShardState &VS, std::vector<uint32_t> &ToSchedule);
   void buildDetectorLocked(LaneRuntime &Rt);
+  void registerObservability();
   void stopConsumers();
   Status ingestGate();
   bool validateNewLocked();
+  bool validateNewLockedInner();
   void publishLocked();
   AnalysisResult snapshotLanes(bool Partial);
   void snapshotWindowedLane(size_t L, LaneReport &Lane);
@@ -289,9 +364,12 @@ void AnalysisSession::Impl::sequentialConsumer(LaneRuntime &Rt) {
   try {
     for (;;) {
       uint64_t From;
+      uint64_t Lag = 0;
       {
-        std::unique_lock<std::mutex> Lk(M);
-        CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+        std::unique_lock<std::mutex> Lk(M, std::defer_lock);
+        lockCharged(Lk, Rt.LockWaitNs);
+        waitCharged(CV, Lk, Rt.PublishWaitNs,
+                    [&] { return IngestDone || Published > Consumed; });
         if (Published == Consumed) {
           if (IngestDone)
             break;
@@ -301,18 +379,29 @@ void AnalysisSession::Impl::sequentialConsumer(LaneRuntime &Rt) {
           buildDetectorLocked(Rt);
         From = Consumed;
         uint64_t To = std::min(Published, From + Batch);
+        Lag = Published - From;
         const std::vector<Event> &Events = Live->events();
         Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
                    Events.begin() + static_cast<ptrdiff_t>(To));
       }
+      Rt.Batches.add();
+      Rt.BatchEventsPeak.observe(Buf.size());
+      Rt.LagEventsPeak.observe(Lag);
+      int64_t SpanStart = Rec ? Rec->nowUs() : 0;
       {
         std::lock_guard<std::mutex> G(Rt.SnapM);
         Timer Clock;
         for (uint64_t K = 0; K != Buf.size(); ++K)
           Rt.D->processEvent(Buf[K], From + K);
-        Rt.Seconds += Clock.seconds();
+        double Sec = Clock.seconds();
+        Rt.Seconds += Sec;
+        Rt.ConsumeNs.add(toNs(Sec));
         Consumed = From + Buf.size();
         Rt.Consumed = Consumed;
+      }
+      if (Rec) {
+        Rec->span(Rt.Track, "consume", SpanStart, Rec->nowUs() - SpanStart);
+        Rec->counter("lag:" + Rt.Fallback, Rec->nowUs(), Lag - Buf.size());
       }
     }
     {
@@ -368,9 +457,12 @@ void AnalysisSession::Impl::fusedConsumer() {
 
   for (;;) {
     uint64_t From;
+    uint64_t Lag = 0;
     {
-      std::unique_lock<std::mutex> Lk(M);
-      CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+      std::unique_lock<std::mutex> Lk(M, std::defer_lock);
+      lockCharged(Lk, ConsumerLockWaitNs);
+      waitCharged(CV, Lk, ConsumerPublishWaitNs,
+                  [&] { return IngestDone || Published > Consumed; });
       if (Published == Consumed) {
         if (IngestDone)
           break;
@@ -383,6 +475,7 @@ void AnalysisSession::Impl::fusedConsumer() {
       }
       From = Consumed;
       uint64_t To = std::min(Published, From + Batch);
+      Lag = Published - From;
       const std::vector<Event> &Events = Live->events();
       Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
                  Events.begin() + static_cast<ptrdiff_t>(To));
@@ -390,12 +483,23 @@ void AnalysisSession::Impl::fusedConsumer() {
     for (size_t L = 0; L != Lanes.size(); ++L) {
       guardedLane(L, [&] {
         LaneRuntime &Rt = *Lanes[L];
-        std::lock_guard<std::mutex> G(Rt.SnapM);
-        Timer Clock;
-        for (uint64_t K = 0; K != Buf.size(); ++K)
-          Rt.D->processEvent(Buf[K], From + K);
-        Rt.Seconds += Clock.seconds();
-        Rt.Consumed = From + Buf.size();
+        Rt.Batches.add();
+        Rt.BatchEventsPeak.observe(Buf.size());
+        Rt.LagEventsPeak.observe(Lag);
+        int64_t SpanStart = Rec ? Rec->nowUs() : 0;
+        {
+          std::lock_guard<std::mutex> G(Rt.SnapM);
+          Timer Clock;
+          for (uint64_t K = 0; K != Buf.size(); ++K)
+            Rt.D->processEvent(Buf[K], From + K);
+          double Sec = Clock.seconds();
+          Rt.Seconds += Sec;
+          Rt.ConsumeNs.add(toNs(Sec));
+          Rt.Consumed = From + Buf.size();
+        }
+        if (Rec)
+          Rec->span(Rt.Track, "consume", SpanStart,
+                    Rec->nowUs() - SpanStart);
       });
     }
     Consumed = From + Buf.size();
@@ -431,24 +535,38 @@ void AnalysisSession::Impl::dispatchWindow(
   Entry->EndIdx = Entry->W->Original.empty() ? 0 : Entry->W->Original.back() + 1;
   Entry->Slots.resize(Lanes.size());
   WindowEntry *E = Entry.get();
+  size_t WinIdx;
   {
     std::lock_guard<std::mutex> G(Ep->EM);
+    WinIdx = Ep->Windows.size();
     Ep->Windows.push_back(std::move(Entry));
     Ep->TasksLaunched += Lanes.size();
   }
+  WindowsDispatched.add();
   for (size_t L = 0; L != Lanes.size(); ++L) {
-    Pool->submit([this, Ep, E, L] {
+    Pool->submit([this, Ep, E, L, WinIdx] {
+      LaneRuntime &Rt = *Lanes[L];
       RaceReport Report;
       std::string Name;
       std::string Err;
       double Seconds = 0;
+      int64_t SpanStart = Rec ? Rec->nowUs() : 0;
       guardedTask(Err, [&] {
         Timer Clock;
-        std::unique_ptr<Detector> D = Lanes[L]->Make(E->W->Fragment);
+        std::unique_ptr<Detector> D = Rt.Make(E->W->Fragment);
         Name = D->name();
         Report = runDetectorOnWindow(*D, *E->W);
         Seconds = Clock.seconds();
       });
+      Rt.WindowsChecked.add();
+      Rt.WindowCheckNs.add(toNs(Seconds));
+      if (Rec) {
+        // On the lane's track (spans of concurrent windows of one lane
+        // may overlap there — see docs/OBSERVABILITY.md); the pool
+        // worker's own track carries the enclosing "task" span.
+        Rec->span(Rt.Track, "check:w" + std::to_string(WinIdx), SpanStart,
+                  Rec->nowUs() - SpanStart);
+      }
       std::lock_guard<std::mutex> G(Ep->EM);
       WindowSlot &S = E->Slots[L];
       S.Report = std::move(Report);
@@ -468,6 +586,7 @@ void AnalysisSession::Impl::dispatchWindow(
 /// final epoch completed.
 void AnalysisSession::Impl::finalizeWindowedLanes(WindowEpoch &Ep) {
   FinalNumWindows = Ep.Windows.size();
+  WindowsRetired.set(FinalNumWindows);
   for (size_t L = 0; L != Lanes.size(); ++L) {
     LaneRuntime &Rt = *Lanes[L];
     RaceReport Merged;
@@ -514,8 +633,10 @@ void AnalysisSession::Impl::windowedConsumer() {
       uint64_t From = 0;
       bool Flush = false;
       {
-        std::unique_lock<std::mutex> Lk(M);
-        CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+        std::unique_lock<std::mutex> Lk(M, std::defer_lock);
+        lockCharged(Lk, ConsumerLockWaitNs);
+        waitCharged(CV, Lk, ConsumerPublishWaitNs,
+                    [&] { return IngestDone || Published > Consumed; });
         if (!Ep) {
           Ep = std::make_shared<WindowEpoch>();
           WinEpoch = Ep;
@@ -537,9 +658,13 @@ void AnalysisSession::Impl::windowedConsumer() {
         }
       }
       if (!Flush) {
+        int64_t SpanStart = Rec ? Rec->nowUs() : 0;
         for (uint64_t K = 0; K != Buf.size(); ++K)
           if (std::optional<TraceWindow> W = Split->push(Buf[K], From + K))
             dispatchWindow(Ep, std::move(*W));
+        if (Rec)
+          Rec->span(BuilderTrack, "build", SpanStart,
+                    Rec->nowUs() - SpanStart);
         continue;
       }
       if (std::optional<TraceWindow> W = Split->flush())
@@ -629,6 +754,7 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
     }
     std::string Err;
     double Seconds = 0;
+    int64_t SpanStart = Rec ? Rec->nowUs() : 0;
     {
       std::lock_guard<std::mutex> G(Sh.SM);
       guardedTask(Err, [&] {
@@ -641,6 +767,11 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
         Seconds = Clock.seconds();
       });
     }
+    VS.Rt->DrainBatches.add();
+    VS.Rt->DrainNs.add(toNs(Seconds));
+    if (Rec)
+      Rec->span(Rec->currentThreadTrack(), "drain:s" + std::to_string(S),
+                SpanStart, Rec->nowUs() - SpanStart);
     {
       std::lock_guard<std::mutex> G(VS.LogM);
       Sh.Completed += Batch.size();
@@ -670,11 +801,14 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
   try {
     for (;;) {
       uint64_t From;
+      uint64_t Lag = 0;
       bool FreshDetector = false;
       uint32_t HintThreads = 0, HintVars = 0;
       {
-        std::unique_lock<std::mutex> Lk(M);
-        CV.wait(Lk, [&] { return IngestDone || Published > Consumed; });
+        std::unique_lock<std::mutex> Lk(M, std::defer_lock);
+        lockCharged(Lk, Rt.LockWaitNs);
+        waitCharged(CV, Lk, Rt.PublishWaitNs,
+                    [&] { return IngestDone || Published > Consumed; });
         if (Published == Consumed) {
           if (IngestDone)
             break;
@@ -688,10 +822,14 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         }
         From = Consumed;
         uint64_t To = std::min(Published, From + Batch);
+        Lag = Published - From;
         const std::vector<Event> &Events = Live->events();
         Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
                    Events.begin() + static_cast<ptrdiff_t>(To));
       }
+      Rt.Batches.add();
+      Rt.BatchEventsPeak.observe(Buf.size());
+      Rt.LagEventsPeak.observe(Lag);
       if (FreshDetector) {
         // Attach capture, once per session: the log, the broadcast table
         // and the shard checkers are all growable, so the table sizes at
@@ -724,6 +862,7 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           }
         }
       }
+      int64_t SpanStart = Rec ? Rec->nowUs() : 0;
       {
         // The capture detector appends to the published log, so the walk
         // runs under LogM (→ SnapM); drain tasks only ever read the log
@@ -734,11 +873,17 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           Timer Clock;
           for (uint64_t K = 0; K != Buf.size(); ++K)
             Rt.D->processEvent(Buf[K], From + K);
-          Rt.Seconds += Clock.seconds();
+          double Sec = Clock.seconds();
+          Rt.Seconds += Sec;
+          Rt.ConsumeNs.add(toNs(Sec));
           Consumed = From + Buf.size();
           Rt.Consumed = Consumed;
         }
         VS.CapturedEvents = Consumed;
+        if (VS.Log) {
+          Rt.CapturedAccesses.set(VS.Log->accesses().size());
+          Rt.BroadcastClocks.set(VS.Log->clocks().numSnapshots());
+        }
         if (VS.PlanReady) {
           const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
           for (uint64_t I = VS.Partitioned; I != Accesses.size(); ++I) {
@@ -753,6 +898,8 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           VS.Partitioned = Accesses.size();
         }
       }
+      if (Rec)
+        Rec->span(Rt.Track, "capture", SpanStart, Rec->nowUs() - SpanStart);
       scheduleDrains(VS, ToSchedule);
     }
 
@@ -873,10 +1020,66 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
 
 // ---- Session lifecycle ------------------------------------------------------
 
+/// Registers the session's instruments and timeline tracks and caches the
+/// handles in Impl / the lane runtimes. One call, before any consumer
+/// starts; a disabled registry makes every handle null (the zero-cost
+/// path), so instrumented code never re-checks the config.
+void AnalysisSession::Impl::registerObservability() {
+  Reg = std::make_unique<MetricsRegistry>(Cfg.Metrics);
+  if (Cfg.Timeline)
+    Rec = std::make_unique<TraceRecorder>();
+  MetricsScope Root(Reg.get(), "");
+  IngestParseNs = Root.counter("ingest.parse_ns");
+  IngestLockWaitNs = Root.counter("ingest.lock_wait_ns");
+  IngestValidateNs = Root.counter("ingest.validate_ns");
+  PublishBatches = Root.counter("publish.batches");
+  PublishBatchPeak = Root.highWater("publish.batch_events_peak");
+  PublishedGauge = Root.gauge("publish.events");
+  if (Cfg.Mode == RunMode::Fused || Cfg.Mode == RunMode::Windowed) {
+    ConsumerLockWaitNs = Root.counter("consume.lock_wait_ns");
+    ConsumerPublishWaitNs = Root.counter("consume.publish_wait_ns");
+  }
+  if (Cfg.Mode == RunMode::Windowed) {
+    WindowsDispatched = Root.counter("window.dispatched");
+    WindowsRetired = Root.gauge("window.retired");
+  }
+  if (Rec) {
+    IngestTrack = Rec->track("ingest");
+    if (Cfg.Mode == RunMode::Windowed)
+      BuilderTrack = Rec->track("window-builder");
+  }
+  for (size_t L = 0; L != Lanes.size(); ++L) {
+    LaneRuntime &Rt = *Lanes[L];
+    MetricsScope S(Reg.get(), "lane." + std::to_string(L) + ".");
+    Rt.ConsumeNs = S.counter("consume_ns");
+    Rt.LockWaitNs = S.counter("lock_wait_ns");
+    Rt.PublishWaitNs = S.counter("publish_wait_ns");
+    Rt.Batches = S.counter("batches");
+    Rt.BatchEventsPeak = S.highWater("batch_events_peak");
+    Rt.LagEventsPeak = S.highWater("lag_events_peak");
+    if (Cfg.Mode == RunMode::Windowed) {
+      Rt.WindowsChecked = S.counter("windows_checked");
+      Rt.WindowCheckNs = S.counter("window_check_ns");
+    }
+    if (Cfg.Mode == RunMode::VarSharded) {
+      Rt.DrainNs = S.counter("drain_ns");
+      Rt.DrainBatches = S.counter("drain_batches");
+      Rt.CapturedAccesses = S.gauge("captured_accesses");
+      Rt.BroadcastClocks = S.gauge("broadcast_clocks");
+    }
+    // Lanes with equal labels share a timeline track; fine — their spans
+    // are distinguishable by time, and label collisions are rare.
+    if (Rec)
+      Rt.Track = Rec->track("lane:" + Rt.Fallback);
+  }
+}
+
 void AnalysisSession::Impl::start() {
   SessionStatus = Cfg.validate();
-  if (!SessionStatus.ok())
+  if (!SessionStatus.ok()) {
+    Reg = std::make_unique<MetricsRegistry>(false); // Keep Reg non-null.
     return;
+  }
   Lanes.reserve(Cfg.Detectors.size());
   for (const DetectorSpec &S : Cfg.Detectors) {
     auto Rt = std::make_unique<LaneRuntime>();
@@ -886,6 +1089,7 @@ void AnalysisSession::Impl::start() {
         S.Kind == DetectorKind::Custom ? S.Make : makeDetectorFactory(S.Kind);
     Lanes.push_back(std::move(Rt));
   }
+  registerObservability();
   switch (Cfg.Mode) {
   case RunMode::Sequential:
     for (auto &Rt : Lanes)
@@ -896,13 +1100,16 @@ void AnalysisSession::Impl::start() {
     break;
   case RunMode::Windowed:
     Pool = std::make_unique<ThreadPool>(Cfg.Threads);
+    Pool->attachTelemetry(MetricsScope(Reg.get(), "pool."), Rec.get());
     Consumers.emplace_back([this] { windowedConsumer(); });
     break;
   case RunMode::VarSharded:
     Pool = std::make_unique<ThreadPool>(Cfg.Threads);
+    Pool->attachTelemetry(MetricsScope(Reg.get(), "pool."), Rec.get());
     VarStates.reserve(Lanes.size());
     for (size_t L = 0; L != Lanes.size(); ++L) {
       auto VS = std::make_unique<VarShardState>();
+      VS->Rt = Lanes[L].get();
       for (uint32_t S = 0; S != std::max<uint32_t>(Cfg.VarShards, 1); ++S)
         VS->Shards.push_back(std::make_unique<VarShard>());
       VarStates.push_back(std::move(VS));
@@ -948,6 +1155,14 @@ Status AnalysisSession::Impl::ingestGate() {
 /// the first violation, which sticks in SessionStatus. Returns true while
 /// clean. Caller holds M.
 bool AnalysisSession::Impl::validateNewLocked() {
+  uint64_t T0 = IngestValidateNs.enabled() ? obsNowNs() : 0;
+  bool Clean = validateNewLockedInner();
+  if (T0)
+    IngestValidateNs.add(obsNowNs() - T0);
+  return Clean;
+}
+
+bool AnalysisSession::Impl::validateNewLockedInner() {
   const std::vector<Event> &Events = Live->events();
   while (Validated < Events.size()) {
     Validator.feed(Events[Validated], Validated, *Live);
@@ -966,7 +1181,17 @@ bool AnalysisSession::Impl::validateNewLocked() {
 }
 
 /// Advances the published prefix to the validated one. Caller holds M.
-void AnalysisSession::Impl::publishLocked() { Published = Validated; }
+void AnalysisSession::Impl::publishLocked() {
+  uint64_t Prev = Published;
+  Published = Validated;
+  if (Published == Prev)
+    return;
+  PublishBatches.add();
+  PublishBatchPeak.observe(Published - Prev);
+  PublishedGauge.set(Published);
+  if (Rec)
+    Rec->counter("published", Rec->nowUs(), Published);
+}
 
 /// Mid-stream view of a windowed lane: the longest prefix of consecutive
 /// retired windows, merged in window order — never a torn merge, because
@@ -1046,11 +1271,13 @@ AnalysisResult AnalysisSession::Impl::snapshotLanes(bool Partial) {
   AnalysisResult R;
   R.Partial = Partial;
   R.Streamed = true;
+  const bool Metrics = Reg && Reg->enabled();
   R.Lanes.reserve(Lanes.size());
   for (size_t L = 0; L != Lanes.size(); ++L) {
     LaneRuntime &Rt = *Lanes[L];
     LaneReport Lane;
     bool Done;
+    std::vector<MetricSample> DetectorTel;
     {
       std::lock_guard<std::mutex> G(Rt.SnapM);
       Lane.DetectorName = Rt.Name.empty() ? Rt.Fallback : Rt.Name;
@@ -1063,6 +1290,8 @@ AnalysisResult AnalysisSession::Impl::snapshotLanes(bool Partial) {
         Lane.Report = Rt.Final;
       else if (Rt.D)
         Lane.Report = Rt.D->report(); // Mid-stream copy: races so far.
+      if (Metrics && Rt.D)
+        Rt.D->telemetry(DetectorTel);
     }
     if (!Done && Cfg.Mode == RunMode::Windowed) {
       Lane.Seconds = 0;
@@ -1071,7 +1300,29 @@ AnalysisResult AnalysisSession::Impl::snapshotLanes(bool Partial) {
     } else if (!Done && Cfg.Mode == RunMode::VarSharded) {
       snapshotVarShardLane(*VarStates[L], Lane);
     }
+    if (Metrics) {
+      Lane.Telemetry =
+          Reg->snapshotPrefix("lane." + std::to_string(L) + ".");
+      Lane.Telemetry.insert(Lane.Telemetry.end(),
+                            std::make_move_iterator(DetectorTel.begin()),
+                            std::make_move_iterator(DetectorTel.end()));
+      std::sort(Lane.Telemetry.begin(), Lane.Telemetry.end(),
+                [](const MetricSample &A, const MetricSample &B) {
+                  return A.Name < B.Name;
+                });
+    }
     R.Lanes.push_back(std::move(Lane));
+  }
+  if (Metrics) {
+    // Session-level block: everything that is not a lane.<i>.* metric
+    // (ingest/publish/pool/window/consume scopes).
+    R.Telemetry = Reg->snapshot();
+    R.Telemetry.erase(
+        std::remove_if(R.Telemetry.begin(), R.Telemetry.end(),
+                       [](const MetricSample &S) {
+                         return S.Name.rfind("lane.", 0) == 0;
+                       }),
+        R.Telemetry.end());
   }
   return R;
 }
@@ -1133,8 +1384,10 @@ Status AnalysisSession::feed(const std::vector<Event> &Batch) {
   if (Status G = I->ingestGate(); !G.ok())
     return G;
   Timer Ingest;
+  int64_t SpanStart = I->Rec ? I->Rec->nowUs() : 0;
   {
-    std::lock_guard<std::mutex> Lk(I->M);
+    std::unique_lock<std::mutex> Lk(I->M, std::defer_lock);
+    lockCharged(Lk, I->IngestLockWaitNs);
     I->Ingested = true;
     for (size_t K = 0; K != Batch.size(); ++K) {
       if (!I->Owned.containsIds(Batch[K]))
@@ -1153,6 +1406,9 @@ Status AnalysisSession::feed(const std::vector<Event> &Batch) {
       return I->SessionStatus;
     }
   }
+  if (I->Rec)
+    I->Rec->span(I->IngestTrack, "feed", SpanStart,
+                 I->Rec->nowUs() - SpanStart);
   I->CV.notify_all();
   return Status::success();
 }
@@ -1161,8 +1417,10 @@ Status AnalysisSession::feedTrace(const Trace &T) {
   if (Status G = I->ingestGate(); !G.ok())
     return G;
   Timer Ingest;
+  int64_t SpanStart = I->Rec ? I->Rec->nowUs() : 0;
   {
-    std::lock_guard<std::mutex> Lk(I->M);
+    std::unique_lock<std::mutex> Lk(I->M, std::defer_lock);
+    lockCharged(Lk, I->IngestLockWaitNs);
     if (I->Ingested || I->Owned.size() != 0)
       return Status(StatusCode::InvalidState,
                     "feedTrace requires an empty session (it adopts the "
@@ -1180,6 +1438,9 @@ Status AnalysisSession::feedTrace(const Trace &T) {
       return I->SessionStatus;
     }
   }
+  if (I->Rec)
+    I->Rec->span(I->IngestTrack, "feed-trace", SpanStart,
+                 I->Rec->nowUs() - SpanStart);
   I->CV.notify_all();
   return Status::success();
 }
@@ -1207,10 +1468,15 @@ Status AnalysisSession::feedFile(const std::string &Path) {
   bool Poisoned = false;
   while (!Reader.done() && !Poisoned) {
     bool Advanced = false;
+    int64_t SpanStart = I->Rec ? I->Rec->nowUs() : 0;
     {
-      std::lock_guard<std::mutex> Lk(I->M);
+      std::unique_lock<std::mutex> Lk(I->M, std::defer_lock);
+      lockCharged(Lk, I->IngestLockWaitNs);
       I->Live = &Reader.current();
+      uint64_t P0 = I->IngestParseNs.enabled() ? obsNowNs() : 0;
       Reader.nextChunk();
+      if (P0)
+        I->IngestParseNs.add(obsNowNs() - P0);
       I->Live = &Reader.current();
       if (Reader.ok()) {
         // Only the §2.1-validated prefix may reach live lanes; a
@@ -1222,6 +1488,9 @@ Status AnalysisSession::feedFile(const std::string &Path) {
         }
       }
     }
+    if (I->Rec)
+      I->Rec->span(I->IngestTrack, "chunk", SpanStart,
+                   I->Rec->nowUs() - SpanStart);
     if (Advanced)
       I->CV.notify_all();
   }
@@ -1333,3 +1602,7 @@ AnalysisResult AnalysisSession::finish() {
 }
 
 const Trace &AnalysisSession::trace() const { return *I->Live; }
+
+std::string AnalysisSession::exportTimeline() const {
+  return I->Rec ? I->Rec->exportJson() : std::string();
+}

@@ -155,6 +155,14 @@ public:
   /// returned; do not call while feeds are still possible.
   const Trace &trace() const;
 
+  /// The session timeline as Chrome trace_event JSON (one track per lane
+  /// consumer / pool worker / the ingest producer, spans per pipeline
+  /// stage, counter tracks for the published watermark, lane lag and pool
+  /// queue depth) — open it in ui.perfetto.dev or chrome://tracing.
+  /// Empty string unless AnalysisConfig::Timeline is set. Best called
+  /// after finish(); mid-stream exports are valid but partial.
+  std::string exportTimeline() const;
+
 private:
   struct Impl;
   std::unique_ptr<Impl> I;

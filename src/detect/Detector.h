@@ -16,9 +16,11 @@
 #define RAPID_DETECT_DETECTOR_H
 
 #include "detect/RaceReport.h"
+#include "obs/Metrics.h"
 #include "trace/Trace.h"
 
 #include <string>
+#include <vector>
 
 namespace rapid {
 
@@ -63,6 +65,13 @@ public:
 
   /// Short name used by reports and tables ("HB", "WCP", ...).
   virtual std::string name() const = 0;
+
+  /// Appends detector-specific metric samples to \p Out (e.g. WCP's
+  /// "wcp.queue_peak_abstract" — the paper's Table 1 queue telemetry).
+  /// Called under the owning lane's snapshot lock, possibly mid-stream:
+  /// implementations must only read state, never mutate it. Default: no
+  /// samples.
+  virtual void telemetry(std::vector<MetricSample> &Out) const { (void)Out; }
 
   const RaceReport &report() const { return Report; }
   RaceReport &report() { return Report; }

@@ -258,6 +258,7 @@ ShardChecker::~ShardChecker() = default;
 
 void ShardChecker::replay(const DeferredAccess &A, VarId Local,
                           const VectorClock &Ce, const VectorClock *Hard) {
+  ++Replayed;
   if (I->Replay == ShardReplay::FastTrackEpoch) {
     I->Fast->replay(A, Local, Ce, Out);
     return;

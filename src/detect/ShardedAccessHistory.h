@@ -206,10 +206,14 @@ public:
   std::vector<RaceInstance> &findings() { return Out; }
   const std::vector<RaceInstance> &findings() const { return Out; }
 
+  /// Deferred accesses replayed so far (per-shard drain telemetry).
+  uint64_t numReplayed() const { return Replayed; }
+
 private:
   struct Impl;
   std::unique_ptr<Impl> I;
   std::vector<RaceInstance> Out;
+  uint64_t Replayed = 0;
 };
 
 /// Partitions one lane's access history across N shards and replays the

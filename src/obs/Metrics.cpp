@@ -1,0 +1,81 @@
+//===- obs/Metrics.cpp --------------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+
+using namespace rapid;
+
+const char *rapid::metricKindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::HighWater:
+    return "highwater";
+  }
+  return "counter";
+}
+
+uint64_t rapid::obsNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<uint64_t> *MetricsRegistry::slot(std::string_view Name,
+                                             MetricKind Kind) {
+  if (!Live)
+    return nullptr;
+  std::string Key(Name);
+  std::lock_guard<std::mutex> G(M);
+  auto It = Index.find(Key);
+  if (It != Index.end())
+    return &It->second->V; // Same name twice: same slot (kinds must agree).
+  Slots.emplace_back(Key, Kind);
+  Slot *S = &Slots.back();
+  Index.emplace(std::move(Key), S);
+  return &S->V;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> Out;
+  {
+    std::lock_guard<std::mutex> G(M);
+    Out.reserve(Slots.size());
+    for (const Slot &S : Slots)
+      Out.push_back(
+          {S.Name, S.Kind, S.V.load(std::memory_order_relaxed)});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshotPrefix(std::string_view Prefix) const {
+  std::vector<MetricSample> Out;
+  {
+    std::lock_guard<std::mutex> G(M);
+    for (const Slot &S : Slots) {
+      if (S.Name.size() < Prefix.size() ||
+          std::string_view(S.Name).substr(0, Prefix.size()) != Prefix)
+        continue;
+      Out.push_back({S.Name.substr(Prefix.size()), S.Kind,
+                     S.V.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}

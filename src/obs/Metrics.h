@@ -1,0 +1,207 @@
+//===- obs/Metrics.h - Lock-free metrics registry ---------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer (obs/): a registry of named
+/// 64-bit instruments whose *updates* are single relaxed atomic operations,
+/// so they can sit on the streaming hot paths (publication, lane consume,
+/// shard drains, pool workers) without serializing them.
+///
+/// Three instrument kinds:
+///
+///   Counter    monotonic add (event counts, nanoseconds of stage time);
+///   Gauge      last-write-wins set plus add/sub (watermarks, depths);
+///   HighWater  retained maximum (queue peaks, lag peaks, batch peaks).
+///
+/// Handles are raw pointers into registry-owned slots: trivially copyable,
+/// cheap to cache in per-lane runtime structs, and *nullable* — a disabled
+/// registry (AnalysisConfig::Metrics == false) hands out null handles, so
+/// the disabled path of every instrument update is one branch on a cached
+/// pointer and touches no atomics and no clocks. Callers that time stages
+/// guard the clock reads on Counter::enabled() for the same reason.
+///
+/// Registration (counter()/gauge()/highWater()) and snapshot() serialize
+/// on an internal mutex; both are cold (lanes register once, snapshots are
+/// user-triggered). Slots live in a deque so handle addresses stay stable
+/// across registration, and re-registering a name returns the existing
+/// slot — scopes on different threads can race to register the same
+/// metric safely. Snapshots are internally consistent per instrument
+/// (each value is one atomic load); cross-instrument skew is inherent and
+/// documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_OBS_METRICS_H
+#define RAPID_OBS_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rapid {
+
+/// What a metric's value means (and how tools should aggregate it).
+enum class MetricKind : uint8_t { Counter, Gauge, HighWater };
+
+/// Stable display name: "counter", "gauge", "highwater".
+const char *metricKindName(MetricKind K);
+
+/// One (name, kind, value) read off a registry or a detector.
+struct MetricSample {
+  std::string Name;
+  MetricKind Kind = MetricKind::Counter;
+  uint64_t Value = 0;
+};
+
+/// Monotonic steady-clock nanoseconds; the time base every *_ns metric
+/// uses. One clock read — callers guard it on enabled() when the registry
+/// may be disabled.
+uint64_t obsNowNs();
+
+/// Monotonically increasing count. Null handle = disabled = no-op.
+class Counter {
+public:
+  Counter() = default;
+  void add(uint64_t N = 1) {
+    if (Slot)
+      Slot->fetch_add(N, std::memory_order_relaxed);
+  }
+  bool enabled() const { return Slot != nullptr; }
+
+private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<uint64_t> *S) : Slot(S) {}
+  std::atomic<uint64_t> *Slot = nullptr;
+};
+
+/// Instantaneous value. Null handle = disabled = no-op.
+class Gauge {
+public:
+  Gauge() = default;
+  void set(uint64_t V) {
+    if (Slot)
+      Slot->store(V, std::memory_order_relaxed);
+  }
+  void add(uint64_t N = 1) {
+    if (Slot)
+      Slot->fetch_add(N, std::memory_order_relaxed);
+  }
+  void sub(uint64_t N = 1) {
+    if (Slot)
+      Slot->fetch_sub(N, std::memory_order_relaxed);
+  }
+  bool enabled() const { return Slot != nullptr; }
+
+private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<uint64_t> *S) : Slot(S) {}
+  std::atomic<uint64_t> *Slot = nullptr;
+};
+
+/// Retained maximum. Null handle = disabled = no-op.
+class HighWater {
+public:
+  HighWater() = default;
+  void observe(uint64_t V) {
+    if (!Slot)
+      return;
+    uint64_t Cur = Slot->load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !Slot->compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+  bool enabled() const { return Slot != nullptr; }
+
+private:
+  friend class MetricsRegistry;
+  explicit HighWater(std::atomic<uint64_t> *S) : Slot(S) {}
+  std::atomic<uint64_t> *Slot = nullptr;
+};
+
+/// The registry: owns every slot, hands out handles, snapshots on demand.
+class MetricsRegistry {
+public:
+  /// A disabled registry (Enabled == false) registers nothing and hands
+  /// out null handles — the zero-cost-disable path.
+  explicit MetricsRegistry(bool Enabled = true) : Live(Enabled) {}
+
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  bool enabled() const { return Live; }
+
+  Counter counter(std::string_view Name) {
+    return Counter(slot(Name, MetricKind::Counter));
+  }
+  Gauge gauge(std::string_view Name) {
+    return Gauge(slot(Name, MetricKind::Gauge));
+  }
+  HighWater highWater(std::string_view Name) {
+    return HighWater(slot(Name, MetricKind::HighWater));
+  }
+
+  /// Every registered metric, sorted by name. Safe to call concurrently
+  /// with updates (each value is one relaxed load).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Snapshot filtered to names starting with \p Prefix, with the prefix
+  /// stripped — how per-lane blocks are carved out of one registry.
+  std::vector<MetricSample> snapshotPrefix(std::string_view Prefix) const;
+
+private:
+  struct Slot {
+    std::string Name;
+    MetricKind Kind;
+    std::atomic<uint64_t> V{0};
+    Slot(std::string N, MetricKind K) : Name(std::move(N)), Kind(K) {}
+  };
+
+  std::atomic<uint64_t> *slot(std::string_view Name, MetricKind Kind);
+
+  const bool Live;
+  mutable std::mutex M; ///< Registration + snapshot; never on update paths.
+  std::deque<Slot> Slots; ///< Deque: handle addresses stay stable.
+  std::unordered_map<std::string, Slot *> Index;
+};
+
+/// A registry view with a name prefix ("lane.0.", "pool."). Carried by
+/// value; a default-constructed scope is disabled and hands out null
+/// handles, so instrumented code never branches on "do I have a registry".
+class MetricsScope {
+public:
+  MetricsScope() = default;
+  MetricsScope(MetricsRegistry *R, std::string Prefix)
+      : R(R), Prefix(std::move(Prefix)) {}
+
+  bool enabled() const { return R && R->enabled(); }
+
+  Counter counter(std::string_view Name) const {
+    return R ? R->counter(Prefix + std::string(Name)) : Counter();
+  }
+  Gauge gauge(std::string_view Name) const {
+    return R ? R->gauge(Prefix + std::string(Name)) : Gauge();
+  }
+  HighWater highWater(std::string_view Name) const {
+    return R ? R->highWater(Prefix + std::string(Name)) : HighWater();
+  }
+  MetricsScope nest(std::string_view Sub) const {
+    return R ? MetricsScope(R, Prefix + std::string(Sub)) : MetricsScope();
+  }
+
+private:
+  MetricsRegistry *R = nullptr;
+  std::string Prefix;
+};
+
+} // namespace rapid
+
+#endif // RAPID_OBS_METRICS_H

@@ -1,0 +1,95 @@
+//===- obs/TraceRecorder.cpp --------------------------------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceRecorder.h"
+
+#include "obs/Metrics.h"
+#include "support/Json.h"
+
+using namespace rapid;
+
+namespace {
+
+/// The calling thread's (recorder, track) binding. One slot per thread is
+/// enough: a thread serves one session's pool or consumers at a time, and
+/// the recorder pointer disambiguates stale bindings from past sessions.
+struct ThreadBinding {
+  const TraceRecorder *R = nullptr;
+  uint32_t Track = TraceRecorder::NoTrack;
+};
+thread_local ThreadBinding TLBinding;
+
+} // namespace
+
+TraceRecorder::TraceRecorder()
+    : OriginNs(static_cast<int64_t>(obsNowNs())) {}
+
+uint32_t TraceRecorder::track(std::string_view Name) {
+  std::lock_guard<std::mutex> G(M);
+  for (uint32_t I = 0; I != Tracks.size(); ++I)
+    if (Tracks[I] == Name)
+      return I;
+  Tracks.emplace_back(Name);
+  return static_cast<uint32_t>(Tracks.size() - 1);
+}
+
+void TraceRecorder::bindCurrentThread(uint32_t Track) {
+  TLBinding.R = this;
+  TLBinding.Track = Track;
+}
+
+uint32_t TraceRecorder::currentThreadTrack() const {
+  return TLBinding.R == this ? TLBinding.Track : NoTrack;
+}
+
+int64_t TraceRecorder::nowUs() const {
+  return (static_cast<int64_t>(obsNowNs()) - OriginNs) / 1000;
+}
+
+void TraceRecorder::span(uint32_t Track, std::string Name, int64_t StartUs,
+                         int64_t DurUs) {
+  if (Track == NoTrack)
+    return;
+  std::lock_guard<std::mutex> G(M);
+  Spans.push_back(Span{Track, StartUs, DurUs, std::move(Name)});
+}
+
+void TraceRecorder::counter(std::string Name, int64_t TsUs, uint64_t Value) {
+  std::lock_guard<std::mutex> G(M);
+  Samples.push_back(Sample{TsUs, Value, std::move(Name)});
+}
+
+std::string TraceRecorder::exportJson() const {
+  std::lock_guard<std::mutex> G(M);
+  std::string J;
+  J += "{\n";
+  J += "  \"displayTimeUnit\": \"ms\",\n";
+  J += "  \"traceEvents\": [";
+  bool First = true;
+  auto emit = [&](const std::string &Obj) {
+    if (!First)
+      J += ",";
+    First = false;
+    J += "\n    " + Obj;
+  };
+  // Track metadata first: one trace_event "thread" per track, named so
+  // ui.perfetto.dev labels the rows ("lane:WCP", "pool:worker0", ...).
+  for (uint32_t T = 0; T != Tracks.size(); ++T)
+    emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(T) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": " +
+         jsonQuote(Tracks[T]) + "}}");
+  for (const Span &S : Spans)
+    emit("{\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(S.Track) +
+         ", \"ts\": " + std::to_string(S.StartUs) +
+         ", \"dur\": " + std::to_string(S.DurUs) +
+         ", \"name\": " + jsonQuote(S.Name) + ", \"cat\": \"rapid\"}");
+  for (const Sample &C : Samples)
+    emit("{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": " +
+         std::to_string(C.TsUs) + ", \"name\": " + jsonQuote(C.Name) +
+         ", \"args\": {\"value\": " + std::to_string(C.Value) + "}}");
+  J += "\n  ]\n}\n";
+  return J;
+}

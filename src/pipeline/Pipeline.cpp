@@ -59,6 +59,8 @@ PipelineResult AnalysisPipeline::runParallel(const Trace &T) const {
               Out.DetectorName = R.DetectorName;
             Out.Report = std::move(R.Report);
             Out.Seconds = R.Seconds;
+            if (Opts.Metrics)
+              D->telemetry(Out.Telemetry);
           });
         });
       }
@@ -179,6 +181,8 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
           Out.Report = std::move(R.Report);
           Out.Seconds = R.Seconds;
         }
+        if (Opts.Metrics)
+          D->telemetry(Out.Telemetry);
       });
     });
   }
@@ -243,6 +247,8 @@ PipelineResult AnalysisPipeline::runFused(const Trace &T) const {
       Out.DetectorName =
           Lanes[L].Name.empty() ? Detectors[L]->name() : Lanes[L].Name;
       Out.Report = Detectors[L]->report();
+      if (Opts.Metrics)
+        Detectors[L]->telemetry(Out.Telemetry);
     }
     Result.NumShards = 1;
   } else {

@@ -41,6 +41,7 @@
 
 #include "detect/DetectorRunner.h"
 #include "detect/ShardedAccessHistory.h"
+#include "obs/Metrics.h"
 
 #include <string>
 #include <vector>
@@ -72,6 +73,9 @@ struct PipelineOptions {
   /// When false, lanes run fused on the caller's thread: a single walk of
   /// the trace feeds every detector per event (N analyses, one walk).
   bool Parallel = true;
+  /// When false, per-lane Telemetry blocks stay empty (Detector::telemetry
+  /// is never called) — the batch engine's face of the obs/ disable knob.
+  bool Metrics = true;
 };
 
 /// Per-lane outcome of a pipeline run, in lane registration order.
@@ -86,6 +90,10 @@ struct LaneResult {
   /// exception text, with the Report left partial/empty. Other lanes are
   /// unaffected — one detector blowing up must not sink the run.
   std::string Error;
+  /// Detector-reported metric samples (Detector::telemetry, e.g. WCP's
+  /// queue peaks), collected after the lane's walk. Empty in windowed
+  /// runs (fresh detectors per shard) and when Options.Metrics is false.
+  std::vector<MetricSample> Telemetry;
 };
 
 /// Outcome of one pipeline run.

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "obs/TraceRecorder.h"
+
 using namespace rapid;
 
 unsigned ThreadPool::defaultConcurrency() {
@@ -35,18 +37,35 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
+void ThreadPool::attachTelemetry(const MetricsScope &Obs, TraceRecorder *R) {
+  TasksCtr = Obs.counter("tasks");
+  StealsCtr = Obs.counter("steals");
+  TaskWaitNs = Obs.counter("task_wait_ns");
+  RunNs = Obs.counter("run_ns");
+  QueueDepthPeak = Obs.highWater("queue_depth_peak");
+  Rec.store(R, std::memory_order_release);
+}
+
 void ThreadPool::submit(std::function<void()> Task) {
+  Item It;
+  It.Fn = std::move(Task);
+  if (TaskWaitNs.enabled())
+    It.SubmitNs = obsNowNs();
   unsigned Target;
+  uint64_t Depth;
   {
     std::lock_guard<std::mutex> Guard(StateLock);
     Target = NextQueue;
     NextQueue = (NextQueue + 1) % static_cast<unsigned>(Queues.size());
     ++Pending;
-    ++Queued;
+    Depth = ++Queued;
   }
+  QueueDepthPeak.observe(Depth);
+  if (TraceRecorder *R = Rec.load(std::memory_order_acquire))
+    R->counter("pool.queue_depth", R->nowUs(), Depth);
   {
     std::lock_guard<std::mutex> Guard(Queues[Target]->Lock);
-    Queues[Target]->Tasks.push_back(std::move(Task));
+    Queues[Target]->Tasks.push_back(std::move(It));
   }
   WorkAvailable.notify_one();
 }
@@ -71,7 +90,7 @@ uint64_t ThreadPool::tasksFailed() const {
   return Failed;
 }
 
-bool ThreadPool::popOwn(unsigned Self, std::function<void()> &Task) {
+bool ThreadPool::popOwn(unsigned Self, Item &Task) {
   WorkerQueue &Q = *Queues[Self];
   std::lock_guard<std::mutex> Guard(Q.Lock);
   if (Q.Tasks.empty())
@@ -81,7 +100,7 @@ bool ThreadPool::popOwn(unsigned Self, std::function<void()> &Task) {
   return true;
 }
 
-bool ThreadPool::stealOther(unsigned Self, std::function<void()> &Task) {
+bool ThreadPool::stealOther(unsigned Self, Item &Task) {
   unsigned N = static_cast<unsigned>(Queues.size());
   for (unsigned Off = 1; Off < N; ++Off) {
     WorkerQueue &Q = *Queues[(Self + Off) % N];
@@ -99,11 +118,11 @@ bool ThreadPool::stealOther(unsigned Self, std::function<void()> &Task) {
 
 void ThreadPool::workerLoop(unsigned Self) {
   for (;;) {
-    std::function<void()> Task;
+    Item It;
     bool ViaSteal = false;
-    bool Got = popOwn(Self, Task);
+    bool Got = popOwn(Self, It);
     if (!Got) {
-      Got = stealOther(Self, Task);
+      Got = stealOther(Self, It);
       ViaSteal = Got;
     }
 
@@ -124,9 +143,29 @@ void ThreadPool::workerLoop(unsigned Self) {
       std::lock_guard<std::mutex> Guard(StateLock);
       --Queued;
     }
+    TasksCtr.add();
+    if (ViaSteal)
+      StealsCtr.add();
+    if (It.SubmitNs)
+      TaskWaitNs.add(obsNowNs() - It.SubmitNs);
+    // Bind this worker's timeline track lazily (attachTelemetry may run
+    // after the loop started) and wrap the task in a span so stage spans
+    // recorded inside it nest on the worker's row.
+    TraceRecorder *R = Rec.load(std::memory_order_acquire);
+    uint32_t Track = TraceRecorder::NoTrack;
+    int64_t SpanStart = 0;
+    if (R) {
+      Track = R->currentThreadTrack();
+      if (Track == TraceRecorder::NoTrack) {
+        Track = R->track("pool:worker" + std::to_string(Self));
+        R->bindCurrentThread(Track);
+      }
+      SpanStart = R->nowUs();
+    }
+    uint64_t Run0 = RunNs.enabled() ? obsNowNs() : 0;
     bool Threw = false;
     try {
-      Task();
+      It.Fn();
     } catch (...) {
       // Last-resort containment: an escaping exception must not abort the
       // process or strand wait() with Pending stuck above zero. Tasks are
@@ -134,6 +173,10 @@ void ThreadPool::workerLoop(unsigned Self) {
       // pipeline lane tasks do); this counter records that one did not.
       Threw = true;
     }
+    if (Run0)
+      RunNs.add(obsNowNs() - Run0);
+    if (R)
+      R->span(Track, "task", SpanStart, R->nowUs() - SpanStart);
     {
       std::lock_guard<std::mutex> Guard(StateLock);
       ++Executed;

@@ -22,6 +22,9 @@
 #ifndef RAPID_SUPPORT_THREADPOOL_H
 #define RAPID_SUPPORT_THREADPOOL_H
 
+#include "obs/Metrics.h"
+
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,6 +35,8 @@
 #include <vector>
 
 namespace rapid {
+
+class TraceRecorder;
 
 /// Work-stealing pool of \p NumThreads workers.
 class ThreadPool {
@@ -68,18 +73,46 @@ public:
   /// std::thread::hardware_concurrency() with a floor of 1.
   static unsigned defaultConcurrency();
 
+  /// Attaches observability (obs/): subsequent submissions and executions
+  /// update \p Obs's instruments — "tasks", "steals", "task_wait_ns"
+  /// (submit-to-start latency), "run_ns", "queue_depth_peak" — and, when
+  /// \p Rec is non-null, each worker lazily binds a "pool:worker<I>"
+  /// timeline track and wraps every task it runs in a "task" span (stage
+  /// spans recorded from inside the task nest within it). Call right
+  /// after construction, before the first submit; a disabled scope and a
+  /// null recorder keep the zero-cost disabled path (null handles, no
+  /// clock reads).
+  void attachTelemetry(const MetricsScope &Obs, TraceRecorder *Rec);
+
 private:
+  /// A queued task plus its submit timestamp (0 unless task-wait timing
+  /// is enabled — the clock is only read when someone will consume it).
+  struct Item {
+    std::function<void()> Fn;
+    uint64_t SubmitNs = 0;
+  };
   struct WorkerQueue {
-    std::deque<std::function<void()>> Tasks;
+    std::deque<Item> Tasks;
     std::mutex Lock;
   };
 
   void workerLoop(unsigned Self);
-  bool popOwn(unsigned Self, std::function<void()> &Task);
-  bool stealOther(unsigned Self, std::function<void()> &Task);
+  bool popOwn(unsigned Self, Item &Task);
+  bool stealOther(unsigned Self, Item &Task);
 
   std::vector<std::unique_ptr<WorkerQueue>> Queues;
   std::vector<std::thread> Workers;
+
+  // Observability handles (null/zero until attachTelemetry). The recorder
+  // pointer is atomic because workers read it while attach may still be
+  // running; everything else is only written by attachTelemetry before
+  // the first submit.
+  Counter TasksCtr;
+  Counter StealsCtr;
+  Counter TaskWaitNs;
+  Counter RunNs;
+  HighWater QueueDepthPeak;
+  std::atomic<TraceRecorder *> Rec{nullptr};
 
   mutable std::mutex StateLock;
   std::condition_variable WorkAvailable; ///< Signals queued work or stop.

@@ -58,6 +58,20 @@ public:
   const WcpStats &stats() const { return Stats; }
   uint64_t numEventsProcessed() const { return EventsProcessed; }
 
+  /// The Table 1 queue telemetry as metric samples — how the session and
+  /// pipeline surfaces pick up WcpStats without a detector-specific hook
+  /// (this replaced race_cli's stats-publishing wrapper lane).
+  void telemetry(std::vector<MetricSample> &Out) const override {
+    Out.push_back({"wcp.queue_peak_abstract", MetricKind::HighWater,
+                   Stats.MaxAbstractQueueEntries});
+    Out.push_back({"wcp.queue_peak_live", MetricKind::HighWater,
+                   Stats.MaxLiveQueueEntries});
+    Out.push_back({"wcp.queue_peak_shared", MetricKind::HighWater,
+                   Stats.MaxSharedQueueEntries});
+    Out.push_back({"wcp.events_processed", MetricKind::Counter,
+                   EventsProcessed});
+  }
+
   /// Testing hooks: the C_e time of the *last* event processed for thread
   /// \p T, i.e. P_t[t := N_t]. Used by the Theorem 2 equivalence tests.
   /// The two-argument form composes into \p Out in one pass (no fresh

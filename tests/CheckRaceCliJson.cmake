@@ -74,6 +74,38 @@ foreach(I RANGE ${LAST})
     message(FATAL_ERROR
             "lane ${I} consumed ${CONSUMED} of ${EVENTS} events")
   endif()
+  # Every lane carries a telemetry object (may be empty for detectors
+  # that report nothing in batch mode, but the key must exist).
+  string(JSON TELTYPE ERROR_VARIABLE TELERR TYPE "${OUT}" lanes ${I}
+         telemetry)
+  if(TELERR OR NOT TELTYPE STREQUAL "OBJECT")
+    message(FATAL_ERROR "lane ${I} telemetry missing or not an object "
+            "(${TELERR}/${TELTYPE})")
+  endif()
+  # The per-lane restarts key is deprecated out of the schema (see the
+  # top-level compat note); its reappearance means a schema regression.
+  string(JSON IGNORED ERROR_VARIABLE RERR GET "${OUT}" lanes ${I} restarts)
+  if(NOT RERR)
+    message(FATAL_ERROR "lane ${I} still emits the deprecated restarts key")
+  endif()
 endforeach()
+
+# The WCP lane's queue telemetry (paper Table 1 column 11) must survive
+# the detector's teardown into the JSON.
+string(JSON WCPQ ERROR_VARIABLE WERR GET "${OUT}" lanes 1 telemetry
+       wcp.queue_peak_abstract)
+if(WERR)
+  message(FATAL_ERROR "WCP lane telemetry lacks wcp.queue_peak_abstract: "
+          "${WERR}")
+endif()
+if(NOT WCPQ GREATER 0)
+  message(FATAL_ERROR "wcp.queue_peak_abstract = ${WCPQ}, want > 0")
+endif()
+
+# Deprecation forwarding address for tooling that greps for restarts.
+string(JSON COMPAT ERROR_VARIABLE CERR GET "${OUT}" compat restarts)
+if(CERR)
+  message(FATAL_ERROR "top-level compat.restarts note missing: ${CERR}")
+endif()
 
 message(STATUS "race_cli --json: valid (${EVENTS} events, ${NLANES} lanes)")
