@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Structural checks over a bench_pipeline JSON emission.
+
+Two tiers, mirroring what the numbers can actually support:
+
+  * Always (any host): the lock-free publish path's invariants — every
+    streamed section's ``publish.events`` equals the events the run
+    ingested, and the retired ``consume.lock_wait_seconds`` must be
+    absent or exactly zero (a nonzero value means a mutex crept back
+    between publication and the lanes).
+
+  * Only on a trustworthy parallel run (``degraded`` false and
+    ``hardware_threads >= 4``): the perf claims — fan-out ``speedup``
+    above 1.0, positive ``overlap_saved_seconds`` for the streamed and
+    streamed_windowed sections, and a monotonically non-increasing
+    ``wall_seconds`` across the 1->4 thread scaling sweep. A degraded
+    run (workers oversubscribe the host) skips these instead of failing
+    on scheduler noise.
+
+Usage: check_bench.py BENCH.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        bench = json.load(f)
+
+    rc = 0
+    events = bench.get("events")
+    stages = bench.get("stage_breakdown", {})
+    if not stages:
+        rc |= fail("no stage_breakdown section (obs layer stopped reporting)")
+    for name, section in stages.items():
+        published = section.get("publish.events")
+        if published != events:
+            rc |= fail(
+                f"{name}: publish.events = {published} but the run ingested "
+                f"{events} — the watermark diverged from ingestion"
+            )
+        lock_wait = section.get("consume.lock_wait_seconds", 0)
+        if lock_wait != 0:
+            rc |= fail(
+                f"{name}: consume.lock_wait_seconds = {lock_wait}; the "
+                "publish path must not take a lock"
+            )
+
+    degraded = bench.get("degraded", True)
+    hw = bench.get("hardware_threads", 0)
+    if degraded or hw < 4:
+        print(
+            f"check_bench: skipping speedup assertions "
+            f"(degraded={degraded}, hardware_threads={hw})"
+        )
+    else:
+        if bench.get("speedup", 0) <= 1.0:
+            rc |= fail(f"speedup {bench.get('speedup')} <= 1.0 on a "
+                       f"{hw}-thread host")
+        for name in ("streamed", "streamed_windowed"):
+            saved = bench.get(name, {}).get("overlap_saved_seconds")
+            if saved is None or saved <= 0:
+                rc |= fail(f"{name}: overlap_saved_seconds = {saved}, "
+                           "expected > 0 on a multi-core host")
+        sweep = {p["threads"]: p["wall_seconds"] for p in bench.get("scaling", [])}
+        walls = [sweep.get(n) for n in (1, 2, 4)]
+        if None in walls:
+            rc |= fail("scaling sweep is missing the 1/2/4 thread points")
+        elif not all(a >= b for a, b in zip(walls, walls[1:])):
+            rc |= fail(f"scaling wall_seconds not monotonically "
+                       f"non-increasing across 1->4 threads: {walls}")
+
+    if rc == 0:
+        print("check_bench: OK")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,31 +3,34 @@
 // Part of rapidpp (PLDI'17 WCP reproduction).
 //
 // The streaming engine: a single-producer / multi-consumer publication
-// protocol over a growable trace. The producer (feed/feedFile on the
-// caller's thread) appends events and advances Published under the session
-// mutex; consumers copy bounded batches of the published prefix out under
-// the same mutex and run detector work — the expensive part — outside it,
-// so analysis overlaps both ingestion and the other consumers. Consumers
-// never hold references into the trace across an unlock (the event vector
-// may reallocate), and all per-lane state shared with partialResult() sits
-// behind a per-lane snapshot mutex.
+// protocol over stable event storage. The producer (feed/feedFile on the
+// caller's thread) appends events to the trace and mirrors the validated
+// prefix into an EventStore (support/PublishedStore: chunked, append-only,
+// pointers never invalidated), publishing with one atomic watermark store.
+// Consumers read the published prefix *in place* — no lock on the hot
+// path, no per-batch copy — and park on the store's eventcount when they
+// catch up with the producer. The session mutex M now guards only the
+// trace/id tables, validation and detector construction; it is never taken
+// on a consumer's per-event path. All per-lane state shared with
+// partialResult() sits behind a per-lane snapshot mutex.
 //
 // Every run mode streams:
 //
 //   Sequential   one consumer thread per lane, each running its detector
-//                over published batches (sequentialConsumer);
+//                over published ranges in place (sequentialConsumer);
 //   Fused        one consumer thread walking every lane's detector over
-//                each batch (fusedConsumer);
+//                each published range (fusedConsumer);
 //   Windowed     one window-builder consumer cuts completed windows out of
 //                the published prefix (trace/IncrementalWindowSplitter)
 //                and dispatches a fresh detector per lane × window onto
 //                the session ThreadPool; reports merge deterministically
 //                in window order as they retire (windowedConsumer);
 //   VarSharded   one capture consumer per lane runs the clock pass behind
-//                ingestion, publishing AccessLog prefixes that per-shard
-//                drain tasks on the pool replay incrementally
-//                (detect/ShardChecker); only the final trace-order merge
-//                waits for finish() (varShardConsumer/drainVarShard).
+//                ingestion; the captured AccessLog is itself published by
+//                watermark, and per-shard drain tasks on the pool replay
+//                committed accesses in place (detect/ShardChecker); only
+//                the final trace-order merge waits for finish()
+//                (varShardConsumer/drainVarShard).
 //
 // Mid-stream table growth (text inputs intern lazily; push feeds may
 // declare late) is free: detector state is growable end to end —
@@ -37,11 +40,15 @@
 // tables. The rebuild-and-replay restart machinery this file used to
 // carry is gone; LaneReport::Restarts is structurally 0.
 //
+// Table visibility: the producer interns ids and validates under M
+// *before* appending to the store (publishLocked runs with M held), so a
+// consumer that observed watermark W and then takes M to construct its
+// detector sees id tables at least as fresh as every event below W.
+//
 // Lock order. The session mutex M nests SnapM inside (M → SnapM). The
-// var-sharded lane log mutex LogM also nests SnapM (LogM → SnapM, while
-// the capture detector appends to the published log). Shard mutexes (SM)
-// and window-epoch mutexes (EM) are leaves taken on their own. M is never
-// held together with LogM/SM/EM.
+// var-sharded lane log mutex LogM also nests SnapM (LogM → SnapM). Shard
+// mutexes (SM), window-epoch mutexes (EM) and the store's internal wake
+// mutex are leaves. M is never held together with LogM/SM/EM.
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,16 +60,18 @@
 #include "pipeline/ChunkedReader.h"
 #include "pipeline/Pipeline.h"
 #include "support/GuardedTask.h"
+#include "support/PublishedStore.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "trace/EventStore.h"
 #include "trace/TraceValidator.h"
 #include "trace/Window.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 
 using namespace rapid;
 
@@ -86,8 +95,10 @@ uint64_t toNs(double Seconds) {
 }
 
 /// Locks the deferred \p Lk, charging acquisition time to \p WaitNs when
-/// metrics are enabled — the SPMC publication-lock contention probe. The
-/// disabled path is the plain lock: no clock reads.
+/// metrics are enabled — the producer-side table/validation-lock probe
+/// (consumers no longer take the session lock per batch; their only wait
+/// is the store park, charged to *.park_ns). The disabled path is the
+/// plain lock: no clock reads.
 void lockCharged(std::unique_lock<std::mutex> &Lk, Counter WaitNs) {
   if (WaitNs.enabled()) {
     uint64_t T0 = obsNowNs();
@@ -95,20 +106,6 @@ void lockCharged(std::unique_lock<std::mutex> &Lk, Counter WaitNs) {
     WaitNs.add(obsNowNs() - T0);
   } else {
     Lk.lock();
-  }
-}
-
-/// CV wait with the blocked time charged to \p WaitNs (consumer-side "how
-/// long did I sit behind the producer" probe).
-template <typename Pred>
-void waitCharged(std::condition_variable &CV, std::unique_lock<std::mutex> &Lk,
-                 Counter WaitNs, Pred P) {
-  if (WaitNs.enabled()) {
-    uint64_t T0 = obsNowNs();
-    CV.wait(Lk, std::move(P));
-    WaitNs.add(obsNowNs() - T0);
-  } else {
-    CV.wait(Lk, std::move(P));
   }
 }
 
@@ -187,9 +184,8 @@ struct LaneRuntime {
   // plus the lane's timeline track. Written once at session start, then
   // only read — safe to use from the lane's consumer and pool tasks.
   Counter ConsumeNs;       ///< Detector processing time.
-  Counter LockWaitNs;      ///< Time acquiring the session (SPMC) lock.
-  Counter PublishWaitNs;   ///< Time blocked waiting for published events.
-  Counter Batches;         ///< Batches copied out of the published prefix.
+  Counter ParkNs;          ///< Time parked waiting for published events.
+  Counter Batches;         ///< Published ranges processed (in place).
   Counter WindowsChecked;  ///< Windowed: lane × window tasks completed.
   Counter WindowCheckNs;   ///< Windowed: time inside window tasks.
   Counter DrainNs;         ///< Var-sharded: shard replay time.
@@ -234,15 +230,19 @@ struct WindowEpoch {
 // ---- Var-sharded-mode streaming state ---------------------------------------
 
 /// One lane's shard-check runtime for the streamed var-sharded mode.
-/// WorkList/cursors/Error/Seconds are guarded by the lane's LogM; the
-/// checker itself by SM (claim under LogM, replay under SM, commit under
-/// LogM — so capture publication, shard replay and partial snapshots all
-/// overlap without sharing).
+/// Cursors/Error/Seconds are guarded by the lane's LogM; the checker
+/// itself by SM (claim under LogM, replay under SM — in place, against
+/// the committed log — commit progress under LogM, so capture
+/// publication, shard replay and partial snapshots all overlap without
+/// sharing). WorkList is a PublishedStore so the drain task can read its
+/// claimed range outside LogM while the capture consumer keeps appending:
+/// growth never relocates an entry, and the LogM claim handshake provides
+/// the happens-before (the store's own watermark is not used here).
 struct VarShard {
-  std::vector<uint32_t> WorkList; ///< Access indices, in trace order.
-  size_t Claimed = 0;             ///< Handed to the drain task.
-  size_t Completed = 0;           ///< Replayed into the checker.
-  bool Scheduled = false;         ///< A drain task is in flight.
+  PublishedStore<uint32_t> WorkList; ///< Access indices, in trace order.
+  uint64_t Claimed = 0;              ///< Handed to the drain task.
+  uint64_t Completed = 0;            ///< Replayed into the checker.
+  bool Scheduled = false;            ///< A drain task is in flight.
   std::string Error;
   double Seconds = 0;
 
@@ -276,13 +276,18 @@ struct AnalysisSession::Impl {
   Timer Wall;
   double IngestSeconds = 0;
 
-  // Publication state (guarded by M, signaled via CV).
+  // Trace / table state (guarded by M). Publication itself lives in
+  // Store: the producer mirrors the validated prefix into it under M and
+  // publishes by watermark; consumers read the store lock-free and only
+  // take M to construct detectors against the id tables.
   std::mutex M;
-  std::condition_variable CV;
   Trace Owned;
   const Trace *Live = &Owned; ///< Points into the reader during feedFile.
-  uint64_t Published = 0;
-  bool IngestDone = false;
+  EventStore Store;           ///< Published events; watermark == analyzable.
+  /// Producer stores seq_cst then Store.wakeAll(); consumer stop
+  /// predicates load seq_cst (the store's Dekker handshake, so the last
+  /// wake cannot be lost).
+  std::atomic<bool> IngestDone{false};
   bool Finished = false;
   bool Ingested = false; ///< Any feed/declare has happened.
 
@@ -311,8 +316,7 @@ struct AnalysisSession::Impl {
   Counter PublishBatches;
   Gauge PublishedGauge;     ///< The published watermark.
   HighWater PublishBatchPeak;
-  Counter ConsumerLockWaitNs;    ///< Shared-consumer modes (fused/builder).
-  Counter ConsumerPublishWaitNs; ///< Shared-consumer modes (fused/builder).
+  Counter ConsumerParkNs;   ///< Shared-consumer modes (fused/builder).
   Counter WindowsDispatched;
   Gauge WindowsRetired;
   uint32_t IngestTrack = TraceRecorder::NoTrack;
@@ -351,57 +355,52 @@ void AnalysisSession::Impl::buildDetectorLocked(LaneRuntime &Rt) {
   Rt.Name = Rt.Label.empty() ? Rt.D->name() : Rt.Label;
 }
 
-/// One lane of the sequential streaming mode: wait for published events,
-/// copy a bounded batch out, process it outside the session lock. The
-/// detector is built once, against whatever id tables exist when the lane
-/// first has work; growable detector state admits ids declared later, so
-/// table growth never restarts the lane (bit-for-bit with the batch run;
-/// see the header comment).
+/// One lane of the sequential streaming mode: wait for the watermark,
+/// then run the detector over the published range *in place* — no session
+/// lock, no batch copy. Processing is still chunked (Cfg.StreamBatchEvents)
+/// so SnapM is released regularly for partialResult(). The detector is
+/// built once, against whatever id tables exist when the lane first has
+/// work (taking M only for that one construction); growable detector
+/// state admits ids declared later, so table growth never restarts the
+/// lane (bit-for-bit with the batch run; see the header comment).
 void AnalysisSession::Impl::sequentialConsumer(LaneRuntime &Rt) {
   const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
-  std::vector<Event> Buf;
   uint64_t Consumed = 0;
+  auto Stopped = [this] {
+    return IngestDone.load(std::memory_order_seq_cst);
+  };
   try {
     for (;;) {
-      uint64_t From;
-      uint64_t Lag = 0;
-      {
-        std::unique_lock<std::mutex> Lk(M, std::defer_lock);
-        lockCharged(Lk, Rt.LockWaitNs);
-        waitCharged(CV, Lk, Rt.PublishWaitNs,
-                    [&] { return IngestDone || Published > Consumed; });
-        if (Published == Consumed) {
-          if (IngestDone)
-            break;
-          continue;
+      const uint64_t To = Store.waitPublished(Consumed, Rt.ParkNs, Stopped);
+      if (To == Consumed)
+        break; // Stopped and fully drained.
+      if (!Rt.D) {
+        std::lock_guard<std::mutex> Lk(M);
+        buildDetectorLocked(Rt);
+      }
+      while (Consumed != To) {
+        const uint64_t From = Consumed;
+        const uint64_t End = std::min(To, From + Batch);
+        Rt.Batches.add();
+        Rt.BatchEventsPeak.observe(End - From);
+        Rt.LagEventsPeak.observe(Store.published() - From);
+        int64_t SpanStart = Rec ? Rec->nowUs() : 0;
+        {
+          std::lock_guard<std::mutex> G(Rt.SnapM);
+          Timer Clock;
+          Store.forRange(From, End, [&](const Event &E, uint64_t I) {
+            Rt.D->processEvent(E, I);
+          });
+          double Sec = Clock.seconds();
+          Rt.Seconds += Sec;
+          Rt.ConsumeNs.add(toNs(Sec));
+          Consumed = End;
+          Rt.Consumed = End;
         }
-        if (!Rt.D)
-          buildDetectorLocked(Rt);
-        From = Consumed;
-        uint64_t To = std::min(Published, From + Batch);
-        Lag = Published - From;
-        const std::vector<Event> &Events = Live->events();
-        Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
-                   Events.begin() + static_cast<ptrdiff_t>(To));
-      }
-      Rt.Batches.add();
-      Rt.BatchEventsPeak.observe(Buf.size());
-      Rt.LagEventsPeak.observe(Lag);
-      int64_t SpanStart = Rec ? Rec->nowUs() : 0;
-      {
-        std::lock_guard<std::mutex> G(Rt.SnapM);
-        Timer Clock;
-        for (uint64_t K = 0; K != Buf.size(); ++K)
-          Rt.D->processEvent(Buf[K], From + K);
-        double Sec = Clock.seconds();
-        Rt.Seconds += Sec;
-        Rt.ConsumeNs.add(toNs(Sec));
-        Consumed = From + Buf.size();
-        Rt.Consumed = Consumed;
-      }
-      if (Rec) {
-        Rec->span(Rt.Track, "consume", SpanStart, Rec->nowUs() - SpanStart);
-        Rec->counter("lag:" + Rt.Fallback, Rec->nowUs(), Lag - Buf.size());
+        if (Rec) {
+          Rec->span(Rt.Track, "consume", SpanStart, Rec->nowUs() - SpanStart);
+          Rec->counter("lag:" + Rt.Fallback, Rec->nowUs(), To - End);
+        }
       }
     }
     {
@@ -427,15 +426,17 @@ void AnalysisSession::Impl::sequentialConsumer(LaneRuntime &Rt) {
 }
 
 /// The fused streaming mode: one consumer drives every lane through the
-/// same batch walk, so N detectors cost one pass over the published
-/// prefix. A lane that throws is marked failed and dropped from the walk;
+/// same in-place walk of the published prefix, so N detectors cost one
+/// pass. A lane that throws is marked failed and dropped from the walk;
 /// the others continue.
 void AnalysisSession::Impl::fusedConsumer() {
   const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
-  std::vector<Event> Buf;
   uint64_t Consumed = 0;
   bool Constructed = false;
   std::vector<bool> Failed(Lanes.size(), false);
+  auto Stopped = [this] {
+    return IngestDone.load(std::memory_order_seq_cst);
+  };
 
   auto failLane = [&](size_t L, const char *What) {
     std::lock_guard<std::mutex> G(Lanes[L]->SnapM);
@@ -456,53 +457,44 @@ void AnalysisSession::Impl::fusedConsumer() {
   };
 
   for (;;) {
-    uint64_t From;
-    uint64_t Lag = 0;
-    {
-      std::unique_lock<std::mutex> Lk(M, std::defer_lock);
-      lockCharged(Lk, ConsumerLockWaitNs);
-      waitCharged(CV, Lk, ConsumerPublishWaitNs,
-                  [&] { return IngestDone || Published > Consumed; });
-      if (Published == Consumed) {
-        if (IngestDone)
-          break;
-        continue;
-      }
-      if (!Constructed) {
-        for (size_t L = 0; L != Lanes.size(); ++L)
-          guardedLane(L, [&] { buildDetectorLocked(*Lanes[L]); });
-        Constructed = true;
-      }
-      From = Consumed;
-      uint64_t To = std::min(Published, From + Batch);
-      Lag = Published - From;
-      const std::vector<Event> &Events = Live->events();
-      Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
-                 Events.begin() + static_cast<ptrdiff_t>(To));
+    const uint64_t To = Store.waitPublished(Consumed, ConsumerParkNs, Stopped);
+    if (To == Consumed)
+      break; // Stopped and fully drained.
+    if (!Constructed) {
+      std::lock_guard<std::mutex> Lk(M);
+      for (size_t L = 0; L != Lanes.size(); ++L)
+        guardedLane(L, [&] { buildDetectorLocked(*Lanes[L]); });
+      Constructed = true;
     }
-    for (size_t L = 0; L != Lanes.size(); ++L) {
-      guardedLane(L, [&] {
-        LaneRuntime &Rt = *Lanes[L];
-        Rt.Batches.add();
-        Rt.BatchEventsPeak.observe(Buf.size());
-        Rt.LagEventsPeak.observe(Lag);
-        int64_t SpanStart = Rec ? Rec->nowUs() : 0;
-        {
-          std::lock_guard<std::mutex> G(Rt.SnapM);
-          Timer Clock;
-          for (uint64_t K = 0; K != Buf.size(); ++K)
-            Rt.D->processEvent(Buf[K], From + K);
-          double Sec = Clock.seconds();
-          Rt.Seconds += Sec;
-          Rt.ConsumeNs.add(toNs(Sec));
-          Rt.Consumed = From + Buf.size();
-        }
-        if (Rec)
-          Rec->span(Rt.Track, "consume", SpanStart,
-                    Rec->nowUs() - SpanStart);
-      });
+    while (Consumed != To) {
+      const uint64_t From = Consumed;
+      const uint64_t End = std::min(To, From + Batch);
+      const uint64_t Lag = Store.published() - From;
+      for (size_t L = 0; L != Lanes.size(); ++L) {
+        guardedLane(L, [&] {
+          LaneRuntime &Rt = *Lanes[L];
+          Rt.Batches.add();
+          Rt.BatchEventsPeak.observe(End - From);
+          Rt.LagEventsPeak.observe(Lag);
+          int64_t SpanStart = Rec ? Rec->nowUs() : 0;
+          {
+            std::lock_guard<std::mutex> G(Rt.SnapM);
+            Timer Clock;
+            Store.forRange(From, End, [&](const Event &E, uint64_t I) {
+              Rt.D->processEvent(E, I);
+            });
+            double Sec = Clock.seconds();
+            Rt.Seconds += Sec;
+            Rt.ConsumeNs.add(toNs(Sec));
+            Rt.Consumed = End;
+          }
+          if (Rec)
+            Rec->span(Rt.Track, "consume", SpanStart,
+                      Rec->nowUs() - SpanStart);
+        });
+      }
+      Consumed = End;
     }
-    Consumed = From + Buf.size();
   }
   {
     std::unique_lock<std::mutex> Lk(M);
@@ -623,50 +615,40 @@ void AnalysisSession::Impl::finalizeWindowedLanes(WindowEpoch &Ep) {
 /// the per-window detectors tolerate ids beyond the tables they were
 /// built against (growable state), so table growth never re-cuts windows.
 void AnalysisSession::Impl::windowedConsumer() {
-  const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
-  std::vector<Event> Buf;
   uint64_t Consumed = 0;
   std::shared_ptr<WindowEpoch> Ep;
   std::unique_ptr<IncrementalWindowSplitter> Split;
+  auto Stopped = [this] {
+    return IngestDone.load(std::memory_order_seq_cst);
+  };
   try {
     for (;;) {
-      uint64_t From = 0;
-      bool Flush = false;
-      {
-        std::unique_lock<std::mutex> Lk(M, std::defer_lock);
-        lockCharged(Lk, ConsumerLockWaitNs);
-        waitCharged(CV, Lk, ConsumerPublishWaitNs,
-                    [&] { return IngestDone || Published > Consumed; });
-        if (!Ep) {
-          Ep = std::make_shared<WindowEpoch>();
-          WinEpoch = Ep;
-          Split =
-              std::make_unique<IncrementalWindowSplitter>(*Live,
-                                                          Cfg.WindowEvents);
-        }
-        if (Published == Consumed) {
-          if (!IngestDone)
-            continue;
-          Flush = true;
-        } else {
-          From = Consumed;
-          uint64_t To = std::min(Published, From + Batch);
-          const std::vector<Event> &Events = Live->events();
-          Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
-                     Events.begin() + static_cast<ptrdiff_t>(To));
-          Consumed = To;
-        }
+      const uint64_t To = Store.waitPublished(Consumed, ConsumerParkNs,
+                                              Stopped);
+      if (!Ep) {
+        // First wake: fix the epoch and the splitter. Under M so the
+        // splitter's table copy is at least as fresh as every published
+        // event it will see (publication happens with M held).
+        std::lock_guard<std::mutex> Lk(M);
+        Ep = std::make_shared<WindowEpoch>();
+        WinEpoch = Ep;
+        Split = std::make_unique<IncrementalWindowSplitter>(*Live,
+                                                            Cfg.WindowEvents);
       }
-      if (!Flush) {
+      if (To != Consumed) {
         int64_t SpanStart = Rec ? Rec->nowUs() : 0;
-        for (uint64_t K = 0; K != Buf.size(); ++K)
-          if (std::optional<TraceWindow> W = Split->push(Buf[K], From + K))
+        Store.forRange(Consumed, To, [&](const Event &E, uint64_t I) {
+          if (std::optional<TraceWindow> W = Split->push(E, I))
             dispatchWindow(Ep, std::move(*W));
+        });
+        Consumed = To;
         if (Rec)
           Rec->span(BuilderTrack, "build", SpanStart,
                     Rec->nowUs() - SpanStart);
         continue;
       }
+      // Stopped and fully drained: flush the trailing partial window,
+      // wait out the in-flight tasks, merge.
       if (std::optional<TraceWindow> W = Split->flush())
         dispatchWindow(Ep, std::move(*W));
       {
@@ -703,53 +685,31 @@ void AnalysisSession::Impl::scheduleDrains(VarShardState &VS,
   ToSchedule.clear();
 }
 
-/// One drain round for shard \p S: claim a bounded run of newly published
-/// accesses under LogM (copying them and the clock snapshots they
-/// reference out, so the growing log is never read unlocked), replay them
-/// into the shard's checker under SM, commit completion under LogM.
+/// One drain round for shard \p S: claim a bounded run of committed
+/// accesses under LogM (cursor bump only — no copy), replay them into the
+/// shard's checker under SM reading the log and the broadcast snapshots
+/// *in place*, commit completion under LogM. Sound without holding LogM
+/// during the replay: WorkList entries below Claimed were appended by the
+/// capture consumer under LogM *after* it committed the accesses and
+/// snapshots they index, so the claim's LogM acquire happens-after all of
+/// that, and the storage itself (PublishedStore chunks) never relocates.
 /// Loops until no work is left, then clears Scheduled and exits — the
-/// capture consumer re-submits when it publishes more.
+/// capture consumer re-submits when it commits more.
 void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
-  constexpr size_t DrainBatch = 4096;
+  constexpr uint64_t DrainBatch = 4096;
   VarShard &Sh = *VS.Shards[S];
-  struct Item {
-    DeferredAccess A;
-    uint32_t Local = 0;
-    uint32_t Ce = 0;
-    uint32_t Hard = DeferredAccess::NoClock;
-  };
-  std::vector<Item> Batch;
-  std::vector<VectorClock> Clocks;
+  const AccessLog &Log = *VS.Log;
+  const ClockBroadcast &Broadcast = Log.clocks();
   for (;;) {
-    Batch.clear();
-    Clocks.clear();
+    uint64_t From, End;
     {
       std::lock_guard<std::mutex> G(VS.LogM);
       if (Sh.Claimed == Sh.WorkList.size()) {
         Sh.Scheduled = false;
         return;
       }
-      size_t End = std::min(Sh.WorkList.size(), Sh.Claimed + DrainBatch);
-      const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
-      const ClockBroadcast &Broadcast = VS.Log->clocks();
-      std::unordered_map<uint32_t, uint32_t> Remap;
-      auto localClock = [&](uint32_t Idx) {
-        auto [It, New] =
-            Remap.emplace(Idx, static_cast<uint32_t>(Clocks.size()));
-        if (New)
-          Clocks.push_back(Broadcast.snapshot(Idx));
-        return It->second;
-      };
-      Batch.reserve(End - Sh.Claimed);
-      for (size_t K = Sh.Claimed; K != End; ++K) {
-        Item It;
-        It.A = Accesses[Sh.WorkList[K]];
-        It.Local = VS.Plan.localIdOf(It.A.Var);
-        It.Ce = localClock(It.A.Clock);
-        if (It.A.Hard != DeferredAccess::NoClock)
-          It.Hard = localClock(It.A.Hard);
-        Batch.push_back(std::move(It));
-      }
+      From = Sh.Claimed;
+      End = std::min(Sh.WorkList.size(), From + DrainBatch);
       Sh.Claimed = End;
     }
     std::string Err;
@@ -759,11 +719,14 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
       std::lock_guard<std::mutex> G(Sh.SM);
       guardedTask(Err, [&] {
         Timer Clock;
-        for (const Item &It : Batch)
-          Sh.Checker->replay(It.A, VarId(It.Local), Clocks[It.Ce],
-                             It.Hard == DeferredAccess::NoClock
+        for (uint64_t K = From; K != End; ++K) {
+          const DeferredAccess &A = Log.access(Sh.WorkList[K]);
+          Sh.Checker->replay(A, VarId(VS.Plan.localIdOf(A.Var)),
+                             Broadcast.snapshot(A.Clock),
+                             A.Hard == DeferredAccess::NoClock
                                  ? nullptr
-                                 : &Clocks[It.Hard]);
+                                 : &Broadcast.snapshot(A.Hard));
+        }
         Seconds = Clock.seconds();
       });
     }
@@ -774,7 +737,7 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
                 SpanStart, Rec->nowUs() - SpanStart);
     {
       std::lock_guard<std::mutex> G(VS.LogM);
-      Sh.Completed += Batch.size();
+      Sh.Completed = End;
       Sh.Seconds += Seconds;
       if (!Err.empty() && Sh.Error.empty())
         Sh.Error = std::move(Err);
@@ -785,57 +748,45 @@ void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
 
 /// One lane of the streamed var-sharded mode. The consumer runs the
 /// capture clock pass behind ingestion (exactly the sequential consumer's
-/// walk, but with race checks deferred into the lane's AccessLog), and
-/// publishes the captured prefix to per-shard drain tasks that replay the
-/// deferred checks concurrently — the batch engine's three phases, spread
-/// over time. Detectors without capture support keep the plain sequential
-/// walk (bit-identical to the batch fallback). Only the trace-order merge
-/// is deferred to the very end.
+/// in-place walk, but with race checks deferred into the lane's
+/// AccessLog), commits the captured prefix (AccessLog::commit — snapshot
+/// watermark, then access watermark) and partitions the committed range
+/// into per-shard work lists under LogM; per-shard drain tasks replay the
+/// deferred checks in place concurrently — the batch engine's three
+/// phases, spread over time. Detectors without capture support keep the
+/// plain sequential walk (bit-identical to the batch fallback). Only the
+/// trace-order merge is deferred to the very end.
 void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
                                              VarShardState &VS) {
   const uint64_t Batch = std::max<uint64_t>(Cfg.StreamBatchEvents, 1);
   const uint32_t NumShards = std::max<uint32_t>(Cfg.VarShards, 1);
-  std::vector<Event> Buf;
   std::vector<uint32_t> ToSchedule;
   uint64_t Consumed = 0;
+  // Consumer-local mirrors of VS fields this thread itself set at attach
+  // time (it is their only writer) — no LogM round-trip per chunk.
+  AccessLog *Log = nullptr;
+  bool Capturing = false;
+  bool PlanReady = false;
+  auto Stopped = [this] {
+    return IngestDone.load(std::memory_order_seq_cst);
+  };
   try {
     for (;;) {
-      uint64_t From;
-      uint64_t Lag = 0;
-      bool FreshDetector = false;
-      uint32_t HintThreads = 0, HintVars = 0;
-      {
-        std::unique_lock<std::mutex> Lk(M, std::defer_lock);
-        lockCharged(Lk, Rt.LockWaitNs);
-        waitCharged(CV, Lk, Rt.PublishWaitNs,
-                    [&] { return IngestDone || Published > Consumed; });
-        if (Published == Consumed) {
-          if (IngestDone)
-            break;
-          continue;
-        }
-        if (!Rt.D) {
+      const uint64_t To = Store.waitPublished(Consumed, Rt.ParkNs, Stopped);
+      if (To == Consumed)
+        break; // Stopped and fully drained.
+      if (!Rt.D) {
+        uint32_t HintThreads, HintVars;
+        {
+          std::lock_guard<std::mutex> Lk(M);
           buildDetectorLocked(Rt);
-          FreshDetector = true;
           HintThreads = Live->numThreads();
           HintVars = Live->numVars();
         }
-        From = Consumed;
-        uint64_t To = std::min(Published, From + Batch);
-        Lag = Published - From;
-        const std::vector<Event> &Events = Live->events();
-        Buf.assign(Events.begin() + static_cast<ptrdiff_t>(From),
-                   Events.begin() + static_cast<ptrdiff_t>(To));
-      }
-      Rt.Batches.add();
-      Rt.BatchEventsPeak.observe(Buf.size());
-      Rt.LagEventsPeak.observe(Lag);
-      if (FreshDetector) {
         // Attach capture, once per session: the log, the broadcast table
         // and the shard checkers are all growable, so the table sizes at
         // attach time are sizing hints, not bounds.
         auto NewLog = std::make_unique<AccessLog>(HintThreads);
-        bool Capturing;
         ShardReplay Replay = ShardReplay::FullHistory;
         {
           std::lock_guard<std::mutex> G(Rt.SnapM);
@@ -843,17 +794,18 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           if (Capturing)
             Replay = Rt.D->shardReplay();
         }
+        PlanReady = Capturing && Cfg.Strategy == ShardStrategy::Modulo;
         {
           std::lock_guard<std::mutex> G(VS.LogM);
           VS.LogHolder = std::move(NewLog);
           VS.Log = VS.LogHolder.get();
           VS.Capturing = Capturing;
           VS.Replay = Replay;
-          VS.PlanReady =
-              Capturing && Cfg.Strategy == ShardStrategy::Modulo;
+          VS.PlanReady = PlanReady;
           VS.Plan = ShardPlan(NumShards);
         }
-        if (VS.PlanReady) {
+        Log = VS.Log;
+        if (PlanReady) {
           for (uint32_t S = 0; S != NumShards; ++S) {
             VarShard &Sh = *VS.Shards[S];
             std::lock_guard<std::mutex> G(Sh.SM);
@@ -862,45 +814,58 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           }
         }
       }
-      int64_t SpanStart = Rec ? Rec->nowUs() : 0;
-      {
-        // The capture detector appends to the published log, so the walk
-        // runs under LogM (→ SnapM); drain tasks only ever read the log
-        // under the same LogM.
-        std::lock_guard<std::mutex> LG(VS.LogM);
+      while (Consumed != To) {
+        const uint64_t From = Consumed;
+        const uint64_t End = std::min(To, From + Batch);
+        Rt.Batches.add();
+        Rt.BatchEventsPeak.observe(End - From);
+        Rt.LagEventsPeak.observe(Store.published() - From);
+        int64_t SpanStart = Rec ? Rec->nowUs() : 0;
         {
+          // The capture walk itself runs lock-free against the event
+          // store; only the lane snapshot mutex serializes with
+          // partialResult(). Drains read the log via its own committed
+          // watermark, so no LogM here.
           std::lock_guard<std::mutex> G(Rt.SnapM);
           Timer Clock;
-          for (uint64_t K = 0; K != Buf.size(); ++K)
-            Rt.D->processEvent(Buf[K], From + K);
+          Store.forRange(From, End, [&](const Event &E, uint64_t I) {
+            Rt.D->processEvent(E, I);
+          });
           double Sec = Clock.seconds();
           Rt.Seconds += Sec;
           Rt.ConsumeNs.add(toNs(Sec));
-          Consumed = From + Buf.size();
-          Rt.Consumed = Consumed;
+          Consumed = End;
+          Rt.Consumed = End;
         }
-        VS.CapturedEvents = Consumed;
-        if (VS.Log) {
-          Rt.CapturedAccesses.set(VS.Log->accesses().size());
-          Rt.BroadcastClocks.set(VS.Log->clocks().numSnapshots());
-        }
-        if (VS.PlanReady) {
-          const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
-          for (uint64_t I = VS.Partitioned; I != Accesses.size(); ++I) {
-            uint32_t S = VS.Plan.shardOf(Accesses[I].Var);
-            VarShard &Sh = *VS.Shards[S];
-            Sh.WorkList.push_back(static_cast<uint32_t>(I));
-            if (!Sh.Scheduled) {
-              Sh.Scheduled = true;
-              ToSchedule.push_back(S);
-            }
+        // Commit outside LogM (writer-side watermark stores), then
+        // partition the committed range under LogM — the order drains
+        // rely on: every WorkList entry indexes a committed access.
+        const uint64_t CommittedNow = Capturing ? Log->commit() : 0;
+        {
+          std::lock_guard<std::mutex> LG(VS.LogM);
+          VS.CapturedEvents = Consumed;
+          if (Log) {
+            Rt.CapturedAccesses.set(Log->numAccesses());
+            Rt.BroadcastClocks.set(Log->clocks().numSnapshots());
           }
-          VS.Partitioned = Accesses.size();
+          if (PlanReady) {
+            for (uint64_t I = VS.Partitioned; I != CommittedNow; ++I) {
+              uint32_t S = VS.Plan.shardOf(Log->access(I).Var);
+              VarShard &Sh = *VS.Shards[S];
+              Sh.WorkList.append(static_cast<uint32_t>(I));
+              if (!Sh.Scheduled) {
+                Sh.Scheduled = true;
+                ToSchedule.push_back(S);
+              }
+            }
+            VS.Partitioned = CommittedNow;
+          }
         }
+        if (Rec)
+          Rec->span(Rt.Track, "capture", SpanStart,
+                    Rec->nowUs() - SpanStart);
+        scheduleDrains(VS, ToSchedule);
       }
-      if (Rec)
-        Rec->span(Rt.Track, "capture", SpanStart, Rec->nowUs() - SpanStart);
-      scheduleDrains(VS, ToSchedule);
     }
 
     uint32_t FinalThreads, FinalVars;
@@ -913,11 +878,6 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         buildDetectorLocked(Rt);
       FinalThreads = Live->numThreads();
       FinalVars = Live->numVars();
-    }
-    bool Capturing;
-    {
-      std::lock_guard<std::mutex> G(VS.LogM);
-      Capturing = VS.Capturing;
     }
     if (!Capturing) {
       // Sequential fallback lane (no capture support) — or a zero-event
@@ -936,6 +896,9 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
       Rt.D->finish();
       Rt.Seconds += Clock.seconds();
     }
+    // The clock pass is over; make sure its entire log is committed
+    // (idempotent when the last chunk already was).
+    const uint64_t Committed = Log->commit();
     {
       std::lock_guard<std::mutex> G(VS.LogM);
       if (!VS.PlanReady) {
@@ -945,21 +908,25 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         // needs no counts and streams all along). Counts are sized to the
         // final tables, so the plan is exactly the batch engine's.
         std::vector<uint64_t> Counts(FinalVars, 0);
-        for (const DeferredAccess &A : VS.Log->accesses())
+        Log->forEachAccess(0, Committed, [&](const DeferredAccess &A,
+                                             uint64_t) {
           ++Counts[A.Var.value()];
+        });
         VS.Plan = ShardPlan::balancedByFrequency(NumShards, Counts);
         VS.PlanReady = true;
+        PlanReady = true;
         for (uint32_t S = 0; S != NumShards; ++S) {
           VarShard &Sh = *VS.Shards[S];
           std::lock_guard<std::mutex> SG(Sh.SM);
           Sh.Checker = std::make_unique<ShardChecker>(
               VS.Replay, VS.Plan.numLocalVars(S, FinalVars), FinalThreads);
         }
-        const std::vector<DeferredAccess> &Accesses = VS.Log->accesses();
-        for (uint64_t I = 0; I != Accesses.size(); ++I)
-          VS.Shards[VS.Plan.shardOf(Accesses[I].Var)]->WorkList.push_back(
+        Log->forEachAccess(0, Committed, [&](const DeferredAccess &A,
+                                             uint64_t I) {
+          VS.Shards[VS.Plan.shardOf(A.Var)]->WorkList.append(
               static_cast<uint32_t>(I));
-        VS.Partitioned = Accesses.size();
+        });
+        VS.Partitioned = Committed;
       }
       for (uint32_t S = 0; S != NumShards; ++S) {
         VarShard &Sh = *VS.Shards[S];
@@ -1035,10 +1002,8 @@ void AnalysisSession::Impl::registerObservability() {
   PublishBatches = Root.counter("publish.batches");
   PublishBatchPeak = Root.highWater("publish.batch_events_peak");
   PublishedGauge = Root.gauge("publish.events");
-  if (Cfg.Mode == RunMode::Fused || Cfg.Mode == RunMode::Windowed) {
-    ConsumerLockWaitNs = Root.counter("consume.lock_wait_ns");
-    ConsumerPublishWaitNs = Root.counter("consume.publish_wait_ns");
-  }
+  if (Cfg.Mode == RunMode::Fused || Cfg.Mode == RunMode::Windowed)
+    ConsumerParkNs = Root.counter("consume.park_ns");
   if (Cfg.Mode == RunMode::Windowed) {
     WindowsDispatched = Root.counter("window.dispatched");
     WindowsRetired = Root.gauge("window.retired");
@@ -1052,8 +1017,7 @@ void AnalysisSession::Impl::registerObservability() {
     LaneRuntime &Rt = *Lanes[L];
     MetricsScope S(Reg.get(), "lane." + std::to_string(L) + ".");
     Rt.ConsumeNs = S.counter("consume_ns");
-    Rt.LockWaitNs = S.counter("lock_wait_ns");
-    Rt.PublishWaitNs = S.counter("publish_wait_ns");
+    Rt.ParkNs = S.counter("park_ns");
     Rt.Batches = S.counter("batches");
     Rt.BatchEventsPeak = S.highWater("batch_events_peak");
     Rt.LagEventsPeak = S.highWater("lag_events_peak");
@@ -1124,11 +1088,11 @@ void AnalysisSession::Impl::start() {
 }
 
 void AnalysisSession::Impl::stopConsumers() {
-  {
-    std::lock_guard<std::mutex> Lk(M);
-    IngestDone = true;
-  }
-  CV.notify_all();
+  // seq_cst store, then wake: the store's Dekker handshake — a consumer
+  // that registered as a sleeper before this store is woken; one that
+  // registers after it sees the flag in its wait predicate.
+  IngestDone.store(true, std::memory_order_seq_cst);
+  Store.wakeAll();
   for (std::thread &T : Consumers)
     T.join();
   {
@@ -1180,17 +1144,24 @@ bool AnalysisSession::Impl::validateNewLockedInner() {
   return true;
 }
 
-/// Advances the published prefix to the validated one. Caller holds M.
+/// Advances the published prefix to the validated one: mirrors the newly
+/// validated events into the store (stable storage, one copy made on the
+/// ingest side), then publishes them with a single watermark store —
+/// which is also what wakes parked consumers. Caller holds M; the store's
+/// appended count always equals its watermark between calls.
 void AnalysisSession::Impl::publishLocked() {
-  uint64_t Prev = Published;
-  Published = Validated;
-  if (Published == Prev)
+  uint64_t Prev = Store.size();
+  if (Validated == Prev)
     return;
+  const std::vector<Event> &Events = Live->events();
+  for (uint64_t I = Prev; I != Validated; ++I)
+    Store.append(Events[I]);
+  Store.publish(Validated);
   PublishBatches.add();
-  PublishBatchPeak.observe(Published - Prev);
-  PublishedGauge.set(Published);
+  PublishBatchPeak.observe(Validated - Prev);
+  PublishedGauge.set(Validated);
   if (Rec)
-    Rec->counter("published", Rec->nowUs(), Published);
+    Rec->counter("published", Rec->nowUs(), Validated);
 }
 
 /// Mid-stream view of a windowed lane: the longest prefix of consecutive
@@ -1248,7 +1219,7 @@ void AnalysisSession::Impl::snapshotVarShardLane(VarShardState &VS,
       ShardSeconds += Sh->Seconds;
       if (Sh->Completed != Sh->WorkList.size())
         Bound = std::min(
-            Bound, VS.Log->accesses()[Sh->WorkList[Sh->Completed]].Idx);
+            Bound, VS.Log->access(Sh->WorkList[Sh->Completed]).Idx);
     }
   }
   std::vector<std::vector<RaceInstance>> PerShard(VS.Shards.size());
@@ -1399,17 +1370,14 @@ Status AnalysisSession::feed(const std::vector<Event> &Batch) {
     for (const Event &E : Batch)
       I->Owned.append(E);
     bool Clean = I->validateNewLocked();
-    I->publishLocked();
+    I->publishLocked(); // The watermark store doubles as the wake.
     I->IngestSeconds += Ingest.seconds();
-    if (!Clean) {
-      I->CV.notify_all();
+    if (!Clean)
       return I->SessionStatus;
-    }
   }
   if (I->Rec)
     I->Rec->span(I->IngestTrack, "feed", SpanStart,
                  I->Rec->nowUs() - SpanStart);
-  I->CV.notify_all();
   return Status::success();
 }
 
@@ -1431,17 +1399,14 @@ Status AnalysisSession::feedTrace(const Trace &T) {
     for (const Event &E : T.events())
       I->Owned.append(E);
     bool Clean = I->validateNewLocked();
-    I->publishLocked();
+    I->publishLocked(); // The watermark store doubles as the wake.
     I->IngestSeconds += Ingest.seconds();
-    if (!Clean) {
-      I->CV.notify_all();
+    if (!Clean)
       return I->SessionStatus;
-    }
   }
   if (I->Rec)
     I->Rec->span(I->IngestTrack, "feed-trace", SpanStart,
                  I->Rec->nowUs() - SpanStart);
-  I->CV.notify_all();
   return Status::success();
 }
 
@@ -1467,7 +1432,6 @@ Status AnalysisSession::feedFile(const std::string &Path) {
   // both formats and no lane ever restarts.
   bool Poisoned = false;
   while (!Reader.done() && !Poisoned) {
-    bool Advanced = false;
     int64_t SpanStart = I->Rec ? I->Rec->nowUs() : 0;
     {
       std::unique_lock<std::mutex> Lk(I->M, std::defer_lock);
@@ -1482,17 +1446,12 @@ Status AnalysisSession::feedFile(const std::string &Path) {
         // Only the §2.1-validated prefix may reach live lanes; a
         // violation freezes publication (and ingestion) right here.
         Poisoned = !I->validateNewLocked();
-        if (I->Validated > I->Published) {
-          I->publishLocked();
-          Advanced = true;
-        }
+        I->publishLocked(); // No-op when nothing new validated.
       }
     }
     if (I->Rec)
       I->Rec->span(I->IngestTrack, "chunk", SpanStart,
                    I->Rec->nowUs() - SpanStart);
-    if (Advanced)
-      I->CV.notify_all();
   }
   Status ReadStatus = Reader.status();
   {
@@ -1510,7 +1469,6 @@ Status AnalysisSession::feedFile(const std::string &Path) {
     I->publishLocked();
     I->IngestSeconds += Ingest.seconds();
   }
-  I->CV.notify_all();
   return I->SessionStatus;
 }
 
@@ -1536,14 +1494,15 @@ AnalysisResult AnalysisSession::partialResult() {
     }
   }
   AnalysisResult R = I->snapshotLanes(/*Partial=*/true);
+  // Read the published watermark *after* the lane snapshots: the
+  // watermark is monotone and consumers never pass it, so every lane's
+  // EventsConsumed (and every reported race index) stays within
+  // EventsIngested in one snapshot.
+  R.EventsIngested = I->Store.published();
   {
-    // Read the published watermark *after* the lane snapshots: consumers
-    // never pass it, so every lane's EventsConsumed (and every reported
-    // race index) stays within EventsIngested in one snapshot. Session
-    // status and ingest timing are producer-written under the same lock —
+    // Session status and ingest timing are producer-written under M —
     // partialResult may run concurrently with the producer thread.
     std::lock_guard<std::mutex> Lk(I->M);
-    R.EventsIngested = I->Published;
     R.Overall = I->SessionStatus;
     R.IngestSeconds = I->IngestSeconds;
     R.ThreadsUsed = static_cast<unsigned>(
@@ -1595,7 +1554,7 @@ AnalysisResult AnalysisSession::finish() {
     break;
   }
   R.Overall = I->SessionStatus;
-  R.EventsIngested = I->Published;
+  R.EventsIngested = I->Store.published();
   R.WallSeconds = I->Wall.seconds();
   R.IngestSeconds = I->IngestSeconds;
   return R;

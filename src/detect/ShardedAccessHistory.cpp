@@ -60,34 +60,48 @@ uint64_t ShardPlan::maxShardLoad(const std::vector<uint64_t> &Counts) const {
 // ---- ClockBroadcast ---------------------------------------------------------
 
 ClockBroadcast::ClockBroadcast(uint32_t NumThreads)
-    : LastClock(NumThreads, DeferredAccess::NoClock),
-      LastHard(NumThreads, DeferredAccess::NoClock) {}
+    : LastClock(NumThreads, PerThread{DeferredAccess::NoClock, 0}),
+      LastHard(NumThreads, PerThread{DeferredAccess::NoClock, 0}) {}
 
-uint32_t ClockBroadcast::publishInto(std::vector<uint32_t> &Last, ThreadId T,
-                                     const VectorClock &C) {
+uint32_t ClockBroadcast::publishInto(std::vector<PerThread> &Last, ThreadId T,
+                                     const VectorClock &C, uint64_t Epoch) {
   if (T.value() >= Last.size())
-    Last.resize(T.value() + 1, DeferredAccess::NoClock); // Mid-stream thread.
-  uint32_t &Prev = Last[T.value()];
-  if (Prev != DeferredAccess::NoClock && Snapshots[Prev] == C)
-    return Prev;
-  Prev = static_cast<uint32_t>(Snapshots.size());
-  Snapshots.push_back(C);
-  return Prev;
+    Last.resize(T.value() + 1,
+                PerThread{DeferredAccess::NoClock, 0}); // Mid-stream thread.
+  PerThread &Prev = Last[T.value()];
+  if (Prev.Last != DeferredAccess::NoClock) {
+    // Epoch fast path: the clock provably did not mutate since the last
+    // intern. Fallback: it may have mutated — compare content, which
+    // still dedups joins that added nothing.
+    if (Epoch != 0 && Prev.Epoch == Epoch)
+      return Prev.Last;
+    if (Snapshots[Prev.Last] == C) {
+      Prev.Epoch = Epoch;
+      return Prev.Last;
+    }
+  }
+  Prev.Last = static_cast<uint32_t>(Snapshots.size());
+  Prev.Epoch = Epoch;
+  Snapshots.append(C);
+  return Prev.Last;
 }
 
-uint32_t ClockBroadcast::publish(ThreadId T, const VectorClock &C) {
-  return publishInto(LastClock, T, C);
+uint32_t ClockBroadcast::publish(ThreadId T, const VectorClock &C,
+                                 uint64_t Epoch) {
+  return publishInto(LastClock, T, C, Epoch);
 }
 
-uint32_t ClockBroadcast::publishHard(ThreadId T, const VectorClock &K) {
-  return publishInto(LastHard, T, K);
+uint32_t ClockBroadcast::publishHard(ThreadId T, const VectorClock &K,
+                                     uint64_t Epoch) {
+  return publishInto(LastHard, T, K, Epoch);
 }
 
 // ---- AccessLog --------------------------------------------------------------
 
 void AccessLog::record(EventIdx Idx, VarId V, ThreadId T, LocId Loc,
                        bool IsWrite, ClockValue N, const VectorClock &Ce,
-                       const VectorClock *Hard) {
+                       uint64_t CeEpoch, const VectorClock *Hard,
+                       uint64_t HardEpoch) {
   DeferredAccess A;
   A.Idx = Idx;
   A.Var = V;
@@ -95,10 +109,10 @@ void AccessLog::record(EventIdx Idx, VarId V, ThreadId T, LocId Loc,
   A.Loc = Loc;
   A.N = N;
   A.IsWrite = IsWrite;
-  A.Clock = Clocks.publish(T, Ce);
+  A.Clock = Clocks.publish(T, Ce, CeEpoch);
   if (Hard)
-    A.Hard = Clocks.publishHard(T, *Hard);
-  Accesses.push_back(A);
+    A.Hard = Clocks.publishHard(T, *Hard, HardEpoch);
+  Accesses.append(A);
 }
 
 // ---- ShardedAccessHistory ---------------------------------------------------
@@ -114,9 +128,10 @@ ShardedAccessHistory::ShardedAccessHistory(ShardPlan Plan, uint32_t NumVars,
 void ShardedAccessHistory::partition(const AccessLog &Log) {
   for (std::vector<uint32_t> &W : Work)
     W.clear();
-  const std::vector<DeferredAccess> &Accesses = Log.accesses();
-  for (uint32_t I = 0, E = static_cast<uint32_t>(Accesses.size()); I != E; ++I)
-    Work[Plan.shardOf(Accesses[I].Var)].push_back(I);
+  Log.forEachAccess(0, Log.numAccesses(), [&](const DeferredAccess &A,
+                                              uint64_t I) {
+    Work[Plan.shardOf(A.Var)].push_back(static_cast<uint32_t>(I));
+  });
 }
 
 namespace {
@@ -285,10 +300,9 @@ ShardedAccessHistory::checkShard(uint32_t S, const AccessLog &Log,
   // batch and streaming paths: this is the incremental ShardChecker fed
   // the full work list in one go.
   ShardChecker Checker(Replay, Plan.numLocalVars(S, NumVars), NumThreads);
-  const std::vector<DeferredAccess> &Accesses = Log.accesses();
   const ClockBroadcast &Clocks = Log.clocks();
   for (uint32_t I : Work[S]) {
-    const DeferredAccess &A = Accesses[I];
+    const DeferredAccess &A = Log.access(I);
     Checker.replay(A, VarId(Plan.localIdOf(A.Var)), Clocks.snapshot(A.Clock),
                    A.Hard == DeferredAccess::NoClock
                        ? nullptr

@@ -40,6 +40,7 @@
 #include "detect/AccessHistory.h"
 #include "detect/Detector.h"
 #include "detect/RaceReport.h"
+#include "support/PublishedStore.h"
 
 #include <cstdint>
 #include <memory>
@@ -121,39 +122,65 @@ struct DeferredAccess {
   bool IsWrite = false;
 };
 
-/// The vector-clock broadcast step: immutable snapshots published by the
-/// sequential clock pass and read concurrently by every shard task.
-/// Thread clocks only change at a bounded set of points (sync events for
-/// HB; sync events and rule-(a) joins for WCP), so publish() deduplicates
-/// against the thread's previous snapshot and most accesses reuse one.
-/// The per-thread dedup tables grow on first publish, so threads admitted
+/// The vector-clock broadcast step: immutable snapshots interned by the
+/// sequential clock pass and read concurrently (and in place) by every
+/// shard task — the snapshot table is a PublishedStore, so growth never
+/// relocates a snapshot and drains hold references without copying.
+///
+/// Dedup is epoch-compressed: the capturing detector passes each clock's
+/// change epoch (bumped at every mutation of that clock), and a snapshot
+/// whose epoch matches the thread's previous intern is reused in O(1) —
+/// no per-access O(threads) content compare, which is what used to
+/// re-serialize clocks in the capture pass. When the epoch did change the
+/// content compare still runs, preserving the dedup of no-op joins.
+/// Epoch 0 means "no epoch tracking": always content-compare.
+///
+/// The per-thread dedup tables grow on first intern, so threads admitted
 /// mid-stream need no rebuild (the constructor count is a sizing hint).
 class ClockBroadcast {
 public:
   explicit ClockBroadcast(uint32_t NumThreads);
 
   /// Returns the snapshot index for \p T's current check clock \p C,
-  /// copying it only if it changed since \p T last published.
-  uint32_t publish(ThreadId T, const VectorClock &C);
+  /// copying it only if it changed since \p T last published (epoch fast
+  /// path first, content compare as the fallback).
+  uint32_t publish(ThreadId T, const VectorClock &C, uint64_t Epoch = 0);
 
   /// Same, for the secondary hard-order clock (WCP's K_t).
-  uint32_t publishHard(ThreadId T, const VectorClock &K);
+  uint32_t publishHard(ThreadId T, const VectorClock &K, uint64_t Epoch = 0);
 
+  /// In-place reference, stable for the broadcast's lifetime. \p I must be
+  /// committed (or the caller synchronized with the interning thread).
   const VectorClock &snapshot(uint32_t I) const { return Snapshots[I]; }
   size_t numSnapshots() const { return Snapshots.size(); }
 
-private:
-  uint32_t publishInto(std::vector<uint32_t> &Last, ThreadId T,
-                       const VectorClock &C);
+  /// Publishes every interned snapshot to concurrent readers (one
+  /// watermark store; see PublishedStore).
+  void commit() { Snapshots.publish(Snapshots.size()); }
 
-  std::vector<VectorClock> Snapshots;
-  std::vector<uint32_t> LastClock; ///< Per thread: last published C index.
-  std::vector<uint32_t> LastHard;  ///< Per thread: last published K index.
+private:
+  struct PerThread {
+    uint32_t Last;  ///< Last interned snapshot index.
+    uint64_t Epoch; ///< Clock epoch at that intern (0 = unknown).
+  };
+
+  uint32_t publishInto(std::vector<PerThread> &Last, ThreadId T,
+                       const VectorClock &C, uint64_t Epoch);
+
+  PublishedStore<VectorClock> Snapshots;
+  std::vector<PerThread> LastClock; ///< Per thread: last published C.
+  std::vector<PerThread> LastHard;  ///< Per thread: last published K.
 };
 
 /// Per-lane capture of deferred accesses, filled by a detector running in
 /// capture mode (Detector::beginCapture): clock machinery only, race
 /// checks deferred to the shard phase.
+///
+/// Storage is a PublishedStore: the capture pass appends (single writer)
+/// while shard drains read already-committed entries in place — no lock
+/// around the log, no copy-out per drain. commit() publishes the appended
+/// prefix (snapshots first, then accesses, so a committed access's clock
+/// indices always resolve); batch callers commit once after capture ends.
 class AccessLog {
 public:
   explicit AccessLog(uint32_t NumThreads) : Clocks(NumThreads) {}
@@ -161,15 +188,42 @@ public:
   /// Records one access. \p Ce is the clock the sequential check would
   /// compare against (C_t for HB, P_t for WCP), \p Hard the optional
   /// secondary clock (WCP's K_t), \p N the local time the sequential
-  /// check would record.
+  /// check would record. \p CeEpoch / \p HardEpoch are the clocks' change
+  /// epochs (0 = untracked, falls back to content compare; see
+  /// ClockBroadcast).
   void record(EventIdx Idx, VarId V, ThreadId T, LocId Loc, bool IsWrite,
-              ClockValue N, const VectorClock &Ce, const VectorClock *Hard);
+              ClockValue N, const VectorClock &Ce, uint64_t CeEpoch,
+              const VectorClock *Hard, uint64_t HardEpoch = 0);
 
-  const std::vector<DeferredAccess> &accesses() const { return Accesses; }
+  /// Accesses appended so far (capture-thread view; readers use indices
+  /// at or below the committed watermark, or synchronize externally).
+  uint64_t numAccesses() const { return Accesses.size(); }
+
+  /// In-place reference to access \p I, stable for the log's lifetime.
+  const DeferredAccess &access(uint64_t I) const { return Accesses[I]; }
+
+  /// Applies Fn(access, index) over [From, To).
+  template <typename Fn> void forEachAccess(uint64_t From, uint64_t To,
+                                            Fn &&F) const {
+    Accesses.forRange(From, To, std::forward<Fn>(F));
+  }
+
+  /// Publishes everything appended so far to concurrent readers:
+  /// snapshots, then accesses. Returns the committed access count.
+  uint64_t commit() {
+    Clocks.commit();
+    uint64_t N = Accesses.size();
+    Accesses.publish(N);
+    return N;
+  }
+
+  /// Accesses visible to concurrent readers (last commit()).
+  uint64_t committedAccesses() const { return Accesses.published(); }
+
   const ClockBroadcast &clocks() const { return Clocks; }
 
 private:
-  std::vector<DeferredAccess> Accesses; ///< In trace order.
+  PublishedStore<DeferredAccess> Accesses; ///< In trace order.
   ClockBroadcast Clocks;
 };
 

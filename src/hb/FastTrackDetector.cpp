@@ -13,6 +13,7 @@ using namespace rapid;
 FastTrackDetector::FastTrackDetector(const Trace &T)
     : NumThreads(T.numThreads()),
       ThreadClocks(T.numThreads(), VectorClock(T.numThreads())),
+      ClockEpochs(T.numThreads(), 1),
       LockClocks(T.numLocks(), VectorClock(T.numThreads())),
       Vars(T.numVars()) {
   for (uint32_t I = 0; I < NumThreads; ++I)
@@ -31,6 +32,7 @@ void FastTrackDetector::ensureThread(ThreadId T) {
     return;
   uint32_t Old = static_cast<uint32_t>(ThreadClocks.size());
   ThreadClocks.resize(T.value() + 1);
+  ClockEpochs.resize(T.value() + 1, 1);
   for (uint32_t I = Old; I <= T.value(); ++I)
     ThreadClocks[I].set(ThreadId(I), 1);
 }
@@ -70,27 +72,32 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
 
   switch (E.Kind) {
   case EventKind::Acquire:
-    Ct.joinWith(LockClocks[E.lock().value()]);
+    if (Ct.joinWith(LockClocks[E.lock().value()]))
+      ++ClockEpochs[T.value()];
     return;
 
   case EventKind::Release:
     LockClocks[E.lock().value()] = Ct;
     incrementLocal(T);
+    ++ClockEpochs[T.value()];
     return;
 
   case EventKind::Fork:
-    ThreadClocks[E.targetThread().value()].joinWith(Ct);
+    if (ThreadClocks[E.targetThread().value()].joinWith(Ct))
+      ++ClockEpochs[E.targetThread().value()];
     incrementLocal(T);
+    ++ClockEpochs[T.value()];
     return;
 
   case EventKind::Join:
-    Ct.joinWith(ThreadClocks[E.targetThread().value()]);
+    if (Ct.joinWith(ThreadClocks[E.targetThread().value()]))
+      ++ClockEpochs[T.value()];
     return;
 
   case EventKind::Read: {
     if (Capture) {
       Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/false, Ct.get(T),
-                      Ct, nullptr);
+                      Ct, ClockEpochs[T.value()], nullptr);
       return;
     }
     VarState &S = varState(E.var());
@@ -132,7 +139,7 @@ void FastTrackDetector::processEvent(const Event &E, EventIdx Index) {
   case EventKind::Write: {
     if (Capture) {
       Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/true, Ct.get(T),
-                      Ct, nullptr);
+                      Ct, ClockEpochs[T.value()], nullptr);
       return;
     }
     VarState &S = varState(E.var());

@@ -12,6 +12,7 @@ using namespace rapid;
 
 HbDetector::HbDetector(const Trace &T)
     : ThreadClocks(T.numThreads(), VectorClock(T.numThreads())),
+      ClockEpochs(T.numThreads(), 1),
       LockClocks(T.numLocks(), VectorClock(T.numThreads())),
       History(T.numVars(), T.numThreads()) {
   // Every thread starts at local time 1 so that "clock 0" unambiguously
@@ -30,6 +31,7 @@ void HbDetector::ensureThread(ThreadId T) {
     return;
   uint32_t Old = static_cast<uint32_t>(ThreadClocks.size());
   ThreadClocks.resize(T.value() + 1);
+  ClockEpochs.resize(T.value() + 1, 1);
   for (uint32_t I = Old; I <= T.value(); ++I)
     ThreadClocks[I].set(ThreadId(I), 1);
 }
@@ -52,7 +54,8 @@ void HbDetector::processEvent(const Event &E, EventIdx Index) {
 
   switch (E.Kind) {
   case EventKind::Acquire:
-    Ct.joinWith(LockClocks[E.lock().value()]);
+    if (Ct.joinWith(LockClocks[E.lock().value()]))
+      ++ClockEpochs[T.value()];
     break;
 
   case EventKind::Release:
@@ -60,23 +63,27 @@ void HbDetector::processEvent(const Event &E, EventIdx Index) {
     // Later events of T must not appear ordered before events that only
     // synchronized with this release.
     incrementLocal(T);
+    ++ClockEpochs[T.value()];
     break;
 
   case EventKind::Fork: {
     ThreadId Child = E.targetThread();
-    ThreadClocks[Child.value()].joinWith(Ct);
+    if (ThreadClocks[Child.value()].joinWith(Ct))
+      ++ClockEpochs[Child.value()];
     incrementLocal(T);
+    ++ClockEpochs[T.value()];
     break;
   }
 
   case EventKind::Join:
-    Ct.joinWith(ThreadClocks[E.targetThread().value()]);
+    if (Ct.joinWith(ThreadClocks[E.targetThread().value()]))
+      ++ClockEpochs[T.value()];
     break;
 
   case EventKind::Read: {
     if (Capture) {
       Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/false, Ct.get(T),
-                      Ct, nullptr);
+                      Ct, ClockEpochs[T.value()], nullptr);
       break;
     }
     Scratch.clear();
@@ -90,7 +97,7 @@ void HbDetector::processEvent(const Event &E, EventIdx Index) {
   case EventKind::Write: {
     if (Capture) {
       Capture->record(Index, E.var(), T, E.Loc, /*IsWrite=*/true, Ct.get(T),
-                      Ct, nullptr);
+                      Ct, ClockEpochs[T.value()], nullptr);
       break;
     }
     Scratch.clear();

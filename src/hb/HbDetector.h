@@ -63,6 +63,12 @@ private:
   void ensureLock(LockId L);
 
   std::vector<VectorClock> ThreadClocks; ///< C_t per thread.
+  /// Change epoch of C_t, bumped whenever C_t mutates (acquire joins that
+  /// added something, release/fork increments, join joins). Capture mode
+  /// hands it to the ClockBroadcast so consecutive accesses between sync
+  /// events intern their snapshot in O(1) instead of an O(threads)
+  /// content compare.
+  std::vector<uint64_t> ClockEpochs;
   std::vector<VectorClock> LockClocks;   ///< L_l per lock.
   AccessHistory History;
   std::vector<RaceInstance> Scratch;

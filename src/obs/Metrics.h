@@ -83,6 +83,26 @@ private:
   std::atomic<uint64_t> *Slot = nullptr;
 };
 
+/// RAII stage timer: charges the enclosing scope's wall nanoseconds to a
+/// Counter at destruction. Null-handle aware like every instrument — on
+/// a disabled counter the whole object is one branch, no clock reads.
+/// This is the idiom for timing blocking sections (waits, parks) whose
+/// early exits would otherwise each need a manual clock read + add.
+class ScopedNs {
+public:
+  explicit ScopedNs(Counter C) : C(C), T0(C.enabled() ? obsNowNs() : 0) {}
+  ~ScopedNs() {
+    if (C.enabled())
+      C.add(obsNowNs() - T0);
+  }
+  ScopedNs(const ScopedNs &) = delete;
+  ScopedNs &operator=(const ScopedNs &) = delete;
+
+private:
+  Counter C;
+  uint64_t T0;
+};
+
 /// Instantaneous value. Null handle = disabled = no-op.
 class Gauge {
 public:

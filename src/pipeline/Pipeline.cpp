@@ -164,8 +164,10 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
           ShardPlan Plan{NumShards};
           if (Opts.VarShardStrategy == ShardStrategy::FrequencyBalanced) {
             std::vector<uint64_t> Counts(T.numVars(), 0);
-            for (const DeferredAccess &A : W.Log->accesses())
-              ++Counts[A.Var.value()];
+            W.Log->forEachAccess(0, W.Log->numAccesses(),
+                                 [&](const DeferredAccess &A, uint64_t) {
+                                   ++Counts[A.Var.value()];
+                                 });
             Plan = ShardPlan::balancedByFrequency(NumShards, Counts);
           }
           W.History = std::make_unique<ShardedAccessHistory>(

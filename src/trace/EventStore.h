@@ -1,0 +1,32 @@
+//===- trace/EventStore.h - Stable published event storage ------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session's published event stream: a PublishedStore of the 16-byte
+/// POD Event. The producer mirrors every parsed/fed event into this store
+/// (one copy, made once on the ingest side) and publishes the §2.1-
+/// validated prefix by watermark; lane consumers read the prefix in place
+/// — the Trace object keeps owning the id tables and the authoritative
+/// event vector for rendering and batch re-runs, while this store is what
+/// the concurrent hot path actually walks. Unlike Trace's std::vector,
+/// appends here never relocate an element, which is what lets lanes hold
+/// references across publication without a lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_TRACE_EVENTSTORE_H
+#define RAPID_TRACE_EVENTSTORE_H
+
+#include "support/PublishedStore.h"
+#include "trace/Event.h"
+
+namespace rapid {
+
+using EventStore = PublishedStore<Event>;
+
+} // namespace rapid
+
+#endif // RAPID_TRACE_EVENTSTORE_H

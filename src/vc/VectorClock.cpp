@@ -10,15 +10,21 @@
 
 using namespace rapid;
 
-void VectorClock::joinWith(const VectorClock &Other) {
+bool VectorClock::joinWith(const VectorClock &Other) {
   // Components beyond Other's physical size are 0 in Other, so only the
   // overlap needs the max; beyond our own size we adopt Other's values.
   if (Other.Values.size() > Values.size())
     Values.resize(Other.Values.size(), 0);
   const ClockValue *Src = Other.Values.data();
   ClockValue *Dst = Values.data();
-  for (size_t I = 0, E = Other.Values.size(); I != E; ++I)
-    Dst[I] = std::max(Dst[I], Src[I]);
+  bool Changed = false;
+  for (size_t I = 0, E = Other.Values.size(); I != E; ++I) {
+    if (Src[I] > Dst[I]) {
+      Dst[I] = Src[I];
+      Changed = true;
+    }
+  }
+  return Changed;
 }
 
 bool VectorClock::lessOrEqual(const VectorClock &Other) const {

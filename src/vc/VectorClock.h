@@ -69,8 +69,10 @@ public:
   }
 
   /// Pointwise maximum: *this := *this ⊔ Other. Grows to Other's physical
-  /// size when Other is wider.
-  void joinWith(const VectorClock &Other);
+  /// size when Other is wider. Returns true iff any component changed —
+  /// the hook detectors use to keep their clock epochs (and with them the
+  /// ClockBroadcast snapshot dedup) precise without a content compare.
+  bool joinWith(const VectorClock &Other);
 
   /// Pointwise comparison: *this ⊑ Other, with implicit-zero tails.
   bool lessOrEqual(const VectorClock &Other) const;

@@ -140,7 +140,8 @@ void WcpDetector::handleAcquire(ThreadId T, LockId L) {
 
   // Lines 1-2: receive the H/P times of the last release of ℓ.
   TS.H.joinWith(LS.H);
-  TS.P.joinWith(LS.P);
+  if (TS.P.joinWith(LS.P))
+    ++TS.PEpoch;
 
   // First contact with ℓ: this thread's abstract queues become live, and
   // all pending entries of other threads now count against them.
@@ -203,7 +204,8 @@ void WcpDetector::handleRelease(ThreadId T, LockId L) {
     // Lock semantics guarantees this critical section closed before our
     // matching acquire, so its release time is present (see WcpState.h).
     assert(Front.HasRelease && "popping an open critical section");
-    TS.P.joinWith(Front.ReleaseTime);
+    if (TS.P.joinWith(Front.ReleaseTime))
+      ++TS.PEpoch;
     ++Cur;
     bumpAbstract(-2); // One entry leaves Acq_ℓ(T) and one leaves Rel_ℓ(T).
     assert(MyLive >= 2 && "live count out of sync");
@@ -269,7 +271,8 @@ void WcpDetector::handleRead(ThreadId T, VarId X, LocId Loc, EventIdx Index) {
   // this read: P_t ⊔= ⊔_{ℓ∈L} L^w_{ℓ,x}.
   for (WcpCsFrame &Frame : TS.CsStack) {
     if (const PerThreadReleaseClocks *LW = writeRelease(Frame.Lock, X))
-      LW->joinIntoExcluding(TS.P, T.value());
+      if (LW->joinIntoExcluding(TS.P, T.value()))
+        ++TS.PEpoch;
   }
   // The access belongs to the R set of *every* open section (sections may
   // overlap without nesting, so bubbling on release would be wrong).
@@ -279,7 +282,8 @@ void WcpDetector::handleRead(ThreadId T, VarId X, LocId Loc, EventIdx Index) {
   // Race check (§3.2): W_x ⊑ C_e, with C_e = P_t[t := N_t]. The history
   // check reads only other threads' components, so P_t stands in for C_e.
   if (Capture) {
-    Capture->record(Index, X, T, Loc, /*IsWrite=*/false, TS.N, TS.P, &TS.K);
+    Capture->record(Index, X, T, Loc, /*IsWrite=*/false, TS.N, TS.P,
+                    TS.PEpoch, &TS.K, TS.KEpoch);
     return;
   }
   Scratch.clear();
@@ -297,16 +301,19 @@ void WcpDetector::handleWrite(ThreadId T, VarId X, LocId Loc,
   // P_t ⊔= ⊔_{ℓ∈L} (L^r_{ℓ,x} ⊔ L^w_{ℓ,x}).
   for (WcpCsFrame &Frame : TS.CsStack) {
     if (const PerThreadReleaseClocks *LR = readRelease(Frame.Lock, X))
-      LR->joinIntoExcluding(TS.P, T.value());
+      if (LR->joinIntoExcluding(TS.P, T.value()))
+        ++TS.PEpoch;
     if (const PerThreadReleaseClocks *LW = writeRelease(Frame.Lock, X))
-      LW->joinIntoExcluding(TS.P, T.value());
+      if (LW->joinIntoExcluding(TS.P, T.value()))
+        ++TS.PEpoch;
   }
   for (WcpCsFrame &Frame : TS.CsStack)
     Frame.WriteVars.push_back(X.value());
 
   // Race check (§3.2): R_x ⊔ W_x ⊑ C_e.
   if (Capture) {
-    Capture->record(Index, X, T, Loc, /*IsWrite=*/true, TS.N, TS.P, &TS.K);
+    Capture->record(Index, X, T, Loc, /*IsWrite=*/true, TS.N, TS.P,
+                    TS.PEpoch, &TS.K, TS.KEpoch);
     return;
   }
   Scratch.clear();
@@ -331,6 +338,7 @@ void WcpDetector::processEvent(const Event &E, EventIdx Index) {
     ++TS.N;
     TS.H.set(T, TS.N); // Maintain H_t(t) = N_t.
     TS.K.set(T, TS.N); // ... and K_t(t) = N_t.
+    ++TS.KEpoch;
     TS.IncrementNext = false;
   }
 
@@ -358,9 +366,11 @@ void WcpDetector::processEvent(const Event &E, EventIdx Index) {
     WcpThreadState &CS = Threads[Child.value()];
     CS.H.joinWith(TS.H);
     CS.H.set(Child, CS.N); // Preserve H_u(u) = N_u.
-    CS.P.joinWith(TS.P);
-    CS.K.joinWith(TS.K);
-    CS.K.set(Child, CS.N);
+    if (CS.P.joinWith(TS.P))
+      ++CS.PEpoch;
+    if (CS.K.joinWith(TS.K))
+      ++CS.KEpoch;
+    CS.K.set(Child, CS.N); // No-op by K_u(u) = N_u; epoch already bumped.
     TS.IncrementNext = true;
     return;
   }
@@ -371,9 +381,11 @@ void WcpDetector::processEvent(const Event &E, EventIdx Index) {
     WcpThreadState &CS = Threads[Child.value()];
     TS.H.joinWith(CS.H);
     TS.H.set(T, TS.N);
-    TS.P.joinWith(CS.P);
-    TS.K.joinWith(CS.K);
-    TS.K.set(T, TS.N);
+    if (TS.P.joinWith(CS.P))
+      ++TS.PEpoch;
+    if (TS.K.joinWith(CS.K))
+      ++TS.KEpoch;
+    TS.K.set(T, TS.N); // No-op by K_t(t) = N_t; epoch covered above.
     return;
   }
   }

@@ -144,6 +144,15 @@ struct WcpThreadState {
   /// guard. (Folding it into P_t would leak through rule (c)'s
   /// HB-composition channels and over-order independent threads.)
   VectorClock K;
+  /// Capture-mode change epochs of P / K: bumped on every mutation of the
+  /// respective clock (spurious bumps are only a missed dedup; a missed
+  /// bump would be unsound, so every joinWith/set site bumps). An access
+  /// whose epoch matches the thread's last broadcast snapshot reuses it
+  /// without the O(threads) content compare — the common case, since P/K
+  /// mutate only at sync events and (for P) rule-(a) joins that actually
+  /// add something.
+  uint64_t PEpoch = 1;
+  uint64_t KEpoch = 1;
   bool IncrementNext = false; ///< Previous event was a release/fork.
   std::vector<WcpCsFrame> CsStack; ///< Open critical sections, innermost last.
 
@@ -205,11 +214,15 @@ struct PerThreadReleaseClocks {
     Entries.emplace_back(T, H);
   }
 
-  /// Joins every cell except \p ExcludeThread's into \p Out.
-  void joinIntoExcluding(VectorClock &Out, uint32_t ExcludeThread) const {
+  /// Joins every cell except \p ExcludeThread's into \p Out. Returns true
+  /// iff \p Out changed (feeds the P-epoch that keeps capture-mode
+  /// snapshot dedup O(1) across accesses; see ClockBroadcast).
+  bool joinIntoExcluding(VectorClock &Out, uint32_t ExcludeThread) const {
+    bool Changed = false;
     for (const auto &[Tid, Clock] : Entries)
       if (Tid != ExcludeThread)
-        Out.joinWith(Clock);
+        Changed |= Out.joinWith(Clock);
+    return Changed;
   }
 };
 

@@ -262,7 +262,7 @@ TEST(ClockBroadcastTest, ConsecutiveAccessesShareSnapshots) {
   ASSERT_TRUE(D.beginCapture(Log));
   for (EventIdx I = 0; I != T.size(); ++I)
     D.processEvent(T.event(I), I);
-  EXPECT_EQ(Log.accesses().size(), 64u);
+  EXPECT_EQ(Log.numAccesses(), 64u);
   EXPECT_EQ(Log.clocks().numSnapshots(), 1u);
 }
 
