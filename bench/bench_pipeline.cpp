@@ -48,6 +48,11 @@
 // Usage: bench_pipeline [--events N] [--threads N] [--shards N]
 //                       [--window N] [--workload NAME]
 //                       [--late-workload NAME] [--out PATH] [--no-stream]
+//                       [--zipf-theta F]
+//
+// --workload accepts any Table 1 model name plus "zipf", the skewed-
+// popularity stress model (variable ranks drawn Zipf(--zipf-theta,
+// default 0.9) — hot vars pile onto single var-shards and lock stripes).
 //
 //===----------------------------------------------------------------------===//
 
@@ -112,6 +117,7 @@ int main(int Argc, char **Argv) {
   bool Stream = true;
   std::string Workload = "montecarlo";
   std::string LateWorkload = "eclipse";
+  double ZipfTheta = 0.9;
   std::string OutPath = "BENCH_pipeline.json";
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -131,6 +137,8 @@ int main(int Argc, char **Argv) {
       Workload = Argv[++I];
     else if (Arg == "--late-workload" && I + 1 < Argc)
       LateWorkload = Argv[++I];
+    else if (Arg == "--zipf-theta" && I + 1 < Argc)
+      ZipfTheta = std::strtod(Argv[++I], nullptr);
     else if (Arg == "--out" && I + 1 < Argc)
       OutPath = Argv[++I];
     else {
@@ -159,22 +167,48 @@ int main(int Argc, char **Argv) {
                  "overlap numbers are scheduler noise on this host\n",
                  Threads, HardwareThreads);
 
-  WorkloadSpec Spec = workloadSpec(Workload);
-  double Scale = static_cast<double>(TargetEvents) /
-                 static_cast<double>(Spec.Events);
-  std::fprintf(stderr, "generating '%s' at scale %.2f (target %llu "
-               "events)...\n",
-               Workload.c_str(), Scale,
-               (unsigned long long)TargetEvents);
-  Trace T = makeWorkload(Spec, Scale);
-  // The generator treats the event count as approximate; rescale until the
-  // target is a true floor so "--events 1000000" really means >= 1M.
-  for (int Try = 0; Try < 4 && T.size() < TargetEvents; ++Try) {
-    Scale *= 1.05 * static_cast<double>(TargetEvents) /
-             static_cast<double>(T.size());
-    std::fprintf(stderr, "undershot (%llu events); rescaling to %.2f\n",
-                 (unsigned long long)T.size(), Scale);
+  Trace T;
+  if (Workload == "zipf") {
+    // Skew stress model, not a Table 1 row: Zipf(theta)-popular variables
+    // behind striped locks — the worst case for var-shard balance.
+    ZipfWorkloadSpec ZSpec;
+    ZSpec.Events = TargetEvents;
+    ZSpec.Theta = ZipfTheta;
+    if (ZipfTheta < 0 || ZipfTheta >= 1) {
+      std::fprintf(stderr, "error: --zipf-theta must be in [0, 1)\n");
+      return 1;
+    }
+    std::fprintf(stderr, "generating 'zipf' (theta %.2f, target %llu "
+                 "events)...\n",
+                 ZipfTheta, (unsigned long long)TargetEvents);
+    T = makeZipfWorkload(ZSpec);
+    for (int Try = 0; Try < 4 && T.size() < TargetEvents; ++Try) {
+      ZSpec.Events = static_cast<uint64_t>(
+          1.05 * static_cast<double>(ZSpec.Events) *
+          static_cast<double>(TargetEvents) / static_cast<double>(T.size()));
+      std::fprintf(stderr, "undershot (%llu events); retargeting to %llu\n",
+                   (unsigned long long)T.size(),
+                   (unsigned long long)ZSpec.Events);
+      T = makeZipfWorkload(ZSpec);
+    }
+  } else {
+    WorkloadSpec Spec = workloadSpec(Workload);
+    double Scale = static_cast<double>(TargetEvents) /
+                   static_cast<double>(Spec.Events);
+    std::fprintf(stderr, "generating '%s' at scale %.2f (target %llu "
+                 "events)...\n",
+                 Workload.c_str(), Scale,
+                 (unsigned long long)TargetEvents);
     T = makeWorkload(Spec, Scale);
+    // The generator treats the event count as approximate; rescale until
+    // the target is a true floor so "--events 1000000" really means >= 1M.
+    for (int Try = 0; Try < 4 && T.size() < TargetEvents; ++Try) {
+      Scale *= 1.05 * static_cast<double>(TargetEvents) /
+               static_cast<double>(T.size());
+      std::fprintf(stderr, "undershot (%llu events); rescaling to %.2f\n",
+                   (unsigned long long)T.size(), Scale);
+      T = makeWorkload(Spec, Scale);
+    }
   }
   std::fprintf(stderr, "trace: %llu events, %u threads, %u locks, %u vars\n",
                (unsigned long long)T.size(), T.numThreads(), T.numLocks(),

@@ -1,0 +1,54 @@
+/*===- examples/interpose/race_annotate.h - Access annotation API ---------===*
+ *
+ * Part of rapidpp (PLDI'17 WCP reproduction).
+ *
+ * The markable read/write API for programs run under librace_interpose.so
+ * (LD_PRELOAD). Lock/fork/join events are captured automatically by the
+ * pthread wrappers; shared-memory *accesses* are not interposable without
+ * compiler instrumentation, so programs mark the ones they want modeled:
+ *
+ *   #include "race_annotate.h"
+ *   RACE_WRITE(&Counter, "counter");   // before/at the store
+ *   RACE_READ(&Flags, "flags");        // before/at the load
+ *
+ * The hook symbol is weak: without the interposer preloaded it resolves
+ * to null and the macros are a test-and-skip — programs build and run
+ * unannotated with zero dependencies on the analysis library.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef RAPID_RACE_ANNOTATE_H
+#define RAPID_RACE_ANNOTATE_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Defined (strongly) by librace_interpose.so. IsWrite: 0 read, 1 write.
+ * Var is the modeled variable's display name (address-derived when null);
+ * Loc a source-location string. */
+__attribute__((weak)) void race_annotate_access(int IsWrite, const void *Addr,
+                                                const char *Var,
+                                                const char *Loc);
+
+#ifdef __cplusplus
+}
+#endif
+
+#define RACE_ANNOTATE_STR2(X) #X
+#define RACE_ANNOTATE_STR(X) RACE_ANNOTATE_STR2(X)
+#define RACE_ANNOTATE_LOC __FILE__ ":" RACE_ANNOTATE_STR(__LINE__)
+
+#define RACE_READ(Addr, Name)                                                  \
+  do {                                                                         \
+    if (race_annotate_access)                                                  \
+      race_annotate_access(0, (Addr), (Name), RACE_ANNOTATE_LOC);              \
+  } while (0)
+
+#define RACE_WRITE(Addr, Name)                                                 \
+  do {                                                                         \
+    if (race_annotate_access)                                                  \
+      race_annotate_access(1, (Addr), (Name), RACE_ANNOTATE_LOC);              \
+  } while (0)
+
+#endif /* RAPID_RACE_ANNOTATE_H */

@@ -23,6 +23,7 @@
 #include "io/TraceFile.h"
 #include "obs/Metrics.h"
 #include "pipeline/ChunkedReader.h"
+#include "serve/ReportCanon.h"
 #include "support/Json.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
@@ -57,6 +58,7 @@ struct Options {
   bool ShowMetrics = false; // --metrics: human-readable telemetry tables.
   bool NoMetrics = false;   // --no-metrics: zero-cost disable.
   std::string TraceOut;     // --trace-out: Perfetto timeline destination.
+  std::string ReportOut;    // --report-out: canonical report destination.
   unsigned Threads = 0; // 0 = hardware concurrency.
   uint64_t Window = 0;  // 0 = unwindowed.
   uint32_t Shards = 0;  // 0 = no per-variable sharding.
@@ -67,7 +69,10 @@ void printHelp() {
       "usage: race_cli [trace-file] [options]\n"
       "\n"
       "Analyzes a trace (.bin or .txt; the built-in 'mergesort' workload\n"
-      "model when no file is given) for predictable data races.\n"
+      "model when no file is given) for predictable data races. Pass '-'\n"
+      "to read a text trace from stdin (requires --stream: standard input\n"
+      "cannot seek, so only the streaming session can consume it); FIFO\n"
+      "paths stream the same way.\n"
       "\n"
       "detectors (default: --hb --wcp):\n"
       "  --hb           Djit+-style happens-before\n"
@@ -110,6 +115,9 @@ void printHelp() {
       "  --trace-out F  write a Chrome/Perfetto trace_event timeline of\n"
       "                 the run to F (requires --stream; open the file at\n"
       "                 ui.perfetto.dev)\n"
+      "  --report-out F write the canonical race report to F — the exact\n"
+      "                 bytes race_serverd's Report frames carry, for\n"
+      "                 diffing live sessions against offline replays\n"
       "  --dry-run      validate the flag combination and exit 0 without\n"
       "                 reading the trace or analyzing\n"
       "  --help         this text\n"
@@ -120,7 +128,9 @@ void printHelp() {
       "  race_cli trace.bin --stream --shards 8 --balanced --threads 4\n"
       "  race_cli trace.bin --stream --metrics\n"
       "  race_cli trace.bin --stream --window 100000 --trace-out run.json\n"
-      "  race_cli trace.txt --json --fasttrack\n",
+      "  race_cli trace.txt --json --fasttrack\n"
+      "  cat trace.txt | race_cli - --stream --hb --wcp\n"
+      "  race_cli trace.txt --report-out report.txt\n",
       stdout);
 }
 
@@ -243,6 +253,10 @@ int main(int Argc, char **Argv) {
       Opts.TraceOut = Argv[++I];
     else if (Arg.rfind("--trace-out=", 0) == 0)
       Opts.TraceOut = Arg.substr(std::strlen("--trace-out="));
+    else if (Arg == "--report-out" && I + 1 < Argc)
+      Opts.ReportOut = Argv[++I];
+    else if (Arg.rfind("--report-out=", 0) == 0)
+      Opts.ReportOut = Arg.substr(std::strlen("--report-out="));
     else if (Arg == "--help" || Arg == "-h") {
       printHelp();
       return 0;
@@ -273,6 +287,15 @@ int main(int Argc, char **Argv) {
   // clock pass and shard checks behind ingestion.
   if (Opts.Stream && Opts.Path.empty() && !Opts.DryRun) {
     std::fprintf(stderr, "error: --stream needs a trace file\n");
+    return 1;
+  }
+  if (Opts.Path == "-" && !Opts.Stream) {
+    // Stdin cannot seek: the batch loaders (and the windowed baseline's
+    // whole-trace cut) need a rewindable file, so '-' only composes with
+    // the streaming session.
+    std::fprintf(stderr,
+                 "error: reading from '-' (stdin) requires --stream (stdin "
+                 "cannot seek)\n");
     return 1;
   }
   if (Opts.Balanced && Opts.Shards == 0) {
@@ -397,6 +420,20 @@ int main(int Argc, char **Argv) {
   // (Streamed traces are validated *inside* the session, event by event
   // before publication — an ill-formed trace surfaces as a
   // ValidationError in R.Overall, in --json mode too.)
+
+  if (!Opts.ReportOut.empty()) {
+    const std::string Canon = canonicalReport(R, T);
+    std::FILE *F = std::fopen(Opts.ReportOut.c_str(), "wb");
+    if (!F ||
+        std::fwrite(Canon.data(), 1, Canon.size(), F) != Canon.size()) {
+      std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                   Opts.ReportOut.c_str());
+      if (F)
+        std::fclose(F);
+      return 1;
+    }
+    std::fclose(F);
+  }
 
   if (Opts.Json) {
     std::fputs(renderJson(R, Cfg, Opts.Stream).c_str(), stdout);

@@ -111,5 +111,7 @@ Status AnalysisConfig::validate() const {
                    "mode");
   if (StreamBatchEvents == 0)
     return Invalid("StreamBatchEvents must be >= 1");
+  if (DrainBatch == 0)
+    return Invalid("DrainBatch must be >= 1");
   return Status::success();
 }

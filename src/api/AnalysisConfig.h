@@ -97,6 +97,11 @@ struct AnalysisConfig {
   /// Streaming sessions: max events a consumer takes per batch — the
   /// granularity of partial-report visibility.
   uint64_t StreamBatchEvents = 8192;
+  /// VarSharded sessions: accesses a shard drain task claims per round.
+  /// Smaller batches release the shard sooner for partial snapshots and
+  /// spread work across the pool; larger ones amortize the claim
+  /// handshake. Reports are bit-identical for any value >= 1.
+  uint64_t DrainBatch = 4096;
   /// Observability (obs/Metrics.h): when false, no metric slots are
   /// registered and every instrument handle on the hot paths is null, so
   /// the disabled cost per update site is one branch on a cached pointer —

@@ -302,6 +302,11 @@ struct AnalysisSession::Impl {
   std::vector<std::unique_ptr<VarShardState>> VarStates; ///< VarSharded only.
   std::shared_ptr<WindowEpoch> WinEpoch; ///< Windowed only; ptr under M.
   uint64_t FinalNumWindows = 0;          ///< Set at windowed finalize.
+  /// Windowed only: the builder's consumed watermark. LaneRuntime::
+  /// Consumed is only written at finalize in this mode (window tasks
+  /// retire out of order), so progress() reads this instead — otherwise
+  /// a parked-on-lag serving client would never resume.
+  std::atomic<uint64_t> WinBuilt{0};
   std::vector<std::thread> Consumers;
 
   // ---- Observability (obs/) -------------------------------------------------
@@ -642,6 +647,7 @@ void AnalysisSession::Impl::windowedConsumer() {
             dispatchWindow(Ep, std::move(*W));
         });
         Consumed = To;
+        WinBuilt.store(To, std::memory_order_relaxed);
         if (Rec)
           Rec->span(BuilderTrack, "build", SpanStart,
                     Rec->nowUs() - SpanStart);
@@ -696,7 +702,7 @@ void AnalysisSession::Impl::scheduleDrains(VarShardState &VS,
 /// Loops until no work is left, then clears Scheduled and exits — the
 /// capture consumer re-submits when it commits more.
 void AnalysisSession::Impl::drainVarShard(VarShardState &VS, uint32_t S) {
-  constexpr uint64_t DrainBatch = 4096;
+  const uint64_t DrainBatch = Cfg.DrainBatch;
   VarShard &Sh = *VS.Shards[S];
   const AccessLog &Log = *VS.Log;
   const ClockBroadcast &Broadcast = Log.clocks();
@@ -1480,6 +1486,28 @@ uint64_t AnalysisSession::eventsFed() const {
 bool AnalysisSession::finished() const {
   std::lock_guard<std::mutex> Lk(I->M);
   return I->Finished;
+}
+
+AnalysisSession::Progress AnalysisSession::progress() const {
+  Progress P;
+  // Watermark first: it is monotone and lanes never pass it, so the
+  // min-consumed read below can only be <= this snapshot.
+  P.Published = I->Store.published();
+  {
+    std::lock_guard<std::mutex> Lk(I->M);
+    P.Fed = I->Live->size();
+  }
+  uint64_t Min = P.Published;
+  if (I->Cfg.Mode == RunMode::Windowed) {
+    Min = std::min(Min, I->WinBuilt.load(std::memory_order_relaxed));
+  } else {
+    for (auto &Rt : I->Lanes) {
+      std::lock_guard<std::mutex> G(Rt->SnapM);
+      Min = std::min(Min, Rt->Consumed);
+    }
+  }
+  P.MinLaneConsumed = Min;
+  return P;
 }
 
 AnalysisResult AnalysisSession::partialResult() {

@@ -133,6 +133,17 @@ public:
   uint64_t eventsFed() const;
   bool finished() const;
 
+  /// Producer/consumer watermarks for backpressure decisions (the serving
+  /// layer parks a connection whose Published - MinLaneConsumed lag grows
+  /// past its budget). Cheap; safe to call concurrently with feeds and
+  /// consumers, like partialResult().
+  struct Progress {
+    uint64_t Fed = 0;             ///< Events appended (>= Published).
+    uint64_t Published = 0;       ///< Validated events visible to lanes.
+    uint64_t MinLaneConsumed = 0; ///< Slowest lane's consumed watermark.
+  };
+  Progress progress() const;
+
   /// Mid-stream snapshot: per-lane races discovered so far and events
   /// consumed. Every mode reports live progress — sequential
   /// and fused lanes return their detector's report so far; windowed

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace rapid;
 
@@ -292,4 +293,91 @@ WorkloadSpec rapid::workloadSpec(const std::string &Name) {
       return S;
   assert(false && "unknown workload name");
   return WorkloadSpec{};
+}
+
+ZipfSampler::ZipfSampler(uint64_t N, double Theta) : N(N), Theta(Theta) {
+  assert(N > 0 && "empty rank space");
+  assert(Theta >= 0.0 && Theta < 1.0 && "theta must be in [0, 1)");
+  Zetan = 0.0;
+  for (uint64_t I = 1; I <= N; ++I)
+    Zetan += std::pow(static_cast<double>(I), -Theta);
+  Alpha = 1.0 / (1.0 - Theta);
+  // For N <= 2 the two explicit branches in sample() cover the whole CDF
+  // and Eta's denominator degenerates (zeta(2) == zeta(N)); it is unused.
+  Eta = N <= 2 ? 0.0
+               : (1.0 - std::pow(2.0 / static_cast<double>(N), 1.0 - Theta)) /
+                     (1.0 - (1.0 + std::pow(0.5, Theta)) / Zetan);
+}
+
+uint64_t ZipfSampler::sample(Prng &Rng) const {
+  double U = Rng.nextDouble();
+  double Uz = U * Zetan;
+  if (Uz < 1.0)
+    return 0;
+  if (Uz < 1.0 + std::pow(0.5, Theta))
+    return 1;
+  uint64_t K = static_cast<uint64_t>(
+      static_cast<double>(N) * std::pow(Eta * U - Eta + 1.0, Alpha));
+  return K >= N ? N - 1 : K;
+}
+
+Trace rapid::makeZipfWorkload(const ZipfWorkloadSpec &Spec) {
+  assert(Spec.Threads >= 1 && Spec.Vars >= 1);
+  ZipfSampler Zipf(Spec.Vars, Spec.Theta);
+
+  // Round cost: acq + r + w + rel when striped, r + w bare. The main
+  // thread works too, so the whole budget divides across Spec.Threads.
+  const uint64_t RoundCost = Spec.Locks > 0 ? 4 : 2;
+  const uint64_t ForkJoinCost =
+      Spec.Threads > 1 ? 2ull * (Spec.Threads - 1) : 0;
+  const uint64_t Budget =
+      Spec.Events > ForkJoinCost ? Spec.Events - ForkJoinCost : RoundCost;
+  const uint64_t Rounds =
+      std::max<uint64_t>(1, Budget / (RoundCost * Spec.Threads));
+
+  Program P;
+  auto threadName = [](uint32_t I) { return "T" + std::to_string(I); };
+  for (uint32_t W = 0; W < Spec.Threads; ++W)
+    P.thread(threadName(W));
+  if (Spec.Threads > 1) {
+    ThreadScript Root(P, threadName(0));
+    for (uint32_t W = 1; W < Spec.Threads; ++W)
+      Root.fork(threadName(W), "main.fork" + std::to_string(W));
+  }
+
+  for (uint32_t W = 0; W < Spec.Threads; ++W) {
+    // Per-thread stream split off the spec seed, so each worker draws an
+    // independent — but fully seed-determined — rank sequence.
+    Prng Rng(Spec.Seed ^ (0x9e3779b97f4a7c15ULL * (W + 1)));
+    ThreadScript S(P, threadName(W));
+    const std::string TN = threadName(W);
+    for (uint64_t R = 0; R < Rounds; ++R) {
+      uint64_t V = Zipf.sample(Rng);
+      std::string Var = "zv" + std::to_string(V);
+      std::string Loc = TN + ".z" + std::to_string(R);
+      if (Spec.Locks > 0) {
+        std::string L = "zl" + std::to_string(V % Spec.Locks);
+        S.acq(L, Loc + ".acq");
+        S.read(Var, Loc + ".r");
+        S.write(Var, Loc + ".w");
+        S.rel(L, Loc + ".rel");
+      } else {
+        S.read(Var, Loc + ".r");
+        S.write(Var, Loc + ".w");
+      }
+    }
+  }
+
+  if (Spec.Threads > 1) {
+    ThreadScript Root(P, threadName(0));
+    for (uint32_t W = 1; W < Spec.Threads; ++W)
+      Root.join(threadName(W), "main.join" + std::to_string(W));
+  }
+
+  SimOptions Opts;
+  Opts.Seed = Spec.Seed;
+  Opts.BurstPercent = 65;
+  SimResult R = simulate(P, Opts);
+  assert(R.Ok && "zipf program failed to schedule");
+  return std::move(R.T);
 }

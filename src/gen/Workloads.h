@@ -33,6 +33,7 @@
 #ifndef RAPID_GEN_WORKLOADS_H
 #define RAPID_GEN_WORKLOADS_H
 
+#include "support/Prng.h"
 #include "trace/Trace.h"
 
 #include <string>
@@ -73,6 +74,53 @@ std::vector<WorkloadSpec> table1Workloads();
 /// Looks up one model by name ("eclipse", "bufwriter", ...). Asserts on
 /// unknown names.
 WorkloadSpec workloadSpec(const std::string &Name);
+
+/// Bounded Zipf(theta) sampler over ranks [0, N): rank 0 is the hottest
+/// item, with P(k) proportional to 1/(k+1)^theta. Construction is O(N)
+/// (one zeta-sum pass); each sample() is O(1) — the zeta-normalized
+/// inverse-CDF form from Gray et al.'s "Quickly generating billion-record
+/// synthetic databases", the same sampler YCSB ships. Theta must be in
+/// [0, 1): 0 degenerates to uniform, values near 1 concentrate almost all
+/// mass on the first few ranks.
+class ZipfSampler {
+public:
+  ZipfSampler(uint64_t N, double Theta);
+
+  /// Draws one rank in [0, N) from \p Rng.
+  uint64_t sample(Prng &Rng) const;
+
+  uint64_t size() const { return N; }
+  double theta() const { return Theta; }
+
+private:
+  uint64_t N;
+  double Theta;
+  double Zetan; ///< sum_{i=1..N} i^-theta.
+  double Alpha; ///< 1 / (1 - theta).
+  double Eta;   ///< Inverse-CDF correction term.
+};
+
+/// Shape of the Zipf-skew stress model. Unlike the Table 1 models this is
+/// not a paper benchmark: it exists to stress skewed variable popularity —
+/// Threads workers hammer a pool of Vars shared variables whose access
+/// frequencies follow Zipf(Theta), each access protected by the variable's
+/// lock stripe (Locks stripes; Locks = 0 drops the locks, making every
+/// conflicting pair on a shared variable a race). Hot variables concentrate
+/// work onto single var-shards and single lock stripes, which is exactly
+/// the imbalance the var-sharded run mode and the drain batcher must
+/// absorb.
+struct ZipfWorkloadSpec {
+  uint32_t Threads = 4;
+  uint32_t Vars = 256;    ///< Shared variable pool size.
+  uint32_t Locks = 16;    ///< Lock stripes over the pool (0 = unprotected).
+  uint64_t Events = 100000; ///< Approximate event target.
+  double Theta = 0.9;     ///< Skew in [0, 1).
+  uint64_t Seed = 1;
+};
+
+/// Builds the trace for \p Spec; deterministic per seed, and §2.1-valid by
+/// construction (generated through the simulator like every other model).
+Trace makeZipfWorkload(const ZipfWorkloadSpec &Spec);
 
 } // namespace rapid
 

@@ -1,0 +1,86 @@
+//===- io/FeedSource.h - Byte-stream feed sources ---------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport abstraction of the serving layer: a FeedSource is a
+/// byte stream carrying wire frames (io/WireFormat.h) from one producer —
+/// an accepted socket, a FIFO writer, or a shared-memory ring — toward
+/// one AnalysisSession. Sources deliberately know nothing about frames
+/// or sessions; serve/WireIngestor.h stacks the protocol on top, which
+/// is what keeps the three transports bit-for-bit interchangeable (the
+/// round-trip pins in tests/serve_test.cpp).
+///
+/// Two consumption styles:
+///
+///   - blocking pumps (FIFO/ring helper threads, tests) just call read()
+///     in a loop until 0 (EOF) or a negative error;
+///   - the server's poll loop uses pollFd() to wait for readability and
+///     keeps the fd non-blocking, in which case read() may also return
+///     -EAGAIN-style WouldBlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_IO_FEEDSOURCE_H
+#define RAPID_IO_FEEDSOURCE_H
+
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+
+namespace rapid {
+
+class ShmRing;
+
+/// A byte source feeding one session's wire stream.
+class FeedSource {
+public:
+  /// read() results at or below zero.
+  static constexpr long Eof = 0;
+  static constexpr long WouldBlock = -1; ///< Pollable source, no data yet.
+  static constexpr long Failed = -2;     ///< status() has the reason.
+
+  virtual ~FeedSource();
+
+  /// Reads up to \p Max bytes into \p Buf. Returns the byte count, Eof,
+  /// WouldBlock (non-blocking fd sources only) or Failed.
+  virtual long read(char *Buf, size_t Max) = 0;
+
+  /// A pollable fd for readiness-driven consumers, or -1 if the source
+  /// can only be consumed by a blocking read loop (the shm ring).
+  virtual int pollFd() const { return -1; }
+
+  /// Human-readable origin ("unix:...", "fifo:...", "shm:...").
+  virtual const std::string &name() const = 0;
+
+  /// The failure behind a Failed read, if any.
+  virtual const Status &status() const = 0;
+};
+
+/// Wraps an open fd (accepted socket, opened FIFO, pipe). Takes ownership
+/// and closes it on destruction. Honors whatever blocking mode the fd is
+/// already in: a non-blocking fd yields WouldBlock, a blocking one parks
+/// in the kernel.
+std::unique_ptr<FeedSource> makeFdFeedSource(int Fd, std::string Name);
+
+/// Wraps an attached ring (consumer side). readSome() semantics: blocks
+/// until data or producer close.
+std::unique_ptr<FeedSource> makeShmRingFeedSource(ShmRing Ring,
+                                                  std::string Name);
+
+/// Opens a source from a spec string:
+///
+///   unix:PATH   connect to a listening Unix-domain socket
+///   fifo:PATH   open a FIFO for reading (blocks until a writer appears)
+///   shm:PATH    attach to a ShmRing segment
+///
+/// Returns null and fills \p Err on failure.
+std::unique_ptr<FeedSource> openFeedSource(const std::string &Spec,
+                                           Status &Err);
+
+} // namespace rapid
+
+#endif // RAPID_IO_FEEDSOURCE_H

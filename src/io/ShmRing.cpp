@@ -1,0 +1,209 @@
+//===- io/ShmRing.cpp - Shared-memory SPSC byte ring --------------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/ShmRing.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rapid {
+
+namespace {
+
+Status errnoStatus(const std::string &What, const std::string &Path) {
+  return Status(StatusCode::IoError,
+                What + " '" + Path + "': " + std::strerror(errno));
+}
+
+/// Bounded exponential backoff for the rare full/empty waits: spin a few
+/// rounds, then sleep 1us doubling to 1ms.
+struct Backoff {
+  unsigned Round = 0;
+  void pause() {
+    if (Round < 16) {
+      ++Round;
+      return;
+    }
+    const unsigned Shift = std::min(Round - 16, 10u);
+    ++Round;
+    std::this_thread::sleep_for(std::chrono::microseconds(1u << Shift));
+  }
+};
+
+} // namespace
+
+ShmRing::~ShmRing() { unmap(); }
+
+ShmRing::ShmRing(ShmRing &&O) noexcept
+    : H(O.H), Data(O.Data), MapBytes(O.MapBytes) {
+  O.H = nullptr;
+  O.Data = nullptr;
+  O.MapBytes = 0;
+}
+
+ShmRing &ShmRing::operator=(ShmRing &&O) noexcept {
+  if (this != &O) {
+    unmap();
+    H = O.H;
+    Data = O.Data;
+    MapBytes = O.MapBytes;
+    O.H = nullptr;
+    O.Data = nullptr;
+    O.MapBytes = 0;
+  }
+  return *this;
+}
+
+void ShmRing::unmap() {
+  if (H)
+    ::munmap(H, MapBytes);
+  H = nullptr;
+  Data = nullptr;
+  MapBytes = 0;
+}
+
+Status ShmRing::create(const std::string &Path, uint64_t Capacity) {
+  if (Capacity == 0)
+    return Status(StatusCode::InvalidConfig, "ring capacity must be > 0");
+  unmap();
+  const int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (Fd < 0)
+    return errnoStatus("creating ring segment", Path);
+  const size_t Bytes = sizeof(ShmRingHeader) + Capacity;
+  if (::ftruncate(Fd, static_cast<off_t>(Bytes)) != 0) {
+    Status S = errnoStatus("sizing ring segment", Path);
+    ::close(Fd);
+    return S;
+  }
+  void *Map = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+  ::close(Fd); // The mapping keeps the pages alive.
+  if (Map == MAP_FAILED)
+    return errnoStatus("mapping ring segment", Path);
+  H = static_cast<ShmRingHeader *>(Map);
+  Data = static_cast<char *>(Map) + sizeof(ShmRingHeader);
+  MapBytes = Bytes;
+  H->Capacity = Capacity;
+  H->Head.store(0, std::memory_order_relaxed);
+  H->Tail.store(0, std::memory_order_relaxed);
+  H->Closed.store(0, std::memory_order_relaxed);
+  // Magic last: an attacher that sees it sees an initialized header.
+  H->Magic.store(MagicValue, std::memory_order_release);
+  return Status::success();
+}
+
+Status ShmRing::attach(const std::string &Path) {
+  unmap();
+  const int Fd = ::open(Path.c_str(), O_RDWR);
+  if (Fd < 0)
+    return errnoStatus("opening ring segment", Path);
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    Status S = errnoStatus("inspecting ring segment", Path);
+    ::close(Fd);
+    return S;
+  }
+  if (static_cast<size_t>(St.st_size) < sizeof(ShmRingHeader) + 1) {
+    ::close(Fd);
+    return Status(StatusCode::ValidationError,
+                  "'" + Path + "' is too small to be a ring segment");
+  }
+  const size_t Bytes = static_cast<size_t>(St.st_size);
+  void *Map = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+  ::close(Fd);
+  if (Map == MAP_FAILED)
+    return errnoStatus("mapping ring segment", Path);
+  ShmRingHeader *Hdr = static_cast<ShmRingHeader *>(Map);
+  if (Hdr->Magic.load(std::memory_order_acquire) != MagicValue ||
+      Hdr->Capacity != Bytes - sizeof(ShmRingHeader)) {
+    ::munmap(Map, Bytes);
+    return Status(StatusCode::ValidationError,
+                  "'" + Path + "' is not a rapid ring segment");
+  }
+  H = Hdr;
+  Data = static_cast<char *>(Map) + sizeof(ShmRingHeader);
+  MapBytes = Bytes;
+  return Status::success();
+}
+
+bool ShmRing::write(const char *Src, size_t N) {
+  if (!H || H->Closed.load(std::memory_order_relaxed))
+    return false;
+  const uint64_t Cap = H->Capacity;
+  uint64_t Head = H->Head.load(std::memory_order_relaxed);
+  while (N != 0) {
+    Backoff B;
+    uint64_t Free;
+    for (;;) {
+      const uint64_t Tail = H->Tail.load(std::memory_order_acquire);
+      Free = Cap - (Head - Tail);
+      if (Free != 0)
+        break;
+      B.pause(); // Consumer is behind: this *is* the backpressure.
+    }
+    const uint64_t Chunk = std::min<uint64_t>(N, Free);
+    uint64_t At = Head % Cap;
+    const uint64_t FirstSpan = std::min(Chunk, Cap - At);
+    std::memcpy(Data + At, Src, FirstSpan);
+    if (Chunk != FirstSpan)
+      std::memcpy(Data, Src + FirstSpan, Chunk - FirstSpan);
+    Head += Chunk;
+    H->Head.store(Head, std::memory_order_release);
+    Src += Chunk;
+    N -= Chunk;
+  }
+  return true;
+}
+
+void ShmRing::close() {
+  if (H)
+    H->Closed.store(1, std::memory_order_seq_cst);
+}
+
+size_t ShmRing::tryRead(char *Buf, size_t Max, bool &Eof) {
+  Eof = false;
+  if (!H || Max == 0)
+    return 0;
+  const uint64_t Cap = H->Capacity;
+  const uint64_t Tail = H->Tail.load(std::memory_order_relaxed);
+  const uint64_t Head = H->Head.load(std::memory_order_acquire);
+  const uint64_t Avail = Head - Tail;
+  if (Avail == 0) {
+    // Closed checked *after* the Head load: a producer that closes after
+    // its last publish cannot make us miss bytes.
+    Eof = H->Closed.load(std::memory_order_seq_cst) != 0 &&
+          H->Head.load(std::memory_order_acquire) == Tail;
+    return 0;
+  }
+  const uint64_t Chunk = std::min<uint64_t>(Max, Avail);
+  uint64_t At = Tail % Cap;
+  const uint64_t FirstSpan = std::min(Chunk, Cap - At);
+  std::memcpy(Buf, Data + At, FirstSpan);
+  if (Chunk != FirstSpan)
+    std::memcpy(Buf + FirstSpan, Data, Chunk - FirstSpan);
+  H->Tail.store(Tail + Chunk, std::memory_order_release);
+  return Chunk;
+}
+
+size_t ShmRing::readSome(char *Buf, size_t Max) {
+  Backoff B;
+  for (;;) {
+    bool Eof = false;
+    const size_t N = tryRead(Buf, Max, Eof);
+    if (N != 0 || Eof)
+      return N;
+    B.pause();
+  }
+}
+
+} // namespace rapid

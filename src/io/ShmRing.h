@@ -1,0 +1,112 @@
+//===- io/ShmRing.h - Shared-memory SPSC byte ring --------------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-producer single-consumer byte ring over a shared file mapping
+/// — the zero-syscall feed transport of the serving layer. The producer
+/// (a monitored process) appends wire frames; the consumer (the server's
+/// FeedSource) drains them into an AnalysisSession.
+///
+/// The synchronization is PublishedStore's watermark discipline flattened
+/// to bytes: Head is the producer's monotone "bytes ever written"
+/// watermark (release-stored after the byte copy, acquire-loaded by the
+/// consumer), Tail is the consumer's mirror-image "bytes ever read"
+/// watermark, and Closed is the producer's stop flag, stored seq_cst
+/// after the final Head publish so a consumer that sees Closed and then
+/// drains to Head has seen every byte. Because the two watermarks only
+/// ever grow and each side writes exactly one of them, neither side needs
+/// a lock or a CAS; fullness (producer) and emptiness (consumer) park on
+/// a bounded exponential sleep instead of a condvar — process-shared
+/// condvars would drag robust-mutex complexity into a path whose waits
+/// are rare and short.
+///
+/// The segment lives in a plain file (create()/attach() by path): mapping
+/// it from /dev/shm gives a true memory-only segment, while any other
+/// path works for tests and FIFO-less sandboxes. The header records
+/// capacity and a magic so attach() rejects foreign files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_IO_SHMRING_H
+#define RAPID_IO_SHMRING_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rapid {
+
+/// The mapped segment layout. Both processes address the same physical
+/// pages, so the atomics synchronize exactly as they would in one
+/// address space.
+struct ShmRingHeader {
+  std::atomic<uint64_t> Magic; ///< Stored release-last by create().
+  uint64_t Capacity;
+  std::atomic<uint64_t> Head;   ///< Bytes ever produced (watermark).
+  std::atomic<uint64_t> Tail;   ///< Bytes ever consumed (watermark).
+  std::atomic<uint32_t> Closed; ///< Producer hung up; drain then EOF.
+};
+
+/// One side's attachment to a ring segment. Exactly one process may call
+/// the producer methods (write/close) and one the consumer methods
+/// (readSome); create() and attach() do not police roles.
+class ShmRing {
+public:
+  static constexpr uint64_t MagicValue = 0x52505249304e4731ull; // "RPRI0NG1"
+  static constexpr uint64_t DefaultCapacity = 1u << 20;
+
+  ShmRing() = default;
+  ~ShmRing();
+  ShmRing(const ShmRing &) = delete;
+  ShmRing &operator=(const ShmRing &) = delete;
+  ShmRing(ShmRing &&O) noexcept;
+  ShmRing &operator=(ShmRing &&O) noexcept;
+
+  /// Creates (truncating any previous segment at \p Path) and maps a ring
+  /// of \p Capacity data bytes.
+  Status create(const std::string &Path, uint64_t Capacity = DefaultCapacity);
+
+  /// Maps an existing segment, validating magic and size.
+  Status attach(const std::string &Path);
+
+  bool mapped() const { return H != nullptr; }
+  uint64_t capacity() const { return H ? H->Capacity : 0; }
+
+  // ---- Producer side --------------------------------------------------------
+
+  /// Appends \p N bytes, blocking (bounded sleep) while the ring is full.
+  /// False iff the consumer side vanished is not detectable here — write
+  /// only fails (returns false) after close().
+  bool write(const char *Data, size_t N);
+
+  /// Publishes EOF: consumers drain the remaining bytes, then readSome
+  /// returns 0.
+  void close();
+
+  // ---- Consumer side --------------------------------------------------------
+
+  /// Blocks (bounded sleep) until bytes are available or the ring is
+  /// closed and drained. Returns the number of bytes copied into \p Buf
+  /// (<= Max), or 0 for EOF.
+  size_t readSome(char *Buf, size_t Max);
+
+  /// Non-blocking variant: returns 0 with \p Eof=false when empty.
+  size_t tryRead(char *Buf, size_t Max, bool &Eof);
+
+private:
+  void unmap();
+
+  ShmRingHeader *H = nullptr;
+  char *Data = nullptr;
+  size_t MapBytes = 0;
+};
+
+} // namespace rapid
+
+#endif // RAPID_IO_SHMRING_H

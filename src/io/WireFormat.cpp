@@ -1,0 +1,121 @@
+//===- io/WireFormat.cpp - Trace-coupled wire codec helpers -------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/WireFormat.h"
+
+#include "trace/Trace.h"
+
+#include <algorithm>
+
+namespace rapid {
+
+const char *wireFrameName(WireFrame T) {
+  switch (T) {
+  case WireFrame::Hello:
+    return "hello";
+  case WireFrame::Declare:
+    return "declare";
+  case WireFrame::Events:
+    return "events";
+  case WireFrame::PartialQuery:
+    return "partial-query";
+  case WireFrame::TimelineQuery:
+    return "timeline-query";
+  case WireFrame::Finish:
+    return "finish";
+  case WireFrame::Report:
+    return "report";
+  case WireFrame::Timeline:
+    return "timeline";
+  case WireFrame::WireError:
+    return "error";
+  case WireFrame::ListSessions:
+    return "list-sessions";
+  case WireFrame::SessionList:
+    return "session-list";
+  case WireFrame::FinalQuery:
+    return "final-query";
+  }
+  return "unknown";
+}
+
+bool wireCheckHello(std::string_view Payload, std::string &Error) {
+  if (Payload.size() < 8) {
+    Error = "hello payload truncated";
+    return false;
+  }
+  if (wireGetU32(Payload.data()) != WireHelloMagic) {
+    Error = "bad hello magic";
+    return false;
+  }
+  const uint16_t V = wireGetU16(Payload.data() + 4);
+  if (V != WireVersion) {
+    Error = "unsupported protocol version " + std::to_string(V);
+    return false;
+  }
+  return true;
+}
+
+std::string encodeTraceFrames(const Trace &T, uint64_t BatchEvents) {
+  if (BatchEvents == 0)
+    BatchEvents = 1;
+  // One Events frame must stay under the payload cap.
+  const uint64_t MaxPerFrame = (WireMaxPayload - 4) / WireEventRecordSize;
+  BatchEvents = std::min(BatchEvents, MaxPerFrame);
+
+  std::string Out;
+  std::string Payload;
+  auto declareTable = [&](const StringInterner &Table, WireDeclareKind K) {
+    if (Table.size() == 0)
+      return;
+    Payload.clear();
+    for (uint32_t I = 0; I != Table.size(); ++I)
+      wireDeclareEntry(Payload, K, Table.name(I));
+    wireAppendFrame(Out, WireFrame::Declare, Payload);
+  };
+  declareTable(T.threadTable(), WireDeclareKind::Thread);
+  declareTable(T.lockTable(), WireDeclareKind::Lock);
+  declareTable(T.varTable(), WireDeclareKind::Var);
+  declareTable(T.locTable(), WireDeclareKind::Loc);
+
+  for (EventIdx From = 0; From < T.size(); From += BatchEvents) {
+    const EventIdx To =
+        std::min<EventIdx>(T.size(), From + BatchEvents);
+    Payload.clear();
+    wirePutU32(Payload, static_cast<uint32_t>(To - From));
+    for (EventIdx I = From; I != To; ++I) {
+      const Event &E = T.event(I);
+      wireEventRecord(Payload, static_cast<uint8_t>(E.Kind),
+                      E.Thread.value(), E.Target, E.Loc.value());
+    }
+    wireAppendFrame(Out, WireFrame::Events, Payload);
+  }
+  return Out;
+}
+
+Status decodeEventsPayload(std::string_view Payload, std::vector<Event> &Out) {
+  if (Payload.size() < 4)
+    return Status(StatusCode::ValidationError, "events payload truncated");
+  const uint32_t Count = wireGetU32(Payload.data());
+  if (Payload.size() - 4 != uint64_t{Count} * WireEventRecordSize)
+    return Status(StatusCode::ValidationError,
+                  "events payload size does not match its record count");
+  Out.reserve(Out.size() + Count);
+  const char *P = Payload.data() + 4;
+  for (uint32_t I = 0; I != Count; ++I, P += WireEventRecordSize) {
+    const uint8_t Kind = static_cast<uint8_t>(*P);
+    if (Kind > static_cast<uint8_t>(EventKind::Join))
+      return Status(StatusCode::ValidationError,
+                    "event record " + std::to_string(I) +
+                        " has kind byte " + std::to_string(Kind) +
+                        " outside the event alphabet");
+    Out.emplace_back(static_cast<EventKind>(Kind), ThreadId(wireGetU32(P + 1)),
+                     wireGetU32(P + 5), LocId(wireGetU32(P + 9)));
+  }
+  return Status::success();
+}
+
+} // namespace rapid

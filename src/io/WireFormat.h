@@ -1,0 +1,261 @@
+//===- io/WireFormat.h - Length-prefixed serve-layer frames -----*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the live-attach serving layer (src/serve/): a
+/// stream of length-prefixed frames carrying name declarations, binary
+/// event batches, and mid-stream control queries into an AnalysisSession,
+/// plus the server's report/error replies. One frame is
+///
+///   u32 payload-length (LE) | u8 frame-type | payload bytes
+///
+/// Event records reuse the 13-byte shape of the binary trace container
+/// (io/BinaryFormat.h): u8 kind, u32 thread, u32 target, u32 loc, all LE.
+/// Ids are never negotiated: the client declares names (Declare frames)
+/// and mirrors the server's interning order locally — both sides assign
+/// sequential ids per table in declaration order, so an id is just "the
+/// k-th name I declared of this kind" and no round trip is needed.
+///
+/// The encode helpers and the incremental FrameDecoder are header-only on
+/// purpose: the LD_PRELOAD interposer (examples/interpose/) speaks this
+/// protocol from inside arbitrary processes and must not link the static
+/// rapid library into a shared object. Trace-coupled conveniences
+/// (encodeTraceFrames, decodeEventsPayload) live in WireFormat.cpp and
+/// are only for rapid-linking code (server, tests, tools).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_IO_WIREFORMAT_H
+#define RAPID_IO_WIREFORMAT_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapid {
+
+class Trace;
+struct Event;
+
+/// Frame types. Client → server: Hello first, then any mix of Declare/
+/// Events/queries, optionally ending in Finish. Server → client: Report,
+/// Timeline, SessionList, WireError.
+enum class WireFrame : uint8_t {
+  Hello = 1,         ///< Magic + version; must be the first client frame.
+  Declare = 2,       ///< Name declarations (ids implied by order).
+  Events = 3,        ///< Batch of 13-byte event records.
+  PartialQuery = 4,  ///< partialResult(); empty = own session, u64 = by id.
+  TimelineQuery = 5, ///< exportTimeline(); empty = own session, u64 = by id.
+  Finish = 6,        ///< Finalize own session; server replies Report.
+  Report = 7,        ///< u8 partial | u64 session id | canonical listing.
+  Timeline = 8,      ///< Perfetto JSON for the queried session.
+  WireError = 9,     ///< u8 status code | message.
+  ListSessions = 10, ///< Ask for the live/finished session roster.
+  SessionList = 11,  ///< Text roster reply (docs/SERVING.md).
+  FinalQuery = 12,   ///< u64 session id; Report of a *finished* session.
+};
+
+/// Stable display name for diagnostics ("hello", "events", ...).
+const char *wireFrameName(WireFrame T);
+
+inline constexpr uint32_t WireHelloMagic = 0x52505356u; // "RPSV"
+inline constexpr uint16_t WireVersion = 1;
+/// Hard per-frame payload cap; a length above this is malformed, so a
+/// garbage prefix can never make the decoder buffer gigabytes.
+inline constexpr uint32_t WireMaxPayload = 1u << 20;
+inline constexpr size_t WireFrameHeaderSize = 5;
+/// u8 kind + u32 thread + u32 target + u32 loc.
+inline constexpr size_t WireEventRecordSize = 13;
+
+/// Which name table a Declare entry interns into.
+enum class WireDeclareKind : uint8_t { Thread = 0, Lock = 1, Var = 2, Loc = 3 };
+
+// ---- Little-endian scalar helpers (header-only; interposer-safe) -----------
+
+inline void wirePutU16(std::string &B, uint16_t V) {
+  B.push_back(static_cast<char>(V & 0xff));
+  B.push_back(static_cast<char>((V >> 8) & 0xff));
+}
+inline void wirePutU32(std::string &B, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+inline void wirePutU64(std::string &B, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+inline uint16_t wireGetU16(const char *P) {
+  const unsigned char *U = reinterpret_cast<const unsigned char *>(P);
+  return static_cast<uint16_t>(U[0] | (U[1] << 8));
+}
+inline uint32_t wireGetU32(const char *P) {
+  const unsigned char *U = reinterpret_cast<const unsigned char *>(P);
+  return static_cast<uint32_t>(U[0]) | (static_cast<uint32_t>(U[1]) << 8) |
+         (static_cast<uint32_t>(U[2]) << 16) |
+         (static_cast<uint32_t>(U[3]) << 24);
+}
+inline uint64_t wireGetU64(const char *P) {
+  return static_cast<uint64_t>(wireGetU32(P)) |
+         (static_cast<uint64_t>(wireGetU32(P + 4)) << 32);
+}
+
+// ---- Frame/payload building (header-only; interposer-safe) -----------------
+
+/// Appends one complete frame to \p Out.
+inline void wireAppendFrame(std::string &Out, WireFrame T,
+                            std::string_view Payload) {
+  wirePutU32(Out, static_cast<uint32_t>(Payload.size()));
+  Out.push_back(static_cast<char>(T));
+  Out.append(Payload.data(), Payload.size());
+}
+
+/// The mandatory first client frame.
+inline std::string wireHelloFrame() {
+  std::string P;
+  wirePutU32(P, WireHelloMagic);
+  wirePutU16(P, WireVersion);
+  wirePutU16(P, 0); // reserved
+  std::string Out;
+  wireAppendFrame(Out, WireFrame::Hello, P);
+  return Out;
+}
+
+/// Appends one declaration entry (u8 kind | u32 length | bytes) to a
+/// Declare payload under construction.
+inline void wireDeclareEntry(std::string &Payload, WireDeclareKind K,
+                             std::string_view Name) {
+  Payload.push_back(static_cast<char>(K));
+  wirePutU32(Payload, static_cast<uint32_t>(Name.size()));
+  Payload.append(Name.data(), Name.size());
+}
+
+/// Appends one 13-byte event record to an Events payload under
+/// construction (after the leading u32 count, which the caller owns).
+inline void wireEventRecord(std::string &Payload, uint8_t Kind,
+                            uint32_t Thread, uint32_t Target, uint32_t Loc) {
+  Payload.push_back(static_cast<char>(Kind));
+  wirePutU32(Payload, Thread);
+  wirePutU32(Payload, Target);
+  wirePutU32(Payload, Loc);
+}
+
+/// One decoded frame. The payload view aliases the decoder's buffer and
+/// is valid only until the next append()/next() call.
+struct WireFrameView {
+  WireFrame Type = WireFrame::Hello;
+  std::string_view Payload;
+};
+
+/// Incremental frame splitter: append() arbitrary byte chunks, next()
+/// yields complete frames. Malformed input (unknown type, payload above
+/// WireMaxPayload) is sticky: every later call keeps returning -1, so a
+/// desynchronized stream can never be half-interpreted.
+class FrameDecoder {
+public:
+  void append(const char *Data, size_t N) { Buf.append(Data, N); }
+
+  /// 1 = \p F filled and consumed, 0 = need more bytes, -1 = malformed
+  /// (error() describes why; the decoder is permanently dead).
+  int next(WireFrameView &F) {
+    if (!Err.empty())
+      return -1;
+    const size_t Avail = Buf.size() - Pos;
+    if (Avail < WireFrameHeaderSize) {
+      compact();
+      return 0;
+    }
+    const uint32_t Len = wireGetU32(Buf.data() + Pos);
+    const uint8_t Type = static_cast<uint8_t>(Buf[Pos + 4]);
+    if (Len > WireMaxPayload) {
+      Err = "frame payload length " + std::to_string(Len) +
+            " exceeds the " + std::to_string(WireMaxPayload) + "-byte cap";
+      return -1;
+    }
+    if (Type < static_cast<uint8_t>(WireFrame::Hello) ||
+        Type > static_cast<uint8_t>(WireFrame::FinalQuery)) {
+      Err = "unknown frame type " + std::to_string(Type);
+      return -1;
+    }
+    if (Avail < WireFrameHeaderSize + Len) {
+      compact();
+      return 0;
+    }
+    F.Type = static_cast<WireFrame>(Type);
+    F.Payload = std::string_view(Buf.data() + Pos + WireFrameHeaderSize, Len);
+    Pos += WireFrameHeaderSize + Len;
+    return 1;
+  }
+
+  /// Bytes buffered but not yet consumed as frames — nonzero after EOF
+  /// means the peer died mid-frame.
+  size_t buffered() const { return Buf.size() - Pos; }
+
+  const std::string &error() const { return Err; }
+
+private:
+  void compact() {
+    if (Pos) {
+      Buf.erase(0, Pos);
+      Pos = 0;
+    }
+  }
+
+  std::string Buf;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+// ---- Trace-coupled helpers (WireFormat.cpp; rapid-linking code only) -------
+
+/// Checks a Hello payload; false fills \p Error.
+bool wireCheckHello(std::string_view Payload, std::string &Error);
+
+/// Encodes \p T as a complete client stream: one Declare frame per name
+/// table (threads, locks, vars, locs, in table order, so the server's
+/// interning reproduces the trace's ids exactly) followed by Events
+/// frames of at most \p BatchEvents records. No Hello, no Finish — the
+/// caller brackets the stream.
+std::string encodeTraceFrames(const Trace &T, uint64_t BatchEvents = 8192);
+
+/// Appends the decoded records of an Events payload to \p Out. Returns a
+/// ValidationError Status on a count/size mismatch or an event kind
+/// outside the §2.1 alphabet; ids are *not* range-checked here (the
+/// session's feed validates them against the declared tables).
+Status decodeEventsPayload(std::string_view Payload, std::vector<Event> &Out);
+
+/// Invokes \p Fn(kind, name) -> Status for each entry of a Declare
+/// payload, stopping at the first non-ok. Returns ValidationError on
+/// truncated entries or kinds outside the four name tables.
+template <typename Fn>
+Status forEachDeclareEntry(std::string_view Payload, Fn &&F) {
+  size_t Pos = 0;
+  while (Pos != Payload.size()) {
+    if (Payload.size() - Pos < 5)
+      return Status(StatusCode::ValidationError, "truncated declaration entry");
+    const uint8_t Kind = static_cast<uint8_t>(Payload[Pos]);
+    if (Kind > static_cast<uint8_t>(WireDeclareKind::Loc))
+      return Status(StatusCode::ValidationError,
+                    "unknown declaration kind " + std::to_string(Kind));
+    const uint32_t Len = wireGetU32(Payload.data() + Pos + 1);
+    if (Payload.size() - Pos - 5 < Len)
+      return Status(StatusCode::ValidationError,
+                    "declaration name overruns the frame");
+    Status S = F(static_cast<WireDeclareKind>(Kind),
+                 std::string_view(Payload.data() + Pos + 5, Len));
+    if (!S.ok())
+      return S;
+    Pos += 5 + Len;
+  }
+  return Status::success();
+}
+
+} // namespace rapid
+
+#endif // RAPID_IO_WIREFORMAT_H

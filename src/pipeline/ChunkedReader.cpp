@@ -22,6 +22,14 @@ ChunkedTraceReader::ChunkedTraceReader(const std::string &Path,
     this->Opts.ChunkBytes = 1;
   if (this->Opts.MaxEventsPerChunk == 0)
     this->Opts.MaxEventsPerChunk = 1;
+  if (Path == "-") {
+    // stdin: text format through the buffered backend. Not seekable (no
+    // size probe) and not ours to close. This is how `race_cli --stream -`
+    // and FIFO redirections feed the session without a named file.
+    File = stdin;
+    OwnsFile = false;
+    return;
+  }
   if (this->Opts.UseMmap && Map.map(Path)) {
     // mmap backend: the whole file is addressable up front, zero-copy.
     // Eof from the start — there is nothing to refill.
@@ -53,7 +61,7 @@ ChunkedTraceReader::ChunkedTraceReader(const std::string &Path,
 }
 
 ChunkedTraceReader::~ChunkedTraceReader() {
-  if (File)
+  if (File && OwnsFile)
     std::fclose(File);
 }
 

@@ -119,6 +119,7 @@ private:
 
   ChunkedReaderOptions Opts;
   std::FILE *File = nullptr;
+  bool OwnsFile = true; ///< False for stdin ("-"): never fclose'd.
   MappedFile Map;       ///< mmap backend; valid when Mapped.
   bool Mapped = false;
   bool Binary = false;

@@ -1,0 +1,641 @@
+//===- serve/RaceServer.cpp - Multi-session race-analysis server --------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RaceServer.h"
+
+#include "api/AnalysisSession.h"
+#include "io/FeedSource.h"
+#include "io/WireFormat.h"
+#include "serve/ReportCanon.h"
+#include "serve/WireIngestor.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rapid {
+
+namespace {
+
+void setNonBlocking(int Fd) {
+  const int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+/// Blocking-ish sendAll over a (possibly non-blocking) socket: polls for
+/// writability with a hard deadline so a reply to a client that never
+/// reads cannot wedge a pool worker forever. Returns false on error or
+/// timeout.
+bool sendAll(int Fd, const char *Data, size_t N, int DeadlineMs = 5000) {
+  const auto Start = std::chrono::steady_clock::now();
+  while (N != 0) {
+    const ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W > 0) {
+      Data += W;
+      N -= static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return false;
+    const auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+    if (Elapsed >= DeadlineMs)
+      return false;
+    pollfd P{Fd, POLLOUT, 0};
+    ::poll(&P, 1, 50);
+  }
+  return true;
+}
+
+std::string reportFramePayload(uint8_t Partial, uint64_t Id,
+                               const std::string &Canon) {
+  std::string P;
+  P.push_back(static_cast<char>(Partial));
+  wirePutU64(P, Id);
+  P += Canon;
+  return P;
+}
+
+void stageError(std::string &Out, const Status &S) {
+  std::string P;
+  P.push_back(static_cast<char>(S.Code));
+  P += S.Message;
+  wireAppendFrame(Out, WireFrame::WireError, P);
+}
+
+} // namespace
+
+struct RaceServer::Impl {
+  explicit Impl(RaceServerConfig C)
+      : Cfg(std::move(C)), Reg(Cfg.Metrics), Scope(&Reg, "serve."),
+        Pool(Cfg.IngestThreads) {
+    Accepted = Scope.counter("accepted");
+    FinishedC = Scope.counter("finished");
+    EvictedC = Scope.counter("evicted");
+    ParksC = Scope.counter("parks");
+    FramesC = Scope.counter("frames");
+    EventsC = Scope.counter("events");
+    Active = Scope.gauge("active");
+    ActivePeak = Scope.highWater("active_peak");
+    Pool.attachTelemetry(Scope.nest("pool."), nullptr);
+  }
+
+  struct Conn {
+    uint64_t Id = 0;
+    int Fd = -1; ///< Write side; the read side lives in Src.
+    std::unique_ptr<FeedSource> Src;
+    std::unique_ptr<AnalysisSession> S;
+    std::unique_ptr<WireIngestor> Ing;
+
+    /// Held while this connection's task touches the session (feeds,
+    /// finish, report rendering). Cross-session queries try-lock it.
+    std::mutex ProduceM;
+    std::string Out;        ///< Staged replies (under ProduceM).
+    bool ErrorSent = false; ///< One loud error per stream (under ProduceM).
+    bool BudgetHit = false; ///< MaxSessionEvents tripped (under ProduceM).
+
+    // Guarded by Impl::M:
+    enum class St { Streaming, Parked, Finalizing, Done };
+    St State = St::Streaming;
+    bool TaskInFlight = false;
+    bool PeerClosed = false;
+    std::string Pending; ///< Bytes read but not yet handed to a task.
+    uint64_t EventsFed = 0;
+    uint64_t Parks = 0;
+
+    // Per-session serve-side observability (serve.session.<id>.*).
+    Gauge LagGauge;
+    Counter ParkCtr;
+  };
+
+  RaceServerConfig Cfg;
+  MetricsRegistry Reg;
+  MetricsScope Scope;
+  ThreadPool Pool;
+
+  Counter Accepted, FinishedC, EvictedC, ParksC, FramesC, EventsC;
+  Gauge Active;
+  HighWater ActivePeak;
+
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> Conns;
+  std::vector<SessionSummary> Finished;
+  uint64_t NextId = 1;
+
+  std::thread Io;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+  int ListenFd = -1;
+  int WakeR = -1, WakeW = -1;
+
+  // ---- Lifecycle ------------------------------------------------------------
+
+  Status start() {
+    Status CS = Cfg.Session.validate();
+    if (!CS.ok())
+      return CS;
+    if (Cfg.SocketPath.empty())
+      return Status(StatusCode::InvalidConfig,
+                    "RaceServerConfig::SocketPath is required");
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Cfg.SocketPath.size() >= sizeof(Addr.sun_path))
+      return Status(StatusCode::InvalidConfig,
+                    "socket path too long: '" + Cfg.SocketPath + "'");
+    std::memcpy(Addr.sun_path, Cfg.SocketPath.c_str(),
+                Cfg.SocketPath.size() + 1);
+    ::unlink(Cfg.SocketPath.c_str());
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return Status(StatusCode::IoError,
+                    std::string("socket: ") + std::strerror(errno));
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+            0 ||
+        ::listen(ListenFd, 64) != 0) {
+      Status S(StatusCode::IoError, "binding '" + Cfg.SocketPath +
+                                        "': " + std::strerror(errno));
+      ::close(ListenFd);
+      ListenFd = -1;
+      return S;
+    }
+    setNonBlocking(ListenFd);
+    int Pipe[2];
+    if (::pipe(Pipe) != 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+      return Status(StatusCode::IoError,
+                    std::string("pipe: ") + std::strerror(errno));
+    }
+    WakeR = Pipe[0];
+    WakeW = Pipe[1];
+    setNonBlocking(WakeR);
+    setNonBlocking(WakeW);
+    Started = true;
+    Io = std::thread([this] { ioLoop(); });
+    return Status::success();
+  }
+
+  void stop() {
+    if (!Started)
+      return;
+    Stopping.store(true, std::memory_order_seq_cst);
+    wake();
+    Io.join();
+    // In-flight tasks may still be feeding; let them drain, then evict
+    // whatever is left (server-side shutdown counts as eviction).
+    Pool.wait();
+    std::vector<std::shared_ptr<Conn>> Left;
+    {
+      std::lock_guard<std::mutex> G(M);
+      for (auto &KV : Conns)
+        Left.push_back(KV.second);
+    }
+    for (const std::shared_ptr<Conn> &C : Left) {
+      std::lock_guard<std::mutex> PL(C->ProduceM);
+      std::string Bytes;
+      {
+        std::lock_guard<std::mutex> G(M);
+        Bytes.swap(C->Pending);
+      }
+      if (!Bytes.empty())
+        C->Ing->ingest(Bytes.data(), Bytes.size());
+      finalizeLocked(*C, /*Clean=*/false);
+    }
+    ::close(ListenFd);
+    ::close(WakeR);
+    ::close(WakeW);
+    ListenFd = WakeR = WakeW = -1;
+    ::unlink(Cfg.SocketPath.c_str());
+    Started = false;
+  }
+
+  void wake() {
+    if (WakeW >= 0) {
+      const char B = 0;
+      ssize_t Ignored = ::write(WakeW, &B, 1);
+      (void)Ignored;
+    }
+  }
+
+  // ---- IO thread ------------------------------------------------------------
+
+  void ioLoop() {
+    std::vector<pollfd> Fds;
+    std::vector<std::shared_ptr<Conn>> Polled;
+    std::vector<char> Buf(Cfg.ReadChunkBytes ? Cfg.ReadChunkBytes : 4096);
+    while (!Stopping.load(std::memory_order_relaxed)) {
+      Fds.clear();
+      Polled.clear();
+      Fds.push_back({WakeR, POLLIN, 0});
+      Fds.push_back({ListenFd, POLLIN, 0});
+      {
+        std::lock_guard<std::mutex> G(M);
+        for (auto &KV : Conns) {
+          Conn &C = *KV.second;
+          if (C.State == Conn::St::Streaming && !C.TaskInFlight &&
+              !C.PeerClosed) {
+            Fds.push_back({C.Src->pollFd(), POLLIN, 0});
+            Polled.push_back(KV.second);
+          }
+        }
+      }
+      ::poll(Fds.data(), Fds.size(), Cfg.PollTimeoutMs);
+      if (Fds[0].revents & POLLIN) {
+        char Drain[64];
+        while (::read(WakeR, Drain, sizeof(Drain)) > 0)
+          ;
+      }
+      if (Fds[1].revents & POLLIN)
+        acceptAll();
+      for (size_t I = 0; I != Polled.size(); ++I)
+        if (Fds[I + 2].revents & (POLLIN | POLLHUP | POLLERR))
+          readConn(Polled[I], Buf);
+      recheckParked();
+    }
+  }
+
+  void acceptAll() {
+    for (;;) {
+      const int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        return;
+      setNonBlocking(Fd);
+      auto C = std::make_shared<Conn>();
+      C->Fd = Fd;
+      C->S = std::make_unique<AnalysisSession>(Cfg.Session);
+      if (!C->S->status().ok()) {
+        std::string Out;
+        stageError(Out, C->S->status());
+        sendAll(Fd, Out.data(), Out.size(), 1000);
+        ::close(Fd);
+        continue;
+      }
+      Impl *Self = this;
+      Conn *Raw = C.get();
+      C->Ing = std::make_unique<WireIngestor>(
+          *C->S, [Self, Raw](const WireFrameView &F) {
+            Self->control(*Raw, F);
+          });
+      {
+        std::lock_guard<std::mutex> G(M);
+        C->Id = NextId++;
+        C->Src = makeFdFeedSource(Fd, "unix:client#" + std::to_string(C->Id));
+        C->LagGauge = Scope.nest("session." + std::to_string(C->Id) + ".")
+                          .gauge("lag_events");
+        C->ParkCtr = Scope.nest("session." + std::to_string(C->Id) + ".")
+                         .counter("parks");
+        Conns.emplace(C->Id, C);
+        Accepted.add();
+        Active.add();
+        ActivePeak.observe(Conns.size());
+      }
+    }
+  }
+
+  void readConn(const std::shared_ptr<Conn> &C, std::vector<char> &Buf) {
+    const long N = C->Src->read(Buf.data(), Buf.size());
+    if (N == FeedSource::WouldBlock)
+      return;
+    std::lock_guard<std::mutex> G(M);
+    if (N > 0)
+      C->Pending.append(Buf.data(), static_cast<size_t>(N));
+    else
+      C->PeerClosed = true;
+    scheduleLocked(C);
+  }
+
+  /// M held. At most one task per connection keeps the session
+  /// single-producer; the pool's queue ordering gives consecutive tasks
+  /// the happens-before edge.
+  void scheduleLocked(const std::shared_ptr<Conn> &C) {
+    if (C->TaskInFlight || C->State == Conn::St::Done ||
+        C->State == Conn::St::Finalizing)
+      return;
+    C->TaskInFlight = true;
+    Pool.submit([this, C] { process(C); });
+  }
+
+  uint64_t sessionLag(Conn &C) {
+    const AnalysisSession::Progress P = C.S->progress();
+    return P.Published - P.MinLaneConsumed;
+  }
+
+  void process(const std::shared_ptr<Conn> &C) {
+    std::lock_guard<std::mutex> PL(C->ProduceM);
+    bool Closed;
+    {
+      std::string Bytes;
+      {
+        std::lock_guard<std::mutex> G(M);
+        Bytes.swap(C->Pending);
+        Closed = C->PeerClosed;
+      }
+      if (!Bytes.empty()) {
+        const uint64_t Before = C->Ing->eventsApplied();
+        const uint64_t FramesBefore = C->Ing->framesApplied();
+        C->Ing->ingest(Bytes.data(), Bytes.size());
+        EventsC.add(C->Ing->eventsApplied() - Before);
+        FramesC.add(C->Ing->framesApplied() - FramesBefore);
+      }
+    }
+    if (Closed)
+      C->Ing->eof();
+    if (Cfg.Budgets.MaxSessionEvents != 0 && !C->BudgetHit &&
+        C->Ing->eventsApplied() >= Cfg.Budgets.MaxSessionEvents) {
+      C->BudgetHit = true;
+      stageError(C->Out,
+                 Status(StatusCode::InvalidState,
+                        "session event budget (" +
+                            std::to_string(Cfg.Budgets.MaxSessionEvents) +
+                            ") exhausted"));
+    }
+    const Status &St = C->Ing->status();
+    if (!St.ok() && !C->ErrorSent) {
+      C->ErrorSent = true;
+      stageError(C->Out, St);
+    }
+    flushOut(*C);
+    const bool Final =
+        !St.ok() || C->Ing->sawFinish() || Closed || C->BudgetHit;
+    if (Final) {
+      {
+        std::lock_guard<std::mutex> G(M);
+        C->State = Conn::St::Finalizing;
+        C->EventsFed = C->Ing->eventsApplied();
+      }
+      finalizeLocked(*C, /*Clean=*/C->Ing->sawFinish() && St.ok() &&
+                             !C->BudgetHit);
+      wake();
+      return;
+    }
+    const uint64_t Lag = sessionLag(*C);
+    C->LagGauge.set(Lag);
+    {
+      std::lock_guard<std::mutex> G(M);
+      C->EventsFed = C->Ing->eventsApplied();
+      if (Cfg.Budgets.MaxLagEvents != 0 && Lag > Cfg.Budgets.MaxLagEvents) {
+        if (C->State != Conn::St::Parked) {
+          C->State = Conn::St::Parked;
+          ++C->Parks;
+          ParksC.add();
+          C->ParkCtr.add();
+        }
+      } else {
+        C->State = Conn::St::Streaming;
+      }
+      C->TaskInFlight = false;
+    }
+    wake();
+  }
+
+  /// IO thread, every tick: resume parked connections whose consumers
+  /// caught up to half the budget (hysteresis, so one borderline batch
+  /// does not flap park/resume).
+  void recheckParked() {
+    std::vector<std::shared_ptr<Conn>> Parked;
+    {
+      std::lock_guard<std::mutex> G(M);
+      for (auto &KV : Conns)
+        if (KV.second->State == Conn::St::Parked && !KV.second->TaskInFlight)
+          Parked.push_back(KV.second);
+    }
+    for (const std::shared_ptr<Conn> &C : Parked) {
+      const uint64_t Lag = sessionLag(*C);
+      C->LagGauge.set(Lag);
+      if (Lag <= Cfg.Budgets.MaxLagEvents / 2) {
+        std::lock_guard<std::mutex> G(M);
+        if (C->State == Conn::St::Parked)
+          C->State = Conn::St::Streaming;
+      }
+    }
+  }
+
+  /// C.ProduceM held. Finishes the session, retains the summary, closes.
+  void finalizeLocked(Conn &C, bool Clean) {
+    AnalysisResult R = C.S->finish();
+    SessionSummary Sum;
+    Sum.Id = C.Id;
+    Sum.Events = R.EventsIngested;
+    Sum.CleanFinish = Clean;
+    Sum.Outcome = !C.Ing->status().ok() ? C.Ing->status() : R.firstError();
+    if (C.BudgetHit && Sum.Outcome.ok())
+      Sum.Outcome = Status(StatusCode::InvalidState, "event budget exhausted");
+    Sum.Canon = canonicalReport(R, C.S->trace());
+    if (!C.PeerClosed) {
+      if (Sum.Canon.size() + 16 <= WireMaxPayload)
+        wireAppendFrame(C.Out, WireFrame::Report,
+                        reportFramePayload(0, C.Id, Sum.Canon));
+      else
+        stageError(C.Out, Status(StatusCode::AnalysisError,
+                                 "final report exceeds the frame cap"));
+      flushOut(C);
+    }
+    ::shutdown(C.Fd, SHUT_RDWR);
+    {
+      std::lock_guard<std::mutex> G(M);
+      Sum.Parks = C.Parks;
+      C.EventsFed = C.Ing->eventsApplied();
+      Finished.push_back(std::move(Sum));
+      C.State = Conn::St::Done;
+      C.TaskInFlight = false;
+      Conns.erase(C.Id);
+      Active.sub();
+      if (Clean)
+        FinishedC.add();
+      else
+        EvictedC.add();
+    }
+  }
+
+  /// C.ProduceM held.
+  void flushOut(Conn &C) {
+    if (C.Out.empty())
+      return;
+    if (!sendAll(C.Fd, C.Out.data(), C.Out.size())) {
+      std::lock_guard<std::mutex> G(M);
+      C.PeerClosed = true;
+    }
+    C.Out.clear();
+  }
+
+  // ---- Control plane --------------------------------------------------------
+
+  /// Runs inside C's task (C.ProduceM held) when the ingestor hands us a
+  /// query frame. Replies are staged into C.Out.
+  void control(Conn &C, const WireFrameView &F) {
+    switch (F.Type) {
+    case WireFrame::PartialQuery:
+    case WireFrame::TimelineQuery: {
+      uint64_t Target = C.Id;
+      if (!F.Payload.empty()) {
+        if (F.Payload.size() != 8) {
+          stageError(C.Out, Status(StatusCode::ValidationError,
+                                   "query payload must be empty or a u64"));
+          return;
+        }
+        Target = wireGetU64(F.Payload.data());
+      }
+      if (Target == C.Id) {
+        stageQueryReply(C, C, F.Type);
+        return;
+      }
+      std::shared_ptr<Conn> T;
+      {
+        std::lock_guard<std::mutex> G(M);
+        auto It = Conns.find(Target);
+        if (It != Conns.end())
+          T = It->second;
+      }
+      if (!T) {
+        stageError(C.Out,
+                   Status(StatusCode::InvalidState,
+                          "session " + std::to_string(Target) +
+                              " is not live (try final-query if finished)"));
+        return;
+      }
+      // Try-lock with a bounded retry: the target's producer may be mid-
+      // batch. "busy" beats a cross-session lock cycle.
+      for (int Attempt = 0; Attempt != 200; ++Attempt) {
+        if (T->ProduceM.try_lock()) {
+          std::lock_guard<std::mutex> TL(T->ProduceM, std::adopt_lock);
+          stageQueryReply(C, *T, F.Type);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      stageError(C.Out, Status(StatusCode::InvalidState,
+                               "session " + std::to_string(Target) +
+                                   " is busy; retry"));
+      return;
+    }
+    case WireFrame::ListSessions: {
+      std::string Roster;
+      {
+        std::lock_guard<std::mutex> G(M);
+        Roster += "sessions active " + std::to_string(Conns.size()) +
+                  " finished " + std::to_string(Finished.size()) + "\n";
+        for (auto &KV : Conns) {
+          const Conn &L = *KV.second;
+          const char *State = L.State == Conn::St::Parked ? "parked"
+                              : L.State == Conn::St::Finalizing
+                                  ? "finalizing"
+                                  : "streaming";
+          Roster += "session " + std::to_string(L.Id) + " state " + State +
+                    " events " + std::to_string(L.EventsFed) + " parks " +
+                    std::to_string(L.Parks) + "\n";
+        }
+        for (const SessionSummary &Sum : Finished)
+          Roster += "finished " + std::to_string(Sum.Id) + " events " +
+                    std::to_string(Sum.Events) + " parks " +
+                    std::to_string(Sum.Parks) + " clean " +
+                    (Sum.CleanFinish ? "1" : "0") + " status " +
+                    Sum.Outcome.str() + "\n";
+      }
+      wireAppendFrame(C.Out, WireFrame::SessionList, Roster);
+      return;
+    }
+    case WireFrame::FinalQuery: {
+      if (F.Payload.size() != 8) {
+        stageError(C.Out, Status(StatusCode::ValidationError,
+                                 "final-query payload must be a u64"));
+        return;
+      }
+      const uint64_t Target = wireGetU64(F.Payload.data());
+      std::string Canon;
+      bool Found = false;
+      {
+        std::lock_guard<std::mutex> G(M);
+        for (const SessionSummary &Sum : Finished)
+          if (Sum.Id == Target) {
+            Canon = Sum.Canon;
+            Found = true;
+            break;
+          }
+      }
+      if (!Found) {
+        stageError(C.Out, Status(StatusCode::InvalidState,
+                                 "session " + std::to_string(Target) +
+                                     " has no retained final report"));
+        return;
+      }
+      wireAppendFrame(C.Out, WireFrame::Report,
+                      reportFramePayload(0, Target, Canon));
+      return;
+    }
+    default:
+      stageError(C.Out, Status(StatusCode::ValidationError,
+                               std::string("unexpected control frame ") +
+                                   wireFrameName(F.Type)));
+      return;
+    }
+  }
+
+  /// Stages a partial-report or timeline reply about \p T into \p C.Out.
+  /// Caller holds T.ProduceM (and C.ProduceM; they may be the same conn).
+  void stageQueryReply(Conn &C, Conn &T, WireFrame Kind) {
+    if (Kind == WireFrame::PartialQuery) {
+      AnalysisResult PR = T.S->partialResult();
+      const std::string Canon = canonicalReport(PR, T.S->trace());
+      if (Canon.size() + 16 > WireMaxPayload) {
+        stageError(C.Out, Status(StatusCode::AnalysisError,
+                                 "partial report exceeds the frame cap"));
+        return;
+      }
+      wireAppendFrame(C.Out, WireFrame::Report,
+                      reportFramePayload(1, T.Id, Canon));
+      return;
+    }
+    const std::string Json = T.S->exportTimeline();
+    if (Json.size() > WireMaxPayload) {
+      stageError(C.Out, Status(StatusCode::AnalysisError,
+                               "timeline exceeds the frame cap"));
+      return;
+    }
+    wireAppendFrame(C.Out, WireFrame::Timeline, Json);
+  }
+};
+
+RaceServer::RaceServer(RaceServerConfig Config)
+    : I(std::make_unique<Impl>(std::move(Config))) {}
+
+RaceServer::~RaceServer() { I->stop(); }
+
+Status RaceServer::start() { return I->start(); }
+
+void RaceServer::stop() { I->stop(); }
+
+const std::string &RaceServer::socketPath() const { return I->Cfg.SocketPath; }
+
+std::vector<SessionSummary> RaceServer::finishedSessions() const {
+  std::lock_guard<std::mutex> G(I->M);
+  return I->Finished;
+}
+
+uint64_t RaceServer::activeSessions() const {
+  std::lock_guard<std::mutex> G(I->M);
+  return I->Conns.size();
+}
+
+std::vector<MetricSample> RaceServer::metrics() const {
+  return I->Reg.snapshotPrefix("serve.");
+}
+
+} // namespace rapid

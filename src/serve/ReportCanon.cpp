@@ -1,0 +1,38 @@
+//===- serve/ReportCanon.cpp - Canonical race-report listing ------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ReportCanon.h"
+
+#include "api/AnalysisResult.h"
+#include "trace/Trace.h"
+
+namespace rapid {
+
+std::string canonicalReport(const AnalysisResult &R, const Trace &T) {
+  std::string Out;
+  Out.reserve(256);
+  Out += "rapidpp-report v1\n";
+  Out += "status " + R.Overall.str() + "\n";
+  Out += "events " + std::to_string(R.EventsIngested) + "\n";
+  Out += "lanes " + std::to_string(R.Lanes.size()) + "\n";
+  for (const LaneReport &L : R.Lanes) {
+    Out += "lane " + L.DetectorName + "\n";
+    Out += "lane-status " + L.LaneStatus.str() + "\n";
+    Out += "consumed " + std::to_string(L.EventsConsumed) + "\n";
+    Out += "pairs " + std::to_string(L.Report.numDistinctPairs()) +
+           " instances " + std::to_string(L.Report.numInstances()) + "\n";
+    for (const RaceInstance &I : L.Report.instances()) {
+      Out += "race " + T.varName(I.Var) + " " + T.locName(I.EarlierLoc) +
+             " " + T.locName(I.LaterLoc) + " at " +
+             std::to_string(I.EarlierIdx) + " " + std::to_string(I.LaterIdx) +
+             "\n";
+    }
+  }
+  Out += "end\n";
+  return Out;
+}
+
+} // namespace rapid

@@ -1,0 +1,169 @@
+//===- serve/WireClient.cpp - Blocking wire-protocol client -------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/WireClient.h"
+
+#include "trace/Trace.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rapid {
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void WireClient::shutdownSend() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+Status WireClient::connectUnix(const std::string &Path, int RetryMs) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Status(StatusCode::InvalidConfig,
+                  "socket path too long: '" + Path + "'");
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  const auto Start = std::chrono::steady_clock::now();
+  for (;;) {
+    const int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (S < 0)
+      return Status(StatusCode::IoError,
+                    std::string("socket: ") + std::strerror(errno));
+    if (::connect(S, reinterpret_cast<const sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0) {
+      Fd = S;
+      return Status::success();
+    }
+    const int E = errno;
+    ::close(S);
+    const auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+    if (Elapsed >= RetryMs)
+      return Status(StatusCode::IoError, "connecting to '" + Path +
+                                             "': " + std::strerror(E));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status WireClient::sendBytes(const std::string &Bytes) {
+  if (Fd < 0)
+    return Status(StatusCode::InvalidState, "client is not connected");
+  const char *Data = Bytes.data();
+  size_t N = Bytes.size();
+  while (N != 0) {
+    const ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status(StatusCode::IoError,
+                    std::string("send: ") + std::strerror(errno));
+    }
+    Data += W;
+    N -= static_cast<size_t>(W);
+  }
+  return Status::success();
+}
+
+Status WireClient::sendHello() { return sendBytes(wireHelloFrame()); }
+
+Status WireClient::sendTrace(const Trace &T, uint64_t BatchEvents) {
+  return sendBytes(encodeTraceFrames(T, BatchEvents));
+}
+
+Status WireClient::sendFinish() {
+  std::string Out;
+  wireAppendFrame(Out, WireFrame::Finish, std::string_view());
+  return sendBytes(Out);
+}
+
+Status WireClient::sendPartialQuery() {
+  std::string Out;
+  wireAppendFrame(Out, WireFrame::PartialQuery, std::string_view());
+  return sendBytes(Out);
+}
+
+Status WireClient::sendPartialQuery(uint64_t SessionId) {
+  std::string Out, P;
+  wirePutU64(P, SessionId);
+  wireAppendFrame(Out, WireFrame::PartialQuery, P);
+  return sendBytes(Out);
+}
+
+Status WireClient::sendTimelineQuery(uint64_t SessionId) {
+  std::string Out, P;
+  wirePutU64(P, SessionId);
+  wireAppendFrame(Out, WireFrame::TimelineQuery, P);
+  return sendBytes(Out);
+}
+
+Status WireClient::sendListSessions() {
+  std::string Out;
+  wireAppendFrame(Out, WireFrame::ListSessions, std::string_view());
+  return sendBytes(Out);
+}
+
+Status WireClient::sendFinalQuery(uint64_t SessionId) {
+  std::string Out, P;
+  wirePutU64(P, SessionId);
+  wireAppendFrame(Out, WireFrame::FinalQuery, P);
+  return sendBytes(Out);
+}
+
+Status WireClient::readFrame(WireFrame &Type, std::string &Payload,
+                             int TimeoutMs) {
+  if (Fd < 0)
+    return Status(StatusCode::InvalidState, "client is not connected");
+  const auto Start = std::chrono::steady_clock::now();
+  char Buf[4096];
+  for (;;) {
+    WireFrameView F;
+    const int R = Dec.next(F);
+    if (R == 1) {
+      Type = F.Type;
+      Payload.assign(F.Payload.data(), F.Payload.size());
+      return Status::success();
+    }
+    if (R == -1)
+      return Status(StatusCode::ValidationError, Dec.error());
+    const auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+    if (Elapsed >= TimeoutMs)
+      return Status(StatusCode::IoError, "timed out waiting for a frame");
+    pollfd P{Fd, POLLIN, 0};
+    const int PR = ::poll(&P, 1, 100);
+    if (PR <= 0)
+      continue;
+    const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      return Status(StatusCode::IoError, "peer closed before a full frame");
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return Status(StatusCode::IoError,
+                    std::string("recv: ") + std::strerror(errno));
+    }
+    Dec.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+} // namespace rapid

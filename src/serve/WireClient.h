@@ -1,0 +1,78 @@
+//===- serve/WireClient.h - Blocking wire-protocol client -------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the serving protocol (io/WireFormat.h):
+/// connect to a race_serverd socket, push hello/declare/events frames,
+/// issue control queries, read reply frames. This is the test harness's
+/// and tooling's side of the protocol — the LD_PRELOAD interposer ships
+/// its own freestanding encoder (examples/interpose/) because it must not
+/// link the analysis library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SERVE_WIRECLIENT_H
+#define RAPID_SERVE_WIRECLIENT_H
+
+#include "io/WireFormat.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rapid {
+
+class Trace;
+
+/// Blocking protocol client over a Unix-domain socket.
+class WireClient {
+public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient &) = delete;
+  WireClient &operator=(const WireClient &) = delete;
+
+  /// Connects, retrying for up to \p RetryMs (covers "server still
+  /// binding" in tests; 0 = one attempt).
+  Status connectUnix(const std::string &Path, int RetryMs = 0);
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Raw bytes (already-framed), for malformed-input tests.
+  Status sendBytes(const std::string &Bytes);
+
+  Status sendHello();
+  /// Declare frames for every table of \p T followed by Events frames —
+  /// exactly encodeTraceFrames(), pushed down this connection.
+  Status sendTrace(const Trace &T, uint64_t BatchEvents = 8192);
+  Status sendFinish();
+
+  /// Empty payload = this connection's own session.
+  Status sendPartialQuery();
+  Status sendPartialQuery(uint64_t SessionId);
+  Status sendTimelineQuery(uint64_t SessionId);
+  Status sendListSessions();
+  Status sendFinalQuery(uint64_t SessionId);
+
+  /// Blocks until one complete frame arrives (or \p TimeoutMs passes /
+  /// the peer hangs up / the stream desyncs).
+  Status readFrame(WireFrame &Type, std::string &Payload,
+                   int TimeoutMs = 10000);
+
+  /// Half-close: no more requests, replies still readable.
+  void shutdownSend();
+  void close();
+
+private:
+  int Fd = -1;
+  FrameDecoder Dec;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SERVE_WIRECLIENT_H

@@ -1,0 +1,161 @@
+//===- serve/WireIngestor.cpp - Frames -> AnalysisSession ---------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/WireIngestor.h"
+
+#include "api/AnalysisSession.h"
+#include "io/FeedSource.h"
+
+namespace rapid {
+
+void WireIngestor::freeze(StatusCode Code, std::string Message) {
+  if (Sticky.ok())
+    Sticky = Status(Code, std::move(Message));
+}
+
+void WireIngestor::ingest(const char *Data, size_t N) {
+  // A dead stream still consumes bytes (so a pumping caller drains to
+  // EOF instead of spinning) but applies nothing.
+  if (!Sticky.ok())
+    return;
+  Dec.append(Data, N);
+  WireFrameView F;
+  int R;
+  while ((R = Dec.next(F)) == 1) {
+    apply(F);
+    if (!Sticky.ok())
+      return;
+  }
+  if (R == -1)
+    freeze(StatusCode::ValidationError, Dec.error());
+}
+
+void WireIngestor::eof() {
+  if (!Sticky.ok())
+    return;
+  if (Dec.buffered() != 0)
+    freeze(StatusCode::ValidationError,
+           "peer disconnected mid-frame (" +
+               std::to_string(Dec.buffered()) + " bytes of partial frame)");
+}
+
+void WireIngestor::apply(const WireFrameView &F) {
+  if (!SawHello && F.Type != WireFrame::Hello) {
+    freeze(StatusCode::ValidationError,
+           std::string("first frame must be hello, got ") +
+               wireFrameName(F.Type));
+    return;
+  }
+  switch (F.Type) {
+  case WireFrame::Hello: {
+    std::string Err;
+    if (SawHello)
+      freeze(StatusCode::ValidationError, "duplicate hello");
+    else if (!wireCheckHello(F.Payload, Err))
+      freeze(StatusCode::ValidationError, std::move(Err));
+    else
+      SawHello = true;
+    return;
+  }
+  case WireFrame::Declare: {
+    if (SawFinish) {
+      freeze(StatusCode::InvalidState, "declare after finish");
+      return;
+    }
+    Status DS = forEachDeclareEntry(
+        F.Payload, [&](WireDeclareKind K, std::string_view Name) {
+          switch (K) {
+          case WireDeclareKind::Thread:
+            S.declareThread(Name);
+            break;
+          case WireDeclareKind::Lock:
+            S.declareLock(Name);
+            break;
+          case WireDeclareKind::Var:
+            S.declareVar(Name);
+            break;
+          case WireDeclareKind::Loc:
+            S.declareLoc(Name);
+            break;
+          }
+          return Status::success();
+        });
+    if (!DS.ok())
+      freeze(DS.Code, DS.Message);
+    else
+      ++FramesApplied;
+    return;
+  }
+  case WireFrame::Events: {
+    if (SawFinish) {
+      freeze(StatusCode::InvalidState, "events after finish");
+      return;
+    }
+    Batch.clear();
+    Status DS = decodeEventsPayload(F.Payload, Batch);
+    if (!DS.ok()) {
+      freeze(DS.Code, DS.Message);
+      return;
+    }
+    Status FS = S.feed(Batch);
+    if (!FS.ok()) {
+      // Undeclared ids, §2.1 violations, feed-after-finish: all freeze
+      // the stream as the serve layer's sticky ValidationError.
+      freeze(FS.Code == StatusCode::Ok ? StatusCode::ValidationError : FS.Code,
+             FS.Message);
+      return;
+    }
+    EventsApplied += Batch.size();
+    ++FramesApplied;
+    return;
+  }
+  case WireFrame::Finish:
+    SawFinish = true;
+    return;
+  case WireFrame::PartialQuery:
+  case WireFrame::TimelineQuery:
+  case WireFrame::ListSessions:
+  case WireFrame::FinalQuery:
+    if (OnControl) {
+      OnControl(F);
+      return;
+    }
+    freeze(StatusCode::ValidationError,
+           std::string("control frame ") + wireFrameName(F.Type) +
+               " on a data-only feed");
+    return;
+  case WireFrame::Report:
+  case WireFrame::Timeline:
+  case WireFrame::SessionList:
+  case WireFrame::WireError:
+    freeze(StatusCode::ValidationError,
+           std::string("server-only frame ") + wireFrameName(F.Type) +
+               " from a client");
+    return;
+  }
+}
+
+Status pumpFeedSource(FeedSource &Src, AnalysisSession &S, size_t ChunkBytes) {
+  WireIngestor Ing(S);
+  std::vector<char> Buf(ChunkBytes ? ChunkBytes : 1);
+  for (;;) {
+    const long N = Src.read(Buf.data(), Buf.size());
+    if (N == FeedSource::Eof) {
+      Ing.eof();
+      break;
+    }
+    if (N == FeedSource::WouldBlock)
+      continue; // Blocking pumps shouldn't see this; be forgiving.
+    if (N < 0)
+      return Src.status();
+    Ing.ingest(Buf.data(), static_cast<size_t>(N));
+    if (Ing.sawFinish())
+      break;
+  }
+  return Ing.status();
+}
+
+} // namespace rapid

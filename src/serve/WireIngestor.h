@@ -1,0 +1,91 @@
+//===- serve/WireIngestor.h - Frames -> AnalysisSession ---------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The protocol layer between a FeedSource's byte stream and one
+/// AnalysisSession: an incremental FrameDecoder plus the data-plane frame
+/// semantics. The ingestor owns the serving layer's *sticky failure*
+/// contract: the first malformed frame (decoder desync, bad payload,
+/// missing Hello, undeclared ids) freezes the stream with a
+/// ValidationError — every later data frame is ignored, never
+/// half-applied — while the session's already-analyzed prefix stays
+/// queryable and finishable. Control frames (queries) are not handled
+/// here; they are handed to the caller, because only the server knows
+/// where replies go.
+///
+/// Single-producer like the session itself: one thread calls ingest()/
+/// eof() per ingestor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SERVE_WIREINGESTOR_H
+#define RAPID_SERVE_WIREINGESTOR_H
+
+#include "io/WireFormat.h"
+#include "support/Status.h"
+#include "trace/Event.h"
+
+#include <functional>
+#include <vector>
+
+namespace rapid {
+
+class AnalysisSession;
+class FeedSource;
+
+/// Applies a wire frame stream to a session.
+class WireIngestor {
+public:
+  /// \p OnControl receives PartialQuery/TimelineQuery/ListSessions/
+  /// FinalQuery frames; null treats them as protocol errors.
+  using ControlFn = std::function<void(const WireFrameView &)>;
+
+  explicit WireIngestor(AnalysisSession &S, ControlFn OnControl = nullptr)
+      : S(S), OnControl(std::move(OnControl)) {}
+
+  /// Decodes and applies every complete frame in \p Data. Safe to call
+  /// after a failure (bytes are discarded).
+  void ingest(const char *Data, size_t N);
+
+  /// The peer hung up: a partially buffered frame becomes the sticky
+  /// "disconnected mid-frame" error.
+  void eof();
+
+  bool sawHello() const { return SawHello; }
+  /// The client sent Finish: no more data frames are accepted; the
+  /// caller finalizes the session and replies.
+  bool sawFinish() const { return SawFinish; }
+  uint64_t eventsApplied() const { return EventsApplied; }
+  uint64_t framesApplied() const { return FramesApplied; }
+
+  /// Sticky: first failure freezes ingestion (ok() == false from then on).
+  const Status &status() const { return Sticky; }
+
+private:
+  void apply(const WireFrameView &F);
+  void freeze(StatusCode Code, std::string Message);
+
+  AnalysisSession &S;
+  ControlFn OnControl;
+  FrameDecoder Dec;
+  std::vector<Event> Batch; ///< Reused decode buffer.
+  Status Sticky;
+  bool SawHello = false;
+  bool SawFinish = false;
+  uint64_t EventsApplied = 0;
+  uint64_t FramesApplied = 0;
+};
+
+/// Blocking convenience pump: reads \p Src until EOF/Finish/failure,
+/// applying everything to \p S. Returns the ingestor's sticky status (ok
+/// for a clean stream). Does not call S.finish() — the caller owns the
+/// session lifecycle. Control frames are protocol errors in this mode.
+Status pumpFeedSource(FeedSource &Src, AnalysisSession &S,
+                      size_t ChunkBytes = 64 * 1024);
+
+} // namespace rapid
+
+#endif // RAPID_SERVE_WIREINGESTOR_H

@@ -740,6 +740,12 @@ TEST(AnalysisConfigTest, ValidationRejectsInconsistentCombinations) {
     Cfg.StreamBatchEvents = 0;
     expectInvalid(Cfg, "zero stream batch");
   }
+  {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::VarSharded);
+    Cfg.VarShards = 2;
+    Cfg.DrainBatch = 0;
+    expectInvalid(Cfg, "zero drain batch");
+  }
 
   // The same statuses flow through the entry points.
   AnalysisResult R = analyzeTrace(AnalysisConfig(), Trace());
@@ -762,6 +768,27 @@ TEST(AnalysisConfigTest, ValidationRejectsInconsistentCombinations) {
     EXPECT_EQ(Fin.Overall.Code, StatusCode::InvalidConfig)
         << runModeName(Mode);
     EXPECT_TRUE(Fin.Lanes.empty());
+  }
+}
+
+// DrainBatch only paces how the var-sharded drain slices its replay work
+// into pool tasks; any value must leave every lane bit-identical to the
+// sequential walk. Sweep the extremes: per-event draining, a mid-size
+// batch, and one far larger than the trace (single-task drain).
+TEST(ApiSessionTest, DrainBatchSweepIsBitForBit) {
+  Trace T = randomTrace(fuzzParams(29, /*ForkJoin=*/true));
+  for (uint64_t Batch : {uint64_t(1), uint64_t(64), uint64_t(100000)}) {
+    AnalysisConfig Cfg = allDetectorConfig(RunMode::VarSharded);
+    Cfg.VarShards = 4;
+    Cfg.Threads = 2;
+    Cfg.DrainBatch = Batch;
+    AnalysisSession S(Cfg);
+    ASSERT_TRUE(S.declareTablesFrom(T).ok());
+    ASSERT_TRUE(S.feed(T.events()).ok());
+    AnalysisResult R = S.finish();
+    ASSERT_TRUE(R.ok()) << R.firstError().str();
+    expectLanesMatchSequential(R, T,
+                               "drain batch " + std::to_string(Batch));
   }
 }
 

@@ -9,11 +9,15 @@
 #include "gen/RandomTraceGen.h"
 #include "gen/Workloads.h"
 #include "hb/HbDetector.h"
+#include "io/TextFormat.h"
 #include "trace/TraceStats.h"
 #include "trace/TraceValidator.h"
 #include "wcp/WcpDetector.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
 
 using namespace rapid;
 
@@ -177,4 +181,72 @@ TEST(WorkloadScalingTest, ScaleControlsEventCount) {
   Trace Small = makeWorkload(Spec, 0.02);
   Trace Large = makeWorkload(Spec, 0.08);
   EXPECT_GT(Large.size(), 2 * Small.size());
+}
+
+// ---- Zipf skew model ------------------------------------------------------
+
+TEST(ZipfSamplerTest, DeterministicAndInRange) {
+  ZipfSampler Z(1000, 0.9);
+  Prng A(7), B(7);
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t X = Z.sample(A);
+    EXPECT_EQ(X, Z.sample(B));
+    EXPECT_LT(X, 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, ThetaControlsSkew) {
+  // At theta 0.9 the hottest rank must dominate; at theta 0 (uniform) it
+  // must not. Use the same draw count so the two runs are comparable.
+  const int Draws = 20000;
+  auto hotShare = [&](double Theta) {
+    ZipfSampler Z(256, Theta);
+    Prng Rng(11);
+    int Hot = 0;
+    for (int I = 0; I < Draws; ++I)
+      if (Z.sample(Rng) == 0)
+        ++Hot;
+    return static_cast<double>(Hot) / Draws;
+  };
+  // Exact expectations: uniform puts 1/256 ~ 0.4% on rank 0; Zipf(0.9)
+  // over 256 ranks puts ~17% there. Generous slack on both sides.
+  EXPECT_LT(hotShare(0.0), 0.02);
+  EXPECT_GT(hotShare(0.9), 0.10);
+}
+
+TEST(ZipfWorkloadTest, ValidDeterministicAndSkewed) {
+  ZipfWorkloadSpec Spec;
+  Spec.Events = 20000;
+  Trace T = makeZipfWorkload(Spec);
+  EXPECT_TRUE(validateTrace(T, /*RequireClosedSections=*/true).ok());
+  EXPECT_GE(T.size(), Spec.Events / 2);
+
+  // Bit-for-bit deterministic per seed, different across seeds.
+  EXPECT_EQ(writeTextTrace(T), writeTextTrace(makeZipfWorkload(Spec)));
+  ZipfWorkloadSpec Other = Spec;
+  Other.Seed = 2;
+  EXPECT_NE(writeTextTrace(T), writeTextTrace(makeZipfWorkload(Other)));
+
+  // The skew must survive into the trace: the hottest variable sees many
+  // times the accesses of the median one.
+  std::vector<uint64_t> Hits(T.numVars(), 0);
+  for (const Event &E : T.events())
+    if (isAccess(E.Kind))
+      ++Hits[E.var().value()];
+  std::vector<uint64_t> Sorted = Hits;
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<uint64_t>());
+  ASSERT_GE(Sorted.size(), 3u);
+  EXPECT_GT(Sorted[0], 8 * std::max<uint64_t>(1, Sorted[Sorted.size() / 2]));
+}
+
+TEST(ZipfWorkloadTest, UnstripedVariantRaces) {
+  // Locks = 0 drops the stripes: the hot variable is hammered from every
+  // thread with no protection, so HB must flag it.
+  ZipfWorkloadSpec Spec;
+  Spec.Events = 4000;
+  Spec.Locks = 0;
+  Trace T = makeZipfWorkload(Spec);
+  ASSERT_TRUE(validateTrace(T, /*RequireClosedSections=*/true).ok());
+  RaceReport Hb = testutil::run<HbDetector>(T);
+  EXPECT_GT(Hb.numDistinctPairs(), 0u);
 }
