@@ -45,10 +45,21 @@
 // slowest lane) and the total restart count, which is structurally 0 —
 // a nonzero count fails the bench.
 //
+// The "syncp" section benchmarks the sync-preserving lane on its own
+// random-program trace (reduced event count: the SP-closure re-decides
+// every candidate pair exactly, so its cost scales with candidates, not
+// just events). It records the sequential wall, race/candidate/closure
+// counts from the lane telemetry, and a streamed session's wall on the
+// same trace — the streamed report must match the batch one or the bench
+// fails. --acq-rel-ratio P (percent, default 25) is the generator's
+// release-probability knob (gen/RandomTraceGen.h ReleasePercent): low
+// values hold critical sections open across many accesses, which is the
+// stress axis for the closure's per-lock maxima and WCP's queues.
+//
 // Usage: bench_pipeline [--events N] [--threads N] [--shards N]
 //                       [--window N] [--workload NAME]
 //                       [--late-workload NAME] [--out PATH] [--no-stream]
-//                       [--zipf-theta F]
+//                       [--zipf-theta F] [--acq-rel-ratio P]
 //
 // --workload accepts any Table 1 model name plus "zipf", the skewed-
 // popularity stress model (variable ranks drawn Zipf(--zipf-theta,
@@ -58,6 +69,7 @@
 
 #include "api/AnalysisSession.h"
 #include "detect/DetectorRunner.h"
+#include "gen/RandomTraceGen.h"
 #include "gen/Workloads.h"
 #include "hb/HbDetector.h"
 #include "io/TraceFile.h"
@@ -68,6 +80,7 @@
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "syncp/SyncPDetector.h"
 #include "wcp/WcpDetector.h"
 
 #include <cstdio>
@@ -118,6 +131,7 @@ int main(int Argc, char **Argv) {
   std::string Workload = "montecarlo";
   std::string LateWorkload = "eclipse";
   double ZipfTheta = 0.9;
+  uint32_t AcqRelRatio = 25; // gen/RandomTraceGen.h ReleasePercent.
   std::string OutPath = "BENCH_pipeline.json";
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -139,6 +153,9 @@ int main(int Argc, char **Argv) {
       LateWorkload = Argv[++I];
     else if (Arg == "--zipf-theta" && I + 1 < Argc)
       ZipfTheta = std::strtod(Argv[++I], nullptr);
+    else if (Arg == "--acq-rel-ratio" && I + 1 < Argc)
+      AcqRelRatio =
+          static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 10));
     else if (Arg == "--out" && I + 1 < Argc)
       OutPath = Argv[++I];
     else {
@@ -679,6 +696,115 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Sync-preserving lane: its own reduced-size random trace (the
+  // SP-closure is exact per candidate pair, so candidates — not raw
+  // events — dominate the cost; running it over the full 1M-event trace
+  // would swamp the section without adding information). --acq-rel-ratio
+  // feeds the generator's ReleasePercent: low ratios hold critical
+  // sections open across many accesses, the stress axis for the
+  // closure's per-lock maxima. The streamed session must reproduce the
+  // batch report bit-for-bit or the bench fails.
+  std::string SyncPJson;
+  {
+    RandomTraceParams SP;
+    SP.Seed = 7;
+    SP.NumThreads = 4;
+    SP.NumLocks = 4;
+    SP.NumVars = 64;
+    SP.MaxLockNesting = 2;
+    SP.ReleasePercent = AcqRelRatio;
+    // The closure cost grows with candidates x ideal size (~quadratic in
+    // trace length on lock-dense random programs), so the section stays
+    // deliberately small: a 12k-event ceiling keeps the full bench's
+    // syncp cost in single-digit seconds while still exercising tens of
+    // thousands of candidate decisions.
+    uint64_t SyncPEvents = std::min<uint64_t>(
+        std::max<uint64_t>(TargetEvents / 64, 4000), 12000);
+    SP.OpsPerThread = static_cast<uint32_t>(SyncPEvents / SP.NumThreads);
+    Trace ST = randomTrace(SP);
+    std::fprintf(stderr,
+                 "syncp trace: %llu events (acq/rel ratio %u)\n",
+                 (unsigned long long)ST.size(), AcqRelRatio);
+
+    SyncPDetector SPD(ST);
+    RunResult Batch = runDetector(SPD, ST);
+    std::vector<MetricSample> Tel;
+    SPD.telemetry(Tel);
+    uint64_t Candidates = 0, ClosureIters = 0, IdealPeak = 0;
+    for (const MetricSample &MS : Tel) {
+      if (MS.Name == "syncp.candidate_pairs")
+        Candidates = MS.Value;
+      else if (MS.Name == "syncp.closure_iterations")
+        ClosureIters = MS.Value;
+      else if (MS.Name == "syncp.ideal_peak")
+        IdealPeak = MS.Value;
+    }
+    std::fprintf(stderr,
+                 "syncp sequential %.2fs: %llu race pair(s), %llu "
+                 "candidate(s), %llu closure iteration(s), ideal peak "
+                 "%llu\n",
+                 Batch.Seconds,
+                 (unsigned long long)Batch.Report.numDistinctPairs(),
+                 (unsigned long long)Candidates,
+                 (unsigned long long)ClosureIters,
+                 (unsigned long long)IdealPeak);
+
+    std::string SPath = OutPath + ".syncp_trace.bin";
+    std::string SaveErr = saveTraceFile(ST, SPath);
+    if (!SaveErr.empty()) {
+      std::fprintf(stderr, "error: %s\n", SaveErr.c_str());
+      return 1;
+    }
+    AnalysisConfig SCfg;
+    SCfg.Mode = RunMode::Sequential;
+    SCfg.Threads = Threads;
+    SCfg.addDetector(DetectorKind::SyncP);
+    Timer StreamClock;
+    AnalysisSession Session(SCfg);
+    Status Fed = Session.feedFile(SPath);
+    AnalysisResult Streamed = Session.finish();
+    double StreamWall = StreamClock.seconds();
+    std::remove(SPath.c_str());
+
+    bool Ok = Fed.ok() && Streamed.ok() && Streamed.Lanes.size() == 1;
+    if (Ok) {
+      const LaneReport &SL = Streamed.Lanes[0];
+      if (SL.Report.numDistinctPairs() != Batch.Report.numDistinctPairs() ||
+          SL.Report.numInstances() != Batch.Report.numInstances()) {
+        std::fprintf(stderr,
+                     "error: syncp streamed diverged from batch "
+                     "(%llu/%llu vs %llu/%llu races/instances)\n",
+                     (unsigned long long)SL.Report.numDistinctPairs(),
+                     (unsigned long long)SL.Report.numInstances(),
+                     (unsigned long long)Batch.Report.numDistinctPairs(),
+                     (unsigned long long)Batch.Report.numInstances());
+        Ok = false;
+      }
+    } else {
+      Status Why = !Fed.ok() ? Fed : Streamed.firstError();
+      std::fprintf(stderr, "error: syncp streamed run failed: %s\n",
+                   Why.str().c_str());
+    }
+    if (!Ok) {
+      LaneFailed = true;
+    } else {
+      std::fprintf(stderr, "syncp streamed %.2fs: matches batch\n",
+                   StreamWall);
+      SyncPJson =
+          std::string("{\"events\": ") + std::to_string(ST.size()) +
+          ", \"acq_rel_ratio\": " + std::to_string(AcqRelRatio) +
+          ", \"wall_seconds\": " + jsonNum(Batch.Seconds) +
+          ", \"streamed_wall_seconds\": " + jsonNum(StreamWall) +
+          ", \"races\": " +
+          std::to_string(Batch.Report.numDistinctPairs()) +
+          ", \"instances\": " + std::to_string(Batch.Report.numInstances()) +
+          ", \"candidate_pairs\": " + std::to_string(Candidates) +
+          ", \"closure_iterations\": " + std::to_string(ClosureIters) +
+          ", \"ideal_peak\": " + std::to_string(IdealPeak) +
+          ", \"streamed_matches_batch\": true}";
+    }
+  }
+
   double Speedup = P.Seconds > 0 ? SeqTotal / P.Seconds : 0;
   std::fprintf(stderr,
                "sequential total %.2fs, pipeline wall %.2fs -> %.2fx "
@@ -736,6 +862,8 @@ int main(int Argc, char **Argv) {
     Json += "  \"metrics_overhead\": " + OverheadJson + ",\n";
   if (!LateJson.empty())
     Json += "  \"late_declaration\": " + LateJson + ",\n";
+  if (!SyncPJson.empty())
+    Json += "  \"syncp\": " + SyncPJson + ",\n";
   Json += "  \"scaling\": [" + ScalingJson + "],\n";
   Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
   Json += "}\n";

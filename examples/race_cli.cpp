@@ -49,6 +49,7 @@ struct Options {
   bool RunWcp = false;
   bool RunFastTrack = false;
   bool RunEraser = false;
+  bool RunSyncP = false;
   bool ShowStats = false;
   bool Pipeline = false;
   bool Stream = false;
@@ -80,6 +81,8 @@ void printHelp() {
       "core)\n"
       "  --fasttrack    FastTrack epochs\n"
       "  --eraser       Eraser locksets\n"
+      "  --syncp        sync-preserving race prediction (SP-closure;\n"
+      "                 finds races WCP provably misses)\n"
       "\n"
       "modes (pick at most one; default is sequential lanes):\n"
       "  --window N     windowed baseline: fresh detector per N-event\n"
@@ -129,6 +132,7 @@ void printHelp() {
       "  race_cli trace.bin --stream --metrics\n"
       "  race_cli trace.bin --stream --window 100000 --trace-out run.json\n"
       "  race_cli trace.txt --json --fasttrack\n"
+      "  race_cli trace.bin --wcp --syncp --shards 8\n"
       "  cat trace.txt | race_cli - --stream --hb --wcp\n"
       "  race_cli trace.txt --report-out report.txt\n",
       stdout);
@@ -233,6 +237,8 @@ int main(int Argc, char **Argv) {
       Opts.RunFastTrack = true;
     else if (Arg == "--eraser")
       Opts.RunEraser = true;
+    else if (Arg == "--syncp")
+      Opts.RunSyncP = true;
     else if (Arg == "--stats")
       Opts.ShowStats = true;
     else if (Arg == "--pipeline")
@@ -275,7 +281,8 @@ int main(int Argc, char **Argv) {
     } else
       Opts.Path = Arg;
   }
-  if (!Opts.RunHb && !Opts.RunWcp && !Opts.RunFastTrack && !Opts.RunEraser)
+  if (!Opts.RunHb && !Opts.RunWcp && !Opts.RunFastTrack && !Opts.RunEraser &&
+      !Opts.RunSyncP)
     Opts.RunHb = Opts.RunWcp = true;
   if (Opts.Window > 0 && Opts.Shards > 0) {
     std::fprintf(stderr, "error: --window and --shards are mutually "
@@ -344,6 +351,8 @@ int main(int Argc, char **Argv) {
     Cfg.addDetector(DetectorKind::FastTrack);
   if (Opts.RunEraser)
     Cfg.addDetector(DetectorKind::Eraser);
+  if (Opts.RunSyncP)
+    Cfg.addDetector(DetectorKind::SyncP);
   if (Status V = Cfg.validate(); !V.ok()) {
     std::fprintf(stderr, "error: %s\n", V.str().c_str());
     return 1;

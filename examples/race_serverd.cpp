@@ -66,6 +66,7 @@ struct Options {
   bool RunWcp = false;
   bool RunFastTrack = false;
   bool RunEraser = false;
+  bool RunSyncP = false;
   unsigned Threads = 0;
   uint64_t Window = 0;
   uint32_t Shards = 0;
@@ -88,7 +89,7 @@ void printHelp() {
       "session fed by length-prefixed wire frames (docs/SERVING.md).\n"
       "\n"
       "detectors (default: --hb --wcp):\n"
-      "  --hb / --wcp / --fasttrack / --eraser\n"
+      "  --hb / --wcp / --fasttrack / --eraser / --syncp\n"
       "\n"
       "session shape (applies to every accepted session):\n"
       "  --window N        windowed mode, N events per window\n"
@@ -157,6 +158,8 @@ int main(int Argc, char **Argv) {
       Opts.RunFastTrack = true;
     else if (Arg == "--eraser")
       Opts.RunEraser = true;
+    else if (Arg == "--syncp")
+      Opts.RunSyncP = true;
     else if (Arg == "--quiet")
       Opts.Quiet = true;
     else if (Arg == "--dry-run")
@@ -197,7 +200,8 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
-  if (!Opts.RunHb && !Opts.RunWcp && !Opts.RunFastTrack && !Opts.RunEraser)
+  if (!Opts.RunHb && !Opts.RunWcp && !Opts.RunFastTrack &&
+      !Opts.RunEraser && !Opts.RunSyncP)
     Opts.RunHb = Opts.RunWcp = true;
   if (Opts.Socket.empty() && !Opts.DryRun) {
     std::fprintf(stderr, "error: --socket PATH is required\n");
@@ -230,6 +234,8 @@ int main(int Argc, char **Argv) {
     S.addDetector(DetectorKind::FastTrack);
   if (Opts.RunEraser)
     S.addDetector(DetectorKind::Eraser);
+  if (Opts.RunSyncP)
+    S.addDetector(DetectorKind::SyncP);
   if (Opts.DebugSlowUs) {
     const unsigned SlowUs = Opts.DebugSlowUs;
     S.addDetector(

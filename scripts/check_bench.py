@@ -7,7 +7,12 @@ Two tiers, mirroring what the numbers can actually support:
     streamed section's ``publish.events`` equals the events the run
     ingested, and the retired ``consume.lock_wait_seconds`` must be
     absent or exactly zero (a nonzero value means a mutex crept back
-    between publication and the lanes).
+    between publication and the lanes). The ``syncp`` section must be
+    present and self-consistent: the streamed run reproduced the batch
+    report (``streamed_matches_batch`` true), every reported race came
+    from a candidate the prefilter admitted (``races <=
+    candidate_pairs``), and the closure actually ran when there were
+    candidates to decide.
 
   * Only on a trustworthy parallel run (``degraded`` false and
     ``hardware_threads >= 4``): the perf claims — fan-out ``speedup``
@@ -53,6 +58,27 @@ def main(argv):
             rc |= fail(
                 f"{name}: consume.lock_wait_seconds = {lock_wait}; the "
                 "publish path must not take a lock"
+            )
+
+    syncp = bench.get("syncp")
+    if not syncp:
+        rc |= fail("no syncp section (sync-preserving lane stopped reporting)")
+    else:
+        if syncp.get("streamed_matches_batch") is not True:
+            rc |= fail("syncp: streamed run did not reproduce the batch report")
+        races = syncp.get("races", -1)
+        candidates = syncp.get("candidate_pairs", -1)
+        if races < 0 or candidates < 0:
+            rc |= fail("syncp: races/candidate_pairs missing")
+        elif races > candidates:
+            rc |= fail(
+                f"syncp: {races} race(s) from only {candidates} candidate "
+                "pair(s) — a race must come from an admitted candidate"
+            )
+        if candidates > 0 and syncp.get("closure_iterations", 0) <= 0:
+            rc |= fail(
+                f"syncp: {candidates} candidate(s) but no closure "
+                "iterations — the exact decision procedure never ran"
             )
 
     degraded = bench.get("degraded", True)

@@ -9,6 +9,7 @@
 #include "hb/FastTrackDetector.h"
 #include "hb/HbDetector.h"
 #include "lockset/EraserDetector.h"
+#include "syncp/SyncPDetector.h"
 #include "wcp/WcpDetector.h"
 
 using namespace rapid;
@@ -23,6 +24,8 @@ const char *rapid::detectorKindName(DetectorKind K) {
     return "FastTrack";
   case DetectorKind::Eraser:
     return "Eraser";
+  case DetectorKind::SyncP:
+    return "SyncP";
   case DetectorKind::Custom:
     return "custom";
   }
@@ -40,6 +43,8 @@ DetectorFactory rapid::makeDetectorFactory(DetectorKind K) {
         [](const Trace &T) { return std::make_unique<FastTrackDetector>(T); };
   case DetectorKind::Eraser:
     return [](const Trace &T) { return std::make_unique<EraserDetector>(T); };
+  case DetectorKind::SyncP:
+    return [](const Trace &T) { return std::make_unique<SyncPDetector>(T); };
   case DetectorKind::Custom:
     break;
   }

@@ -50,9 +50,10 @@
 namespace rapid {
 
 /// The built-in detector families, plus Custom for caller factories.
-enum class DetectorKind : uint8_t { Hb, Wcp, FastTrack, Eraser, Custom };
+enum class DetectorKind : uint8_t { Hb, Wcp, FastTrack, Eraser, SyncP, Custom };
 
-/// Stable display name: "HB", "WCP", "FastTrack", "Eraser", "custom".
+/// Stable display name: "HB", "WCP", "FastTrack", "Eraser", "SyncP",
+/// "custom".
 const char *detectorKindName(DetectorKind K);
 
 /// A factory for \p K's detector; empty for Custom (the spec carries its

@@ -264,6 +264,9 @@ struct VarShardState {
                                 ///< frequency-balanced: at capture end).
   ShardPlan Plan;
   ShardReplay Replay = ShardReplay::FullHistory;
+  /// Lane-wide replay state for context-bearing detectors (SyncP); owned
+  /// by the lane's detector, which outlives every drain. Null otherwise.
+  const ShardContext *Ctx = nullptr;
   std::vector<std::unique_ptr<VarShard>> Shards;
   LaneRuntime *Rt = nullptr; ///< Back-pointer for drain-task telemetry.
 };
@@ -794,11 +797,14 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
         // attach time are sizing hints, not bounds.
         auto NewLog = std::make_unique<AccessLog>(HintThreads);
         ShardReplay Replay = ShardReplay::FullHistory;
+        const ShardContext *Ctx = nullptr;
         {
           std::lock_guard<std::mutex> G(Rt.SnapM);
           Capturing = Rt.D && Rt.D->beginCapture(*NewLog);
-          if (Capturing)
+          if (Capturing) {
             Replay = Rt.D->shardReplay();
+            Ctx = Rt.D->shardContext();
+          }
         }
         PlanReady = Capturing && Cfg.Strategy == ShardStrategy::Modulo;
         {
@@ -807,6 +813,7 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           VS.Log = VS.LogHolder.get();
           VS.Capturing = Capturing;
           VS.Replay = Replay;
+          VS.Ctx = Ctx;
           VS.PlanReady = PlanReady;
           VS.Plan = ShardPlan(NumShards);
         }
@@ -816,7 +823,7 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
             VarShard &Sh = *VS.Shards[S];
             std::lock_guard<std::mutex> G(Sh.SM);
             Sh.Checker = std::make_unique<ShardChecker>(
-                Replay, VS.Plan.numLocalVars(S, HintVars), HintThreads);
+                Replay, VS.Plan.numLocalVars(S, HintVars), HintThreads, Ctx);
           }
         }
       }
@@ -925,7 +932,8 @@ void AnalysisSession::Impl::varShardConsumer(LaneRuntime &Rt,
           VarShard &Sh = *VS.Shards[S];
           std::lock_guard<std::mutex> SG(Sh.SM);
           Sh.Checker = std::make_unique<ShardChecker>(
-              VS.Replay, VS.Plan.numLocalVars(S, FinalVars), FinalThreads);
+              VS.Replay, VS.Plan.numLocalVars(S, FinalVars), FinalThreads,
+              VS.Ctx);
         }
         Log->forEachAccess(0, Committed, [&](const DeferredAccess &A,
                                              uint64_t I) {

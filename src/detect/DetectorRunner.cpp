@@ -22,6 +22,8 @@
 using namespace rapid;
 
 Detector::~Detector() = default;
+ShardReplayer::~ShardReplayer() = default;
+ShardContext::~ShardContext() = default;
 
 RunResult rapid::runDetector(Detector &D, const Trace &T) {
   Timer Clock;

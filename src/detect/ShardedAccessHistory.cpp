@@ -247,33 +247,41 @@ private:
 
 // ---- ShardChecker -----------------------------------------------------------
 
-/// The selected engine: exactly one of the two members is live (selected
-/// by Replay at construction), so per-shard memory matches the old
-/// one-shot checkShard.
+/// The selected engine: exactly one of the members is live (selected by
+/// Replay at construction), so per-shard memory matches the old one-shot
+/// checkShard.
 struct ShardChecker::Impl {
   ShardReplay Replay;
   std::unique_ptr<AccessHistory> History;       ///< FullHistory engine.
   std::unique_ptr<FastTrackShardReplayer> Fast; ///< FastTrackEpoch engine.
+  std::unique_ptr<ShardReplayer> Custom;        ///< Context-bearing engine.
 
-  Impl(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads)
+  Impl(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads,
+       const ShardContext *Ctx)
       : Replay(Replay) {
     if (Replay == ShardReplay::FastTrackEpoch)
       Fast = std::make_unique<FastTrackShardReplayer>(NumLocalVars,
                                                       NumThreads);
+    else if (Ctx && Replay == ShardReplay::SyncPClosure)
+      Custom = Ctx->makeReplayer(NumLocalVars, NumThreads);
     else
       History = std::make_unique<AccessHistory>(NumLocalVars, NumThreads);
   }
 };
 
 ShardChecker::ShardChecker(ShardReplay Replay, uint32_t NumLocalVars,
-                           uint32_t NumThreads)
-    : I(std::make_unique<Impl>(Replay, NumLocalVars, NumThreads)) {}
+                           uint32_t NumThreads, const ShardContext *Ctx)
+    : I(std::make_unique<Impl>(Replay, NumLocalVars, NumThreads, Ctx)) {}
 
 ShardChecker::~ShardChecker() = default;
 
 void ShardChecker::replay(const DeferredAccess &A, VarId Local,
                           const VectorClock &Ce, const VectorClock *Hard) {
   ++Replayed;
+  if (I->Custom) {
+    I->Custom->replay(A, Local, Ce, Hard, Out);
+    return;
+  }
   if (I->Replay == ShardReplay::FastTrackEpoch) {
     I->Fast->replay(A, Local, Ce, Out);
     return;
@@ -293,13 +301,14 @@ void ShardChecker::replay(const DeferredAccess &A, VarId Local,
 
 std::vector<RaceInstance>
 ShardedAccessHistory::checkShard(uint32_t S, const AccessLog &Log,
-                                 ShardReplay Replay) const {
+                                 ShardReplay Replay,
+                                 const ShardContext *Ctx) const {
   // Private partition: only this shard's variables, addressed by dense
   // local ids, so per-shard memory is NumVars/NumShards — the histories
   // genuinely split rather than replicate. One engine serves both the
   // batch and streaming paths: this is the incremental ShardChecker fed
   // the full work list in one go.
-  ShardChecker Checker(Replay, Plan.numLocalVars(S, NumVars), NumThreads);
+  ShardChecker Checker(Replay, Plan.numLocalVars(S, NumVars), NumThreads, Ctx);
   const ClockBroadcast &Clocks = Log.clocks();
   for (uint32_t I : Work[S]) {
     const DeferredAccess &A = Log.access(I);

@@ -243,8 +243,11 @@ public:
   /// Detector::shardReplay()); \p NumLocalVars is the shard's dense
   /// local-variable count (ShardPlan::numLocalVars). Both counts are
   /// sizing hints — the engines grow on first touch, so local ids and
-  /// threads admitted mid-stream replay without a rebuild.
-  ShardChecker(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads);
+  /// threads admitted mid-stream replay without a rebuild. Context-bearing
+  /// replay kinds (SyncPClosure) additionally need the capturing
+  /// detector's ShardContext in \p Ctx, which must outlive the checker.
+  ShardChecker(ShardReplay Replay, uint32_t NumLocalVars, uint32_t NumThreads,
+               const ShardContext *Ctx = nullptr);
   ~ShardChecker();
 
   ShardChecker(const ShardChecker &) = delete;
@@ -288,11 +291,13 @@ public:
   /// Replays shard \p S's deferred checks and returns its races in trace
   /// order. Requires partition() to have run; const and data-parallel
   /// across distinct shards. \p Replay selects the check engine: the
-  /// shared full-history replay (HB, WCP) or FastTrack's epoch replay —
-  /// it must match the capturing detector's shardReplay().
+  /// shared full-history replay (HB, WCP), FastTrack's epoch replay, or a
+  /// context-bearing replay built from \p Ctx (SyncP) — it must match the
+  /// capturing detector's shardReplay() (and shardContext()).
   std::vector<RaceInstance>
   checkShard(uint32_t S, const AccessLog &Log,
-             ShardReplay Replay = ShardReplay::FullHistory) const;
+             ShardReplay Replay = ShardReplay::FullHistory,
+             const ShardContext *Ctx = nullptr) const;
 
   /// Interleaves per-shard findings back into parent-trace order and
   /// accumulates them into a report. Each access event belongs to exactly

@@ -51,7 +51,7 @@ Trace rapid::randomTrace(const RandomTraceParams &Params) {
         S.acq("l" + std::to_string(L), loc("acq"));
         continue;
       }
-      if (CanRelease && Rng.chance(25, 100)) {
+      if (CanRelease && Rng.chance(Params.ReleasePercent, 100)) {
         S.rel("l" + std::to_string(Held.back()), loc("rel"));
         Held.pop_back();
         continue;

@@ -32,6 +32,12 @@ struct RandomTraceParams {
   uint32_t MaxLockNesting = 2;
   /// Percent of generated ops that are lock acquisitions.
   uint32_t AcquirePercent = 20;
+  /// Percent chance per op of releasing the innermost held lock — the
+  /// other half of the acq/rel-ratio sweep. Low values hold sections open
+  /// for many accesses (long critical sections, deep WCP/SyncP queues);
+  /// high values produce short sections and release churn. The default
+  /// reproduces the generator's historical behaviour bit-for-bit.
+  uint32_t ReleasePercent = 25;
   /// Percent of accesses that are writes.
   uint32_t WritePercent = 40;
   /// Distinct source locations per thread (smaller = more pair dedup).

@@ -7,6 +7,7 @@
 #include "gen/Workloads.h"
 
 #include "gen/ProgramSim.h"
+#include "gen/RandomTraceGen.h"
 #include "support/Prng.h"
 
 #include <algorithm>
@@ -297,8 +298,20 @@ WorkloadSpec rapid::workloadSpec(const std::string &Name) {
 
 ZipfSampler::ZipfSampler(uint64_t N, double Theta) : N(N), Theta(Theta) {
   assert(N > 0 && "empty rank space");
-  assert(Theta >= 0.0 && Theta < 1.0 && "theta must be in [0, 1)");
+  assert(Theta >= 0.0 && "negative skew is meaningless");
   Zetan = 0.0;
+  if (Theta >= 1.0) {
+    // Gray's closed form divides by (1 - theta); past it, keep the exact
+    // cumulative table instead (construction was O(N) regardless).
+    Cdf.reserve(N);
+    for (uint64_t I = 1; I <= N; ++I) {
+      Zetan += std::pow(static_cast<double>(I), -Theta);
+      Cdf.push_back(Zetan);
+    }
+    Alpha = 0.0;
+    Eta = 0.0;
+    return;
+  }
   for (uint64_t I = 1; I <= N; ++I)
     Zetan += std::pow(static_cast<double>(I), -Theta);
   Alpha = 1.0 / (1.0 - Theta);
@@ -311,6 +324,12 @@ ZipfSampler::ZipfSampler(uint64_t N, double Theta) : N(N), Theta(Theta) {
 
 uint64_t ZipfSampler::sample(Prng &Rng) const {
   double U = Rng.nextDouble();
+  if (!Cdf.empty()) {
+    // theta >= 1: exact inverse CDF by binary search.
+    uint64_t K = static_cast<uint64_t>(
+        std::lower_bound(Cdf.begin(), Cdf.end(), U * Zetan) - Cdf.begin());
+    return K >= N ? N - 1 : K;
+  }
   double Uz = U * Zetan;
   if (Uz < 1.0)
     return 0;
@@ -379,5 +398,311 @@ Trace rapid::makeZipfWorkload(const ZipfWorkloadSpec &Spec) {
   Opts.BurstPercent = 65;
   SimResult R = simulate(P, Opts);
   assert(R.Ok && "zipf program failed to schedule");
+  return std::move(R.T);
+}
+
+// ---- Adversarial workload matrix --------------------------------------------
+
+const char *rapid::workloadShapeName(WorkloadShape S) {
+  switch (S) {
+  case WorkloadShape::Uniform:
+    return "uniform";
+  case WorkloadShape::ZipfLight:
+    return "zipf-0.6";
+  case WorkloadShape::ZipfMedium:
+    return "zipf-0.9";
+  case WorkloadShape::ZipfHeavy:
+    return "zipf-1.2";
+  case WorkloadShape::ProducerConsumer:
+    return "producer-consumer";
+  case WorkloadShape::BarrierHeavy:
+    return "barrier-heavy";
+  case WorkloadShape::DeclarationDense:
+    return "decl-dense";
+  }
+  return "unknown";
+}
+
+const std::vector<WorkloadShape> &rapid::allWorkloadShapes() {
+  static const std::vector<WorkloadShape> Shapes = {
+      WorkloadShape::Uniform,          WorkloadShape::ZipfLight,
+      WorkloadShape::ZipfMedium,       WorkloadShape::ZipfHeavy,
+      WorkloadShape::ProducerConsumer, WorkloadShape::BarrierHeavy,
+      WorkloadShape::DeclarationDense,
+  };
+  return Shapes;
+}
+
+namespace {
+
+Trace makeZipfShape(double Theta, uint64_t Seed) {
+  ZipfWorkloadSpec Spec;
+  Spec.Threads = 2 + Seed % 3;
+  Spec.Vars = 12 + Seed % 9;
+  // A third of the seeds drop the lock stripes: unprotected skewed
+  // conflicts, so the shape also produces races to diff on.
+  Spec.Locks = static_cast<uint32_t>(Seed % 3);
+  Spec.Events = 140 + (Seed % 5) * 24;
+  Spec.Theta = Theta;
+  Spec.Seed = Seed;
+  return makeZipfWorkload(Spec);
+}
+
+/// Producers hand items to consumers through a locked slot array; the
+/// handoff (rel(q) -> acq(q)) orders the payload accesses, so those pairs
+/// are racy for no sound detector — while the shared unprotected stats
+/// counter races on purpose. The interesting part for SyncP is the
+/// read-sees-write structure: every consumer read of a slot pins the
+/// producer's critical section into any closure that includes it.
+Trace makeProducerConsumer(uint64_t Seed) {
+  const uint32_t Producers = 1 + Seed % 2;
+  const uint32_t Consumers = 1 + (Seed >> 1) % 2;
+  const uint32_t Items = 8 + Seed % 6;
+  Program P;
+  auto producerName = [](uint32_t I) { return "prod" + std::to_string(I); };
+  auto consumerName = [](uint32_t I) { return "cons" + std::to_string(I); };
+
+  // Register every thread before the first ThreadScript: Program::thread
+  // may reallocate the thread table, and ThreadScript holds a reference.
+  P.thread("main");
+  for (uint32_t I = 0; I < Producers; ++I)
+    P.thread(producerName(I));
+  for (uint32_t I = 0; I < Consumers; ++I)
+    P.thread(consumerName(I));
+
+  ThreadScript Root(P, "main");
+  for (uint32_t I = 0; I < Producers; ++I)
+    Root.fork(producerName(I));
+  for (uint32_t I = 0; I < Consumers; ++I)
+    Root.fork(consumerName(I));
+
+  for (uint32_t K = 0; K < Items; ++K) {
+    const std::string KS = std::to_string(K);
+    ThreadScript Prod(P, producerName(K % Producers));
+    Prod.write("payload" + KS, "prod.pay" + KS);
+    Prod.acq("q", "prod.acq" + KS);
+    Prod.write("slot" + std::to_string(K % 4), "prod.slot" + KS);
+    Prod.rel("q", "prod.rel" + KS);
+    Prod.write("stats", "prod.stats" + std::to_string(K % 3));
+    Prod.post("item" + KS);
+
+    ThreadScript Cons(P, consumerName(K % Consumers));
+    Cons.await("item" + KS);
+    Cons.acq("q", "cons.acq" + KS);
+    Cons.read("slot" + std::to_string(K % 4), "cons.slot" + KS);
+    Cons.rel("q", "cons.rel" + KS);
+    Cons.read("payload" + KS, "cons.pay" + KS);
+    Cons.read("stats", "cons.stats" + std::to_string(K % 3));
+  }
+
+  for (uint32_t I = 0; I < Producers; ++I)
+    Root.join(producerName(I));
+  for (uint32_t I = 0; I < Consumers; ++I)
+    Root.join(consumerName(I));
+
+  SimOptions Opts;
+  Opts.Seed = Seed;
+  Opts.BurstPercent = 55;
+  SimResult R = simulate(P, Opts);
+  assert(R.Ok && "producer/consumer program failed to schedule");
+  return std::move(R.T);
+}
+
+/// Lockstep rounds: every worker bumps the round counter under the
+/// barrier lock, thread 0 gates the next round on everyone's arrival
+/// ticket. Dense same-lock traffic from every thread, every round — the
+/// shape that exercises lock-queue churn and the SP-closure's per-lock
+/// maxima hardest. One unprotected scratch variable per round pair keeps
+/// the race reports non-trivial.
+Trace makeBarrierHeavy(uint64_t Seed) {
+  const uint32_t Workers = 2 + Seed % 3;
+  const uint32_t Rounds = 6 + Seed % 5;
+  Program P;
+  auto threadName = [](uint32_t I) { return "T" + std::to_string(I); };
+
+  // Pre-register: ThreadScript references would dangle if thread() grew
+  // the table after the first script was made.
+  for (uint32_t W = 0; W < Workers; ++W)
+    P.thread(threadName(W));
+
+  ThreadScript Root(P, threadName(0));
+  for (uint32_t W = 1; W < Workers; ++W)
+    Root.fork(threadName(W));
+
+  for (uint32_t R = 0; R < Rounds; ++R) {
+    const std::string RS = std::to_string(R);
+    for (uint32_t W = 0; W < Workers; ++W) {
+      ThreadScript S(P, threadName(W));
+      const std::string Loc = "r" + RS + ".t" + std::to_string(W);
+      S.lockedIncrement("barrier", "arrivals" + RS, Loc);
+      if ((R + W) % 3 == 0)
+        S.write("scratch" + std::to_string(R % 2), Loc + ".scr");
+      S.post("arrive" + RS + "_" + std::to_string(W));
+      if (W == 0) {
+        for (uint32_t V = 1; V < Workers; ++V)
+          S.await("arrive" + RS + "_" + std::to_string(V));
+        S.post("go" + RS);
+      } else {
+        S.await("go" + RS);
+      }
+    }
+  }
+
+  for (uint32_t W = 1; W < Workers; ++W)
+    Root.join(threadName(W));
+
+  SimOptions Opts;
+  Opts.Seed = Seed;
+  Opts.BurstPercent = 50;
+  SimResult R = simulate(P, Opts);
+  assert(R.Ok && "barrier program failed to schedule");
+  return std::move(R.T);
+}
+
+/// A fork chain where each link starts mid-trace and every round touches
+/// fresh variables and a fresh lock: thread, lock and variable ids keep
+/// being declared until the end of the trace. Streaming runs see their id
+/// tables grow constantly (the Restarts == 0 contract's worst case); the
+/// one shared unprotected variable gives every thread pair a candidate.
+Trace makeDeclarationDense(uint64_t Seed) {
+  const uint32_t Links = 3 + Seed % 3;
+  const uint32_t RoundsPerLink = 4 + Seed % 3;
+  Program P;
+  auto threadName = [](uint32_t I) { return "link" + std::to_string(I); };
+
+  // Pre-register every link (see makeProducerConsumer).
+  for (uint32_t L = 0; L < Links; ++L)
+    P.thread(threadName(L));
+
+  for (uint32_t L = 0; L < Links; ++L) {
+    ThreadScript S(P, threadName(L));
+    const std::string LS = std::to_string(L);
+    for (uint32_t R = 0; R < RoundsPerLink; ++R) {
+      const std::string RS = LS + "_" + std::to_string(R);
+      // Fresh ids every round: one new lock, two new variables.
+      S.acq("fresh_lock" + RS);
+      S.write("fresh_var" + RS + "a", "l" + RS + ".a");
+      S.read("fresh_var" + RS + "a", "l" + RS + ".ar");
+      S.rel("fresh_lock" + RS);
+      S.write("fresh_var" + RS + "b", "l" + RS + ".b");
+      // Fork the next link halfway through this one's work.
+      if (R == RoundsPerLink / 2 && L + 1 < Links)
+        S.fork(threadName(L + 1), "l" + LS + ".fork");
+      if ((R + L) % 2 == 0)
+        S.write("shared", "l" + RS + ".shared");
+    }
+    if (L + 1 < Links)
+      S.join(threadName(L + 1), "l" + LS + ".join");
+  }
+
+  SimOptions Opts;
+  Opts.Seed = Seed;
+  Opts.BurstPercent = 60;
+  SimResult R = simulate(P, Opts);
+  assert(R.Ok && "declaration-dense program failed to schedule");
+  return std::move(R.T);
+}
+
+Trace makeUniformShape(uint64_t Seed) {
+  RandomTraceParams P;
+  P.Seed = Seed;
+  P.NumThreads = 2 + Seed % 3;
+  P.NumLocks = 1 + Seed % 3;
+  P.NumVars = 3 + Seed % 4;
+  P.OpsPerThread = 16 + Seed % 13;
+  P.MaxLockNesting = 1 + Seed % 2;
+  P.WithForkJoin = Seed % 3 == 0;
+  return randomTrace(P);
+}
+
+} // namespace
+
+Trace rapid::makeAdversarialTrace(WorkloadShape S, uint64_t Seed) {
+  switch (S) {
+  case WorkloadShape::Uniform:
+    return makeUniformShape(Seed);
+  case WorkloadShape::ZipfLight:
+    return makeZipfShape(0.6, Seed);
+  case WorkloadShape::ZipfMedium:
+    return makeZipfShape(0.9, Seed);
+  case WorkloadShape::ZipfHeavy:
+    return makeZipfShape(1.2, Seed);
+  case WorkloadShape::ProducerConsumer:
+    return makeProducerConsumer(Seed);
+  case WorkloadShape::BarrierHeavy:
+    return makeBarrierHeavy(Seed);
+  case WorkloadShape::DeclarationDense:
+    return makeDeclarationDense(Seed);
+  }
+  return Trace();
+}
+
+Trace rapid::makeWcpQueueStress(const WcpQueueStressSpec &Spec) {
+  assert(Spec.NestingDepth >= 1 && Spec.Chains >= 1);
+  Program P;
+
+  // Pre-register every thread (see makeProducerConsumer).
+  P.thread("qa");
+  P.thread("qb");
+  if (Spec.LateThread)
+    P.thread("qlate");
+
+  ThreadScript A(P, "qa");
+  ThreadScript B(P, "qb");
+
+  for (uint32_t C = 0; C < Spec.Chains; ++C) {
+    const std::string CS = std::to_string(C);
+    // Deep nesting: A opens NestingDepth sections, touches the chain
+    // variable at full depth, then unwinds — one long release chain. B
+    // mirrors the identical nest strictly later (ticket-gated), so every
+    // section pair on every nest lock conflicts across threads and WCP
+    // must queue A's release clocks until B's sections drain them.
+    for (uint32_t D = 0; D < Spec.NestingDepth; ++D)
+      A.acq("nest" + CS + "_" + std::to_string(D), "qa.c" + CS);
+    A.write("chain" + CS, "qa.c" + CS + ".w");
+    for (uint32_t D = Spec.NestingDepth; D-- > 0;)
+      A.rel("nest" + CS + "_" + std::to_string(D), "qa.c" + CS);
+    A.post("chain" + CS);
+
+    B.await("chain" + CS);
+    for (uint32_t D = 0; D < Spec.NestingDepth; ++D)
+      B.acq("nest" + CS + "_" + std::to_string(D), "qb.c" + CS);
+    B.write("chain" + CS, "qb.c" + CS + ".w");
+    for (uint32_t D = Spec.NestingDepth; D-- > 0;)
+      B.rel("nest" + CS + "_" + std::to_string(D), "qb.c" + CS);
+
+    // Fork the late thread halfway through the chain schedule.
+    if (Spec.LateThread && C == Spec.Chains / 2)
+      A.fork("qlate", "qa.fork");
+  }
+
+  // The flat many-lock release chain: back-to-back short conflicting
+  // sections over ChainLocks distinct locks, first A then B.
+  for (uint32_t L = 0; L < Spec.ChainLocks; ++L) {
+    const std::string LS = std::to_string(L);
+    A.lockedIncrement("flat" + LS, "flatvar" + LS, "qa.f" + LS);
+  }
+  A.post("flat");
+  B.await("flat");
+  for (uint32_t L = 0; L < Spec.ChainLocks; ++L) {
+    const std::string LS = std::to_string(L);
+    B.lockedIncrement("flat" + LS, "flatvar" + LS, "qb.f" + LS);
+  }
+
+  if (Spec.LateThread) {
+    // The late thread conflicts, unprotected, on every chain variable:
+    // candidates against both workers from a thread id the first half of
+    // the trace never saw.
+    ThreadScript Late(P, "qlate");
+    for (uint32_t C = 0; C < Spec.Chains; ++C)
+      Late.write("chain" + std::to_string(C), "qlate.c" + std::to_string(C));
+    A.join("qlate", "qa.join");
+  }
+
+  SimOptions Opts;
+  Opts.Seed = Spec.Seed;
+  Opts.BurstPercent = 70;
+  SimResult R = simulate(P, Opts);
+  assert(R.Ok && "wcp queue stress program failed to schedule");
   return std::move(R.T);
 }

@@ -77,11 +77,14 @@ WorkloadSpec workloadSpec(const std::string &Name);
 
 /// Bounded Zipf(theta) sampler over ranks [0, N): rank 0 is the hottest
 /// item, with P(k) proportional to 1/(k+1)^theta. Construction is O(N)
-/// (one zeta-sum pass); each sample() is O(1) — the zeta-normalized
-/// inverse-CDF form from Gray et al.'s "Quickly generating billion-record
-/// synthetic databases", the same sampler YCSB ships. Theta must be in
-/// [0, 1): 0 degenerates to uniform, values near 1 concentrate almost all
-/// mass on the first few ranks.
+/// (one zeta-sum pass). For theta in [0, 1) each sample() is O(1) — the
+/// zeta-normalized inverse-CDF form from Gray et al.'s "Quickly generating
+/// billion-record synthetic databases", the same sampler YCSB ships; 0
+/// degenerates to uniform, values near 1 concentrate almost all mass on
+/// the first few ranks. For theta >= 1 (where Gray's closed form is
+/// singular) sampling walks an exact cumulative table in O(log N) —
+/// bit-for-bit deterministic per seed either way, and the theta < 1 fast
+/// path is unchanged so existing seeded streams stay stable.
 class ZipfSampler {
 public:
   ZipfSampler(uint64_t N, double Theta);
@@ -96,8 +99,11 @@ private:
   uint64_t N;
   double Theta;
   double Zetan; ///< sum_{i=1..N} i^-theta.
-  double Alpha; ///< 1 / (1 - theta).
-  double Eta;   ///< Inverse-CDF correction term.
+  double Alpha; ///< 1 / (1 - theta); unused when theta >= 1.
+  double Eta;   ///< Inverse-CDF correction term; unused when theta >= 1.
+  /// theta >= 1 only: Cdf[k] = sum_{i=1..k+1} i^-theta (empty otherwise —
+  /// the marker that selects the O(1) closed-form path).
+  std::vector<double> Cdf;
 };
 
 /// Shape of the Zipf-skew stress model. Unlike the Table 1 models this is
@@ -114,13 +120,65 @@ struct ZipfWorkloadSpec {
   uint32_t Vars = 256;    ///< Shared variable pool size.
   uint32_t Locks = 16;    ///< Lock stripes over the pool (0 = unprotected).
   uint64_t Events = 100000; ///< Approximate event target.
-  double Theta = 0.9;     ///< Skew in [0, 1).
+  double Theta = 0.9;     ///< Skew, >= 0 (>= 1 uses the exact-table path).
   uint64_t Seed = 1;
 };
 
 /// Builds the trace for \p Spec; deterministic per seed, and §2.1-valid by
 /// construction (generated through the simulator like every other model).
 Trace makeZipfWorkload(const ZipfWorkloadSpec &Spec);
+
+/// The adversarial workload matrix the differential fuzzers sweep: each
+/// shape stresses a different axis of the streaming/sharded machinery.
+/// Uniform is the plain random-program shape; the Zipf shapes skew
+/// variable popularity (Heavy at theta = 1.2 funnels nearly everything
+/// onto one var-shard); ProducerConsumer hands values across threads
+/// through a locked queue (cross-thread read-sees-write structure);
+/// BarrierHeavy runs lockstep rounds dense in lock traffic; and
+/// DeclarationDense staggers thread forks through the trace and touches
+/// fresh variables/locks every round, so id tables grow until the last
+/// event (the Restarts == 0 contract's worst case).
+enum class WorkloadShape : uint8_t {
+  Uniform,
+  ZipfLight,       ///< theta = 0.6
+  ZipfMedium,      ///< theta = 0.9
+  ZipfHeavy,       ///< theta = 1.2 (past Gray's closed-form domain)
+  ProducerConsumer,
+  BarrierHeavy,
+  DeclarationDense,
+};
+
+/// Stable lowercase name: "uniform", "zipf-0.6", ..., "decl-dense".
+const char *workloadShapeName(WorkloadShape S);
+
+/// Every shape, in enum order (fuzzers rotate through this).
+const std::vector<WorkloadShape> &allWorkloadShapes();
+
+/// Builds a small (a few hundred events) valid trace of shape \p S.
+/// Deterministic per (shape, seed); thread/lock/var counts themselves vary
+/// with the seed so the matrix also sweeps table sizes.
+Trace makeAdversarialTrace(WorkloadShape S, uint64_t Seed);
+
+/// Shape of the pathological-WCP-queue model: chains of deeply nested
+/// critical sections whose conflicting twins arrive only later, plus long
+/// flat release chains over many locks — the access pattern that made
+/// WCP's per-lock queues grow until the queue-GC pass
+/// (WcpDetector::collectLockGarbage) learned to trim entries every thread
+/// has passed. With LateThread, a third thread is forked mid-program and
+/// immediately conflicts on every chain variable: a thread id that does
+/// not exist for the first half of the trace, which is exactly the case
+/// the GC must stay conservative for (a late thread may still need old
+/// release clocks).
+struct WcpQueueStressSpec {
+  uint32_t NestingDepth = 6; ///< Locks held simultaneously per chain.
+  uint32_t Chains = 5;       ///< Deep-nesting rounds per worker.
+  uint32_t ChainLocks = 10;  ///< Locks in the flat release chain.
+  bool LateThread = true;    ///< Fork a mid-stream third thread.
+  uint64_t Seed = 1;
+};
+
+/// Builds the trace for \p Spec (deterministic, §2.1-valid).
+Trace makeWcpQueueStress(const WcpQueueStressSpec &Spec);
 
 } // namespace rapid
 

@@ -127,6 +127,9 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
   // log (clock snapshots included) and the partitioned work lists feed
   // the phase-2 shard tasks.
   struct LaneWork {
+    /// Owned past phase 1: context-bearing detectors (SyncP) hand the
+    /// shard tasks a ShardContext that lives inside the detector.
+    std::unique_ptr<Detector> D;
     std::unique_ptr<AccessLog> Log;
     std::unique_ptr<ShardedAccessHistory> History;
     std::vector<std::vector<RaceInstance>> PerShard;
@@ -148,17 +151,18 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
       Out.DetectorName = Lanes[L].Name;
       guardedTask(Out.Error, [&] {
         Timer Clock;
-        std::unique_ptr<Detector> D = Lanes[L].Make(T);
-        if (Out.DetectorName.empty())
-          Out.DetectorName = D->name();
         LaneWork &W = Work[L];
+        W.D = Lanes[L].Make(T);
+        Detector &D = *W.D;
+        if (Out.DetectorName.empty())
+          Out.DetectorName = D.name();
         W.Log = std::make_unique<AccessLog>(T.numThreads());
-        if (D->beginCapture(*W.Log)) {
+        if (D.beginCapture(*W.Log)) {
           const std::vector<Event> &Events = T.events();
           for (EventIdx I = 0, E = Events.size(); I != E; ++I)
-            D->processEvent(Events[I], I);
-          D->finish();
-          W.Replay = D->shardReplay();
+            D.processEvent(Events[I], I);
+          D.finish();
+          W.Replay = D.shardReplay();
           // The plan is per lane: the frequency strategy packs shards
           // from this lane's own captured access counts.
           ShardPlan Plan{NumShards};
@@ -179,12 +183,12 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
           W.Captured = true;
           Out.Seconds = Clock.seconds();
         } else {
-          RunResult R = runDetector(*D, T);
+          RunResult R = runDetector(D, T);
           Out.Report = std::move(R.Report);
           Out.Seconds = R.Seconds;
         }
         if (Opts.Metrics)
-          D->telemetry(Out.Telemetry);
+          D.telemetry(Out.Telemetry);
       });
     });
   }
@@ -200,7 +204,8 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
         LaneWork &W = Work[L];
         guardedTask(W.ShardErrors[S], [&] {
           Timer Clock;
-          W.PerShard[S] = W.History->checkShard(S, *W.Log, W.Replay);
+          W.PerShard[S] = W.History->checkShard(S, *W.Log, W.Replay,
+                                                W.D->shardContext());
           W.ShardSeconds[S] = Clock.seconds();
         });
       });
@@ -222,6 +227,13 @@ void AnalysisPipeline::runVarShardedLanes(const Trace &T, unsigned NumThreads,
     }
     if (Out.Error.empty())
       Out.Report = ShardedAccessHistory::mergeInTraceOrder(W.PerShard);
+    // Re-snapshot telemetry: context-bearing lanes accumulate their check
+    // counters (candidate pairs, closure work) during phase 2, which the
+    // phase-1 snapshot predates.
+    if (Opts.Metrics) {
+      Out.Telemetry.clear();
+      W.D->telemetry(Out.Telemetry);
+    }
   }
   Result.NumShards = 1;
   Result.VarShards = NumShards;

@@ -1,0 +1,124 @@
+//===- syncp/SyncPIndex.h - Event index for SP-closure ----------*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-event index the sync-preserving closure walks (after Mathur,
+/// Pavlogiannis, Viswanathan, "Optimal Prediction of Synchronization-
+/// Preserving Races", POPL'21 — PAPERS.md). A *sync-preserving* correct
+/// reordering may drop critical sections entirely, but any two sections on
+/// the same lock that both survive must keep their trace order; a pair of
+/// conflicting events is a sync-preserving race iff some such reordering
+/// co-enables both. The POPL'21 insight is that this is decidable per pair
+/// by a backward *closure* over trace prefixes (the "ideal"), in time
+/// linear in the prefix — no enumeration of reorderings.
+///
+/// The index stores, per event, exactly the edges the closure pulls
+/// through:
+///
+///   Prev   the event's program-order predecessor (per-thread chain);
+///   Fork   the fork event that started the thread (kNone for roots);
+///   Aux    kind-specific: a read's trace-last writer, a join's last child
+///          event, an acquire's matching release (backfilled when the
+///          release arrives — see writerSlot's visibility contract).
+///
+/// Nodes live in a PublishedStore indexed by event index: a single writer
+/// (the detector's clock pass) appends in trace order while shard drains
+/// read published prefixes in place, which is what lets the var-sharded
+/// streamed mode run closures concurrently with ingestion. All writer-side
+/// tables grow on first touch, so threads/locks/vars declared mid-stream
+/// are admitted in O(1) — no restarts, same as every other lane.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SYNCP_SYNCPINDEX_H
+#define RAPID_SYNCP_SYNCPINDEX_H
+
+#include "support/PublishedStore.h"
+#include "trace/Trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace rapid {
+
+/// Telemetry shared by the sequential check path and every shard replayer
+/// of one detector instance. Relaxed atomics: increments happen on shard
+/// drains while Detector::telemetry() reads mid-stream under the lane
+/// snapshot lock — counts are monotone and exact once drains quiesce.
+struct SyncPTelemetry {
+  std::atomic<uint64_t> CandidatePairs{0};   ///< Closures attempted.
+  std::atomic<uint64_t> ClosureIterations{0};///< Events pulled into ideals.
+  std::atomic<uint64_t> IdealPeak{0};        ///< Largest single ideal.
+
+  void noteIdeal(uint64_t Size) {
+    uint64_t Cur = IdealPeak.load(std::memory_order_relaxed);
+    while (Size > Cur && !IdealPeak.compare_exchange_weak(
+                             Cur, Size, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Append-only event index + the SP-closure itself.
+class SyncPIndex {
+public:
+  static constexpr EventIdx kNone = UINT64_MAX;
+
+  /// One event's closure edges. Immutable once its successor on the same
+  /// lock chain exists; Aux of an acquire is backfilled at its release
+  /// (before any event that could make a closure read it is appended).
+  struct Node {
+    ThreadId Thread;
+    EventKind Kind = EventKind::Read;
+    uint32_t Target = UINT32_MAX; ///< Var, lock, or target-thread id.
+    EventIdx Prev = kNone;        ///< Program-order predecessor.
+    EventIdx Fork = kNone;        ///< Fork that started this thread.
+    EventIdx Aux = kNone;         ///< Read: last writer; Acquire: matching
+                                  ///< release; Join: child's last event.
+  };
+
+  /// Appends the \p Index-th event (indices must be dense from 0, i.e.
+  /// trace order). When \p Publish is set the node watermark is advanced
+  /// per event for concurrent shard drains; single-threaded modes skip the
+  /// fence and rely on program order.
+  void append(const Event &E, EventIdx Index, bool Publish);
+
+  /// In-place node access. Readers must have synchronized with the append
+  /// of \p I (published watermark, or the access-log commit that followed
+  /// it — every access record is appended after its node).
+  const Node &node(EventIdx I) const { return Nodes[I]; }
+
+  uint64_t size() const { return Nodes.size(); }
+
+  /// Decides whether the conflicting pair (\p E1, \p E2), E1 < E2, is a
+  /// sync-preserving race: computes the SP-closure of the pair's program-
+  /// order prefixes and succeeds iff no rule forces an event at or past
+  /// either endpoint into the ideal. On success, \p WitnessOut (if
+  /// non-null) receives a full witness schedule — the ideal in trace
+  /// order, then E1, E2 — valid under verify/Reordering's
+  /// checkRaceWitness. \p Tel (if non-null) accumulates closure telemetry.
+  /// Cost: O(|ideal|) ⊆ O(E2) per call.
+  bool isSyncPreservingRace(EventIdx E1, EventIdx E2, SyncPTelemetry *Tel,
+                            std::vector<EventIdx> *WitnessOut) const;
+
+private:
+  static void ensure(std::vector<EventIdx> &V, uint32_t I) {
+    if (I >= V.size())
+      V.resize(I + 1, kNone);
+  }
+
+  PublishedStore<Node> Nodes;
+  // Writer-side chain heads; never read by closures (closures reach the
+  // same facts through node edges, which is what makes them shard-safe).
+  std::vector<EventIdx> LastOfThread; ///< Per thread: last event.
+  std::vector<EventIdx> ForkOf;       ///< Per thread: its fork event.
+  std::vector<EventIdx> OpenAcq;      ///< Per lock: open acquire.
+  std::vector<EventIdx> LastWrite;    ///< Per var: last write.
+};
+
+} // namespace rapid
+
+#endif // RAPID_SYNCP_SYNCPINDEX_H

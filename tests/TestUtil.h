@@ -9,6 +9,8 @@
 
 #include "detect/DetectorRunner.h"
 #include "trace/Trace.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceValidator.h"
 #include "vc/VectorClock.h"
 
 #include <gtest/gtest.h>
@@ -18,6 +20,24 @@
 #include <vector>
 
 namespace rapid::testutil {
+
+/// Finalizes \p B's trace after streaming it through the exact §2.1-axiom
+/// gate session ingestion applies (StreamingTraceValidator) — a test trace
+/// the validator would reject never reaches a detector in production, so
+/// it should not reach one in a test either. Fails the current test on
+/// violation (and still returns the trace so the failure is attributed to
+/// the builder, not a crash downstream). Negative tests that deliberately
+/// need ill-formed input keep calling TraceBuilder::take() directly.
+inline Trace takeValid(TraceBuilder &B, bool RequireClosedSections = false) {
+  Trace T = B.take();
+  StreamingTraceValidator V;
+  for (EventIdx I = 0; I != T.size(); ++I)
+    V.feed(T.event(I), I, T);
+  V.finish(T, RequireClosedSections);
+  EXPECT_TRUE(V.ok()) << "test trace violates the trace axioms:\n"
+                      << V.result().str();
+  return T;
+}
 
 /// Bit-for-bit report equality — the determinism contract every parallel
 /// mode is held to: same distinct pairs, same instance count, the same

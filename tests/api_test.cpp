@@ -561,7 +561,7 @@ TEST(ApiSessionTest, PartialReportsSurfaceRacesMidStream) {
   TraceBuilder B;
   for (int I = 0; I != 20; ++I)
     B.write(I % 2 ? "T1" : "T0", "x");
-  Trace Prefix = B.take();
+  Trace Prefix = testutil::takeValid(B);
 
   AnalysisConfig Cfg = allDetectorConfig(RunMode::Sequential);
   Cfg.StreamBatchEvents = 4;

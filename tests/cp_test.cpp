@@ -98,7 +98,7 @@ TEST(CpEngineTest, WindowingIsTheDeploymentModeAndItCosts) {
   for (int I = 0; I < 60; ++I)
     B.acrl("t1", "pad"); // HB edges only; no conflicts.
   B.write("t2", "far", "f2");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
 
   CpResult Full = runCpFull(T);
   EXPECT_EQ(Full.Report.numDistinctPairs(), 2u);
@@ -163,7 +163,7 @@ TEST(ClosureEngineTest, RacesComeOutInTraceOrder) {
   B.write("t2", "a", "w2");
   B.write("t1", "b", "w3");
   B.write("t2", "b", "w4");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   ClosureEngine E(T);
   std::vector<RaceInstance> R = E.races(OrderKind::HB);
   ASSERT_EQ(R.size(), 2u);

@@ -63,7 +63,7 @@ TEST(FastTrackTest, ReadSharingPromotesToVectorClock) {
   B.read("t1", "x", "r1");
   B.read("t2", "x", "r2");
   B.write("t3", "x", "w3");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   FastTrackDetector D(T);
   RaceReport R = runDetector(D, T).Report;
   EXPECT_GE(D.numReadVectorPromotions(), 1u);
@@ -77,7 +77,7 @@ TEST(FastTrackTest, SameEpochShortcutsDoNotMissRaces) {
   B.read("t1", "x", "r1a");
   B.read("t1", "x", "r1b"); // Same epoch: shortcut path.
   B.write("t2", "x", "w2");
-  RaceReport R = testutil::run<FastTrackDetector>(B.take());
+  RaceReport R = testutil::run<FastTrackDetector>(testutil::takeValid(B));
   EXPECT_GE(R.numDistinctPairs(), 1u);
 }
 
@@ -87,7 +87,7 @@ TEST(EraserTest, CatchesUnprotectedSharing) {
   TraceBuilder B;
   B.write("t1", "x", "a");
   B.write("t2", "x", "b");
-  RaceReport R = testutil::run<EraserDetector>(B.take());
+  RaceReport R = testutil::run<EraserDetector>(testutil::takeValid(B));
   EXPECT_EQ(R.numDistinctPairs(), 1u);
 }
 
@@ -96,7 +96,7 @@ TEST(EraserTest, ConsistentLockingIsQuiet) {
   for (const char *T : {"t1", "t2", "t1"}) {
     B.acquire(T, "l").read(T, "x").write(T, "x").release(T, "l");
   }
-  RaceReport R = testutil::run<EraserDetector>(B.take());
+  RaceReport R = testutil::run<EraserDetector>(testutil::takeValid(B));
   EXPECT_EQ(R.numDistinctPairs(), 0u);
 }
 
@@ -106,7 +106,7 @@ TEST(EraserTest, ReadSharedDataDoesNotWarn) {
   B.write("t1", "x", "init");
   B.read("t2", "x", "r2");
   B.read("t3", "x", "r3");
-  RaceReport R = testutil::run<EraserDetector>(B.take());
+  RaceReport R = testutil::run<EraserDetector>(testutil::takeValid(B));
   EXPECT_EQ(R.numDistinctPairs(), 0u);
 }
 
@@ -117,7 +117,7 @@ TEST(EraserTest, MissesHbOrderedRacesThatLacksLocks) {
   B.write("t1", "x", "parent");
   B.fork("t1", "t2");
   B.write("t2", "x", "child");
-  RaceReport R = testutil::run<EraserDetector>(B.take());
+  RaceReport R = testutil::run<EraserDetector>(testutil::takeValid(B));
   EXPECT_EQ(R.numDistinctPairs(), 1u) << "expected the classic false alarm";
 }
 
@@ -138,7 +138,7 @@ TEST(CpEngineTest, WindowedCpMissesCrossWindowRaces) {
   for (int I = 0; I < 30; ++I)
     B.acrl("t1", "pad");
   B.read("t2", "y", "second");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   CpResult Full = runCpFull(T);
   EXPECT_EQ(Full.Report.numDistinctPairs(), 1u);
   CpResult Windowed = runCpWindowed(T, 10);

@@ -23,10 +23,12 @@
 #include "TestUtil.h"
 #include "detect/ShardedAccessHistory.h"
 #include "gen/RandomTraceGen.h"
+#include "gen/Workloads.h"
 #include "hb/FastTrackDetector.h"
 #include "hb/HbDetector.h"
 #include "pipeline/Pipeline.h"
 #include "reference/ClosureEngine.h"
+#include "syncp/SyncPDetector.h"
 #include "trace/TraceValidator.h"
 #include "wcp/WcpDetector.h"
 
@@ -124,6 +126,51 @@ TEST_P(DifferentialFuzzTest, ShardedFastTrackMatchesSequentialBitForBit) {
         "FastTrack seed " + std::to_string(GetParam()) + " fj=" +
             std::to_string(ForkJoin));
   }
+}
+
+// SyncP's shard phase replays each deferred access against a per-shard
+// AccessHistory over the TO prefilter clock and re-decides every candidate
+// with the exact SP-closure (through the detector-owned ShardContext) — a
+// completely different code path from the sequential walk, held to the
+// same bit-for-bit contract.
+TEST_P(DifferentialFuzzTest, ShardedSyncPMatchesSequentialBitForBit) {
+  for (bool ForkJoin : {false, true}) {
+    Trace T = randomTrace(fuzzParams(GetParam() ^ 0x3b3b, ForkJoin));
+    ASSERT_TRUE(validateTrace(T).ok());
+    expectShardedMatchesSequential(
+        [](const Trace &F) { return std::make_unique<SyncPDetector>(F); }, T,
+        "SyncP seed " + std::to_string(GetParam()) + " fj=" +
+            std::to_string(ForkJoin));
+  }
+}
+
+// The adversarial workload matrix: each seed draws one shape (rotating
+// through all of them across the seed range), and every detector's sharded
+// runs must stay bit-identical to its sequential run on that trace. The
+// shapes stress the axes uniform random programs miss — Zipf skew funnels
+// whole shards onto one variable (theta = 1.2 uses the exact-table
+// sampler), producer/consumer chains cross-thread read-sees-write through
+// a locked queue, barrier-heavy saturates one lock from every thread, and
+// declaration-dense keeps declaring ids until the last event.
+TEST_P(DifferentialFuzzTest, AdversarialMatrixMatchesSequentialBitForBit) {
+  const uint64_t Seed = GetParam();
+  const std::vector<WorkloadShape> &Shapes = allWorkloadShapes();
+  WorkloadShape Shape = Shapes[Seed % Shapes.size()];
+  Trace T = makeAdversarialTrace(Shape, Seed);
+  ASSERT_TRUE(validateTrace(T).ok()) << workloadShapeName(Shape);
+  std::vector<std::pair<const char *, DetectorFactory>> Factories = {
+      {"HB", [](const Trace &F) { return std::make_unique<HbDetector>(F); }},
+      {"WCP", [](const Trace &F) { return std::make_unique<WcpDetector>(F); }},
+      {"FastTrack",
+       [](const Trace &F) { return std::make_unique<FastTrackDetector>(F); }},
+      {"SyncP",
+       [](const Trace &F) { return std::make_unique<SyncPDetector>(F); }},
+  };
+  for (auto &[Name, Make] : Factories)
+    expectShardedMatchesSequential(Make, T,
+                                   std::string(Name) + " shape " +
+                                       workloadShapeName(Shape) + " seed " +
+                                       std::to_string(Seed));
 }
 
 // The frequency-balanced shard plan must be invisible in results: same

@@ -250,3 +250,194 @@ TEST(ZipfWorkloadTest, UnstripedVariantRaces) {
   RaceReport Hb = testutil::run<HbDetector>(T);
   EXPECT_GT(Hb.numDistinctPairs(), 0u);
 }
+
+// ---- Adversarial workload matrix ------------------------------------------
+
+TEST(ZipfSamplerTest, ExactTablePathDeterministicAndInRange) {
+  // theta >= 1 leaves Gray's closed-form domain and switches to the exact
+  // cumulative table; it must stay bit-for-bit deterministic per seed.
+  ZipfSampler Z(512, 1.2);
+  Prng A(7), B(7);
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t X = Z.sample(A);
+    EXPECT_EQ(X, Z.sample(B));
+    EXPECT_LT(X, 512u);
+  }
+}
+
+TEST(ZipfSamplerTest, HigherThetaIsStrictlyHotter) {
+  const int Draws = 20000;
+  auto hotShare = [&](double Theta) {
+    ZipfSampler Z(256, Theta);
+    Prng Rng(11);
+    int Hot = 0;
+    for (int I = 0; I < Draws; ++I)
+      if (Z.sample(Rng) == 0)
+        ++Hot;
+    return static_cast<double>(Hot) / Draws;
+  };
+  // Zipf(1.2) over 256 ranks puts ~40% of the mass on rank 0, Zipf(0.6)
+  // ~7% — the sweep must actually move the skew.
+  double Light = hotShare(0.6), Heavy = hotShare(1.2);
+  EXPECT_GT(Heavy, Light + 0.10);
+  EXPECT_GT(Heavy, 0.25);
+}
+
+class ShapeTest : public ::testing::TestWithParam<WorkloadShape> {};
+
+TEST_P(ShapeTest, ValidAndDeterministicAcrossSeeds) {
+  for (uint64_t Seed : {1, 2, 3, 9}) {
+    Trace T = makeAdversarialTrace(GetParam(), Seed);
+    ASSERT_GT(T.size(), 0u)
+        << workloadShapeName(GetParam()) << " seed " << Seed;
+    ValidationResult V = validateTrace(T, /*RequireClosedSections=*/true);
+    EXPECT_TRUE(V.ok()) << workloadShapeName(GetParam()) << " seed " << Seed
+                        << ": " << V.str();
+    EXPECT_EQ(writeTextTrace(T),
+              writeTextTrace(makeAdversarialTrace(GetParam(), Seed)))
+        << workloadShapeName(GetParam()) << " seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ShapeTest, ::testing::ValuesIn(allWorkloadShapes()),
+    [](const ::testing::TestParamInfo<WorkloadShape> &Info) {
+      std::string Name = workloadShapeName(Info.param);
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(ShapeMatrixTest, CoversEveryDeclaredShape) {
+  const std::vector<WorkloadShape> &All = allWorkloadShapes();
+  ASSERT_EQ(All.size(), 7u);
+  std::set<std::string> Names;
+  for (WorkloadShape S : All)
+    Names.insert(workloadShapeName(S));
+  EXPECT_EQ(Names.size(), All.size()) << "shape names must be distinct";
+  EXPECT_TRUE(Names.count("zipf-1.2"));
+  EXPECT_TRUE(Names.count("decl-dense"));
+}
+
+TEST(ShapeMatrixTest, DeclarationDenseDeclaresUntilTheEnd) {
+  // The whole point of the shape: thread and variable ids keep appearing
+  // deep into the trace, so streaming analyses must grow mid-flight.
+  Trace T = makeAdversarialTrace(WorkloadShape::DeclarationDense, 3);
+  EventIdx LastNewThread = 0, LastNewVar = 0;
+  std::set<uint32_t> Threads, Vars;
+  for (EventIdx I = 0; I != T.size(); ++I) {
+    const Event &E = T.event(I);
+    if (Threads.insert(E.Thread.value()).second)
+      LastNewThread = I;
+    if (isAccess(E.Kind) && Vars.insert(E.var().value()).second)
+      LastNewVar = I;
+  }
+  EXPECT_GT(LastNewThread, T.size() / 3);
+  EXPECT_GT(LastNewVar, (3 * T.size()) / 4);
+}
+
+// ---- Pathological WCP queue growth ----------------------------------------
+
+TEST(WcpQueueStressTest, ValidDeterministicWithALateThread) {
+  WcpQueueStressSpec Spec;
+  Trace T = makeWcpQueueStress(Spec);
+  ASSERT_TRUE(validateTrace(T, /*RequireClosedSections=*/true).ok());
+  EXPECT_EQ(writeTextTrace(T), writeTextTrace(makeWcpQueueStress(Spec)));
+  ASSERT_EQ(T.numThreads(), 3u);
+
+  // The third thread must really be a mid-stream declaration: its first
+  // event (its fork) sits past the first third of the trace.
+  EventIdx FirstLate = 0;
+  std::set<uint32_t> Seen;
+  for (EventIdx I = 0; I != T.size() && Seen.size() < 3; ++I)
+    if (Seen.insert(T.event(I).Thread.value()).second)
+      FirstLate = I;
+  EXPECT_EQ(Seen.size(), 3u);
+  EXPECT_GT(FirstLate, T.size() / 4);
+}
+
+TEST(WcpQueueStressTest, QueueGcHoldsThePeakDown) {
+  // Regression pin for WcpDetector::collectLockGarbage: this trace is the
+  // adversarial pattern for the per-lock queues (deep nesting + flat
+  // release chains + a late conflicting thread). Without GC the shared
+  // buffer retains one entry per critical section until the end — hundreds
+  // here. With GC the live peak stays around the nesting depth times the
+  // thread count.
+  WcpQueueStressSpec Spec;
+  Spec.Chains = 8;
+  Spec.ChainLocks = 16;
+  Trace T = makeWcpQueueStress(Spec);
+  ASSERT_TRUE(validateTrace(T, /*RequireClosedSections=*/true).ok());
+
+  WcpDetector D(T);
+  for (EventIdx I = 0; I != T.size(); ++I)
+    D.processEvent(T.event(I), I);
+
+  uint64_t Sections = 0;
+  for (const Event &E : T.events())
+    if (E.Kind == EventKind::Release)
+      ++Sections;
+  ASSERT_GT(Sections, 100u) << "stress trace lost its lock traffic";
+  const WcpStats &S = D.stats();
+  EXPECT_GT(S.MaxSharedQueueEntries, 0u);
+  EXPECT_LT(S.MaxSharedQueueEntries, Sections / 2)
+      << "queue GC regressed: shared queue retains most sections";
+}
+
+// ---- Acq/rel-ratio sweep ---------------------------------------------------
+
+TEST(RandomTraceTest, DefaultReleasePercentIsBitStable) {
+  // The knob's default must reproduce the generator's historical streams:
+  // explicit 25 and the default are the same trace, bit for bit.
+  RandomTraceParams A;
+  A.Seed = 9;
+  RandomTraceParams B = A;
+  B.ReleasePercent = 25;
+  EXPECT_EQ(writeTextTrace(randomTrace(A)), writeTextTrace(randomTrace(B)));
+
+  for (uint32_t RP : {5u, 50u, 95u}) {
+    RandomTraceParams C;
+    C.Seed = 9;
+    C.ReleasePercent = RP;
+    Trace T = randomTrace(C);
+    EXPECT_TRUE(validateTrace(T, /*RequireClosedSections=*/true).ok())
+        << "ReleasePercent " << RP;
+    EXPECT_EQ(writeTextTrace(T), writeTextTrace(randomTrace(C)))
+        << "ReleasePercent " << RP;
+  }
+}
+
+TEST(RandomTraceTest, ReleasePercentControlsSectionLength) {
+  // Mean critical-section length, in per-thread events between an acquire
+  // and its matching release, must fall as ReleasePercent rises.
+  auto meanSectionLength = [](const Trace &T) {
+    std::vector<uint64_t> ThreadEvents(T.numThreads(), 0);
+    std::vector<std::vector<uint64_t>> Open(T.numThreads());
+    uint64_t Sum = 0, Count = 0;
+    for (const Event &E : T.events()) {
+      uint32_t Tid = E.Thread.value();
+      ++ThreadEvents[Tid];
+      if (E.Kind == EventKind::Acquire)
+        Open[Tid].push_back(ThreadEvents[Tid]);
+      else if (E.Kind == EventKind::Release) {
+        Sum += ThreadEvents[Tid] - Open[Tid].back();
+        Open[Tid].pop_back();
+        ++Count;
+      }
+    }
+    return Count ? static_cast<double>(Sum) / Count : 0.0;
+  };
+  RandomTraceParams P;
+  P.Seed = 5;
+  P.OpsPerThread = 400;
+  P.AcquirePercent = 30;
+  P.MaxLockNesting = 1;
+  P.ReleasePercent = 5;
+  double Long = meanSectionLength(randomTrace(P));
+  P.ReleasePercent = 80;
+  double Short = meanSectionLength(randomTrace(P));
+  EXPECT_GT(Short, 0.0);
+  EXPECT_GT(Long, 2.0 * Short)
+      << "long-section run " << Long << " vs short-section run " << Short;
+}

@@ -26,6 +26,7 @@
 #include "TestUtil.h"
 #include "api/AnalysisSession.h"
 #include "gen/RandomTraceGen.h"
+#include "gen/Workloads.h"
 #include "support/Prng.h"
 
 #include <gtest/gtest.h>
@@ -37,7 +38,8 @@ namespace {
 
 constexpr DetectorKind kAllKinds[] = {DetectorKind::Hb, DetectorKind::Wcp,
                                       DetectorKind::FastTrack,
-                                      DetectorKind::Eraser};
+                                      DetectorKind::Eraser,
+                                      DetectorKind::SyncP};
 
 /// Trace shapes with enough distinct ids that declarations keep arriving
 /// deep into the stream.
@@ -190,54 +192,93 @@ AnalysisConfig growthConfig(RunMode Mode, uint64_t Seed) {
 
 class GrowthFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
+/// Runs \p T through all four modes with a lazy declaration schedule and
+/// holds every lane to the restart-free + bit-for-bit contract.
+void expectGrowthRoundHolds(const Trace &T, uint64_t Seed, uint64_t DeclSeed,
+                            const std::string &TraceLabel) {
+  for (RunMode Mode : {RunMode::Sequential, RunMode::Fused,
+                       RunMode::Windowed, RunMode::VarSharded}) {
+    AnalysisConfig Cfg = growthConfig(Mode, Seed);
+    AnalysisSession S(Cfg);
+    ASSERT_TRUE(S.status().ok()) << S.status().str();
+    LazyDeclarer Declarer(S, T, DeclSeed);
+    ASSERT_TRUE(Declarer.run())
+        << TraceLabel << " mode " << runModeName(Mode);
+    AnalysisResult R = S.finish();
+    ASSERT_TRUE(R.ok()) << R.firstError().str();
+
+    const Trace &Final = S.trace();
+    ASSERT_EQ(Final.size(), T.size());
+    AnalysisResult Want = analyzeTrace(Cfg, Final);
+    ASSERT_TRUE(Want.ok()) << Want.firstError().str();
+    ASSERT_EQ(R.Lanes.size(), Want.Lanes.size());
+    for (size_t L = 0; L != R.Lanes.size(); ++L) {
+      std::string Label = TraceLabel + " " + runModeName(Mode) + "/" +
+                          Want.Lanes[L].DetectorName;
+      EXPECT_EQ(R.Lanes[L].Restarts, 0u)
+          << Label << ": growable state must never restart";
+      EXPECT_EQ(R.Lanes[L].DetectorName, Want.Lanes[L].DetectorName)
+          << Label;
+      expectSameReport(R.Lanes[L].Report, Want.Lanes[L].Report, Final,
+                       Label + "/vs-batch");
+      if (Mode != RunMode::Windowed) {
+        // Every unwindowed mode additionally promises equality with the
+        // plain sequential walk (windowed reports are windowed by
+        // design).
+        std::unique_ptr<Detector> D = makeDetectorFactory(kAllKinds[L])(Final);
+        RunResult Seq = runDetector(*D, Final);
+        expectSameReport(R.Lanes[L].Report, Seq.Report, Final,
+                         Label + "/vs-seq");
+      }
+    }
+  }
+}
+
 } // namespace
 
 TEST_P(GrowthFuzzTest, MidStreamGrowthIsRestartFreeAndBitForBit) {
   const uint64_t Seed = GetParam();
   for (bool ForkJoin : {false, true}) {
     Trace T = randomTrace(growthParams(Seed * 2 + ForkJoin, ForkJoin));
-    for (RunMode Mode : {RunMode::Sequential, RunMode::Fused,
-                         RunMode::Windowed, RunMode::VarSharded}) {
-      AnalysisConfig Cfg = growthConfig(Mode, Seed);
-      AnalysisSession S(Cfg);
-      ASSERT_TRUE(S.status().ok()) << S.status().str();
-      LazyDeclarer Declarer(S, T, Seed * 4 + ForkJoin);
-      ASSERT_TRUE(Declarer.run())
-          << "seed " << Seed << " mode " << runModeName(Mode);
-      AnalysisResult R = S.finish();
-      ASSERT_TRUE(R.ok()) << R.firstError().str();
-
-      const Trace &Final = S.trace();
-      ASSERT_EQ(Final.size(), T.size());
-      AnalysisResult Want = analyzeTrace(Cfg, Final);
-      ASSERT_TRUE(Want.ok()) << Want.firstError().str();
-      ASSERT_EQ(R.Lanes.size(), Want.Lanes.size());
-      for (size_t L = 0; L != R.Lanes.size(); ++L) {
-        std::string Label = "growth seed " + std::to_string(Seed) + " fj=" +
-                            std::to_string(ForkJoin) + " " +
-                            runModeName(Mode) + "/" +
-                            Want.Lanes[L].DetectorName;
-        EXPECT_EQ(R.Lanes[L].Restarts, 0u)
-            << Label << ": growable state must never restart";
-        EXPECT_EQ(R.Lanes[L].DetectorName, Want.Lanes[L].DetectorName)
-            << Label;
-        expectSameReport(R.Lanes[L].Report, Want.Lanes[L].Report, Final,
-                         Label + "/vs-batch");
-        if (Mode != RunMode::Windowed) {
-          // Every unwindowed mode additionally promises equality with the
-          // plain sequential walk (windowed reports are windowed by
-          // design).
-          std::unique_ptr<Detector> D = makeDetectorFactory(kAllKinds[L])(Final);
-          RunResult Seq = runDetector(*D, Final);
-          expectSameReport(R.Lanes[L].Report, Seq.Report, Final,
-                           Label + "/vs-seq");
-        }
-      }
-    }
+    expectGrowthRoundHolds(T, Seed, Seed * 4 + ForkJoin,
+                           "growth seed " + std::to_string(Seed) + " fj=" +
+                               std::to_string(ForkJoin));
   }
+}
+
+// The adversarial matrix under mid-stream declaration: each seed draws one
+// shape (all shapes covered across the range), declared lazily into every
+// mode. DeclarationDense is the pointed case — its program keeps minting
+// thread/lock/variable ids until the last event, so this is where a
+// restart bug in any lane's growth path (SyncP's prefilter clock and
+// closure index included) would surface.
+TEST_P(GrowthFuzzTest, AdversarialShapesGrowRestartFree) {
+  const uint64_t Seed = GetParam();
+  const std::vector<WorkloadShape> &Shapes = allWorkloadShapes();
+  WorkloadShape Shape = Shapes[Seed % Shapes.size()];
+  Trace T = makeAdversarialTrace(Shape, Seed);
+  expectGrowthRoundHolds(T, Seed, Seed * 4 + 2,
+                         std::string("shape ") + workloadShapeName(Shape) +
+                             " seed " + std::to_string(Seed));
 }
 
 // 50 seeds x {no-forkjoin, forkjoin} = 100 distinct traces, each through
 // every (detector, mode) pair.
 INSTANTIATE_TEST_SUITE_P(Seeds, GrowthFuzzTest,
                          ::testing::Range<uint64_t>(1, 51));
+
+// Regression pin for the WCP queue-GC fix under mid-stream declaration:
+// the pathological queue-growth trace forks its third thread halfway
+// through, so the GC's thread frontier grows while the per-lock queues
+// are already loaded — collecting an entry the late thread still needs
+// would diverge the streamed report from the batch one here.
+TEST(WcpQueueStressGrowthTest, LateThreadDeclarationStaysBitForBit) {
+  for (uint64_t Seed : {1u, 2u, 5u}) {
+    WcpQueueStressSpec Spec;
+    Spec.Seed = Seed;
+    Trace T = makeWcpQueueStress(Spec);
+    ASSERT_GT(T.size(), 0u);
+    expectGrowthRoundHolds(T, Seed, Seed ^ 0x51515,
+                           "wcp-queue-stress seed " + std::to_string(Seed));
+  }
+}

@@ -43,7 +43,7 @@ TEST(McmTest, ReadMustSeeOriginalWriterInsideThePrefix) {
   B.read("t2", "x", "rx");
   B.write("t2", "y", "wy2");
   B.write("t1", "y", "wy1");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   McmOptions Opts;
   Opts.TrackWitnesses = true;
   McmResult R = exploreMcm(T, Opts);
@@ -107,7 +107,7 @@ TEST(McmTest, ForkGatePreventsPrematureChildRaces) {
   B.write("t1", "g", "parent");
   B.fork("t1", "t2");
   B.write("t2", "g", "child");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   McmResult R = exploreMcm(T);
   ASSERT_FALSE(R.BudgetExhausted);
   EXPECT_EQ(R.Report.numDistinctPairs(), 0u);
@@ -119,7 +119,7 @@ TEST(McmTest, JoinOrdersChildBeforeParentContinuation) {
   B.write("t2", "g", "child");
   B.join("t1", "t2");
   B.write("t1", "g", "parent");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   McmResult R = exploreMcm(T);
   ASSERT_FALSE(R.BudgetExhausted);
   EXPECT_EQ(R.Report.numDistinctPairs(), 0u);
@@ -188,7 +188,7 @@ TEST(WindowedPredictorTest, SmallWindowsMissCrossWindowRaces) {
   for (int I = 0; I < 20; ++I)
     B.write("t1", "pad" + std::to_string(I), "pad");
   B.write("t2", "g", "second");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
 
   PredictorOptions Small;
   Small.WindowSize = 8;

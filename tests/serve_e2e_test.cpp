@@ -24,6 +24,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "io/WireFormat.h"
 #include "serve/WireClient.h"
 #include "trace/Trace.h"
@@ -304,13 +305,13 @@ TEST(ServeE2eTest, NineConcurrentSessionsWithBudgetsAndBackpressure) {
     B.acquire("T1", "m", L + "f").write("T1", "y", L + "g");
     B.release("T1", "m", L + "h");
   }
-  Trace Small = B.take();
+  Trace Small = testutil::takeValid(B);
   TraceBuilder BigB;
   for (int I = 0; I < 400; ++I) {
     std::string L = "L" + std::to_string(I);
     BigB.write("T0", "x", L + "a").write("T1", "x", L + "b");
   }
-  Trace Big = BigB.take();
+  Trace Big = testutil::takeValid(BigB);
 
   constexpr int Normals = 8;
   std::vector<std::unique_ptr<WireClient>> Clients;

@@ -115,7 +115,7 @@ TEST(LocksetUnsoundnessTest, EraserReportsASpuriousRace) {
     B.acquire("t2", "a").read("t2", "x", "p2").write("t2", "x", "p3");
     B.release("t2", "a");
     B.acquire("t2", "b").write("t2", "x", "p4").release("t2", "b");
-    return B.take();
+    return testutil::takeValid(B);
   }();
   RaceReport Eraser = testutil::run<EraserDetector>(T);
   EXPECT_GE(Eraser.numDistinctPairs(), 1u) << "Eraser should warn here";

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "gen/PaperTraces.h"
 #include "trace/TraceBuilder.h"
 #include "verify/Deadlock.h"
@@ -44,7 +45,7 @@ TEST(ReorderingTest, PrefixesAreCorrectReorderings) {
 TEST(ReorderingTest, RejectsThreadOrderViolation) {
   TraceBuilder B;
   B.read("t1", "x", "a").write("t1", "x", "b");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   ReorderingCheck C = checkCorrectReordering(T, {1, 0});
   ASSERT_FALSE(C.Ok);
   EXPECT_NE(C.Error.find("thread-order"), std::string::npos);
@@ -58,7 +59,7 @@ TEST(ReorderingTest, RejectsDuplicateEvents) {
 TEST(ReorderingTest, RejectsLockOverlap) {
   TraceBuilder B;
   B.acquire("t1", "l").release("t1", "l").acquire("t2", "l");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   // Schedule t2's acquire before t1's release.
   ReorderingCheck C = checkCorrectReordering(T, {0, 2});
   ASSERT_FALSE(C.Ok);
@@ -71,7 +72,7 @@ TEST(ReorderingTest, RejectsReadSeeingDifferentWriter) {
   B.write("t1", "x", "w1");
   B.write("t2", "x", "w2");
   B.read("t1", "x", "r");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   // Reordering w1, r: the read sees w1 instead of w2.
   ReorderingCheck C = checkCorrectReordering(T, {0, 2});
   ASSERT_FALSE(C.Ok);
@@ -153,7 +154,7 @@ TEST(DeadlockTest, ClassicTwoThreadAbBaPattern) {
                                                                      "a");
   B.acquire("t2", "b").acquire("t2", "a").release("t2", "a").release("t2",
                                                                      "b");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   DeadlockReport R = findPredictableDeadlock(T);
   ASSERT_TRUE(R.Found);
   EXPECT_EQ(R.Threads.size(), 2u);
@@ -166,7 +167,7 @@ TEST(DeadlockTest, LockOrderDisciplineHasNoDeadlock) {
                                                                      "a");
   B.acquire("t2", "a").acquire("t2", "b").release("t2", "b").release("t2",
                                                                      "a");
-  DeadlockReport R = findPredictableDeadlock(B.take());
+  DeadlockReport R = findPredictableDeadlock(testutil::takeValid(B));
   EXPECT_FALSE(R.Found);
   EXPECT_TRUE(R.SearchExhaustive);
 }

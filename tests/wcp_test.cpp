@@ -38,7 +38,7 @@ TEST(WcpClockTest, LocalClockIncrementsOnlyAfterRelease) {
   B.acquire("t1", "l");     // N=2
   B.release("t1", "l");     // N=2
   B.write("t1", "a");       // N=3
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   std::vector<VectorClock> C = timestamps(T);
   ClockValue Expected[] = {1, 1, 1, 1, 2, 2, 2, 3};
   for (EventIdx I = 0; I != T.size(); ++I)
@@ -69,7 +69,7 @@ TEST(WcpClockTest, AcquireReceivesWcpKnowledgeOfLastReleaseOnly) {
   B.acquire("t2", "l");
   B.read("t2", "a", "r2"); // Conflicts with w1 but no WCP edge exists.
   B.release("t2", "l");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   RaceReport R = testutil::run<WcpDetector>(T);
   EXPECT_EQ(R.numDistinctPairs(), 1u)
       << "HB would order these; WCP must report the race";
@@ -91,7 +91,7 @@ TEST(WcpQueueTest, EntriesPopOnlyWhenGuardHolds) {
   TraceBuilder B;
   B.acquire("t1", "m").write("t1", "a").release("t1", "m");
   B.acquire("t2", "m").write("t2", "b").release("t2", "m");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   WcpDetector D(T);
   for (EventIdx I = 0; I != T.size(); ++I)
     D.processEvent(T.event(I), I);
@@ -110,7 +110,7 @@ TEST(WcpQueueTest, ConflictEnablesPopAndRuleB) {
   B.release("t1", "m");
   B.acquire("t2", "m").read("t2", "a").release("t2", "m");
   B.write("t2", "z", "z2");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   WcpDetector D(T);
   RaceReport R = runDetector(D, T).Report;
   // z1 ≤TO rel(m)_t1 ≺(b) rel(m)_t2 ≤TO z2 — wait: the z-pair is ordered
@@ -138,7 +138,7 @@ TEST(WcpStatsTest, PrivateLocksContributeNoLiveEntries) {
   for (int I = 0; I < 10; ++I)
     B.acquire("t1", "p").write("t1", "v").release("t1", "p");
   B.write("t2", "unrelated");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   WcpDetector D(T);
   for (EventIdx I = 0; I != T.size(); ++I)
     D.processEvent(T.event(I), I);
@@ -155,7 +155,7 @@ TEST(WcpStatsTest, LateToucherInheritsPendingEntries) {
   B.acquire("t1", "m").write("t1", "b").release("t1", "m");
   B.acquire("t2", "m"); // First touch: inherits 2 closed sections = 4,
                         // and its own acquire enters t1's queue (+1).
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   WcpDetector D(T);
   for (EventIdx I = 0; I != T.size(); ++I)
     D.processEvent(T.event(I), I);
@@ -179,7 +179,7 @@ TEST(WcpRaceCheckTest, WriteChecksBothReadAndWriteHistories) {
   B.read("t1", "v", "r1");
   B.write("t2", "v", "w2"); // Races with the read.
   B.write("t3", "v", "w3"); // Races with both.
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   RaceReport R = testutil::run<WcpDetector>(T);
   EXPECT_TRUE(R.hasPair(RacePair(T.event(0).Loc, T.event(1).Loc)));
   EXPECT_TRUE(R.hasPair(RacePair(T.event(0).Loc, T.event(2).Loc)));
@@ -195,7 +195,7 @@ TEST(WcpRaceCheckTest, DistinctLocationPairsDeduplicate) {
     B.write("t1", "v", "siteA");
     B.write("t2", "v", "siteB");
   }
-  RaceReport R = testutil::run<WcpDetector>(B.take());
+  RaceReport R = testutil::run<WcpDetector>(testutil::takeValid(B));
   EXPECT_EQ(R.numDistinctPairs(), 1u);
   EXPECT_GE(R.numInstances(), 5u);
 }
@@ -208,7 +208,7 @@ TEST(WcpHandOverHandTest, Figure6PatternAnalyzesCleanly) {
   B.release("t1", "l0").acquire("t1", "l1").release("t1", "m");
   B.release("t1", "l1");
   B.acquire("t2", "m").read("t2", "x").release("t2", "m");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   // x was written inside the m-section, so rule (a) orders rel-side
   // knowledge into t2's read: no race.
   RaceReport R = testutil::run<WcpDetector>(T);
@@ -219,7 +219,7 @@ TEST(WcpHandOverHandTest, AccessOutsideOverlapStillRaces) {
   TraceBuilder B;
   B.acquire("t1", "l0").write("t1", "x").release("t1", "l0");
   B.acquire("t2", "l1").read("t2", "x").release("t2", "l1");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   // Different locks: rule (a) cannot apply; race.
   RaceReport R = testutil::run<WcpDetector>(T);
   EXPECT_EQ(R.numDistinctPairs(), 1u);
@@ -236,7 +236,7 @@ TEST(WcpForkJoinTest, ParentChildOrderingIsHardNotWcp) {
   B.acquire("t2", "l").release("t2", "l");
   B.acquire("t3", "l").release("t3", "l");
   B.read("t3", "g", "third");
-  Trace T = B.take();
+  Trace T = testutil::takeValid(B);
   RaceReport R = testutil::run<WcpDetector>(T);
   EXPECT_FALSE(R.hasPair(RacePair(T.event(0).Loc, T.event(2).Loc)))
       << "fork orders parent and child";
