@@ -56,6 +56,12 @@
 // values hold critical sections open across many accesses, which is the
 // stress axis for the closure's per-lock maxima and WCP's queues.
 //
+// The "serve_resilience" section prices fault tolerance: one trace
+// streamed through a live RaceServer twice over a resumable client —
+// uninterrupted, then with four seeded mid-stream connection kills. The
+// reports must match bit-for-bit, and faulty/clean wall is the resume
+// overhead ratio scripts/check_bench.py bounds on non-degraded hosts.
+//
 // Usage: bench_pipeline [--events N] [--threads N] [--shards N]
 //                       [--window N] [--workload NAME]
 //                       [--late-workload NAME] [--out PATH] [--no-stream]
@@ -77,6 +83,8 @@
 #include "obs/Metrics.h"
 #include "pipeline/ChunkedReader.h"
 #include "pipeline/Pipeline.h"
+#include "serve/RaceServer.h"
+#include "serve/WireClient.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -805,6 +813,106 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Serve-resilience section: the price of fault tolerance. The same
+  // trace is streamed twice through a live RaceServer over a resumable
+  // client — once uninterrupted, once with the connection killed four
+  // times mid-stream at seeded byte offsets. Both reports must match
+  // bit-for-bit (resume is exactly-once), and the faulty run's wall time
+  // over the clean run's is the resume overhead scripts/check_bench.py
+  // bounds at 10% on non-degraded hosts: reconnect backoff plus spill
+  // retransmission must stay noise against the analysis itself.
+  std::string ServeJson;
+  {
+    RandomTraceParams RP;
+    RP.Seed = 11;
+    RP.NumThreads = 4;
+    RP.NumLocks = 8;
+    RP.NumVars = 128;
+    // Large enough that analysis dominates and the overhead ratio is
+    // meaningful; small enough not to swamp the bench.
+    uint64_t ServeEvents = std::min<uint64_t>(
+        std::max<uint64_t>(TargetEvents / 8, 50000), 200000);
+    RP.OpsPerThread = static_cast<uint32_t>(ServeEvents / RP.NumThreads);
+    Trace ST = randomTrace(RP);
+
+    RaceServerConfig SCfg;
+    SCfg.Session.addDetector(DetectorKind::Hb);
+    SCfg.Session.addDetector(DetectorKind::Wcp);
+    SCfg.SocketPath = OutPath + ".serve.sock";
+    SCfg.IngestThreads = 2;
+    RaceServer Server(SCfg);
+    Status Up = Server.start();
+    if (!Up.ok()) {
+      std::fprintf(stderr, "error: serve_resilience server failed: %s\n",
+                   Up.str().c_str());
+      LaneFailed = true;
+    } else {
+      auto streamOnce = [&](const WireFaultPlan *Plan, double &Seconds,
+                            uint64_t &Reconnects) -> std::string {
+        Timer Clock;
+        WireClient C;
+        WireRetryPolicy Pol;
+        Status S = C.connectResumable(SCfg.SocketPath, 2000, Pol);
+        if (S.ok() && Plan)
+          C.setFaultPlan(*Plan);
+        if (S.ok())
+          S = C.sendDeclares(ST);
+        if (S.ok())
+          S = C.sendEvents(ST, 1024);
+        if (S.ok())
+          S = C.sendFinishReliable();
+        std::string Payload;
+        if (S.ok())
+          S = C.awaitReport(Payload);
+        Seconds = Clock.seconds();
+        Reconnects = C.reconnects();
+        if (!S.ok() || Payload.size() < 9) {
+          std::fprintf(stderr, "error: serve_resilience run failed: %s\n",
+                       S.str().c_str());
+          return std::string();
+        }
+        return Payload.substr(9);
+      };
+
+      double CleanSecs = 0, FaultySecs = 0;
+      uint64_t CleanReconnects = 0, FaultyReconnects = 0;
+      std::string CleanReport =
+          streamOnce(nullptr, CleanSecs, CleanReconnects);
+      WireFaultPlan Plan;
+      Plan.Seed = 7;
+      Plan.Kills = 4;
+      Plan.MinGapBytes = 8192;
+      Plan.MaxGapBytes = 65536;
+      std::string FaultyReport =
+          streamOnce(&Plan, FaultySecs, FaultyReconnects);
+      Server.stop();
+
+      bool Match = !CleanReport.empty() && CleanReport == FaultyReport;
+      if (!Match) {
+        std::fprintf(stderr,
+                     "error: serve_resilience faulty report diverged from "
+                     "clean run\n");
+        LaneFailed = true;
+      } else {
+        double Overhead = CleanSecs > 0 ? FaultySecs / CleanSecs : 0;
+        std::fprintf(stderr,
+                     "serve_resilience: clean %.2fs, %llu kill(s) %.2fs "
+                     "(%llu reconnect(s), %.2fx), reports match\n",
+                     CleanSecs, (unsigned long long)Plan.Kills, FaultySecs,
+                     (unsigned long long)FaultyReconnects, Overhead);
+        ServeJson =
+            std::string("{\"events\": ") + std::to_string(ST.size()) +
+            ", \"clean_wall_seconds\": " + jsonNum(CleanSecs) +
+            ", \"faulty_wall_seconds\": " + jsonNum(FaultySecs) +
+            ", \"kills\": " + std::to_string(Plan.Kills) +
+            ", \"reconnects\": " + std::to_string(FaultyReconnects) +
+            ", \"resume_overhead_ratio\": " + jsonNum(Overhead) +
+            ", \"reports_match\": true}";
+      }
+    }
+    std::remove(SCfg.SocketPath.c_str());
+  }
+
   double Speedup = P.Seconds > 0 ? SeqTotal / P.Seconds : 0;
   std::fprintf(stderr,
                "sequential total %.2fs, pipeline wall %.2fs -> %.2fx "
@@ -864,6 +972,8 @@ int main(int Argc, char **Argv) {
     Json += "  \"late_declaration\": " + LateJson + ",\n";
   if (!SyncPJson.empty())
     Json += "  \"syncp\": " + SyncPJson + ",\n";
+  if (!ServeJson.empty())
+    Json += "  \"serve_resilience\": " + ServeJson + ",\n";
   Json += "  \"scaling\": [" + ScalingJson + "],\n";
   Json += "  \"speedup\": " + jsonNum(Speedup) + "\n";
   Json += "}\n";

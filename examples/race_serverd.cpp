@@ -17,6 +17,7 @@
 
 #include "api/AnalysisSession.h"
 #include "hb/HbDetector.h"
+#include "io/FaultInjector.h"
 #include "io/FeedSource.h"
 #include "serve/RaceServer.h"
 #include "serve/ReportCanon.h"
@@ -75,6 +76,12 @@ struct Options {
   uint64_t BudgetLag = 1u << 20;
   uint64_t MaxEvents = 0;
   unsigned IngestThreads = 2;
+  uint64_t MaxSessions = 0;
+  uint64_t ResumeGraceMs = 5000;
+  uint64_t IdleTimeoutMs = 0;
+  uint64_t RosterMax = 0;
+  uint64_t RetryAfterMs = 100;
+  uint64_t FaultSeed = 0;
   unsigned DebugSlowUs = 0;
   bool Quiet = false;
   bool DryRun = false;
@@ -109,20 +116,47 @@ void printHelp() {
       "  --debug-slow-us N add a deliberately slow HB lane (N us/event) —\n"
       "                    test hook for deterministic backpressure\n"
       "  --quiet           no per-session reports on stdout\n"
-      "  --dry-run         validate flags and exit\n",
+      "  --dry-run         validate flags and exit\n"
+      "\n"
+      "fault tolerance / degradation (docs/SERVING.md#fault-tolerance):\n"
+      "  --max-sessions N    shed Hellos beyond N live sessions with a\n"
+      "                      retryable overloaded error (0 = unlimited)\n"
+      "  --resume-grace-ms N park a disconnected resumable session this\n"
+      "                      long awaiting Resume (default 5000; 0 off)\n"
+      "  --idle-timeout-ms N evict sessions idle this long (0 = never)\n"
+      "  --roster-max N      retain at most N finished summaries (0 = all)\n"
+      "  --retry-after-ms N  hint stamped into retryable errors (default 100)\n"
+      "  --fault-seed N      decorate --fifo/--shm feeds with deterministic\n"
+      "                      delivery faults (short reads, EAGAIN, delays)\n"
+      "                      from seed N — content is never altered (0 off)\n"
+      "\n"
+      "SIGTERM/SIGINT drain cleanly: buffered frames are applied, every\n"
+      "live session is finalized, and its prefix report is printed.\n",
       stdout);
 }
 
 /// Pumps one fifo:/shm: source into a dedicated session; prints the
 /// canonical report at EOF. Runs on its own thread — these sources are
 /// single-stream, so the blocking pump is the right shape.
-void pumpSource(const std::string &Spec, AnalysisConfig Cfg, bool Quiet) {
+void pumpSource(const std::string &Spec, AnalysisConfig Cfg, bool Quiet,
+                uint64_t FaultSeed) {
   Status Err;
   std::unique_ptr<FeedSource> Src = openFeedSource(Spec, Err);
   if (!Src) {
     std::fprintf(stderr, "race_serverd: %s: %s\n", Spec.c_str(),
                  Err.str().c_str());
     return;
+  }
+  if (FaultSeed != 0) {
+    // Deterministic delivery faults (short reads, spurious EAGAIN, small
+    // delays) — the decorator never alters content, so the report must
+    // match a fault-free run byte for byte.
+    FaultyFeedConfig FC;
+    FC.Seed = FaultSeed;
+    FC.ShortReadPermille = 300;
+    FC.WouldBlockPermille = 100;
+    FC.DelayPermille = 50;
+    Src = makeFaultyFeedSource(std::move(Src), FC);
   }
   AnalysisSession S(Cfg);
   Status Pumped = pumpFeedSource(*Src, S);
@@ -189,6 +223,18 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--ingest-threads")
       Opts.IngestThreads =
           static_cast<unsigned>(std::strtoul(NeedsValue(I), nullptr, 10));
+    else if (Arg == "--max-sessions")
+      Opts.MaxSessions = std::strtoull(NeedsValue(I), nullptr, 10);
+    else if (Arg == "--resume-grace-ms")
+      Opts.ResumeGraceMs = std::strtoull(NeedsValue(I), nullptr, 10);
+    else if (Arg == "--idle-timeout-ms")
+      Opts.IdleTimeoutMs = std::strtoull(NeedsValue(I), nullptr, 10);
+    else if (Arg == "--roster-max")
+      Opts.RosterMax = std::strtoull(NeedsValue(I), nullptr, 10);
+    else if (Arg == "--retry-after-ms")
+      Opts.RetryAfterMs = std::strtoull(NeedsValue(I), nullptr, 10);
+    else if (Arg == "--fault-seed")
+      Opts.FaultSeed = std::strtoull(NeedsValue(I), nullptr, 10);
     else if (Arg == "--debug-slow-us")
       Opts.DebugSlowUs =
           static_cast<unsigned>(std::strtoul(NeedsValue(I), nullptr, 10));
@@ -213,6 +259,11 @@ int main(int Argc, char **Argv) {
   Cfg.Budgets.MaxLagEvents = Opts.BudgetLag;
   Cfg.Budgets.MaxSessionEvents = Opts.MaxEvents;
   Cfg.IngestThreads = Opts.IngestThreads;
+  Cfg.MaxSessions = Opts.MaxSessions;
+  Cfg.ResumeGraceMs = Opts.ResumeGraceMs;
+  Cfg.IdleTimeoutMs = Opts.IdleTimeoutMs;
+  Cfg.RosterMax = static_cast<size_t>(Opts.RosterMax);
+  Cfg.RetryAfterMs = static_cast<uint32_t>(Opts.RetryAfterMs);
   AnalysisConfig &S = Cfg.Session;
   S.Threads = Opts.Threads;
   if (Opts.Shards > 0) {
@@ -265,7 +316,8 @@ int main(int Argc, char **Argv) {
 
   std::vector<std::thread> Pumps;
   for (const std::string &Spec : Opts.Sources)
-    Pumps.emplace_back(pumpSource, Spec, Cfg.Session, Opts.Quiet);
+    Pumps.emplace_back(pumpSource, Spec, Cfg.Session, Opts.Quiet,
+                       Opts.FaultSeed);
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
@@ -277,9 +329,11 @@ int main(int Argc, char **Argv) {
   Server.stop();
   if (!Opts.Quiet) {
     for (const SessionSummary &Sum : Server.finishedSessions())
-      std::printf("session %llu: events=%llu parks=%llu clean=%d %s\n",
+      std::printf("session %llu: events=%llu parks=%llu resumes=%llu "
+                  "clean=%d %s\n",
                   (unsigned long long)Sum.Id, (unsigned long long)Sum.Events,
-                  (unsigned long long)Sum.Parks, Sum.CleanFinish ? 1 : 0,
+                  (unsigned long long)Sum.Parks,
+                  (unsigned long long)Sum.Resumes, Sum.CleanFinish ? 1 : 0,
                   Sum.Outcome.str().c_str());
   }
   return 0;

@@ -12,15 +12,20 @@ Two tiers, mirroring what the numbers can actually support:
     report (``streamed_matches_batch`` true), every reported race came
     from a candidate the prefilter admitted (``races <=
     candidate_pairs``), and the closure actually ran when there were
-    candidates to decide.
+    candidates to decide. The ``serve_resilience`` section must be
+    present, its kill-injected run must reproduce the clean report
+    (``reports_match`` true), and the fault plan must actually have
+    fired (``reconnects >= 1`` when kills were injected).
 
   * Only on a trustworthy parallel run (``degraded`` false and
     ``hardware_threads >= 4``): the perf claims — fan-out ``speedup``
     above 1.0, positive ``overlap_saved_seconds`` for the streamed and
-    streamed_windowed sections, and a monotonically non-increasing
-    ``wall_seconds`` across the 1->4 thread scaling sweep. A degraded
-    run (workers oversubscribe the host) skips these instead of failing
-    on scheduler noise.
+    streamed_windowed sections, a monotonically non-increasing
+    ``wall_seconds`` across the 1->4 thread scaling sweep, and the
+    serve_resilience resume overhead within 10% of the uninterrupted
+    wall (with a 50 ms absolute allowance against timer jitter). A
+    degraded run (workers oversubscribe the host) skips these instead
+    of failing on scheduler noise.
 
 Usage: check_bench.py BENCH.json
 """
@@ -81,6 +86,22 @@ def main(argv):
                 "iterations — the exact decision procedure never ran"
             )
 
+    serve = bench.get("serve_resilience")
+    if not serve:
+        rc |= fail("no serve_resilience section (fault-tolerance lane "
+                   "stopped reporting)")
+    else:
+        if serve.get("reports_match") is not True:
+            rc |= fail("serve_resilience: the kill-injected run's report "
+                       "diverged from the uninterrupted one")
+        kills = serve.get("kills", 0)
+        reconnects = serve.get("reconnects", -1)
+        if kills > 0 and reconnects < 1:
+            rc |= fail(
+                f"serve_resilience: {kills} injected kill(s) but "
+                f"{reconnects} reconnect(s) — the fault plan never fired"
+            )
+
     degraded = bench.get("degraded", True)
     hw = bench.get("hardware_threads", 0)
     if degraded or hw < 4:
@@ -104,6 +125,19 @@ def main(argv):
         elif not all(a >= b for a, b in zip(walls, walls[1:])):
             rc |= fail(f"scaling wall_seconds not monotonically "
                        f"non-increasing across 1->4 threads: {walls}")
+        if serve:
+            clean = serve.get("clean_wall_seconds", 0)
+            faulty = serve.get("faulty_wall_seconds", 0)
+            ratio = serve.get("resume_overhead_ratio", 0)
+            # Resume must be noise against the analysis: 10% relative, with
+            # a 50 ms absolute allowance so short clean walls don't turn
+            # timer jitter into a failure.
+            if clean > 0 and ratio > 1.10 and (faulty - clean) > 0.05:
+                rc |= fail(
+                    f"serve_resilience: resume overhead ratio {ratio:.3f} "
+                    f"(clean {clean:.3f}s, faulty {faulty:.3f}s) exceeds "
+                    "the 10% budget on a non-degraded host"
+                )
 
     if rc == 0:
         print("check_bench: OK")

@@ -1,0 +1,79 @@
+//===- io/FaultInjector.cpp - Deterministic feed-source fault injection --------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/FaultInjector.h"
+
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace rapid {
+
+namespace {
+
+class FaultyFeedSource final : public FeedSource {
+public:
+  FaultyFeedSource(std::unique_ptr<FeedSource> Inner, FaultyFeedConfig C)
+      : Inner(std::move(Inner)), C(C), Rng(C.Seed) {}
+
+  long read(char *Buf, size_t Max) override {
+    if (C.CutAfterBytes != 0 && Delivered >= C.CutAfterBytes) {
+      // A dead peer keeps reporting EOF on every retry; so do we.
+      if (C.Stats && !CutFired) {
+        ++C.Stats->Cuts;
+        CutFired = true;
+      }
+      return Eof;
+    }
+    if (C.WouldBlockPermille != 0 && Rng.chance(C.WouldBlockPermille, 1000)) {
+      if (C.Stats)
+        ++C.Stats->WouldBlocks;
+      return WouldBlock;
+    }
+    if (C.DelayPermille != 0 && Rng.chance(C.DelayPermille, 1000)) {
+      if (C.Stats)
+        ++C.Stats->Delays;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(Rng.nextBelow(C.MaxDelayUs + 1)));
+    }
+    size_t Want = Max;
+    if (Max > 1 && C.ShortReadPermille != 0 &&
+        Rng.chance(C.ShortReadPermille, 1000)) {
+      if (C.Stats)
+        ++C.Stats->ShortReads;
+      Want = 1 + static_cast<size_t>(Rng.nextBelow(Max - 1));
+    }
+    if (C.CutAfterBytes != 0)
+      Want = std::min<uint64_t>(Want, C.CutAfterBytes - Delivered);
+    const long N = Inner->read(Buf, Want);
+    if (N > 0)
+      Delivered += static_cast<uint64_t>(N);
+    return N;
+  }
+
+  int pollFd() const override { return Inner->pollFd(); }
+  const std::string &name() const override { return Inner->name(); }
+  const Status &status() const override { return Inner->status(); }
+
+private:
+  std::unique_ptr<FeedSource> Inner;
+  FaultyFeedConfig C;
+  Prng Rng;
+  uint64_t Delivered = 0;
+  bool CutFired = false;
+};
+
+} // namespace
+
+std::unique_ptr<FeedSource> makeFaultyFeedSource(
+    std::unique_ptr<FeedSource> Inner, const FaultyFeedConfig &Config) {
+  return std::make_unique<FaultyFeedSource>(std::move(Inner), Config);
+}
+
+} // namespace rapid

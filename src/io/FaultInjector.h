@@ -1,0 +1,62 @@
+//===- io/FaultInjector.h - Deterministic feed-source fault injection -*- C++ -*-===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded fault-injection decorator for FeedSource. Every failure mode
+/// the serving layer must survive — short reads, spurious EAGAIN, delayed
+/// bytes, a mid-frame disconnect — is drawn from a Prng seeded by the
+/// caller, so a "flaky transport" is a reproducible ctest: same seed,
+/// same schedule, same observable behavior. The decorator never alters
+/// the byte *content* of the stream, only its delivery; a consumer that
+/// handles WouldBlock and retries correctly must therefore produce a
+/// report byte-identical to the undecorated run (the regression pin in
+/// tests/serve_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_IO_FAULTINJECTOR_H
+#define RAPID_IO_FAULTINJECTOR_H
+
+#include "io/FeedSource.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace rapid {
+
+/// Counters of injected faults, so tests can assert the schedule actually
+/// fired (a fault config that injects nothing proves nothing). Written by
+/// the decorated read() only; read them after the pump finishes.
+struct FaultStats {
+  uint64_t ShortReads = 0;  ///< reads truncated below the caller's Max
+  uint64_t WouldBlocks = 0; ///< synthetic EAGAIN results
+  uint64_t Delays = 0;      ///< reads stalled before delivery
+  uint64_t Cuts = 0;        ///< 1 once the injected disconnect fires
+};
+
+/// Knobs for makeFaultyFeedSource. Probabilities are per-read, in
+/// permille (0..1000).
+struct FaultyFeedConfig {
+  uint64_t Seed = 1;
+  uint32_t ShortReadPermille = 0;  ///< truncate the read to a random prefix
+  uint32_t WouldBlockPermille = 0; ///< return WouldBlock, consuming nothing
+  uint32_t DelayPermille = 0;      ///< sleep up to MaxDelayUs first
+  uint32_t MaxDelayUs = 200;
+  /// After this many bytes have been delivered, report Eof as a real peer
+  /// disconnect would (0 = never). Cutting inside a frame exercises the
+  /// ingestor's torn-frame detection.
+  uint64_t CutAfterBytes = 0;
+  FaultStats *Stats = nullptr; ///< optional, must outlive the source
+};
+
+/// Wraps \p Inner in the fault schedule of \p Config. The wrapper owns
+/// the inner source; name() and pollFd() pass through.
+std::unique_ptr<FeedSource> makeFaultyFeedSource(
+    std::unique_ptr<FeedSource> Inner, const FaultyFeedConfig &Config);
+
+} // namespace rapid
+
+#endif // RAPID_IO_FAULTINJECTOR_H

@@ -91,7 +91,11 @@ std::unique_ptr<FeedSource> connectUnixSource(const std::string &Path,
                  std::string("socket: ") + std::strerror(errno));
     return nullptr;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
     Err = Status(StatusCode::IoError,
                  "connecting to '" + Path + "': " + std::strerror(errno));
     ::close(Fd);
@@ -126,7 +130,12 @@ std::unique_ptr<FeedSource> openFeedSource(const std::string &Spec,
   if (Kind == "unix")
     return connectUnixSource(Path, Err);
   if (Kind == "fifo") {
-    const int Fd = ::open(Path.c_str(), O_RDONLY);
+    // The open blocks until a writer appears, so a signal (SIGCHLD from a
+    // forked producer, a profiler tick) can land mid-wait: retry EINTR.
+    int Fd;
+    do {
+      Fd = ::open(Path.c_str(), O_RDONLY);
+    } while (Fd < 0 && errno == EINTR);
     if (Fd < 0) {
       Err = Status(StatusCode::IoError,
                    "opening fifo '" + Path + "': " + std::strerror(errno));

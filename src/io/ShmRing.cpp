@@ -77,7 +77,10 @@ Status ShmRing::create(const std::string &Path, uint64_t Capacity) {
   if (Capacity == 0)
     return Status(StatusCode::InvalidConfig, "ring capacity must be > 0");
   unmap();
-  const int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  int Fd;
+  do {
+    Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  } while (Fd < 0 && errno == EINTR);
   if (Fd < 0)
     return errnoStatus("creating ring segment", Path);
   const size_t Bytes = sizeof(ShmRingHeader) + Capacity;
@@ -104,7 +107,10 @@ Status ShmRing::create(const std::string &Path, uint64_t Capacity) {
 
 Status ShmRing::attach(const std::string &Path) {
   unmap();
-  const int Fd = ::open(Path.c_str(), O_RDWR);
+  int Fd;
+  do {
+    Fd = ::open(Path.c_str(), O_RDWR);
+  } while (Fd < 0 && errno == EINTR);
   if (Fd < 0)
     return errnoStatus("opening ring segment", Path);
   struct stat St;

@@ -38,6 +38,14 @@ const char *wireFrameName(WireFrame T) {
     return "session-list";
   case WireFrame::FinalQuery:
     return "final-query";
+  case WireFrame::Resume:
+    return "resume";
+  case WireFrame::ResumeOk:
+    return "resume-ok";
+  case WireFrame::Ack:
+    return "ack";
+  case WireFrame::Welcome:
+    return "welcome";
   }
   return "unknown";
 }
@@ -59,13 +67,7 @@ bool wireCheckHello(std::string_view Payload, std::string &Error) {
   return true;
 }
 
-std::string encodeTraceFrames(const Trace &T, uint64_t BatchEvents) {
-  if (BatchEvents == 0)
-    BatchEvents = 1;
-  // One Events frame must stay under the payload cap.
-  const uint64_t MaxPerFrame = (WireMaxPayload - 4) / WireEventRecordSize;
-  BatchEvents = std::min(BatchEvents, MaxPerFrame);
-
+std::string encodeDeclareFrames(const Trace &T) {
   std::string Out;
   std::string Payload;
   auto declareTable = [&](const StringInterner &Table, WireDeclareKind K) {
@@ -80,31 +82,60 @@ std::string encodeTraceFrames(const Trace &T, uint64_t BatchEvents) {
   declareTable(T.lockTable(), WireDeclareKind::Lock);
   declareTable(T.varTable(), WireDeclareKind::Var);
   declareTable(T.locTable(), WireDeclareKind::Loc);
+  return Out;
+}
 
+static uint64_t clampBatch(uint64_t BatchEvents) {
+  if (BatchEvents == 0)
+    BatchEvents = 1;
+  // One Events frame must stay under the payload cap (12-byte seq+count
+  // header plus the records).
+  const uint64_t MaxPerFrame = (WireMaxPayload - 12) / WireEventRecordSize;
+  return std::min(BatchEvents, MaxPerFrame);
+}
+
+std::vector<std::string> encodeEventFrames(const Trace &T,
+                                           uint64_t BatchEvents,
+                                           uint64_t StartSeq) {
+  BatchEvents = clampBatch(BatchEvents);
+  std::vector<std::string> Frames;
+  std::string Payload;
   for (EventIdx From = 0; From < T.size(); From += BatchEvents) {
-    const EventIdx To =
-        std::min<EventIdx>(T.size(), From + BatchEvents);
+    const EventIdx To = std::min<EventIdx>(T.size(), From + BatchEvents);
     Payload.clear();
-    wirePutU32(Payload, static_cast<uint32_t>(To - From));
+    wireEventsHeader(Payload, StartSeq + From,
+                     static_cast<uint32_t>(To - From));
     for (EventIdx I = From; I != To; ++I) {
       const Event &E = T.event(I);
       wireEventRecord(Payload, static_cast<uint8_t>(E.Kind),
                       E.Thread.value(), E.Target, E.Loc.value());
     }
-    wireAppendFrame(Out, WireFrame::Events, Payload);
+    std::string Frame;
+    wireAppendFrame(Frame, WireFrame::Events, Payload);
+    Frames.push_back(std::move(Frame));
   }
+  return Frames;
+}
+
+std::string encodeTraceFrames(const Trace &T, uint64_t BatchEvents,
+                              uint64_t StartSeq) {
+  std::string Out = encodeDeclareFrames(T);
+  for (std::string &F : encodeEventFrames(T, BatchEvents, StartSeq))
+    Out += F;
   return Out;
 }
 
-Status decodeEventsPayload(std::string_view Payload, std::vector<Event> &Out) {
-  if (Payload.size() < 4)
+Status decodeEventsPayload(std::string_view Payload, uint64_t &Seq,
+                           std::vector<Event> &Out) {
+  if (Payload.size() < 12)
     return Status(StatusCode::ValidationError, "events payload truncated");
-  const uint32_t Count = wireGetU32(Payload.data());
-  if (Payload.size() - 4 != uint64_t{Count} * WireEventRecordSize)
+  Seq = wireGetU64(Payload.data());
+  const uint32_t Count = wireGetU32(Payload.data() + 8);
+  if (Payload.size() - 12 != uint64_t{Count} * WireEventRecordSize)
     return Status(StatusCode::ValidationError,
                   "events payload size does not match its record count");
   Out.reserve(Out.size() + Count);
-  const char *P = Payload.data() + 4;
+  const char *P = Payload.data() + 12;
   for (uint32_t I = 0; I != Count; ++I, P += WireEventRecordSize) {
     const uint8_t Kind = static_cast<uint8_t>(*P);
     if (Kind > static_cast<uint8_t>(EventKind::Join))

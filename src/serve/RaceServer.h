@@ -36,6 +36,19 @@
 /// final canonical report is retained and queryable (FinalQuery) until
 /// the server stops.
 ///
+/// Fault tolerance (v2). Sessions and connections are separate objects:
+/// a client whose Hello carries the Resumable flag gets a Welcome with a
+/// resume token, its Events frames carry cumulative sequence numbers, and
+/// a disconnect *detaches* the session instead of finalizing it. Within
+/// ResumeGraceMs a new connection can send Resume(token, next-seq) to
+/// re-attach; the ingestor's sequence dedup makes the client's
+/// retransmission exactly-once, so the final report is byte-identical to
+/// an uninterrupted run. Admission control (MaxSessions), idle eviction,
+/// finished-roster GC, and grace expiry all run off a timer wheel on the
+/// IO thread; shed clients get a retryable WireError with a retry-after
+/// hint. stop() is a clean drain: stop accepting, apply buffered bytes,
+/// finalize every live session, flush reports.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAPID_SERVE_RACESERVER_H
@@ -75,6 +88,23 @@ struct RaceServerConfig {
   /// Poll tick; also the parked-connection recheck cadence.
   int PollTimeoutMs = 20;
   bool Metrics = true;
+
+  // -- Fault tolerance / degradation knobs -----------------------------------
+
+  /// Live-session admission cap (0 = unlimited). A Hello beyond it is
+  /// shed with a retryable Overloaded error carrying RetryAfterMs.
+  uint64_t MaxSessions = 0;
+  /// How long a resumable session survives detached after its connection
+  /// dies, waiting for a Resume (0 disables resume entirely).
+  uint64_t ResumeGraceMs = 5000;
+  /// Evict a live session that applied no bytes for this long
+  /// (0 = never). Finalizes the prefix like any eviction.
+  uint64_t IdleTimeoutMs = 0;
+  /// Retain at most this many finished-session summaries (0 = unlimited);
+  /// a periodic GC drops the oldest beyond the cap.
+  size_t RosterMax = 0;
+  /// The retry-after hint stamped into retryable shed/busy errors.
+  uint32_t RetryAfterMs = 100;
 };
 
 /// One finished (evicted or cleanly finished) session's retained outcome.
@@ -82,6 +112,14 @@ struct SessionSummary {
   uint64_t Id = 0;
   uint64_t Events = 0;
   uint64_t Parks = 0;
+  /// Times the session was re-attached via Resume.
+  uint64_t Resumes = 0;
+  /// Frames dropped/truncated by exactly-once sequence dedup.
+  uint64_t DupFrames = 0;
+  /// Resume token (0 = session was not resumable). Kept so a client whose
+  /// connection died between Finish and Report can resume and get the
+  /// retained report replayed.
+  uint64_t Token = 0;
   /// Sticky stream status (ok for a clean stream).
   Status Outcome;
   /// True iff the client sent Finish (vs. eviction on disconnect/error).

@@ -18,14 +18,37 @@
 #define RAPID_SERVE_WIRECLIENT_H
 
 #include "io/WireFormat.h"
+#include "support/Prng.h"
 #include "support/Status.h"
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <utility>
 
 namespace rapid {
 
 class Trace;
+
+/// Bounded reconnect/backoff policy for the resumable client.
+struct WireRetryPolicy {
+  int MaxAttempts = 8;       ///< Reconnect attempts per outage.
+  int BackoffBaseMs = 2;     ///< First retry delay; doubles per attempt.
+  int BackoffMaxMs = 500;    ///< Exponential cap.
+  uint64_t JitterSeed = 1;   ///< Deterministic jitter stream.
+  size_t SpillMaxBytes = 8u << 20; ///< Unacked-frame buffer cap.
+};
+
+/// Deterministic client-side fault injection: kill the connection (close
+/// the fd mid-send) \p Kills times, at seeded byte offsets spaced
+/// [MinGapBytes, MaxGapBytes] apart. Zero Kills disables the plan. Same
+/// seed, same kill schedule — the reconnect tests are exact replays.
+struct WireFaultPlan {
+  uint64_t Seed = 1;
+  int Kills = 0;
+  uint64_t MinGapBytes = 512;
+  uint64_t MaxGapBytes = 16384;
+};
 
 /// Blocking protocol client over a Unix-domain socket.
 class WireClient {
@@ -68,9 +91,83 @@ public:
   void shutdownSend();
   void close();
 
+  // ---- Resumable mode -------------------------------------------------------
+  //
+  // connectResumable() negotiates a sequence-numbered session (Hello with
+  // the Resumable flag, Welcome reply). From then on sendDeclares/
+  // sendEvents/sendFinishReliable spill unacknowledged frames and survive
+  // connection loss: the client reconnects with bounded exponential
+  // backoff + jitter, replays Resume(token, next-seq), and retransmits
+  // from the spill; the server's sequence dedup makes delivery
+  // exactly-once. awaitReport() filters Welcome/ResumeOk/Ack frames and
+  // rides reconnects transparently, so the caller sees exactly the frames
+  // a fault-free run would produce.
+
+  /// Connects and performs the resumable handshake.
+  Status connectResumable(const std::string &Path, int RetryMs = 0,
+                          WireRetryPolicy Policy = WireRetryPolicy());
+
+  /// Installs a deterministic kill schedule (before or mid-stream).
+  void setFaultPlan(const WireFaultPlan &Plan);
+
+  /// Declare frames for every table of \p T; logged and replayed on every
+  /// resume (interning dedupes, so replay is idempotent).
+  Status sendDeclares(const Trace &T);
+  /// Sequence-numbered Events frames, spilled until acknowledged.
+  Status sendEvents(const Trace &T, uint64_t BatchEvents = 8192);
+  /// Finish, resent after any resume (the server treats it idempotently).
+  Status sendFinishReliable();
+  /// Blocks for the final Report payload, reconnecting as needed.
+  Status awaitReport(std::string &Payload, int TimeoutMs = 20000);
+
+  uint64_t sessionId() const { return SessId; }
+  uint64_t sessionToken() const { return Token; }
+  /// Successful resume round-trips (the e2e pin asserts this matches the
+  /// fault plan's kill count).
+  uint64_t reconnects() const { return Reconnects; }
+  uint64_t eventsSent() const { return NextSeq; }
+
 private:
+  Status rawSend(const char *Data, size_t N);
+  Status sendFrameReliable(const std::string &Frame, bool IsEvents,
+                           uint64_t StartSeq, uint64_t Count);
+  Status handshakeFresh(int RetryMs);
+  Status reconnectAndResume();
+  Status retransmit();
+  void drainAcks();
+  void handleServerFrame(const WireFrameView &F);
+  void trimSpill();
+  void dropConnection();
+  void backoff(int Attempt, uint32_t HintMs);
+
   int Fd = -1;
   FrameDecoder Dec;
+
+  // Resumable-session state.
+  bool Resumable = false;
+  std::string Path;
+  WireRetryPolicy Policy;
+  Prng Jitter{1};
+  uint64_t SessId = 0;
+  uint64_t Token = 0;
+  uint64_t NextSeq = 0;  ///< Events encoded so far (next frame's start).
+  uint64_t AckedSeq = 0; ///< Server-confirmed applied events.
+  uint64_t Reconnects = 0;
+  bool FinishSent = false;
+  std::string DeclareLog; ///< All declare frames, replayed on resume.
+  /// Unacked Events frames: (start seq, framed bytes).
+  std::deque<std::pair<uint64_t, std::string>> Spill;
+  size_t SpillBytes = 0;
+  Status ServerError; ///< Sticky non-retryable WireError from the server.
+  bool HasStashedReport = false;
+  std::string StashedReport; ///< Report drained while processing acks.
+
+  // Fault injection.
+  WireFaultPlan Plan;
+  Prng KillRng{1};
+  int KillsLeft = 0;
+  uint64_t SentBytes = 0;
+  uint64_t NextKillAt = 0;
 };
 
 } // namespace rapid

@@ -9,6 +9,11 @@
 #include "api/AnalysisSession.h"
 #include "io/FeedSource.h"
 
+#include <chrono>
+#include <thread>
+
+#include <poll.h>
+
 namespace rapid {
 
 void WireIngestor::freeze(StatusCode Code, std::string Message) {
@@ -95,10 +100,34 @@ void WireIngestor::apply(const WireFrameView &F) {
       return;
     }
     Batch.clear();
-    Status DS = decodeEventsPayload(F.Payload, Batch);
+    uint64_t Seq = 0;
+    Status DS = decodeEventsPayload(F.Payload, Seq, Batch);
     if (!DS.ok()) {
       freeze(DS.Code, DS.Message);
       return;
+    }
+    // Exactly-once over resume retransmissions: the frame declares the
+    // cumulative event offset it starts at, and EventsApplied is the
+    // offset we have consumed. A frame from the future means the client
+    // skipped acknowledged-but-never-sent data — unrecoverable; a frame
+    // wholly in the past is a retransmit of applied work and is dropped;
+    // a straddling frame (the connection died inside a batch) sheds its
+    // already-applied prefix.
+    if (Seq > EventsApplied) {
+      freeze(StatusCode::ValidationError,
+             "events frame starts at sequence " + std::to_string(Seq) +
+                 " but only " + std::to_string(EventsApplied) +
+                 " events were received (gap)");
+      return;
+    }
+    if (Seq + Batch.size() <= EventsApplied) {
+      ++DupFrames;
+      return;
+    }
+    if (Seq < EventsApplied) {
+      Batch.erase(Batch.begin(),
+                  Batch.begin() + static_cast<ptrdiff_t>(EventsApplied - Seq));
+      ++DupFrames;
     }
     Status FS = S.feed(Batch);
     if (!FS.ok()) {
@@ -127,10 +156,19 @@ void WireIngestor::apply(const WireFrameView &F) {
            std::string("control frame ") + wireFrameName(F.Type) +
                " on a data-only feed");
     return;
+  case WireFrame::Resume:
+    // Resume is a handshake frame; by the time frames reach the ingestor
+    // the connection is attached, so a mid-stream Resume is a protocol
+    // error just like a duplicate Hello.
+    freeze(StatusCode::ValidationError, "resume after handshake");
+    return;
   case WireFrame::Report:
   case WireFrame::Timeline:
   case WireFrame::SessionList:
   case WireFrame::WireError:
+  case WireFrame::ResumeOk:
+  case WireFrame::Ack:
+  case WireFrame::Welcome:
     freeze(StatusCode::ValidationError,
            std::string("server-only frame ") + wireFrameName(F.Type) +
                " from a client");
@@ -147,8 +185,19 @@ Status pumpFeedSource(FeedSource &Src, AnalysisSession &S, size_t ChunkBytes) {
       Ing.eof();
       break;
     }
-    if (N == FeedSource::WouldBlock)
-      continue; // Blocking pumps shouldn't see this; be forgiving.
+    if (N == FeedSource::WouldBlock) {
+      // Non-blocking fds (and injected EAGAIN faults) land here: wait for
+      // readability instead of spinning. Sources without a pollable fd
+      // (the shm ring, fault decorators over it) get a short sleep.
+      const int Fd = Src.pollFd();
+      if (Fd >= 0) {
+        pollfd P{Fd, POLLIN, 0};
+        (void)::poll(&P, 1, 10);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
     if (N < 0)
       return Src.status();
     Ing.ingest(Buf.data(), static_cast<size_t>(N));

@@ -54,12 +54,37 @@ public:
   /// "disconnected mid-frame" error.
   void eof();
 
+  /// Applies one already-decoded frame. The resumable server path decodes
+  /// per-connection (a reconnect starts a fresh decoder while the session
+  /// — and this ingestor — persist), so the decoder inside ingest() is
+  /// bypassed there.
+  void applyFrame(const WireFrameView &F) { apply(F); }
+
+  /// Marks the hello handshake as done when the caller performed it
+  /// itself (the resumable server owns Hello/Resume negotiation).
+  void noteHello() { SawHello = true; }
+
+  /// Freezes the stream with an externally detected failure (connection
+  /// decoder desync, resume-grace expiry, ...).
+  void fail(Status S) {
+    if (Sticky.ok())
+      Sticky = std::move(S);
+  }
+
   bool sawHello() const { return SawHello; }
   /// The client sent Finish: no more data frames are accepted; the
   /// caller finalizes the session and replies.
   bool sawFinish() const { return SawFinish; }
   uint64_t eventsApplied() const { return EventsApplied; }
   uint64_t framesApplied() const { return FramesApplied; }
+
+  /// The next expected Events sequence number — by construction the count
+  /// of events applied so far, since frames carry their cumulative start
+  /// offset. This is the value a ResumeOk/Ack advertises.
+  uint64_t appliedSeq() const { return EventsApplied; }
+  /// Frames skipped (fully or partially) by exactly-once dedup after a
+  /// resume retransmission.
+  uint64_t dupFrames() const { return DupFrames; }
 
   /// Sticky: first failure freezes ingestion (ok() == false from then on).
   const Status &status() const { return Sticky; }
@@ -77,6 +102,7 @@ private:
   bool SawFinish = false;
   uint64_t EventsApplied = 0;
   uint64_t FramesApplied = 0;
+  uint64_t DupFrames = 0;
 };
 
 /// Blocking convenience pump: reads \p Src until EOF/Finish/failure,

@@ -1,0 +1,133 @@
+//===- support/TimerWheel.h - Single-level hashed timer wheel ------------------===//
+//
+// Part of rapidpp (PLDI'17 WCP reproduction).
+//
+// A deliberately small timer wheel for the serving layer's housekeeping
+// timers (resume-grace expiry, idle-session eviction, finished-roster GC).
+// These timers are coarse — tens of milliseconds to minutes — and are all
+// driven from one thread (the daemon's IO loop), so the wheel is
+// single-threaded by contract: no locks, no atomics, callers serialize.
+//
+// Design: a fixed ring of S slots, each TickMs wide. A timer due D ticks
+// from now lands in slot (Cursor + D) % S with Rounds = D / S; advance()
+// walks the slots the elapsed time covers and fires entries whose Rounds
+// has reached zero, decrementing the rest. Everything is O(1) amortized
+// per timer, and — unlike an ordered map keyed by deadline — scheduling
+// and cancelling never allocate after the slot vectors warm up.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RAPID_SUPPORT_TIMERWHEEL_H
+#define RAPID_SUPPORT_TIMERWHEEL_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace rapid {
+
+class TimerWheel {
+public:
+  using TimerId = uint64_t;
+
+  explicit TimerWheel(uint64_t TickMs = 50, size_t Slots = 128)
+      : TickMs(TickMs ? TickMs : 1), Ring(Slots ? Slots : 1) {}
+
+  /// Schedules \p Fn to fire once, \p DelayMs from the wheel's current
+  /// time (rounded up to the next tick so a timer never fires early).
+  /// Returns an id usable with cancel().
+  TimerId schedule(uint64_t DelayMs, std::function<void()> Fn) {
+    // At least one tick out: slot Cursor+0 was already drained this tick,
+    // so a zero-delay timer would otherwise wait a full rotation.
+    const uint64_t Ticks =
+        DelayMs == 0 ? 1 : (DelayMs + TickMs - 1) / TickMs;
+    const TimerId Id = NextId++;
+    Entry E;
+    E.Id = Id;
+    // The target slot is first *visited* Ticks % S steps from now (S steps
+    // when Ticks is an exact multiple), so the extra full rotations are
+    // (Ticks - 1) / S — plain Ticks / S would oversleep a whole rotation
+    // whenever the deadline lands exactly on the ring size.
+    E.Rounds = (Ticks - 1) / Ring.size();
+    E.Fn = std::move(Fn);
+    const size_t Slot = (Cursor + Ticks) % Ring.size();
+    Ring[Slot].push_back(std::move(E));
+    Where[Id] = Slot;
+    return Id;
+  }
+
+  /// Drops a pending timer. Returns false if it already fired (or never
+  /// existed) — cancelling a fired timer is not an error, callers race
+  /// against expiry by design.
+  bool cancel(TimerId Id) {
+    auto It = Where.find(Id);
+    if (It == Where.end())
+      return false;
+    std::vector<Entry> &Slot = Ring[It->second];
+    for (size_t I = 0; I != Slot.size(); ++I) {
+      if (Slot[I].Id == Id) {
+        Slot[I] = std::move(Slot.back());
+        Slot.pop_back();
+        break;
+      }
+    }
+    Where.erase(It);
+    return true;
+  }
+
+  /// Advances the wheel by \p ElapsedMs of wall time, firing every timer
+  /// that came due. Fractional ticks accumulate, so irregular poll
+  /// cadences do not stretch deadlines. Callbacks run inline; they may
+  /// schedule() new timers but must not advance() reentrantly.
+  void advance(uint64_t ElapsedMs) {
+    CarryMs += ElapsedMs;
+    uint64_t Ticks = CarryMs / TickMs;
+    CarryMs -= Ticks * TickMs;
+    while (Ticks-- > 0)
+      stepOne();
+  }
+
+  size_t pending() const { return Where.size(); }
+  uint64_t tickMs() const { return TickMs; }
+
+private:
+  struct Entry {
+    TimerId Id = 0;
+    uint64_t Rounds = 0;
+    std::function<void()> Fn;
+  };
+
+  void stepOne() {
+    Cursor = (Cursor + 1) % Ring.size();
+    std::vector<Entry> &Slot = Ring[Cursor];
+    Due.clear();
+    for (size_t I = 0; I != Slot.size();) {
+      if (Slot[I].Rounds == 0) {
+        Where.erase(Slot[I].Id);
+        Due.push_back(std::move(Slot[I]));
+        Slot[I] = std::move(Slot.back());
+        Slot.pop_back();
+      } else {
+        --Slot[I].Rounds;
+        ++I;
+      }
+    }
+    // Fire after the slot walk: a callback may schedule() into any slot,
+    // including the one being drained.
+    for (Entry &E : Due)
+      E.Fn();
+  }
+
+  uint64_t TickMs;
+  uint64_t CarryMs = 0;
+  size_t Cursor = 0;
+  TimerId NextId = 1;
+  std::vector<std::vector<Entry>> Ring;
+  std::unordered_map<TimerId, size_t> Where;
+  std::vector<Entry> Due;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SUPPORT_TIMERWHEEL_H

@@ -22,6 +22,7 @@
 #include "api/AnalysisSession.h"
 #include "gen/Workloads.h"
 #include "hb/HbDetector.h"
+#include "io/FaultInjector.h"
 #include "io/FeedSource.h"
 #include "io/ShmRing.h"
 #include "io/WireFormat.h"
@@ -195,6 +196,101 @@ TEST_F(FeedRoundTripTest, ShmRingMatchesDirectFeedBitForBit) {
   std::remove(Path.c_str());
 }
 
+// Deterministic delivery faults (io/FaultInjector.h) over a real socket:
+// short reads, spurious EAGAIN, and tiny delays reshape every read, yet
+// the report must stay bit-for-bit identical — the decorator perturbs
+// delivery, never content, and the pump's retry discipline absorbs it.
+TEST_F(FeedRoundTripTest, FaultySocketDeliveryStillMatchesBitForBit) {
+  int Sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Sv), 0);
+  std::thread Writer([&] {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t N = ::write(Sv[0], Bytes.data() + Off, Bytes.size() - Off);
+      if (N <= 0)
+        break;
+      Off += static_cast<size_t>(N);
+    }
+    ::close(Sv[0]);
+  });
+  FaultStats Stats;
+  FaultyFeedConfig FC;
+  FC.Seed = 41;
+  FC.ShortReadPermille = 500;
+  FC.WouldBlockPermille = 200;
+  FC.DelayPermille = 100;
+  FC.MaxDelayUs = 50;
+  FC.Stats = &Stats;
+  auto Src = makeFaultyFeedSource(makeFdFeedSource(Sv[1], "unix:test"), FC);
+  // Small chunks force many reads, so the per-read schedule gets enough
+  // draws to fire every fault class for this seed.
+  AnalysisSession S(hbWcpConfig());
+  ASSERT_TRUE(pumpFeedSource(*Src, S, /*ChunkBytes=*/1024).ok());
+  AnalysisResult R = S.finish();
+  ASSERT_TRUE(R.ok()) << R.firstError().str();
+  EXPECT_EQ(canonicalReport(R, S.trace()), Want);
+  Writer.join();
+  // The schedule is seeded, so the faults deterministically happened.
+  EXPECT_GT(Stats.ShortReads, 0u);
+  EXPECT_GT(Stats.WouldBlocks, 0u);
+}
+
+// The same fault schedule over the shm ring (no pollable fd: the pump's
+// WouldBlock path must spin-sleep, not poll).
+TEST_F(FeedRoundTripTest, FaultyShmRingDeliveryStillMatchesBitForBit) {
+  std::string Path = tempPath("faulty.ring");
+  ShmRing Producer;
+  ASSERT_TRUE(Producer.create(Path, 4096).ok());
+  ShmRing Consumer;
+  ASSERT_TRUE(Consumer.attach(Path).ok());
+  std::thread Writer([&] {
+    ASSERT_TRUE(Producer.write(Bytes.data(), Bytes.size()));
+    Producer.close();
+  });
+  FaultyFeedConfig FC;
+  FC.Seed = 43;
+  FC.ShortReadPermille = 400;
+  FC.WouldBlockPermille = 150;
+  auto Src = makeFaultyFeedSource(
+      makeShmRingFeedSource(std::move(Consumer), "shm:" + Path), FC);
+  EXPECT_EQ(pumpToCanon(hbWcpConfig(), *Src), Want);
+  Writer.join();
+  std::remove(Path.c_str());
+}
+
+// A mid-frame cut freezes the stream exactly like a torn disconnect: the
+// whole-frame prefix is applied, the tail is a loud ValidationError.
+TEST_F(FeedRoundTripTest, CutFeedFreezesWithTornFrameErrorPrefixApplied) {
+  int Sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Sv), 0);
+  std::thread Writer([&] {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t N = ::write(Sv[0], Bytes.data() + Off, Bytes.size() - Off);
+      if (N <= 0)
+        break;
+      Off += static_cast<size_t>(N);
+    }
+    ::close(Sv[0]);
+  });
+  FaultStats Stats;
+  FaultyFeedConfig FC;
+  FC.Seed = 47;
+  FC.CutAfterBytes = Bytes.size() - 2; // inside the trailing Finish frame
+  FC.Stats = &Stats;
+  auto Src = makeFaultyFeedSource(makeFdFeedSource(Sv[1], "unix:test"), FC);
+  AnalysisSession S(hbWcpConfig());
+  Status Pumped = pumpFeedSource(*Src, S);
+  EXPECT_EQ(Pumped.Code, StatusCode::ValidationError);
+  EXPECT_NE(Pumped.Message.find("disconnected mid-frame"), std::string::npos)
+      << Pumped.str();
+  AnalysisResult R = S.finish();
+  EXPECT_EQ(R.EventsIngested, T.size()) << "whole-frame prefix must survive";
+  EXPECT_EQ(Stats.Cuts, 1u);
+  Writer.join();
+  ::close(Sv[1]);
+}
+
 // ---- 2. Sticky protocol failures ------------------------------------------
 
 class WireIngestorTest : public ::testing::Test {
@@ -226,7 +322,7 @@ TEST_F(WireIngestorTest, BadEventKindFreezesWithoutApplying) {
   ingest(wireHelloFrame());
   ingest(declareOneThread());
   std::string P;
-  wirePutU32(P, 1);
+  wireEventsHeader(P, /*Seq=*/0, /*Count=*/1);
   wireEventRecord(P, /*Kind=*/9, 0, 0, 0); // 9 is not an EventKind.
   std::string F;
   wireAppendFrame(F, WireFrame::Events, P);
@@ -238,7 +334,7 @@ TEST_F(WireIngestorTest, BadEventKindFreezesWithoutApplying) {
 TEST_F(WireIngestorTest, UndeclaredIdsFreeze) {
   ingest(wireHelloFrame());
   std::string P;
-  wirePutU32(P, 1);
+  wireEventsHeader(P, /*Seq=*/0, /*Count=*/1);
   wireEventRecord(P, /*Kind=*/0, /*Thread=*/5, /*Target=*/0, /*Loc=*/0);
   std::string F;
   wireAppendFrame(F, WireFrame::Events, P);
@@ -406,7 +502,7 @@ TEST_F(RaceServerTest, MalformedFrameGetsStickyErrorNotUb) {
   ASSERT_TRUE(C.connectUnix(Cfg.SocketPath, 2000).ok());
   ASSERT_TRUE(C.sendHello().ok());
   std::string P;
-  wirePutU32(P, 1);
+  wireEventsHeader(P, /*Seq=*/0, /*Count=*/1);
   wireEventRecord(P, /*Kind=*/9, 0, 0, 0);
   std::string F;
   wireAppendFrame(F, WireFrame::Events, P);

@@ -10,6 +10,7 @@
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/TimerWheel.h"
 
 #include <gtest/gtest.h>
 
@@ -197,4 +198,80 @@ TEST(ThreadPoolStressTest, ThrowingTasksAreContainedAndCounted) {
   Pool.wait();
   EXPECT_EQ(Ran.load(), 10);
   EXPECT_EQ(Pool.tasksExecuted(), 20u);
+}
+
+// ---- TimerWheel -------------------------------------------------------------
+
+TEST(TimerWheelTest, FiresAtTheRoundedDeadlineNeverEarly) {
+  TimerWheel W(/*TickMs=*/10, /*Slots=*/8);
+  int Fired = 0;
+  W.schedule(25, [&] { ++Fired; }); // rounds up to 3 ticks = 30 ms
+  W.advance(20);
+  EXPECT_EQ(Fired, 0) << "fired before the rounded-up deadline";
+  W.advance(10);
+  EXPECT_EQ(Fired, 1);
+  W.advance(1000);
+  EXPECT_EQ(Fired, 1) << "one-shot timer fired again";
+  EXPECT_EQ(W.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnTheNextTickNotAFullRotation) {
+  TimerWheel W(/*TickMs=*/10, /*Slots=*/4);
+  int Fired = 0;
+  W.schedule(0, [&] { ++Fired; });
+  // The bug this pins: slot Cursor+0 was already drained, so a naive
+  // placement would wait Slots*TickMs = 40 ms instead of one tick.
+  W.advance(10);
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(TimerWheelTest, BeyondHorizonDelaysUseRounds) {
+  TimerWheel W(/*TickMs=*/10, /*Slots=*/4); // horizon = 40 ms
+  int Fired = 0;
+  W.schedule(100, [&] { ++Fired; });
+  W.advance(90);
+  EXPECT_EQ(Fired, 0);
+  W.advance(10);
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(TimerWheelTest, FractionalTicksAccumulateAcrossIrregularAdvances) {
+  TimerWheel W(/*TickMs=*/10, /*Slots=*/16);
+  int Fired = 0;
+  W.schedule(30, [&] { ++Fired; });
+  // 10 x 3 ms = 30 ms of wall time in sub-tick steps: the carry must
+  // add up to the same three ticks a single advance(30) would take.
+  for (int I = 0; I != 10; ++I)
+    W.advance(3);
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(TimerWheelTest, CancelDropsPendingAndToleratesFired) {
+  TimerWheel W(/*TickMs=*/10, /*Slots=*/8);
+  int Fired = 0;
+  TimerWheel::TimerId A = W.schedule(20, [&] { ++Fired; });
+  TimerWheel::TimerId B = W.schedule(20, [&] { ++Fired; });
+  EXPECT_TRUE(W.cancel(A));
+  EXPECT_FALSE(W.cancel(A)) << "double cancel must report already-gone";
+  W.advance(40);
+  EXPECT_EQ(Fired, 1);
+  EXPECT_FALSE(W.cancel(B)) << "cancelling a fired timer must be benign";
+  EXPECT_EQ(W.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CallbacksMayRescheduleIntoTheDrainingSlot) {
+  // The self-rescheduling housekeeping pattern: each firing schedules the
+  // next. A naive wheel that fires while walking the slot would either
+  // skip or re-fire the fresh entry.
+  TimerWheel W(/*TickMs=*/10, /*Slots=*/4);
+  int Fired = 0;
+  std::function<void()> Tick = [&] {
+    if (++Fired < 3)
+      W.schedule(40, Tick); // lands exactly one rotation out: same slot
+  };
+  W.schedule(40, Tick);
+  for (int I = 0; I != 12; ++I)
+    W.advance(10);
+  EXPECT_EQ(Fired, 3);
+  EXPECT_EQ(W.pending(), 0u);
 }
